@@ -1,0 +1,88 @@
+//! Complexity check (paper §3.3) — empirical verification of the asymptotic
+//! claims:
+//!
+//! * TSUBASA sketch time is `O(L·N²)` (linear in the series length for fixed
+//!   N, quadratic in the number of series for fixed L);
+//! * the DFT comparator's sketch time carries an extra factor of B from the
+//!   naive per-window transform;
+//! * the baseline's query time is `O(l*·N²)` while TSUBASA's is `O(l*/B·N²)`.
+//!
+//! The bench prints measured times for doubling inputs together with the
+//! growth ratio so the exponent can be read off directly.
+
+use tsubasa_bench::{fmt_ms, millis, scaled, time, Table};
+use tsubasa_core::prelude::*;
+use tsubasa_data::prelude::*;
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+
+fn dataset(stations: usize, points: usize) -> SeriesCollection {
+    generate_ncea_like(&NceaLikeConfig {
+        stations,
+        points,
+        missing_fraction: 0.0,
+        ..NceaLikeConfig::default()
+    })
+    .unwrap()
+}
+
+fn main() {
+    let basic_window = 100;
+    println!("Complexity check (paper section 3.3) | B={basic_window}");
+
+    // --- scaling in the series length L (fixed N) ---------------------------
+    let n_fixed = scaled(24, 12);
+    let mut table_l = Table::new(&["L", "TSUBASA sketch", "growth", "DFT sketch", "growth"]);
+    let mut prev: Option<(f64, f64)> = None;
+    for factor in [1usize, 2, 4] {
+        let points = 2_000 * factor;
+        let collection = dataset(n_fixed, points);
+        let (_, t_exact) = time(|| SketchSet::build(&collection, basic_window).unwrap());
+        let (_, t_dft) = time(|| {
+            DftSketchSet::build(&collection, basic_window, basic_window, Transform::Naive).unwrap()
+        });
+        let (g_exact, g_dft) = prev
+            .map(|(a, b)| (millis(t_exact) / a, millis(t_dft) / b))
+            .unwrap_or((1.0, 1.0));
+        table_l.row(vec![
+            points.to_string(),
+            fmt_ms(millis(t_exact)),
+            format!("{g_exact:.2}x"),
+            fmt_ms(millis(t_dft)),
+            format!("{g_dft:.2}x"),
+        ]);
+        prev = Some((millis(t_exact), millis(t_dft)));
+    }
+    table_l.print("Sketch time vs series length L (expect ~2x per doubling: linear)");
+
+    // --- scaling in the number of series N (fixed L) -------------------------
+    let points_fixed = 2_000;
+    let mut table_n = Table::new(&["N", "TSUBASA sketch", "growth", "TSUBASA query", "growth", "baseline query", "growth"]);
+    let mut prev: Option<(f64, f64, f64)> = None;
+    for factor in [1usize, 2, 4] {
+        let n = scaled(16, 8) * factor;
+        let collection = dataset(n, points_fixed);
+        let (sketch, t_sketch) = time(|| SketchSet::build(&collection, basic_window).unwrap());
+        let query = QueryWindow::new(points_fixed - 1, 2_000).unwrap();
+        let (_, t_query) = time(|| exact::correlation_matrix(&collection, &sketch, query).unwrap());
+        let (_, t_baseline) = time(|| baseline::correlation_matrix(&collection, query).unwrap());
+        let (g_s, g_q, g_b) = prev
+            .map(|(a, b, c)| (millis(t_sketch) / a, millis(t_query) / b, millis(t_baseline) / c))
+            .unwrap_or((1.0, 1.0, 1.0));
+        table_n.row(vec![
+            n.to_string(),
+            fmt_ms(millis(t_sketch)),
+            format!("{g_s:.2}x"),
+            fmt_ms(millis(t_query)),
+            format!("{g_q:.2}x"),
+            fmt_ms(millis(t_baseline)),
+            format!("{g_b:.2}x"),
+        ]);
+        prev = Some((millis(t_sketch), millis(t_query), millis(t_baseline)));
+    }
+    table_n.print("Time vs number of series N (expect ~4x per doubling: quadratic)");
+
+    tsubasa_bench::write_json(
+        "complexity_check",
+        &serde_json::json!({ "basic_window": basic_window, "note": "see stdout tables" }),
+    );
+}

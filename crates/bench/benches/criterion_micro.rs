@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks and ablations for the core primitives:
+//!
+//! * `pearson_direct` vs `sketch_pair` — the fused one-pass sketch kernel;
+//! * `lemma1_combine` — recombination cost per pair per query;
+//! * `lemma2_update` — the per-pair incremental update (the reason real-time
+//!   TSUBASA is so cheap);
+//! * `naive_dft` vs `radix2_fft` — how much of the comparator's overhead is
+//!   the transform itself (ablation called out in DESIGN.md);
+//! * `query_aligned` vs `query_unaligned` — the extra cost of arbitrary query
+//!   windows (partial head/tail re-sketching, §3.3 usability discussion);
+//! * `pair_sketch_vs_raw` — sketch-based pair correlation vs rescanning raw
+//!   data (the fundamental trade the paper makes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tsubasa_core::exact::{self, WindowContribution};
+use tsubasa_core::incremental::lemma2_update;
+use tsubasa_core::prelude::*;
+use tsubasa_core::stats::{pearson, sketch_pair};
+use tsubasa_data::prelude::*;
+use tsubasa_dft::dft::{naive_dft, radix2_fft};
+
+fn series(seed: u64, len: usize) -> Vec<f64> {
+    let mut ar = Ar1::new(0.9, 1.0, seed);
+    let base = ar.generate(len);
+    base.iter()
+        .enumerate()
+        .map(|(i, v)| v + (i as f64 * 0.01).sin() * 3.0)
+        .collect()
+}
+
+fn bench_pair_kernels(c: &mut Criterion) {
+    let x = series(1, 1_000);
+    let y = series(2, 1_000);
+    let mut group = c.benchmark_group("pair_kernels");
+    group.sample_size(30);
+    group.bench_function("pearson_direct_1000", |b| {
+        b.iter(|| black_box(pearson(black_box(&x), black_box(&y))))
+    });
+    group.bench_function("sketch_pair_fused_1000", |b| {
+        b.iter(|| black_box(sketch_pair(black_box(&x), black_box(&y))))
+    });
+    group.finish();
+}
+
+fn bench_lemma1_and_lemma2(c: &mut Criterion) {
+    let x = series(3, 3_000);
+    let y = series(4, 3_000);
+    let b_size = 100;
+    let parts: Vec<WindowContribution> = (0..30)
+        .map(|w| WindowContribution::from_raw(&x[w * b_size..(w + 1) * b_size], &y[w * b_size..(w + 1) * b_size]))
+        .collect();
+    let mut group = c.benchmark_group("recombination");
+    group.sample_size(50);
+    group.bench_function("lemma1_combine_30_windows", |b| {
+        b.iter(|| black_box(exact::combine(black_box(&parts))))
+    });
+
+    let evicted = parts[0];
+    let arriving = parts[29];
+    group.bench_function("lemma2_update_single_pair", |b| {
+        b.iter(|| {
+            black_box(lemma2_update(
+                3_000.0,
+                black_box(0.1),
+                black_box(-0.05),
+                black_box(2.0),
+                black_box(1.8),
+                black_box(0.4),
+                black_box(&evicted),
+                black_box(&arriving),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_dft_vs_fft(c: &mut Criterion) {
+    let window = series(5, 256);
+    let mut group = c.benchmark_group("transform_ablation");
+    group.sample_size(30);
+    group.bench_function("naive_dft_256", |b| {
+        b.iter(|| black_box(naive_dft(black_box(&window))))
+    });
+    group.bench_function("radix2_fft_256", |b| {
+        b.iter(|| black_box(radix2_fft(black_box(&window))))
+    });
+    group.finish();
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let collection = generate_ncea_like(&NceaLikeConfig {
+        stations: 20,
+        points: 4_000,
+        missing_fraction: 0.0,
+        ..NceaLikeConfig::default()
+    })
+    .unwrap();
+    let sketch = SketchSet::build(&collection, 100).unwrap();
+    let aligned = QueryWindow::new(3_999, 3_000).unwrap();
+    let unaligned = QueryWindow::new(3_950, 3_000).unwrap();
+
+    let mut group = c.benchmark_group("query_paths");
+    group.sample_size(20);
+    group.bench_function("matrix_query_aligned", |b| {
+        b.iter(|| black_box(exact::correlation_matrix(&collection, &sketch, aligned).unwrap()))
+    });
+    group.bench_function("matrix_query_unaligned", |b| {
+        b.iter(|| black_box(exact::correlation_matrix(&collection, &sketch, unaligned).unwrap()))
+    });
+    group.bench_function("matrix_query_baseline_raw", |b| {
+        b.iter(|| black_box(baseline::correlation_matrix(&collection, aligned).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_streaming_update(c: &mut Criterion) {
+    let collection = generate_ncea_like(&NceaLikeConfig {
+        stations: 20,
+        points: 4_000,
+        missing_fraction: 0.0,
+        ..NceaLikeConfig::default()
+    })
+    .unwrap();
+    let sketch = SketchSet::build(&collection, 100).unwrap();
+    let chunk: Vec<Vec<f64>> = collection
+        .iter()
+        .map(|s| s.values()[3_900..4_000].to_vec())
+        .collect();
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(20);
+    group.bench_function("sliding_network_ingest_20x100", |b| {
+        b.iter_batched(
+            || SlidingNetwork::initialize(&collection, &sketch, 3_000).unwrap(),
+            |mut net| {
+                net.ingest(black_box(&chunk)).unwrap();
+                black_box(net)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pair_kernels,
+    bench_lemma1_and_lemma2,
+    bench_dft_vs_fft,
+    bench_query_paths,
+    bench_streaming_update
+);
+criterion_main!(benches);

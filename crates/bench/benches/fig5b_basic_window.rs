@@ -1,0 +1,89 @@
+//! Figure 5b — Basic-window size analysis (in-memory).
+//!
+//! Setup (paper §4.2): query window of 3,000 points; the basic-window size is
+//! swept while measuring sketch time and query time for TSUBASA and for the
+//! DFT approximation (with all coefficients and with 75% of them).
+//!
+//! Expected shape (paper): TSUBASA's sketch time grows only gently with B,
+//! while the approximation's sketch time *increases* with B because of the
+//! O(B²) DFT per basic window; query times of the two are on par.
+
+use tsubasa_bench::{fmt_ms, millis, scaled, time, Table};
+use tsubasa_core::prelude::*;
+use tsubasa_data::prelude::*;
+use tsubasa_dft::approx::{approximate_correlation_matrix, ApproxStrategy};
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+
+fn main() {
+    let stations = scaled(60, 16);
+    let points = scaled(8_760, 3_500).max(3_500);
+    let query_len = 3_000;
+    println!("Figure 5b: basic-window sweep | {stations} stations x {points} points | query window {query_len}");
+
+    let collection = generate_ncea_like(&NceaLikeConfig {
+        stations,
+        points,
+        ..NceaLikeConfig::default()
+    })
+    .expect("generate dataset");
+
+    let mut table = Table::new(&[
+        "B",
+        "TSUBASA sketch",
+        "DFT sketch (100%)",
+        "DFT sketch (75%)",
+        "TSUBASA query",
+        "DFT query",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for basic_window in [50usize, 100, 200, 300, 500] {
+        // --- sketch times ---------------------------------------------------
+        let (exact_sketch, t_exact_sketch) = time(|| SketchSet::build(&collection, basic_window).unwrap());
+        let (_, t_dft_full) = time(|| {
+            DftSketchSet::build(&collection, basic_window, basic_window, Transform::Naive).unwrap()
+        });
+        let (dft75, t_dft_75) = time(|| {
+            DftSketchSet::build(&collection, basic_window, basic_window * 3 / 4, Transform::Naive).unwrap()
+        });
+
+        // --- query times on a window of `query_len` points ------------------
+        let ns = query_len / basic_window;
+        let last = exact_sketch.window_count();
+        let windows = last - ns..last;
+        let query = QueryWindow::new(last * basic_window - 1, query_len).unwrap();
+        let (_, t_exact_query) =
+            time(|| exact::correlation_matrix(&collection, &exact_sketch, query).unwrap());
+        let (_, t_dft_query) = time(|| {
+            approximate_correlation_matrix(&dft75, windows.clone(), ApproxStrategy::Equation5).unwrap()
+        });
+
+        table.row(vec![
+            basic_window.to_string(),
+            fmt_ms(millis(t_exact_sketch)),
+            fmt_ms(millis(t_dft_full)),
+            fmt_ms(millis(t_dft_75)),
+            fmt_ms(millis(t_exact_query)),
+            fmt_ms(millis(t_dft_query)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "basic_window": basic_window,
+            "tsubasa_sketch_ms": millis(t_exact_sketch),
+            "dft_sketch_full_ms": millis(t_dft_full),
+            "dft_sketch_75_ms": millis(t_dft_75),
+            "tsubasa_query_ms": millis(t_exact_query),
+            "dft_query_ms": millis(t_dft_query),
+        }));
+    }
+
+    table.print("Figure 5b: sketch & query time vs basic-window size");
+    tsubasa_bench::write_json(
+        "fig5b_basic_window",
+        &serde_json::json!({
+            "stations": stations,
+            "points": points,
+            "query_len": query_len,
+            "rows": json_rows,
+        }),
+    );
+}

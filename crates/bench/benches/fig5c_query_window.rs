@@ -1,0 +1,83 @@
+//! Figure 5c — Query-window size analysis (in-memory).
+//!
+//! Setup (paper §4.2): basic window B = 50; the query-window length is swept
+//! while measuring *query* time (sketches are pre-built) for TSUBASA, the DFT
+//! approximation with 75% of coefficients, and the raw-data baseline.
+//!
+//! Expected shape (paper): TSUBASA and the approximation are on par and
+//! roughly flat in the query length (they scan l*/B sketch entries); the
+//! baseline scans l* raw points per pair and is one to two orders of
+//! magnitude slower, growing linearly with the query length.
+
+use tsubasa_bench::{fmt_ms, millis, scaled, time, Table};
+use tsubasa_core::prelude::*;
+use tsubasa_data::prelude::*;
+use tsubasa_dft::approx::{approximate_correlation_matrix, ApproxStrategy};
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+
+fn main() {
+    let basic_window = 50;
+    let stations = scaled(60, 16);
+    let points = scaled(8_760, 5_500).max(5_500);
+    println!("Figure 5c: query-window sweep | {stations} stations x {points} points | B={basic_window}");
+
+    let collection = generate_ncea_like(&NceaLikeConfig {
+        stations,
+        points,
+        ..NceaLikeConfig::default()
+    })
+    .expect("generate dataset");
+
+    // Sketches are built once; the figure reports query time only.
+    let exact_sketch = SketchSet::build(&collection, basic_window).unwrap();
+    let dft_sketch = DftSketchSet::build(
+        &collection,
+        basic_window,
+        basic_window * 3 / 4,
+        Transform::Naive,
+    )
+    .unwrap();
+    let total_windows = exact_sketch.window_count();
+
+    let mut table = Table::new(&["query len", "TSUBASA", "DFT approx (75%)", "baseline"]);
+    let mut json_rows = Vec::new();
+
+    for query_len in [500usize, 1_000, 2_000, 3_000, 5_000] {
+        let ns = query_len / basic_window;
+        let windows = total_windows - ns..total_windows;
+        let query = QueryWindow::new(total_windows * basic_window - 1, query_len).unwrap();
+
+        let (_, t_exact) =
+            time(|| exact::correlation_matrix(&collection, &exact_sketch, query).unwrap());
+        let (_, t_approx) = time(|| {
+            approximate_correlation_matrix(&dft_sketch, windows.clone(), ApproxStrategy::Equation5)
+                .unwrap()
+        });
+        let (_, t_baseline) = time(|| baseline::correlation_matrix(&collection, query).unwrap());
+
+        table.row(vec![
+            query_len.to_string(),
+            fmt_ms(millis(t_exact)),
+            fmt_ms(millis(t_approx)),
+            fmt_ms(millis(t_baseline)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "query_len": query_len,
+            "tsubasa_query_ms": millis(t_exact),
+            "dft_query_ms": millis(t_approx),
+            "baseline_query_ms": millis(t_baseline),
+            "baseline_over_tsubasa": millis(t_baseline) / millis(t_exact).max(1e-9),
+        }));
+    }
+
+    table.print("Figure 5c: query time vs query-window size");
+    tsubasa_bench::write_json(
+        "fig5c_query_window",
+        &serde_json::json!({
+            "stations": stations,
+            "points": points,
+            "basic_window": basic_window,
+            "rows": json_rows,
+        }),
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 6c — Impact of the number of partitions / cores.
+//!
+//! Setup (paper §4.3): a fixed number of series (2,000 in the paper, scaled
+//! here); the number of partitions (= computation workers) is swept while the
+//! sketch-computation and matrix-calculation wall times are measured.
+//!
+//! Expected shape (paper): both wall times fall as the partition count grows,
+//! with diminishing returns once the machine's cores are saturated.
+
+use std::sync::Arc;
+
+use tsubasa_bench::{fmt_ms, millis, scaled, Table};
+use tsubasa_data::prelude::*;
+use tsubasa_parallel::{ParallelConfig, ParallelEngine, QueryMethod, SketchMethod};
+use tsubasa_storage::{DiskSketchStore, SketchStore};
+
+fn main() {
+    let basic_window = 120;
+    let points = 960;
+    let n = scaled(300, 60);
+    let max_workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    println!(
+        "Figure 6c: partition sweep | {n} series x {points} points | B={basic_window} | host has {max_workers} cores"
+    );
+
+    let collection = generate_berkeley_like(&BerkeleyLikeConfig {
+        cells: n,
+        points,
+        ..BerkeleyLikeConfig::default()
+    })
+    .expect("generate dataset");
+    let layout = ParallelEngine::layout_for(&collection, basic_window).unwrap();
+
+    let mut table = Table::new(&["partitions", "sketch wall", "query wall"]);
+    let mut json_rows = Vec::new();
+
+    for partitions in [1usize, 2, 4, 8, 16] {
+        let dir = std::env::temp_dir().join(format!(
+            "tsubasa-fig6c-{}-{partitions}",
+            std::process::id()
+        ));
+        let store: Arc<dyn SketchStore> = Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
+        let engine = ParallelEngine::new(ParallelConfig {
+            workers: partitions,
+            batch_pairs: 128,
+            sketch_method: SketchMethod::Exact,
+        });
+        let sketch_report = engine.sketch_to_store(&collection, basic_window, store.clone()).unwrap();
+        let (_, query_report) = engine
+            .query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+
+        table.row(vec![
+            partitions.to_string(),
+            fmt_ms(millis(sketch_report.wall_time)),
+            fmt_ms(millis(query_report.wall_time)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "partitions": partitions,
+            "sketch_wall_ms": millis(sketch_report.wall_time),
+            "query_wall_ms": millis(query_report.wall_time),
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    table.print("Figure 6c: impact of the number of partitions");
+    tsubasa_bench::write_json(
+        "fig6c_partitions",
+        &serde_json::json!({
+            "series": n,
+            "points": points,
+            "basic_window": basic_window,
+            "host_cores": max_workers,
+            "rows": json_rows,
+        }),
+    );
+}

@@ -1,0 +1,81 @@
+//! Figure 6d — Space overhead of the sketch store.
+//!
+//! Setup (paper §4.3): 2,000 series (scaled here), Berkeley-Earth-like length
+//! of 3,652 points; the size of the sketch database is reported as the basic
+//! window size grows, for TSUBASA and for the DFT approximation.
+//!
+//! Expected shape (paper): both algorithms store records of the same size per
+//! basic window, so their space overhead is identical and shrinks inversely
+//! with B (fewer windows to store).
+
+use tsubasa_bench::{scaled, Table};
+use tsubasa_data::prelude::*;
+use tsubasa_parallel::ParallelEngine;
+use tsubasa_storage::{DiskSketchStore, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout};
+
+fn analytic_bytes(layout: StoreLayout) -> u64 {
+    (layout.series_records() * SeriesWindowRecord::SIZE
+        + layout.pair_records() * PairWindowRecord::SIZE) as u64
+}
+
+fn main() {
+    let n = scaled(2_000, 200);
+    let points = 3_652;
+    println!("Figure 6d: sketch space overhead | {n} series x {points} points");
+
+    let mut table = Table::new(&["B", "windows", "TSUBASA store (MiB)", "DFT store (MiB)"]);
+    let mut json_rows = Vec::new();
+
+    for basic_window in [60usize, 120, 240, 480, 960] {
+        let layout = StoreLayout {
+            n_series: n,
+            n_windows: points / basic_window,
+            basic_window,
+        };
+        // Both algorithms store one fixed-size record per pair per basic
+        // window plus two statistics per series per basic window, so the
+        // formula is the same for both (the paper's observation).
+        let bytes = analytic_bytes(layout);
+        let mib = bytes as f64 / (1024.0 * 1024.0);
+        table.row(vec![
+            basic_window.to_string(),
+            layout.n_windows.to_string(),
+            format!("{mib:.1}"),
+            format!("{mib:.1}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "basic_window": basic_window,
+            "windows": layout.n_windows,
+            "bytes": bytes,
+            "mib": mib,
+        }));
+    }
+
+    // Validate the analytic formula against an actual on-disk store at a
+    // small scale (the big layouts above would needlessly allocate gigabytes
+    // of sparse files).
+    let small = generate_berkeley_like(&BerkeleyLikeConfig {
+        cells: 40,
+        points: 720,
+        ..BerkeleyLikeConfig::default()
+    })
+    .unwrap();
+    let layout = ParallelEngine::layout_for(&small, 120).unwrap();
+    let dir = std::env::temp_dir().join(format!("tsubasa-fig6d-{}", std::process::id()));
+    let store = DiskSketchStore::create(&dir, layout).unwrap();
+    let actual = store.space_bytes();
+    let predicted = analytic_bytes(layout);
+    println!("validation on a 40-series store: predicted {predicted} bytes, on-disk {actual} bytes");
+    assert_eq!(actual, predicted, "analytic space formula must match the real store");
+    std::fs::remove_dir_all(&dir).ok();
+
+    table.print("Figure 6d: sketch-store size vs basic-window size");
+    tsubasa_bench::write_json(
+        "fig6d_space",
+        &serde_json::json!({
+            "series": n,
+            "points": points,
+            "rows": json_rows,
+        }),
+    );
+}

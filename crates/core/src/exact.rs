@@ -1,0 +1,446 @@
+//! Exact recombination of Pearson correlation from basic-window statistics
+//! (paper Lemma 1) and the historical network-construction path built on it
+//! (Algorithm 2).
+//!
+//! The central function is [`combine`], which implements the generalized
+//! Lemma 1 for basic windows of arbitrary (possibly unequal) sizes:
+//!
+//! ```text
+//!              Σ_j B_j (σ_xj σ_yj c_j + δ_xj δ_yj)
+//! Corr(x,y) = ───────────────────────────────────────────────
+//!             √(Σ_i B_i (σ_xi² + δ_xi²)) √(Σ_i B_i (σ_yi² + δ_yi²))
+//! ```
+//!
+//! with `δ_xj = x̄_j − x̄` where `x̄` is the length-weighted mean of the query
+//! window (`Σ B_k x̄_k / Σ B_k`; with equal-size windows this is exactly the
+//! paper's `Σ x̄_k / ns`).
+//!
+//! [`pair_correlation`] applies the decomposition of
+//! [`crate::window::BasicWindowing::segment`] so that query windows whose
+//! boundaries fall *inside* a basic window are handled exactly: the partial
+//! head and tail are re-sketched from raw data, the interior windows come
+//! from the pre-computed sketch.
+
+use crate::error::{Error, Result};
+use crate::matrix::CorrelationMatrix;
+use crate::sketch::SketchSet;
+use crate::stats::{clamp_corr, sketch_pair, WindowStats};
+use crate::timeseries::{SeriesCollection, SeriesId};
+use crate::window::QueryWindow;
+
+/// The contribution of one basic window (full or partial) to a pairwise
+/// correlation: the two per-series statistics plus the within-window
+/// correlation `c_j`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowContribution {
+    /// Statistics of this window of the first series.
+    pub x: WindowStats,
+    /// Statistics of this window of the second series.
+    pub y: WindowStats,
+    /// Pearson correlation of the two windows.
+    pub corr: f64,
+}
+
+impl WindowContribution {
+    /// Sketch a raw (partial) window pair on the fly.
+    pub fn from_raw(x: &[f64], y: &[f64]) -> Self {
+        let (sx, sy, c) = sketch_pair(x, y);
+        Self { x: sx, y: sy, corr: c }
+    }
+}
+
+/// Exact Pearson correlation of the concatenation of the given windows
+/// (Lemma 1, generalized to arbitrary window lengths).
+///
+/// Returns `0.0` when the concatenated window has zero variance in either
+/// series (the same convention as [`crate::stats::pearson`]).
+pub fn combine(parts: &[WindowContribution]) -> f64 {
+    let total: f64 = parts.iter().map(|p| p.x.len as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // Length-weighted means of the whole query window.
+    let mean_x = parts.iter().map(|p| p.x.len as f64 * p.x.mean).sum::<f64>() / total;
+    let mean_y = parts.iter().map(|p| p.y.len as f64 * p.y.mean).sum::<f64>() / total;
+
+    let mut num = 0.0;
+    let mut den_x = 0.0;
+    let mut den_y = 0.0;
+    for p in parts {
+        let b = p.x.len as f64;
+        let dx = p.x.mean - mean_x;
+        let dy = p.y.mean - mean_y;
+        num += b * (p.x.std * p.y.std * p.corr + dx * dy);
+        den_x += b * (p.x.std * p.x.std + dx * dx);
+        den_y += b * (p.y.std * p.y.std + dy * dy);
+    }
+    if den_x <= 0.0 || den_y <= 0.0 {
+        return 0.0;
+    }
+    clamp_corr(num / (den_x.sqrt() * den_y.sqrt()))
+}
+
+/// Variance-recombination identity used in the proof of Lemma 1: the
+/// population variance of the concatenation of windows is
+/// `Σ B_i (σ_i² + δ_i²) / T`. Exposed because the incremental updater and the
+/// property tests rely on it.
+pub fn combined_variance(parts: &[WindowStats]) -> f64 {
+    let total: f64 = parts.iter().map(|p| p.len as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mean = parts.iter().map(|p| p.len as f64 * p.mean).sum::<f64>() / total;
+    parts
+        .iter()
+        .map(|p| p.len as f64 * (p.std * p.std + (p.mean - mean).powi(2)))
+        .sum::<f64>()
+        / total
+}
+
+/// Gather the [`WindowContribution`]s of one pair for one query window,
+/// combining sketched interior windows with raw partial head/tail windows.
+fn gather_contributions(
+    collection: &SeriesCollection,
+    sketch: &SketchSet,
+    query: QueryWindow,
+    i: SeriesId,
+    j: SeriesId,
+) -> Result<Vec<WindowContribution>> {
+    query.validate(collection.series_len())?;
+    let windowing = sketch.windowing();
+    let seg = windowing.segment(query);
+    if seg.full.end > sketch.window_count() {
+        return Err(Error::SketchMismatch {
+            requested: format!("basic windows up to {}", seg.full.end),
+            available: format!("{} sketched windows", sketch.window_count()),
+        });
+    }
+
+    let xs = collection.get(i)?.values();
+    let ys = collection.get(j)?.values();
+    let series_x = sketch.series_sketch(i)?;
+    let series_y = sketch.series_sketch(j)?;
+    let pair = sketch.pair_sketch(i, j)?;
+    // When the caller passes (i, j) with i > j the pair sketch still refers
+    // to (min, max); correlation is symmetric so the value is unaffected.
+
+    let mut parts =
+        Vec::with_capacity(seg.full_count() + seg.head.is_some() as usize + seg.tail.is_some() as usize);
+    if let Some(head) = seg.head {
+        parts.push(WindowContribution::from_raw(head.slice(xs), head.slice(ys)));
+    }
+    for w in seg.full.clone() {
+        parts.push(WindowContribution {
+            x: series_x.window(w),
+            y: series_y.window(w),
+            corr: pair.corrs[w],
+        });
+    }
+    if let Some(tail) = seg.tail {
+        parts.push(WindowContribution::from_raw(tail.slice(xs), tail.slice(ys)));
+    }
+    Ok(parts)
+}
+
+/// Exact Pearson correlation of series `i` and `j` on `query`, recombined
+/// from the sketch (Lemma 1). Arbitrary query windows are supported; the
+/// partial head/tail, if any, are sketched from the raw data in `collection`.
+pub fn pair_correlation(
+    collection: &SeriesCollection,
+    sketch: &SketchSet,
+    query: QueryWindow,
+    i: SeriesId,
+    j: SeriesId,
+) -> Result<f64> {
+    if i == j {
+        return Ok(1.0);
+    }
+    let parts = gather_contributions(collection, sketch, query, i, j)?;
+    Ok(combine(&parts))
+}
+
+/// Exact correlation of a pair using *only* the sketch, for a query window
+/// aligned to basic-window boundaries given as a range of basic-window
+/// indices. This is the path the disk-based/parallel engine uses (no raw data
+/// required at query time).
+pub fn pair_correlation_aligned(
+    sketch: &SketchSet,
+    windows: std::ops::Range<usize>,
+    i: SeriesId,
+    j: SeriesId,
+) -> Result<f64> {
+    if i == j {
+        return Ok(1.0);
+    }
+    if windows.end > sketch.window_count() || windows.is_empty() {
+        return Err(Error::SketchMismatch {
+            requested: format!("basic windows {windows:?}"),
+            available: format!("{} sketched windows", sketch.window_count()),
+        });
+    }
+    let sx = sketch.series_sketch(i)?;
+    let sy = sketch.series_sketch(j)?;
+    let pair = sketch.pair_sketch(i, j)?;
+    let parts: Vec<WindowContribution> = windows
+        .map(|w| WindowContribution {
+            x: sx.window(w),
+            y: sy.window(w),
+            corr: pair.corrs[w],
+        })
+        .collect();
+    Ok(combine(&parts))
+}
+
+/// Exact all-pair correlation matrix on `query` (the correlation-matrix step
+/// of Algorithm 2), recombined from the sketch.
+pub fn correlation_matrix(
+    collection: &SeriesCollection,
+    sketch: &SketchSet,
+    query: QueryWindow,
+) -> Result<CorrelationMatrix> {
+    let n = collection.len();
+    let mut matrix = CorrelationMatrix::identity(n);
+    for (i, j) in collection.pairs() {
+        let c = pair_correlation(collection, sketch, query, i, j)?;
+        matrix.set(i, j, c);
+    }
+    Ok(matrix)
+}
+
+/// All-pair correlation matrix over an aligned range of basic windows, using
+/// only the sketch.
+pub fn correlation_matrix_aligned(
+    sketch: &SketchSet,
+    windows: std::ops::Range<usize>,
+) -> Result<CorrelationMatrix> {
+    let n = sketch.series_count();
+    let mut matrix = CorrelationMatrix::identity(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let c = pair_correlation_aligned(sketch, windows.clone(), i, j)?;
+            matrix.set(i, j, c);
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use crate::stats::pearson;
+    use proptest::prelude::*;
+
+    fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
+        // Small deterministic pseudo-random series without pulling `rand`
+        // into the unit tests of the hot path.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+                (i as f64 * 0.1).sin() * 2.0 + noise
+            })
+            .collect()
+    }
+
+    fn test_collection(n: usize, len: usize) -> SeriesCollection {
+        SeriesCollection::from_rows((0..n).map(|s| lcg_series(s as u64 + 1, len)).collect()).unwrap()
+    }
+
+    #[test]
+    fn combine_single_window_equals_direct_pearson() {
+        let x = lcg_series(1, 50);
+        let y = lcg_series(2, 50);
+        let part = WindowContribution::from_raw(&x, &y);
+        assert!((combine(&[part]) - pearson(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_equals_direct_pearson_aligned() {
+        let x = lcg_series(7, 120);
+        let y = lcg_series(9, 120);
+        // Split into 6 windows of 20 and recombine.
+        let parts: Vec<WindowContribution> = (0..6)
+            .map(|w| WindowContribution::from_raw(&x[w * 20..(w + 1) * 20], &y[w * 20..(w + 1) * 20]))
+            .collect();
+        let direct = pearson(&x, &y);
+        assert!((combine(&parts) - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lemma1_equals_direct_pearson_unequal_windows() {
+        let x = lcg_series(3, 100);
+        let y = lcg_series(4, 100);
+        // Deliberately unequal window sizes: 13 + 40 + 40 + 7.
+        let cuts = [0usize, 13, 53, 93, 100];
+        let parts: Vec<WindowContribution> = cuts
+            .windows(2)
+            .map(|c| WindowContribution::from_raw(&x[c[0]..c[1]], &y[c[0]..c[1]]))
+            .collect();
+        assert!((combine(&parts) - pearson(&x, &y)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn combined_variance_matches_direct() {
+        let x = lcg_series(11, 90);
+        let parts: Vec<WindowStats> = (0..3)
+            .map(|w| WindowStats::from_values(&x[w * 30..(w + 1) * 30]))
+            .collect();
+        let direct = WindowStats::from_values(&x).variance();
+        assert!((combined_variance(&parts) - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pair_correlation_matches_baseline_on_aligned_window() {
+        let c = test_collection(5, 200);
+        let sketch = SketchSet::build(&c, 25).unwrap();
+        let query = QueryWindow::new(199, 150).unwrap(); // indices 50..=199, aligned
+        for (i, j) in c.pairs() {
+            let exact = pair_correlation(&c, &sketch, query, i, j).unwrap();
+            let direct = baseline::pair_correlation(&c, query, i, j).unwrap();
+            assert!(
+                (exact - direct).abs() < 1e-10,
+                "pair ({i},{j}): {exact} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_correlation_matches_baseline_on_arbitrary_window() {
+        let c = test_collection(4, 200);
+        let sketch = SketchSet::build(&c, 30).unwrap();
+        // Start and end both unaligned: indices 37..=171.
+        let query = QueryWindow::new(171, 135).unwrap();
+        for (i, j) in c.pairs() {
+            let exact = pair_correlation(&c, &sketch, query, i, j).unwrap();
+            let direct = baseline::pair_correlation(&c, query, i, j).unwrap();
+            assert!(
+                (exact - direct).abs() < 1e-10,
+                "pair ({i},{j}): {exact} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_correlation_window_inside_single_basic_window() {
+        let c = test_collection(3, 100);
+        let sketch = SketchSet::build(&c, 50).unwrap();
+        let query = QueryWindow::new(40, 20).unwrap(); // inside basic window 0
+        let exact = pair_correlation(&c, &sketch, query, 0, 1).unwrap();
+        let direct = baseline::pair_correlation(&c, query, 0, 1).unwrap();
+        assert!((exact - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn self_correlation_is_one() {
+        let c = test_collection(3, 100);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let query = QueryWindow::new(99, 80).unwrap();
+        assert_eq!(pair_correlation(&c, &sketch, query, 2, 2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn aligned_helper_matches_full_path() {
+        let c = test_collection(4, 120);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let query = QueryWindow::new(119, 80).unwrap(); // windows 2..6
+        let a = pair_correlation_aligned(&sketch, 2..6, 0, 3).unwrap();
+        let b = pair_correlation(&c, &sketch, query, 0, 3).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aligned_helper_rejects_bad_range() {
+        let c = test_collection(3, 100);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        assert!(pair_correlation_aligned(&sketch, 0..9, 0, 1).is_err());
+        assert!(pair_correlation_aligned(&sketch, 2..2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn matrix_construction_is_symmetric_with_unit_diagonal() {
+        let c = test_collection(6, 150);
+        let sketch = SketchSet::build(&c, 25).unwrap();
+        let query = QueryWindow::new(149, 100).unwrap();
+        let m = correlation_matrix(&c, &sketch, query).unwrap();
+        for i in 0..6 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..6 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn query_beyond_sketched_windows_errors() {
+        let c = test_collection(3, 105);
+        // 105/20 = 5 sketched windows covering 0..100; a query ending at 104
+        // needs a partial tail beyond the sketch, which is fine, but a query
+        // whose *full* windows exceed the sketch must error.
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let query = QueryWindow::new(104, 100).unwrap();
+        // This query's tail (100..105) is partial and is computed from raw
+        // data, so it should succeed.
+        assert!(pair_correlation(&c, &sketch, query, 0, 1).is_ok());
+        // A query window that doesn't fit the series errors.
+        let too_long = QueryWindow::new(200, 10).unwrap();
+        assert!(pair_correlation(&c, &sketch, too_long, 0, 1).is_err());
+    }
+
+    #[test]
+    fn constant_series_yield_zero_correlation() {
+        let c = SeriesCollection::from_rows(vec![vec![5.0; 60], lcg_series(1, 60)]).unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let query = QueryWindow::new(59, 40).unwrap();
+        assert_eq!(pair_correlation(&c, &sketch, query, 0, 1).unwrap(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Lemma 1 recombination equals the direct Pearson computation for
+        /// random data, random basic-window sizes, and random (arbitrary,
+        /// unaligned) query windows.
+        #[test]
+        fn prop_lemma1_equals_direct(
+            seed in 0u64..1000,
+            series_len in 60usize..240,
+            basic in 5usize..40,
+            start_off in 0usize..30,
+            end_off in 0usize..30,
+        ) {
+            let c = SeriesCollection::from_rows(vec![
+                lcg_series(seed, series_len),
+                lcg_series(seed + 17, series_len),
+            ]).unwrap();
+            let sketch = SketchSet::build(&c, basic).unwrap();
+            let start = start_off.min(series_len - 2);
+            let end = series_len - 1 - end_off.min(series_len - 2 - start);
+            prop_assume!(end > start);
+            let query = QueryWindow::new(end, end - start + 1).unwrap();
+            let exact = pair_correlation(&c, &sketch, query, 0, 1).unwrap();
+            let direct = baseline::pair_correlation(&c, query, 0, 1).unwrap();
+            prop_assert!((exact - direct).abs() < 1e-8, "{exact} vs {direct}");
+        }
+
+        /// The recombined value is always a valid correlation.
+        #[test]
+        fn prop_combined_in_range(
+            seed in 0u64..1000,
+            len in 40usize..160,
+            basic in 4usize..20,
+        ) {
+            let c = SeriesCollection::from_rows(vec![
+                lcg_series(seed, len),
+                lcg_series(seed * 31 + 7, len),
+            ]).unwrap();
+            let sketch = SketchSet::build(&c, basic).unwrap();
+            let query = QueryWindow::new(len - 1, len).unwrap();
+            let v = pair_correlation(&c, &sketch, query, 0, 1).unwrap();
+            prop_assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! Incremental correlation maintenance for real-time data (paper Lemma 2 and
+//! Algorithm 3).
+//!
+//! A real-time query window `w = ("now", m)` always covers the `m` most
+//! recent points. Data arrives in chunks of one basic window (`B` points per
+//! series); when a chunk completes, the window slides forward by `B`: the
+//! oldest basic window falls out and the new one enters. Lemma 2 derives the
+//! new correlation from
+//!
+//! * the previous correlation, previous window standard deviations and means,
+//! * the statistics of the *evicted* first basic window, and
+//! * the statistics of the *arriving* basic window,
+//!
+//! without touching any other data. [`lemma2_update`] is the pure formula;
+//! [`SlidingPair`] maintains one pair and [`SlidingNetwork`] maintains the
+//! complete correlation matrix / climate network.
+//!
+//! One deliberate deviation from the paper's notation: the mean-shift term
+//! `α` is divided by the *new* total length `T' = T − B_1 + B_{ns+1}` rather
+//! than `T`. The two coincide for the equal-size basic windows used in every
+//! experiment; the `T'` form stays exact when the evicted and arriving
+//! windows have different lengths.
+
+use std::collections::VecDeque;
+
+use crate::error::{Error, Result};
+use crate::exact::{self, WindowContribution};
+use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use crate::sketch::SketchSet;
+use crate::stats::{clamp_corr, sketch_pair, WindowStats};
+use crate::timeseries::SeriesCollection;
+
+/// Summary of one series over the current sliding query window, maintained
+/// incrementally from per-basic-window statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingSeriesState {
+    windows: VecDeque<WindowStats>,
+    /// Σ_j B_j · mean_j  (= sum of all raw values in the window).
+    sum: f64,
+    /// Σ_j B_j · (σ_j² + mean_j²)  (= sum of squared raw values).
+    sum_sq: f64,
+    /// Σ_j B_j  (= number of raw values, `T`).
+    total: usize,
+}
+
+impl SlidingSeriesState {
+    /// Build the state from the per-window statistics of the initial query
+    /// window (oldest first).
+    pub fn new(windows: Vec<WindowStats>) -> Self {
+        let mut state = Self {
+            windows: VecDeque::new(),
+            sum: 0.0,
+            sum_sq: 0.0,
+            total: 0,
+        };
+        for w in windows {
+            state.push_back(w);
+        }
+        state
+    }
+
+    fn push_back(&mut self, stats: WindowStats) {
+        self.sum += stats.sum();
+        self.sum_sq += stats.sum_of_squares();
+        self.total += stats.len;
+        self.windows.push_back(stats);
+    }
+
+    fn pop_front(&mut self) -> Option<WindowStats> {
+        let evicted = self.windows.pop_front()?;
+        self.sum -= evicted.sum();
+        self.sum_sq -= evicted.sum_of_squares();
+        self.total -= evicted.len;
+        Some(evicted)
+    }
+
+    /// Slide the window: evict the oldest basic window, append the new one.
+    /// Returns the evicted statistics.
+    pub fn slide(&mut self, arriving: WindowStats) -> Option<WindowStats> {
+        let evicted = self.pop_front();
+        self.push_back(arriving);
+        evicted
+    }
+
+    /// Number of raw points currently covered (`T`).
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Mean of the current query window.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Population variance of the current query window.
+    pub fn variance(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.sum_sq / self.total as f64 - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation of the current query window.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Statistics of the oldest basic window still inside the query window.
+    pub fn front(&self) -> Option<WindowStats> {
+        self.windows.front().copied()
+    }
+
+    /// Number of basic windows currently covered (`ns`).
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+/// The pure Lemma 2 update: correlation of the slid window from the previous
+/// correlation plus the evicted and arriving basic-window statistics.
+///
+/// * `total_len` — `T`, the raw length of the previous query window.
+/// * `mean_x`, `mean_y`, `std_x`, `std_y` — statistics of the previous query
+///   window (means are needed to express the δ terms; Lemma 1 lets the caller
+///   maintain them incrementally so they are never recomputed from raw data).
+/// * `corr_t` — the previous correlation.
+/// * `evicted`, `arriving` — statistics of the basic window leaving/entering
+///   the query window and their per-pair correlations `c_1`, `c_{ns+1}`.
+#[allow(clippy::too_many_arguments)]
+pub fn lemma2_update(
+    total_len: f64,
+    mean_x: f64,
+    mean_y: f64,
+    std_x: f64,
+    std_y: f64,
+    corr_t: f64,
+    evicted: &WindowContribution,
+    arriving: &WindowContribution,
+) -> f64 {
+    let b1 = evicted.x.len as f64;
+    let bn = arriving.x.len as f64;
+    let new_total = total_len - b1 + bn;
+    if new_total <= 0.0 {
+        return 0.0;
+    }
+
+    // δ terms are offsets from the *old* query-window mean, per Lemma 2.
+    let dx1 = evicted.x.mean - mean_x;
+    let dy1 = evicted.y.mean - mean_y;
+    let dxn = arriving.x.mean - mean_x;
+    let dyn_ = arriving.y.mean - mean_y;
+
+    // Shift of the query-window mean caused by the slide.
+    let alpha_x = (bn * dxn - b1 * dx1) / new_total;
+    let alpha_y = (bn * dyn_ - b1 * dy1) / new_total;
+
+    let numerator = total_len * std_x * std_y * corr_t
+        + bn * (arriving.x.std * arriving.y.std * arriving.corr + dxn * dyn_)
+        - b1 * (evicted.x.std * evicted.y.std * evicted.corr + dx1 * dy1)
+        - new_total * alpha_x * alpha_y;
+
+    let var_x_term = total_len * std_x * std_x + bn * (arriving.x.std.powi(2) + dxn * dxn)
+        - b1 * (evicted.x.std.powi(2) + dx1 * dx1)
+        - new_total * alpha_x * alpha_x;
+    let var_y_term = total_len * std_y * std_y + bn * (arriving.y.std.powi(2) + dyn_ * dyn_)
+        - b1 * (evicted.y.std.powi(2) + dy1 * dy1)
+        - new_total * alpha_y * alpha_y;
+
+    if var_x_term <= 0.0 || var_y_term <= 0.0 {
+        return 0.0;
+    }
+    clamp_corr(numerator / (var_x_term.sqrt() * var_y_term.sqrt()))
+}
+
+/// Incrementally maintained correlation of a single pair of streams over a
+/// sliding query window. Useful on its own for monitoring one link; the
+/// all-pair engine is [`SlidingNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingPair {
+    x: SlidingSeriesState,
+    y: SlidingSeriesState,
+    pair_corrs: VecDeque<f64>,
+    corr: f64,
+}
+
+impl SlidingPair {
+    /// Initialize from the raw values of the initial query window, cut into
+    /// basic windows of `basic_window` points. The window length must be a
+    /// positive multiple of `basic_window` (the real-time model of §3.1.2).
+    pub fn new(x: &[f64], y: &[f64], basic_window: usize) -> Result<Self> {
+        if basic_window == 0 || x.len() < basic_window {
+            return Err(Error::InvalidBasicWindow {
+                window: basic_window,
+                series_len: x.len(),
+            });
+        }
+        if x.len() != y.len() || x.len() % basic_window != 0 {
+            return Err(Error::ChunkSizeMismatch {
+                expected: basic_window,
+                found: x.len(),
+            });
+        }
+        let ns = x.len() / basic_window;
+        let mut xw = Vec::with_capacity(ns);
+        let mut yw = Vec::with_capacity(ns);
+        let mut corrs = VecDeque::with_capacity(ns);
+        let mut parts = Vec::with_capacity(ns);
+        for j in 0..ns {
+            let range = j * basic_window..(j + 1) * basic_window;
+            let (sx, sy, c) = sketch_pair(&x[range.clone()], &y[range]);
+            xw.push(sx);
+            yw.push(sy);
+            corrs.push_back(c);
+            parts.push(WindowContribution { x: sx, y: sy, corr: c });
+        }
+        let corr = exact::combine(&parts);
+        Ok(Self {
+            x: SlidingSeriesState::new(xw),
+            y: SlidingSeriesState::new(yw),
+            pair_corrs: corrs,
+            corr,
+        })
+    }
+
+    /// Current correlation over the sliding window.
+    pub fn correlation(&self) -> f64 {
+        self.corr
+    }
+
+    /// Slide the window by one basic window given the newly arrived chunk of
+    /// raw points (`chunk_x.len() == chunk_y.len() == B`).
+    pub fn ingest(&mut self, chunk_x: &[f64], chunk_y: &[f64]) -> Result<f64> {
+        let expected = self.x.front().map(|w| w.len).unwrap_or(0);
+        if chunk_x.len() != expected || chunk_y.len() != expected {
+            return Err(Error::ChunkSizeMismatch {
+                expected,
+                found: chunk_x.len(),
+            });
+        }
+        let (sx, sy, c_new) = sketch_pair(chunk_x, chunk_y);
+        let arriving = WindowContribution { x: sx, y: sy, corr: c_new };
+        let evicted = WindowContribution {
+            x: self.x.front().expect("non-empty window"),
+            y: self.y.front().expect("non-empty window"),
+            corr: *self.pair_corrs.front().expect("non-empty window"),
+        };
+        self.corr = lemma2_update(
+            self.x.total_len() as f64,
+            self.x.mean(),
+            self.y.mean(),
+            self.x.std(),
+            self.y.std(),
+            self.corr,
+            &evicted,
+            &arriving,
+        );
+        self.x.slide(sx);
+        self.y.slide(sy);
+        self.pair_corrs.pop_front();
+        self.pair_corrs.push_back(c_new);
+        Ok(self.corr)
+    }
+}
+
+/// Incrementally maintained all-pair correlation matrix and climate network
+/// over a sliding real-time query window (Algorithm 3's update step).
+#[derive(Debug, Clone)]
+pub struct SlidingNetwork {
+    basic_window: usize,
+    n: usize,
+    series: Vec<SlidingSeriesState>,
+    /// Per basic window inside the query window: packed per-pair
+    /// correlations, oldest window first.
+    pair_windows: VecDeque<Vec<f64>>,
+    /// Current packed per-pair correlations over the sliding window.
+    corrs: Vec<f64>,
+}
+
+impl SlidingNetwork {
+    /// Build the initial state from historical data: the query window covers
+    /// the most recent `query_len` points of `collection` (which must be a
+    /// positive multiple of the sketch's basic window and fit inside the
+    /// sketched range).
+    pub fn initialize(
+        collection: &SeriesCollection,
+        sketch: &SketchSet,
+        query_len: usize,
+    ) -> Result<Self> {
+        let b = sketch.basic_window();
+        if query_len == 0 || query_len % b != 0 {
+            return Err(Error::InvalidQueryWindow {
+                end: collection.series_len().saturating_sub(1),
+                len: query_len,
+                series_len: collection.series_len(),
+            });
+        }
+        let ns = query_len / b;
+        let available = sketch.window_count();
+        if ns > available {
+            return Err(Error::SketchMismatch {
+                requested: format!("{ns} basic windows"),
+                available: format!("{available} sketched windows"),
+            });
+        }
+        let first_window = available - ns;
+        let n = collection.len();
+
+        let series: Vec<SlidingSeriesState> = (0..n)
+            .map(|i| {
+                let sk = sketch.series_sketch(i)?;
+                Ok(SlidingSeriesState::new(
+                    (first_window..available).map(|w| sk.window(w)).collect(),
+                ))
+            })
+            .collect::<Result<_>>()?;
+
+        let mut pair_windows = VecDeque::with_capacity(ns);
+        for w in first_window..available {
+            let mut per_pair = Vec::with_capacity(n * (n - 1) / 2);
+            for (i, j) in collection.pairs() {
+                per_pair.push(sketch.pair_sketch(i, j)?.corrs[w]);
+            }
+            pair_windows.push_back(per_pair);
+        }
+
+        let mut corrs = Vec::with_capacity(n * (n - 1) / 2);
+        for (i, j) in collection.pairs() {
+            corrs.push(exact::pair_correlation_aligned(
+                sketch,
+                first_window..available,
+                i,
+                j,
+            )?);
+        }
+
+        Ok(Self {
+            basic_window: b,
+            n,
+            series,
+            pair_windows,
+            corrs,
+        })
+    }
+
+    /// Number of series.
+    pub fn series_count(&self) -> usize {
+        self.n
+    }
+
+    /// The basic-window (chunk) size expected by [`SlidingNetwork::ingest`].
+    pub fn basic_window(&self) -> usize {
+        self.basic_window
+    }
+
+    /// Number of basic windows in the sliding query window.
+    pub fn window_count(&self) -> usize {
+        self.pair_windows.len()
+    }
+
+    /// Slide the network forward by one basic window. `chunk[i]` holds the
+    /// `B` newly observed points of series `i`. This is the
+    /// `UpdateNetwork` step of Algorithm 3 (Lemma 2 applied to every pair).
+    pub fn ingest(&mut self, chunk: &[Vec<f64>]) -> Result<()> {
+        if chunk.len() != self.n {
+            return Err(Error::UnalignedSeries {
+                expected: self.n,
+                found: chunk.len(),
+                index: 0,
+            });
+        }
+        for points in chunk {
+            if points.len() != self.basic_window {
+                return Err(Error::ChunkSizeMismatch {
+                    expected: self.basic_window,
+                    found: points.len(),
+                });
+            }
+        }
+
+        // Sketch the arriving basic window: per-series statistics...
+        let arriving_stats: Vec<WindowStats> = chunk
+            .iter()
+            .map(|points| WindowStats::from_values(points))
+            .collect();
+        // ...and per-pair correlations.
+        let mut arriving_corrs = Vec::with_capacity(self.corrs.len());
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let (_, _, c) = sketch_pair(&chunk[i], &chunk[j]);
+                arriving_corrs.push(c);
+            }
+        }
+
+        // Apply Lemma 2 to every pair before mutating any per-series state.
+        let evicted_corrs = self.pair_windows.front().expect("non-empty window").clone();
+        let mut idx = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let evicted = WindowContribution {
+                    x: self.series[i].front().expect("non-empty"),
+                    y: self.series[j].front().expect("non-empty"),
+                    corr: evicted_corrs[idx],
+                };
+                let arriving = WindowContribution {
+                    x: arriving_stats[i],
+                    y: arriving_stats[j],
+                    corr: arriving_corrs[idx],
+                };
+                self.corrs[idx] = lemma2_update(
+                    self.series[i].total_len() as f64,
+                    self.series[i].mean(),
+                    self.series[j].mean(),
+                    self.series[i].std(),
+                    self.series[j].std(),
+                    self.corrs[idx],
+                    &evicted,
+                    &arriving,
+                );
+                idx += 1;
+            }
+        }
+
+        // Now slide the per-series and per-window state.
+        for (state, stats) in self.series.iter_mut().zip(&arriving_stats) {
+            state.slide(*stats);
+        }
+        self.pair_windows.pop_front();
+        self.pair_windows.push_back(arriving_corrs);
+        Ok(())
+    }
+
+    /// Current correlation of one pair.
+    pub fn correlation(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.corrs[crate::sketch::pair_index(a, b, self.n)]
+    }
+
+    /// Snapshot of the current correlation matrix.
+    pub fn correlation_matrix(&self) -> CorrelationMatrix {
+        CorrelationMatrix::from_upper_triangle(self.n, self.corrs.clone())
+    }
+
+    /// Snapshot of the current climate network at threshold `theta`.
+    pub fn network(&self, theta: f64) -> AdjacencyMatrix {
+        self.correlation_matrix().threshold(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use crate::window::QueryWindow;
+    use proptest::prelude::*;
+
+    fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+                (i as f64 * 0.07).cos() * 1.5 + 0.5 * noise
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sliding_series_state_tracks_mean_and_std() {
+        let data = lcg_series(5, 60);
+        let windows: Vec<WindowStats> = (0..3)
+            .map(|j| WindowStats::from_values(&data[j * 20..(j + 1) * 20]))
+            .collect();
+        let state = SlidingSeriesState::new(windows);
+        let direct = WindowStats::from_values(&data[0..60]);
+        assert_eq!(state.total_len(), 60);
+        assert!((state.mean() - direct.mean).abs() < 1e-10);
+        assert!((state.std() - direct.std).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sliding_series_state_slide_updates_aggregates() {
+        let data = lcg_series(6, 80);
+        let mut state = SlidingSeriesState::new(
+            (0..3)
+                .map(|j| WindowStats::from_values(&data[j * 20..(j + 1) * 20]))
+                .collect(),
+        );
+        let arriving = WindowStats::from_values(&data[60..80]);
+        let evicted = state.slide(arriving).unwrap();
+        assert_eq!(evicted.len, 20);
+        let direct = WindowStats::from_values(&data[20..80]);
+        assert!((state.mean() - direct.mean).abs() < 1e-10);
+        assert!((state.std() - direct.std).abs() < 1e-10);
+        assert_eq!(state.window_count(), 3);
+    }
+
+    #[test]
+    fn lemma2_matches_from_scratch_single_pair() {
+        let b = 10;
+        let x = lcg_series(1, 100);
+        let y = lcg_series(2, 100);
+        // Initial window covers indices 0..60; slide twice to 20..80.
+        let mut pair = SlidingPair::new(&x[0..60], &y[0..60], b).unwrap();
+        for step in 0..2 {
+            let lo = 60 + step * b;
+            pair.ingest(&x[lo..lo + b], &y[lo..lo + b]).unwrap();
+            let window_start = (step + 1) * b;
+            let direct = crate::stats::pearson(&x[window_start..lo + b], &y[window_start..lo + b]);
+            assert!(
+                (pair.correlation() - direct).abs() < 1e-9,
+                "step {step}: {} vs {direct}",
+                pair.correlation()
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_pair_rejects_bad_chunk() {
+        let x = lcg_series(3, 40);
+        let y = lcg_series(4, 40);
+        let mut pair = SlidingPair::new(&x, &y, 10).unwrap();
+        assert!(pair.ingest(&x[0..5], &y[0..5]).is_err());
+        assert!(SlidingPair::new(&x[0..35], &y[0..35], 10).is_err());
+        assert!(SlidingPair::new(&x, &y, 0).is_err());
+    }
+
+    fn build_network(n: usize, len: usize, b: usize, query: usize) -> (SeriesCollection, SlidingNetwork) {
+        let c = SeriesCollection::from_rows((0..n).map(|s| lcg_series(s as u64 * 13 + 1, len)).collect())
+            .unwrap();
+        let sketch = SketchSet::build(&c, b).unwrap();
+        let net = SlidingNetwork::initialize(&c, &sketch, query).unwrap();
+        (c, net)
+    }
+
+    #[test]
+    fn sliding_network_initialization_matches_baseline() {
+        let (c, net) = build_network(5, 200, 20, 120);
+        let query = QueryWindow::new(199, 120).unwrap();
+        let direct = baseline::correlation_matrix(&c, query).unwrap();
+        let incr = net.correlation_matrix();
+        assert!(incr.max_abs_diff(&direct) < 1e-9);
+    }
+
+    #[test]
+    fn sliding_network_tracks_baseline_over_many_slides() {
+        let n = 4;
+        let b = 15;
+        let query_len = 90;
+        let total = 400;
+        let full: Vec<Vec<f64>> = (0..n).map(|s| lcg_series(s as u64 * 7 + 3, total)).collect();
+        // Historical prefix of 150 points; stream the rest chunk by chunk.
+        let hist_len = 150;
+        let c = SeriesCollection::from_rows(full.iter().map(|s| s[..hist_len].to_vec()).collect()).unwrap();
+        let sketch = SketchSet::build(&c, b).unwrap();
+        let mut net = SlidingNetwork::initialize(&c, &sketch, query_len).unwrap();
+
+        let mut now = hist_len;
+        while now + b <= total {
+            let chunk: Vec<Vec<f64>> = full.iter().map(|s| s[now..now + b].to_vec()).collect();
+            net.ingest(&chunk).unwrap();
+            now += b;
+
+            // Compare against a from-scratch baseline on the same window.
+            let cur = SeriesCollection::from_rows(full.iter().map(|s| s[..now].to_vec()).collect()).unwrap();
+            let query = QueryWindow::latest(now, query_len).unwrap();
+            let direct = baseline::correlation_matrix(&cur, query).unwrap();
+            let diff = net.correlation_matrix().max_abs_diff(&direct);
+            assert!(diff < 1e-7, "drift {diff} at now={now}");
+        }
+        assert!(now > hist_len + 10 * b, "the loop must have exercised many slides");
+    }
+
+    #[test]
+    fn sliding_network_rejects_malformed_chunks() {
+        let (_, mut net) = build_network(3, 100, 10, 50);
+        // Wrong series count.
+        assert!(net.ingest(&[vec![0.0; 10]]).is_err());
+        // Wrong chunk length.
+        assert!(net
+            .ingest(&[vec![0.0; 5], vec![0.0; 5], vec![0.0; 5]])
+            .is_err());
+    }
+
+    #[test]
+    fn initialize_rejects_misaligned_query() {
+        let c = SeriesCollection::from_rows(vec![lcg_series(1, 100), lcg_series(2, 100)]).unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        assert!(SlidingNetwork::initialize(&c, &sketch, 0).is_err());
+        assert!(SlidingNetwork::initialize(&c, &sketch, 35).is_err());
+        assert!(SlidingNetwork::initialize(&c, &sketch, 200).is_err());
+        assert!(SlidingNetwork::initialize(&c, &sketch, 100).is_ok());
+    }
+
+    #[test]
+    fn network_snapshot_thresholds_current_state() {
+        let (_, net) = build_network(4, 150, 15, 90);
+        let m = net.correlation_matrix();
+        let g = net.network(0.2);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(g.has_edge(i, j), m.get(i, j) > 0.2);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Lemma 2 applied repeatedly stays numerically glued to the
+        /// from-scratch computation.
+        #[test]
+        fn prop_incremental_matches_direct(
+            seed in 0u64..500,
+            b in 5usize..20,
+            ns in 3usize..8,
+            slides in 1usize..6,
+        ) {
+            let query_len = b * ns;
+            let total = query_len + b * slides + 10;
+            let x = lcg_series(seed, total);
+            let y = lcg_series(seed + 99, total);
+            let mut pair = SlidingPair::new(&x[..query_len], &y[..query_len], b).unwrap();
+            for s in 0..slides {
+                let lo = query_len + s * b;
+                pair.ingest(&x[lo..lo + b], &y[lo..lo + b]).unwrap();
+                let start = (s + 1) * b;
+                let direct = crate::stats::pearson(&x[start..lo + b], &y[start..lo + b]);
+                prop_assert!((pair.correlation() - direct).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Threshold-matrix inference via correlation bounds (paper §3.5,
+//! Algorithm 5).
+//!
+//! Knowing the correlations `c_xz` and `c_yz` of two series with a shared
+//! *anchor* series `z` bounds the correlation of `x` and `y`:
+//!
+//! ```text
+//! c_xz·c_yz − √((1−c_xz²)(1−c_yz²)) ≤ c_xy ≤ c_xz·c_yz + √((1−c_xz²)(1−c_yz²))
+//! ```
+//!
+//! For a threshold θ this can decide many cells of the *boolean* network
+//! matrix without ever computing `c_xy`: if the lower bound already exceeds θ
+//! (or the upper bound is below −θ) the pair is connected in the
+//! absolute-threshold network; if the whole interval lies inside `(−θ, θ)`
+//! the pair is disconnected. Only the remaining "uncertain" cells need real
+//! correlation computations.
+//!
+//! Note the decision rules match the paper exactly, which means the matrix
+//! being inferred is the **absolute**-threshold network
+//! (`|c_xy| ≥ θ`, cf. [`crate::matrix::CorrelationMatrix::threshold_abs`]).
+
+use crate::error::{Error, Result};
+use crate::matrix::AdjacencyMatrix;
+
+/// The inclusive bounds on `c_xy` implied by correlations with a shared
+/// anchor (paper Equation 7).
+pub fn correlation_bounds(c_xz: f64, c_yz: f64) -> (f64, f64) {
+    let slack = ((1.0 - c_xz * c_xz).max(0.0) * (1.0 - c_yz * c_yz).max(0.0)).sqrt();
+    let centre = c_xz * c_yz;
+    ((centre - slack).max(-1.0), (centre + slack).min(1.0))
+}
+
+/// What the bounds let us conclude about one cell of the thresholded matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellDecision {
+    /// `|c_xy| ≥ θ` is certain: the pair is connected.
+    Edge,
+    /// `|c_xy| < θ` is certain: the pair is not connected.
+    NonEdge,
+    /// The bounds straddle the threshold; the correlation must be computed.
+    Unknown,
+}
+
+/// Decide one cell from anchor correlations `c_xz`, `c_yz` and threshold θ
+/// (the colored-region test of the paper's Figure 4).
+pub fn decide_cell(c_xz: f64, c_yz: f64, theta: f64) -> CellDecision {
+    let (lower, upper) = correlation_bounds(c_xz, c_yz);
+    if lower >= theta || upper <= -theta {
+        CellDecision::Edge
+    } else if lower >= -theta && upper <= theta {
+        CellDecision::NonEdge
+    } else {
+        CellDecision::Unknown
+    }
+}
+
+/// Outcome of [`infer_threshold_matrix`]: the thresholded network plus
+/// counters describing how much work the bounds saved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceOutcome {
+    /// The absolute-threshold network matrix.
+    pub matrix: AdjacencyMatrix,
+    /// Pairs whose correlation had to be computed (anchor rows plus cells the
+    /// bounds could not decide).
+    pub computed_pairs: usize,
+    /// Pairs decided purely from the bounds.
+    pub inferred_pairs: usize,
+}
+
+impl InferenceOutcome {
+    /// Fraction of pairs decided without computing their correlation.
+    pub fn inferred_fraction(&self) -> f64 {
+        let total = self.computed_pairs + self.inferred_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.inferred_pairs as f64 / total as f64
+        }
+    }
+}
+
+/// Algorithm 5: build the absolute-threshold network matrix over `n` series
+/// using correlation-bound inference from `anchors`, calling `corr` only for
+/// anchor rows and for cells the bounds cannot decide.
+///
+/// `corr(i, j)` must return the exact correlation of series `i` and `j`; in
+/// TSUBASA it is backed by [`crate::exact::pair_correlation`], so even the
+/// "compute the rest" step never rescans raw data.
+pub fn infer_threshold_matrix<F>(
+    n: usize,
+    theta: f64,
+    anchors: &[usize],
+    mut corr: F,
+) -> Result<InferenceOutcome>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    if !(0.0..=1.0).contains(&theta) {
+        return Err(Error::InvalidThreshold(theta));
+    }
+    for &a in anchors {
+        if a >= n {
+            return Err(Error::UnknownSeries(a));
+        }
+    }
+
+    // None = undecided, Some(bool) = decided.
+    let mut decided: Vec<Option<bool>> = vec![None; n * n.saturating_sub(1) / 2];
+    let mut computed = 0usize;
+    let mut inferred = 0usize;
+    let index = |i: usize, j: usize| crate::sketch::pair_index(i.min(j), i.max(j), n);
+
+    for &anchor in anchors {
+        // Stop early if everything is already decided (Algorithm 5 line 3).
+        if decided.iter().all(|d| d.is_some()) {
+            break;
+        }
+        // Compute the anchor row exactly; those cells are now decided too.
+        let mut row = vec![0.0; n];
+        for j in 0..n {
+            if j == anchor {
+                continue;
+            }
+            let c = corr(anchor, j);
+            row[j] = c;
+            let idx = index(anchor, j);
+            if decided[idx].is_none() {
+                decided[idx] = Some(c.abs() >= theta);
+                computed += 1;
+            }
+        }
+        // Infer the remaining cells from this anchor.
+        for j in 0..n {
+            if j == anchor {
+                continue;
+            }
+            for k in (j + 1)..n {
+                if k == anchor {
+                    continue;
+                }
+                let idx = index(j, k);
+                if decided[idx].is_some() {
+                    continue;
+                }
+                match decide_cell(row[j], row[k], theta) {
+                    CellDecision::Edge => {
+                        decided[idx] = Some(true);
+                        inferred += 1;
+                    }
+                    CellDecision::NonEdge => {
+                        decided[idx] = Some(false);
+                        inferred += 1;
+                    }
+                    CellDecision::Unknown => {}
+                }
+            }
+        }
+    }
+
+    // Compute-Rest: whatever the bounds could not decide.
+    let mut matrix = AdjacencyMatrix::empty(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let idx = index(i, j);
+            let edge = match decided[idx] {
+                Some(e) => e,
+                None => {
+                    computed += 1;
+                    corr(i, j).abs() >= theta
+                }
+            };
+            matrix.set_edge(i, j, edge);
+        }
+    }
+
+    Ok(InferenceOutcome {
+        matrix,
+        computed_pairs: computed,
+        inferred_pairs: inferred,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::CorrelationMatrix;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounds_are_valid_and_contain_truth_for_consistent_triples() {
+        // Build three series with known correlations by mixing two factors.
+        let base: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let noise: Vec<f64> = (0..200).map(|i| ((i * 37 + 11) % 101) as f64 / 50.0 - 1.0).collect();
+        let x: Vec<f64> = base.iter().zip(&noise).map(|(b, n)| b + 0.2 * n).collect();
+        let y: Vec<f64> = base.iter().zip(&noise).map(|(b, n)| 0.8 * b - 0.3 * n).collect();
+        let z: Vec<f64> = base.clone();
+        let c_xz = crate::stats::pearson(&x, &z);
+        let c_yz = crate::stats::pearson(&y, &z);
+        let c_xy = crate::stats::pearson(&x, &y);
+        let (lo, hi) = correlation_bounds(c_xz, c_yz);
+        assert!(lo <= c_xy + 1e-12 && c_xy <= hi + 1e-12, "{lo} <= {c_xy} <= {hi}");
+        assert!((-1.0..=1.0).contains(&lo) && (-1.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn decide_cell_regions_match_figure4() {
+        // Both anchor correlations very high → lower bound above θ → edge.
+        assert_eq!(decide_cell(0.98, 0.97, 0.8), CellDecision::Edge);
+        // One high positive, one high negative → strong negative corr → edge.
+        assert_eq!(decide_cell(0.98, -0.97, 0.8), CellDecision::Edge);
+        // One anchor correlation near 1 pins the interval tightly around the
+        // other, which is small → interval inside (−θ, θ) → non-edge.
+        assert_eq!(decide_cell(0.99, 0.1, 0.8), CellDecision::NonEdge);
+        // Two weak anchor correlations say almost nothing → unknown.
+        assert_eq!(decide_cell(0.1, 0.05, 0.9), CellDecision::Unknown);
+        // Ambiguous region.
+        assert_eq!(decide_cell(0.7, 0.6, 0.8), CellDecision::Unknown);
+    }
+
+    /// Helper: ground-truth matrix driving the `corr` closure.
+    fn toy_matrix() -> CorrelationMatrix {
+        // 4 series: 0 and 1 strongly correlated, 2 anti-correlated with 0,
+        // 3 uncorrelated with everything.
+        let mut m = CorrelationMatrix::identity(4);
+        m.set(0, 1, 0.95);
+        m.set(0, 2, -0.9);
+        m.set(1, 2, -0.85);
+        m.set(0, 3, 0.05);
+        m.set(1, 3, 0.1);
+        m.set(2, 3, -0.02);
+        m
+    }
+
+    #[test]
+    fn inference_reproduces_direct_thresholding() {
+        let truth = toy_matrix();
+        let theta = 0.8;
+        let expected = truth.threshold_abs(theta);
+        let outcome =
+            infer_threshold_matrix(4, theta, &[0, 1, 2, 3], |i, j| truth.get(i, j)).unwrap();
+        assert_eq!(outcome.matrix, expected);
+        assert_eq!(outcome.computed_pairs + outcome.inferred_pairs, 6);
+    }
+
+    #[test]
+    fn inference_with_good_anchor_saves_work() {
+        let truth = toy_matrix();
+        let outcome = infer_threshold_matrix(4, 0.8, &[0], |i, j| truth.get(i, j)).unwrap();
+        assert_eq!(outcome.matrix, truth.threshold_abs(0.8));
+        assert!(outcome.inferred_pairs > 0, "anchor 0 should decide some cells");
+        assert!(outcome.inferred_fraction() > 0.0);
+    }
+
+    #[test]
+    fn inference_with_no_anchor_computes_everything() {
+        let truth = toy_matrix();
+        let outcome = infer_threshold_matrix(4, 0.8, &[], |i, j| truth.get(i, j)).unwrap();
+        assert_eq!(outcome.matrix, truth.threshold_abs(0.8));
+        assert_eq!(outcome.computed_pairs, 6);
+        assert_eq!(outcome.inferred_pairs, 0);
+        assert_eq!(outcome.inferred_fraction(), 0.0);
+    }
+
+    #[test]
+    fn inference_validates_inputs() {
+        let truth = toy_matrix();
+        assert!(infer_threshold_matrix(4, 1.5, &[0], |i, j| truth.get(i, j)).is_err());
+        assert!(infer_threshold_matrix(4, 0.5, &[9], |i, j| truth.get(i, j)).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The bound interval always contains the correlation of any
+        /// consistent triple (constructed from a 3-factor model so the
+        /// correlation matrix is positive semi-definite).
+        #[test]
+        fn prop_bounds_contain_consistent_correlation(
+            a1 in -1.0f64..1.0, a2 in -1.0f64..1.0,
+            b1 in -1.0f64..1.0, b2 in -1.0f64..1.0,
+            seed in 0u64..100,
+        ) {
+            let len = 300usize;
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+            };
+            let f1: Vec<f64> = (0..len).map(|_| next()).collect();
+            let f2: Vec<f64> = (0..len).map(|_| next()).collect();
+            let z: Vec<f64> = f1.clone();
+            let x: Vec<f64> = (0..len).map(|i| a1 * f1[i] + a2 * f2[i]).collect();
+            let y: Vec<f64> = (0..len).map(|i| b1 * f1[i] + b2 * f2[i]).collect();
+            let c_xz = crate::stats::pearson(&x, &z);
+            let c_yz = crate::stats::pearson(&y, &z);
+            let c_xy = crate::stats::pearson(&x, &y);
+            let (lo, hi) = correlation_bounds(c_xz, c_yz);
+            // Finite samples wobble; allow a small tolerance.
+            prop_assert!(c_xy >= lo - 0.15 && c_xy <= hi + 0.15);
+        }
+
+        /// Whatever the anchors, inference agrees exactly with direct
+        /// thresholding of the ground-truth matrix — provided the matrix is a
+        /// *consistent* (positive semi-definite) correlation matrix, which is
+        /// guaranteed here by deriving it from actual series sampled from a
+        /// random 3-factor model.
+        #[test]
+        fn prop_inference_matches_direct(
+            coeffs in proptest::collection::vec(-1.0f64..1.0, 15),
+            theta in 0.1f64..0.95,
+            anchor in 0usize..5,
+            seed in 0u64..100,
+        ) {
+            let len = 120usize;
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+            };
+            let factors: Vec<Vec<f64>> = (0..3).map(|_| (0..len).map(|_| next()).collect()).collect();
+            let series: Vec<Vec<f64>> = (0..5)
+                .map(|s| {
+                    (0..len)
+                        .map(|t| {
+                            (0..3).map(|f| coeffs[s * 3 + f] * factors[f][t]).sum::<f64>()
+                        })
+                        .collect()
+                })
+                .collect();
+            // Degenerate all-zero series would make correlations trivially 0.
+            let mut m = CorrelationMatrix::identity(5);
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    m.set(i, j, crate::stats::pearson(&series[i], &series[j]));
+                }
+            }
+            let outcome = infer_threshold_matrix(5, theta, &[anchor], |i, j| m.get(i, j)).unwrap();
+            prop_assert_eq!(outcome.matrix, m.threshold_abs(theta));
+        }
+    }
+}

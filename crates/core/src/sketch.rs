@@ -1,0 +1,363 @@
+//! One-pass basic-window sketching (paper Algorithm 1).
+//!
+//! The sketch of a collection consists of
+//!
+//! * per series, per basic window: mean and population standard deviation
+//!   ([`SeriesSketch`]), and
+//! * per unordered pair of series, per basic window: the Pearson correlation
+//!   of the two aligned windows ([`PairSketch`]).
+//!
+//! Both are computed in a single pass over the raw data and are all that
+//! Lemma 1 needs to recombine the exact correlation of any query window. The
+//! space cost matches the paper's analysis: `L/B · (2N + N(N-1)/2)` floats.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::stats::{sketch_pair, WindowStats};
+use crate::timeseries::{SeriesCollection, SeriesId};
+use crate::window::BasicWindowing;
+
+/// Per-basic-window statistics of one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSketch {
+    /// Which series these statistics describe.
+    pub series: SeriesId,
+    /// Statistics of basic windows `0..ns`, in order.
+    pub windows: Vec<WindowStats>,
+}
+
+impl SeriesSketch {
+    /// Sketch one series under the given basic-window configuration.
+    pub fn build(series: SeriesId, values: &[f64], windowing: BasicWindowing) -> Self {
+        let ns = windowing.complete_windows(values.len());
+        let windows = (0..ns)
+            .map(|j| WindowStats::from_values(windowing.window_span(j).slice(values)))
+            .collect();
+        Self { series, windows }
+    }
+
+    /// Number of sketched basic windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Statistics of basic window `j`.
+    pub fn window(&self, j: usize) -> WindowStats {
+        self.windows[j]
+    }
+
+    /// Append the statistics of one newly completed basic window (real-time
+    /// ingestion path).
+    pub fn push_window(&mut self, stats: WindowStats) {
+        self.windows.push(stats);
+    }
+}
+
+/// Per-basic-window correlations of one unordered pair of series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairSketch {
+    /// The smaller series id of the pair.
+    pub a: SeriesId,
+    /// The larger series id of the pair.
+    pub b: SeriesId,
+    /// Pearson correlation of the aligned basic windows `0..ns`, in order
+    /// (`c_j` in the paper).
+    pub corrs: Vec<f64>,
+}
+
+impl PairSketch {
+    /// Number of sketched basic windows.
+    pub fn window_count(&self) -> usize {
+        self.corrs.len()
+    }
+}
+
+/// Index of the unordered pair `(i, j)`, `i < j`, in a packed upper-triangle
+/// layout of an `n × n` symmetric matrix (diagonal excluded).
+///
+/// Row `i` starts after `i` rows of decreasing length `n-1, n-2, ...`.
+pub fn pair_index(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i < j && j < n, "pair_index requires i < j < n");
+    // Offset of row i: sum_{k<i} (n-1-k) = i*(2n-i-1)/2
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+/// The complete sketch of a collection: every [`SeriesSketch`] plus every
+/// [`PairSketch`], produced by one pass over the raw data (Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchSet {
+    basic_window: usize,
+    n_series: usize,
+    series: Vec<SeriesSketch>,
+    pairs: Vec<PairSketch>,
+}
+
+impl SketchSet {
+    /// Sketch an entire collection with basic windows of `basic_window`
+    /// points (Algorithm 1, statistics-only lines 4–7 and 12).
+    ///
+    /// Fails if the basic window is zero or longer than the series.
+    pub fn build(collection: &SeriesCollection, basic_window: usize) -> Result<Self> {
+        let series_len = collection.series_len();
+        if basic_window == 0 || basic_window > series_len {
+            return Err(Error::InvalidBasicWindow {
+                window: basic_window,
+                series_len,
+            });
+        }
+        let windowing = BasicWindowing::new(basic_window)?;
+        let ns = windowing.complete_windows(series_len);
+        let n = collection.len();
+
+        let series: Vec<SeriesSketch> = collection
+            .iter_with_ids()
+            .map(|(id, s)| SeriesSketch::build(id, s.values(), windowing))
+            .collect();
+
+        let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+        for (i, j) in collection.pairs() {
+            let x = collection.get(i)?.values();
+            let y = collection.get(j)?.values();
+            let mut corrs = Vec::with_capacity(ns);
+            for w in 0..ns {
+                let span = windowing.window_span(w);
+                let (_, _, c) = sketch_pair(span.slice(x), span.slice(y));
+                corrs.push(c);
+            }
+            pairs.push(PairSketch { a: i, b: j, corrs });
+        }
+
+        Ok(Self {
+            basic_window,
+            n_series: n,
+            series,
+            pairs,
+        })
+    }
+
+    /// Construct a sketch set from already-computed parts. Used by the
+    /// storage layer when re-hydrating sketches from disk and by the parallel
+    /// sketcher when merging partition outputs.
+    pub fn from_parts(
+        basic_window: usize,
+        n_series: usize,
+        series: Vec<SeriesSketch>,
+        pairs: Vec<PairSketch>,
+    ) -> Result<Self> {
+        if basic_window == 0 {
+            return Err(Error::InvalidBasicWindow {
+                window: 0,
+                series_len: 0,
+            });
+        }
+        if series.len() != n_series || pairs.len() != n_series * n_series.saturating_sub(1) / 2 {
+            return Err(Error::SketchMismatch {
+                requested: format!("{n_series} series / {} pairs", n_series * (n_series - 1) / 2),
+                available: format!("{} series / {} pairs", series.len(), pairs.len()),
+            });
+        }
+        Ok(Self {
+            basic_window,
+            n_series,
+            series,
+            pairs,
+        })
+    }
+
+    /// The basic-window size (`B`) this sketch was built with.
+    pub fn basic_window(&self) -> usize {
+        self.basic_window
+    }
+
+    /// The basic-window configuration as a [`BasicWindowing`].
+    pub fn windowing(&self) -> BasicWindowing {
+        BasicWindowing { size: self.basic_window }
+    }
+
+    /// Number of series covered.
+    pub fn series_count(&self) -> usize {
+        self.n_series
+    }
+
+    /// Number of sketched basic windows per series.
+    pub fn window_count(&self) -> usize {
+        self.series.first().map_or(0, |s| s.windows.len())
+    }
+
+    /// Per-window statistics of one series.
+    pub fn series_sketch(&self, id: SeriesId) -> Result<&SeriesSketch> {
+        self.series.get(id).ok_or(Error::UnknownSeries(id))
+    }
+
+    /// Per-window correlations of one unordered pair (order of the arguments
+    /// does not matter).
+    pub fn pair_sketch(&self, i: SeriesId, j: SeriesId) -> Result<&PairSketch> {
+        if i == j || i >= self.n_series || j >= self.n_series {
+            return Err(Error::UnknownSeries(i.max(j)));
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        Ok(&self.pairs[pair_index(a, b, self.n_series)])
+    }
+
+    /// Iterate over all pair sketches.
+    pub fn pair_sketches(&self) -> impl Iterator<Item = &PairSketch> {
+        self.pairs.iter()
+    }
+
+    /// Iterate over all series sketches.
+    pub fn series_sketches(&self) -> impl Iterator<Item = &SeriesSketch> {
+        self.series.iter()
+    }
+
+    /// Append the sketch of one newly completed basic window: per-series
+    /// statistics and per-pair correlations, in the same packed order as the
+    /// stored sketches. Used by the streaming layer.
+    pub fn push_window(
+        &mut self,
+        series_stats: Vec<WindowStats>,
+        pair_corrs: Vec<f64>,
+    ) -> Result<()> {
+        if series_stats.len() != self.n_series
+            || pair_corrs.len() != self.n_series * (self.n_series - 1) / 2
+        {
+            return Err(Error::SketchMismatch {
+                requested: format!("{} series / {} pairs", series_stats.len(), pair_corrs.len()),
+                available: format!(
+                    "{} series / {} pairs",
+                    self.n_series,
+                    self.n_series * (self.n_series - 1) / 2
+                ),
+            });
+        }
+        for (sketch, stats) in self.series.iter_mut().zip(series_stats) {
+            sketch.push_window(stats);
+        }
+        for (sketch, c) in self.pairs.iter_mut().zip(pair_corrs) {
+            sketch.corrs.push(c);
+        }
+        Ok(())
+    }
+
+    /// Number of floats stored by the sketch — the paper's space-overhead
+    /// quantity ψ = L/B · (2N + N(N-1)/2). Used by the Figure 6d experiment.
+    pub fn stored_floats(&self) -> usize {
+        let ns = self.window_count();
+        ns * (2 * self.n_series + self.n_series * (self.n_series - 1) / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::pearson;
+
+    fn collection() -> SeriesCollection {
+        SeriesCollection::from_rows(vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0],
+            vec![2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 8.0, 7.0],
+            vec![9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let n = 7;
+        let mut seen = vec![false; n * (n - 1) / 2];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = pair_index(i, j, n);
+                assert!(!seen[idx], "duplicate index for ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn build_produces_expected_shapes() {
+        let c = collection();
+        let sketch = SketchSet::build(&c, 4).unwrap();
+        assert_eq!(sketch.basic_window(), 4);
+        assert_eq!(sketch.series_count(), 3);
+        assert_eq!(sketch.window_count(), 2);
+        assert_eq!(sketch.pair_sketches().count(), 3);
+        assert_eq!(sketch.stored_floats(), 2 * (2 * 3 + 3));
+    }
+
+    #[test]
+    fn build_rejects_bad_basic_window() {
+        let c = collection();
+        assert!(SketchSet::build(&c, 0).is_err());
+        assert!(SketchSet::build(&c, 9).is_err());
+        assert!(SketchSet::build(&c, 8).is_ok());
+    }
+
+    #[test]
+    fn sketch_statistics_match_direct_computation() {
+        let c = collection();
+        let sketch = SketchSet::build(&c, 4).unwrap();
+        let s0 = sketch.series_sketch(0).unwrap();
+        let direct = WindowStats::from_values(&c.get(0).unwrap().values()[0..4]);
+        assert!((s0.window(0).mean - direct.mean).abs() < 1e-12);
+        assert!((s0.window(0).std - direct.std).abs() < 1e-12);
+
+        let p01 = sketch.pair_sketch(0, 1).unwrap();
+        let direct_c = pearson(
+            &c.get(0).unwrap().values()[4..8],
+            &c.get(1).unwrap().values()[4..8],
+        );
+        assert!((p01.corrs[1] - direct_c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_sketch_is_order_insensitive() {
+        let c = collection();
+        let sketch = SketchSet::build(&c, 4).unwrap();
+        let ab = sketch.pair_sketch(0, 2).unwrap();
+        let ba = sketch.pair_sketch(2, 0).unwrap();
+        assert_eq!(ab, ba);
+        assert!(sketch.pair_sketch(1, 1).is_err());
+        assert!(sketch.pair_sketch(0, 5).is_err());
+    }
+
+    #[test]
+    fn trailing_remainder_is_not_sketched() {
+        let c = SeriesCollection::from_rows(vec![vec![1.0; 10], vec![2.0; 10]]).unwrap();
+        let sketch = SketchSet::build(&c, 4).unwrap();
+        // 10 / 4 = 2 complete windows; the trailing 2 points are ignored.
+        assert_eq!(sketch.window_count(), 2);
+    }
+
+    #[test]
+    fn push_window_extends_all_sketches() {
+        let c = collection();
+        let mut sketch = SketchSet::build(&c, 4).unwrap();
+        let stats = vec![
+            WindowStats { len: 4, mean: 0.0, std: 1.0 };
+            3
+        ];
+        sketch.push_window(stats, vec![0.5, 0.2, -0.1]).unwrap();
+        assert_eq!(sketch.window_count(), 3);
+        assert_eq!(sketch.pair_sketch(1, 2).unwrap().corrs.len(), 3);
+    }
+
+    #[test]
+    fn push_window_rejects_wrong_arity() {
+        let c = collection();
+        let mut sketch = SketchSet::build(&c, 4).unwrap();
+        let err = sketch.push_window(vec![], vec![]).unwrap_err();
+        assert!(matches!(err, Error::SketchMismatch { .. }));
+    }
+
+    #[test]
+    fn from_parts_validates_counts() {
+        let c = collection();
+        let sketch = SketchSet::build(&c, 4).unwrap();
+        let series: Vec<_> = sketch.series_sketches().cloned().collect();
+        let pairs: Vec<_> = sketch.pair_sketches().cloned().collect();
+        assert!(SketchSet::from_parts(4, 3, series.clone(), pairs.clone()).is_ok());
+        assert!(SketchSet::from_parts(4, 4, series, pairs).is_err());
+    }
+}

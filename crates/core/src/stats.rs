@@ -1,0 +1,389 @@
+//! Per-window summary statistics and Pearson correlation primitives.
+//!
+//! Everything in TSUBASA reduces to three numbers per basic window and series
+//! (length, mean, standard deviation) plus one number per basic window and
+//! pair (the within-window Pearson correlation). This module computes those
+//! statistics in a single pass and defines the numerical conventions used by
+//! the rest of the workspace:
+//!
+//! * standard deviations are *population* (1/N) standard deviations — this is
+//!   what makes the Lemma 1 recombination exact;
+//! * the Pearson correlation of a window with zero variance in either input
+//!   is defined as `0.0` (the covariance term vanishes; the mean-offset terms
+//!   of Lemma 1 still carry the information that is recoverable).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one window of one series: the per-basic-window
+/// sketch entry stored by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Number of points in the window (`B_j`; all equal for the default
+    /// equal-size segmentation, different for partial head/tail windows).
+    pub len: usize,
+    /// Arithmetic mean of the window.
+    pub mean: f64,
+    /// Population standard deviation of the window.
+    pub std: f64,
+}
+
+impl WindowStats {
+    /// Compute the statistics of one window in a single pass.
+    ///
+    /// Uses Welford's algorithm so that very long windows with large means do
+    /// not lose precision to catastrophic cancellation.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for (i, &v) in values.iter().enumerate() {
+            let delta = v - mean;
+            mean += delta / (i as f64 + 1.0);
+            m2 += delta * (v - mean);
+        }
+        let len = values.len();
+        let std = if len == 0 {
+            0.0
+        } else {
+            (m2 / len as f64).max(0.0).sqrt()
+        };
+        Self { len, mean, std }
+    }
+
+    /// Population variance of the window.
+    pub fn variance(&self) -> f64 {
+        self.std * self.std
+    }
+
+    /// Sum of the values in the window (`len · mean`).
+    pub fn sum(&self) -> f64 {
+        self.len as f64 * self.mean
+    }
+
+    /// Sum of squared values in the window (`len · (σ² + mean²)`), the second
+    /// raw moment times the length. Used by the incremental updater.
+    pub fn sum_of_squares(&self) -> f64 {
+        self.len as f64 * (self.variance() + self.mean * self.mean)
+    }
+
+    /// True when the window is (numerically) constant.
+    pub fn is_constant(&self) -> bool {
+        self.std == 0.0
+    }
+}
+
+/// Joint statistics of one pair of aligned windows: the per-pair sketch entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairWindowStats {
+    /// Pearson correlation of the two windows (0.0 when either is constant).
+    pub corr: f64,
+}
+
+/// Pearson's correlation coefficient of two equally-long slices
+/// (paper Equation 1), computed directly from the raw values.
+///
+/// Returns `0.0` when either slice has zero variance or fewer than two
+/// points. Panics if the slices have different lengths (a programming error,
+/// not a data error — all series in a collection are synchronized).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "pearson() requires equally long slices ({} vs {})",
+        x.len(),
+        y.len()
+    );
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (sx, sy) = joint_stats(x, y);
+    if sx.std == 0.0 || sy.std == 0.0 {
+        return 0.0;
+    }
+    let mut cov = 0.0;
+    for i in 0..n {
+        cov += (x[i] - sx.mean) * (y[i] - sy.mean);
+    }
+    cov /= n as f64;
+    clamp_corr(cov / (sx.std * sy.std))
+}
+
+/// Covariance (population, 1/N) of two equally-long slices.
+pub fn covariance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// One-pass computation of the window statistics of two aligned windows.
+/// Slightly cheaper than two separate [`WindowStats::from_values`] calls
+/// because the loop is shared; used on the hot sketching path.
+pub fn joint_stats(x: &[f64], y: &[f64]) -> (WindowStats, WindowStats) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut mean_x = 0.0f64;
+    let mut m2_x = 0.0f64;
+    let mut mean_y = 0.0f64;
+    let mut m2_y = 0.0f64;
+    for i in 0..x.len() {
+        let k = i as f64 + 1.0;
+        let dx = x[i] - mean_x;
+        mean_x += dx / k;
+        m2_x += dx * (x[i] - mean_x);
+        let dy = y[i] - mean_y;
+        mean_y += dy / k;
+        m2_y += dy * (y[i] - mean_y);
+    }
+    let n = x.len();
+    let nf = n as f64;
+    let std_x = if n == 0 { 0.0 } else { (m2_x / nf).max(0.0).sqrt() };
+    let std_y = if n == 0 { 0.0 } else { (m2_y / nf).max(0.0).sqrt() };
+    (
+        WindowStats {
+            len: n,
+            mean: mean_x,
+            std: std_x,
+        },
+        WindowStats {
+            len: n,
+            mean: mean_y,
+            std: std_y,
+        },
+    )
+}
+
+/// Compute both window statistics and the Pearson correlation of a pair of
+/// aligned windows in a single fused pass — the workhorse of Algorithm 1 and
+/// of partial-window handling at query time.
+pub fn sketch_pair(x: &[f64], y: &[f64]) -> (WindowStats, WindowStats, f64) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let mut mean_x = 0.0f64;
+    let mut m2_x = 0.0f64;
+    let mut mean_y = 0.0f64;
+    let mut m2_y = 0.0f64;
+    let mut cov = 0.0f64;
+    for i in 0..n {
+        let k = i as f64 + 1.0;
+        let dx = x[i] - mean_x;
+        mean_x += dx / k;
+        let dy = y[i] - mean_y;
+        mean_y += dy / k;
+        m2_x += dx * (x[i] - mean_x);
+        m2_y += dy * (y[i] - mean_y);
+        // Co-moment update (Welford-style covariance).
+        cov += dx * (y[i] - mean_y);
+    }
+    let nf = n as f64;
+    let (std_x, std_y, corr) = if n == 0 {
+        (0.0, 0.0, 0.0)
+    } else {
+        let var_x = (m2_x / nf).max(0.0);
+        let var_y = (m2_y / nf).max(0.0);
+        let std_x = var_x.sqrt();
+        let std_y = var_y.sqrt();
+        let corr = if std_x == 0.0 || std_y == 0.0 {
+            0.0
+        } else {
+            clamp_corr((cov / nf) / (std_x * std_y))
+        };
+        (std_x, std_y, corr)
+    };
+    (
+        WindowStats {
+            len: n,
+            mean: mean_x,
+            std: std_x,
+        },
+        WindowStats {
+            len: n,
+            mean: mean_y,
+            std: std_y,
+        },
+        corr,
+    )
+}
+
+/// Clamp a correlation value into `[-1, 1]`, absorbing the tiny excursions
+/// floating-point recombination can produce.
+pub fn clamp_corr(c: f64) -> f64 {
+    if c.is_nan() {
+        0.0
+    } else {
+        c.clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_stats(values: &[f64]) -> (f64, f64) {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn window_stats_matches_naive() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 8.0, -2.0];
+        let s = WindowStats::from_values(&v);
+        let (mean, std) = naive_stats(&v);
+        assert!((s.mean - mean).abs() < 1e-12);
+        assert!((s.std - std).abs() < 1e-12);
+        assert_eq!(s.len, 7);
+    }
+
+    #[test]
+    fn window_stats_handles_empty_and_singleton() {
+        let e = WindowStats::from_values(&[]);
+        assert_eq!(e.len, 0);
+        assert_eq!(e.mean, 0.0);
+        assert_eq!(e.std, 0.0);
+        let s = WindowStats::from_values(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std, 0.0);
+        assert!(s.is_constant());
+    }
+
+    #[test]
+    fn sum_and_sum_of_squares_roundtrip() {
+        let v = [3.0, -1.0, 4.0, 1.0, 5.0];
+        let s = WindowStats::from_values(&v);
+        let sum: f64 = v.iter().sum();
+        let sq: f64 = v.iter().map(|x| x * x).sum();
+        assert!((s.sum() - sum).abs() < 1e-10);
+        assert!((s.sum_of_squares() - sq).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let z = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_series_is_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(pearson(&y, &x), 0.0);
+        assert_eq!(pearson(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn pearson_is_translation_and_scale_invariant() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 1.0, 7.0, 3.0, 9.0];
+        let c0 = pearson(&x, &y);
+        let xs: Vec<f64> = x.iter().map(|v| 3.0 * v + 100.0).collect();
+        let ys: Vec<f64> = y.iter().map(|v| 0.5 * v - 7.0).collect();
+        let c1 = pearson(&xs, &ys);
+        assert!((c0 - c1).abs() < 1e-12);
+        // Negative scaling flips the sign.
+        let xn: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&xn, &y) + c0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_pair_agrees_with_separate_computation() {
+        let x = [0.3, 1.7, -2.2, 5.0, 4.4, 0.0, 1.0];
+        let y = [1.3, -0.7, 2.2, 3.0, -4.4, 2.0, 0.5];
+        let (sx, sy, c) = sketch_pair(&x, &y);
+        let ex = WindowStats::from_values(&x);
+        let ey = WindowStats::from_values(&y);
+        assert!((sx.mean - ex.mean).abs() < 1e-12);
+        assert!((sy.std - ey.std).abs() < 1e-12);
+        assert!((c - pearson(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_stats_agrees_with_separate_computation() {
+        let x = [9.0, 1.0, 4.0];
+        let y = [2.0, 2.0, 5.0];
+        let (sx, sy) = joint_stats(&x, &y);
+        assert!((sx.mean - WindowStats::from_values(&x).mean).abs() < 1e-12);
+        assert!((sy.std - WindowStats::from_values(&y).std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_matches_definition() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0];
+        // mx=2, my=3, cov = ((-1)(-2) + 0 + (1)(2)) / 3 = 4/3
+        assert!((covariance(&x, &y) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(covariance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn clamp_corr_behaviour() {
+        assert_eq!(clamp_corr(1.0000001), 1.0);
+        assert_eq!(clamp_corr(-1.5), -1.0);
+        assert_eq!(clamp_corr(f64::NAN), 0.0);
+        assert_eq!(clamp_corr(0.3), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn pearson_panics_on_length_mismatch() {
+        pearson(&[1.0, 2.0], &[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_bounded(
+            x in proptest::collection::vec(-1e6f64..1e6, 2..200),
+            y in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        ) {
+            let n = x.len().min(y.len());
+            let c = pearson(&x[..n], &y[..n]);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(
+            x in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            y in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        ) {
+            let n = x.len().min(y.len());
+            let a = pearson(&x[..n], &y[..n]);
+            let b = pearson(&y[..n], &x[..n]);
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+
+        #[test]
+        fn prop_self_correlation_is_one(
+            x in proptest::collection::vec(-1e3f64..1e3, 3..100),
+        ) {
+            let s = WindowStats::from_values(&x);
+            prop_assume!(s.std > 1e-9);
+            let c = pearson(&x, &x);
+            prop_assert!((c - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_welford_matches_naive(
+            x in proptest::collection::vec(-1e5f64..1e5, 1..300),
+        ) {
+            let s = WindowStats::from_values(&x);
+            let n = x.len() as f64;
+            let mean = x.iter().sum::<f64>() / n;
+            let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean - mean).abs() < 1e-6);
+            prop_assert!((s.std - var.sqrt()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Climatology models and anomaly transforms.
+//!
+//! Climate networks are built on *anomaly* series — departures from the
+//! expected (climatological) behaviour at each location (paper §1). This
+//! module provides the deterministic cycle models used by the generators and
+//! the inverse transform: estimating a periodic climatology from data and
+//! subtracting it to obtain anomalies.
+
+/// A deterministic climatological cycle: an annual and an optional diurnal
+/// harmonic around a base level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// Long-term mean level (e.g. mean temperature in °C).
+    pub base: f64,
+    /// Amplitude of the annual cycle.
+    pub annual_amplitude: f64,
+    /// Phase shift of the annual cycle in steps.
+    pub annual_phase: f64,
+    /// Amplitude of the diurnal cycle (0 for daily-resolution data).
+    pub diurnal_amplitude: f64,
+    /// Number of time steps per year.
+    pub steps_per_year: f64,
+    /// Number of time steps per day (0 disables the diurnal term).
+    pub steps_per_day: f64,
+}
+
+impl CycleModel {
+    /// Evaluate the climatology at time step `t`.
+    pub fn value(&self, t: usize) -> f64 {
+        let t = t as f64;
+        let annual = if self.steps_per_year > 0.0 {
+            (2.0 * std::f64::consts::PI * (t - self.annual_phase) / self.steps_per_year).sin()
+                * self.annual_amplitude
+        } else {
+            0.0
+        };
+        let diurnal = if self.steps_per_day > 0.0 && self.diurnal_amplitude != 0.0 {
+            (2.0 * std::f64::consts::PI * t / self.steps_per_day).sin() * self.diurnal_amplitude
+        } else {
+            0.0
+        };
+        self.base + annual + diurnal
+    }
+
+    /// Generate the climatology for `len` steps.
+    pub fn generate(&self, len: usize) -> Vec<f64> {
+        (0..len).map(|t| self.value(t)).collect()
+    }
+}
+
+/// Estimate a periodic climatology from observations: the mean of all values
+/// sharing the same phase within a period of `period` steps (e.g. 24 for an
+/// hourly diurnal climatology, 365 for a daily annual climatology).
+///
+/// Returns a vector of length `period`; positions with no observations (only
+/// possible when `values.len() < period`) fall back to the overall mean.
+pub fn seasonal_climatology(values: &[f64], period: usize) -> Vec<f64> {
+    assert!(period > 0, "climatology period must be positive");
+    let overall = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    let mut sums = vec![0.0f64; period];
+    let mut counts = vec![0usize; period];
+    for (t, &v) in values.iter().enumerate() {
+        sums[t % period] += v;
+        counts[t % period] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c == 0 { overall } else { s / c as f64 })
+        .collect()
+}
+
+/// Subtract a periodic climatology from observations, yielding anomalies.
+pub fn anomalies(values: &[f64], climatology: &[f64]) -> Vec<f64> {
+    assert!(!climatology.is_empty(), "climatology must be non-empty");
+    values
+        .iter()
+        .enumerate()
+        .map(|(t, &v)| v - climatology[t % climatology.len()])
+        .collect()
+}
+
+/// Convenience: estimate the climatology with [`seasonal_climatology`] and
+/// subtract it in one step.
+pub fn anomalies_with_period(values: &[f64], period: usize) -> Vec<f64> {
+    anomalies(values, &seasonal_climatology(values, period))
+}
+
+/// Remove a least-squares linear trend from a series, returning the detrended
+/// values. Long-term warming trends otherwise dominate Pearson correlations
+/// between any two locations.
+pub fn detrend(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    if n < 2 {
+        return values.to_vec();
+    }
+    let nf = n as f64;
+    let mean_t = (nf - 1.0) / 2.0;
+    let mean_v = values.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var_t = 0.0;
+    for (t, &v) in values.iter().enumerate() {
+        let dt = t as f64 - mean_t;
+        cov += dt * (v - mean_v);
+        var_t += dt * dt;
+    }
+    let slope = if var_t == 0.0 { 0.0 } else { cov / var_t };
+    let intercept = mean_v - slope * mean_t;
+    values
+        .iter()
+        .enumerate()
+        .map(|(t, &v)| v - (intercept + slope * t as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::stats::WindowStats;
+
+    #[test]
+    fn cycle_model_periodicity() {
+        let m = CycleModel {
+            base: 10.0,
+            annual_amplitude: 5.0,
+            annual_phase: 0.0,
+            diurnal_amplitude: 0.0,
+            steps_per_year: 100.0,
+            steps_per_day: 0.0,
+        };
+        let v = m.generate(300);
+        // Period of 100 steps.
+        for t in 0..200 {
+            assert!((v[t] - v[t + 100]).abs() < 1e-9);
+        }
+        // Oscillates around the base level.
+        let stats = WindowStats::from_values(&v);
+        assert!((stats.mean - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn cycle_model_with_diurnal_term() {
+        let m = CycleModel {
+            base: 0.0,
+            annual_amplitude: 0.0,
+            annual_phase: 0.0,
+            diurnal_amplitude: 3.0,
+            steps_per_year: 8760.0,
+            steps_per_day: 24.0,
+        };
+        let v = m.generate(48);
+        assert!((v[0] - v[24]).abs() < 1e-9);
+        assert!(v.iter().cloned().fold(f64::MIN, f64::max) > 2.9);
+    }
+
+    #[test]
+    fn climatology_estimation_recovers_cycle() {
+        let m = CycleModel {
+            base: 2.0,
+            annual_amplitude: 4.0,
+            annual_phase: 3.0,
+            diurnal_amplitude: 0.0,
+            steps_per_year: 50.0,
+            steps_per_day: 0.0,
+        };
+        // 10 full periods → the per-phase mean is the cycle itself.
+        let v = m.generate(500);
+        let clim = seasonal_climatology(&v, 50);
+        for t in 0..50 {
+            assert!((clim[t] - m.value(t)).abs() < 1e-9);
+        }
+        // Anomalies of a purely periodic signal are ~0.
+        let anom = anomalies(&v, &clim);
+        assert!(anom.iter().all(|a| a.abs() < 1e-9));
+    }
+
+    #[test]
+    fn anomalies_with_period_composes() {
+        let v: Vec<f64> = (0..120).map(|t| (t % 12) as f64 + 100.0).collect();
+        let anom = anomalies_with_period(&v, 12);
+        assert!(anom.iter().all(|a| a.abs() < 1e-9));
+    }
+
+    #[test]
+    fn climatology_handles_partial_periods_and_empty_input() {
+        let clim = seasonal_climatology(&[1.0, 2.0, 3.0], 5);
+        assert_eq!(clim.len(), 5);
+        // Unobserved phases fall back to the overall mean (2.0).
+        assert_eq!(clim[3], 2.0);
+        assert_eq!(clim[4], 2.0);
+        let empty = seasonal_climatology(&[], 4);
+        assert_eq!(empty, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn climatology_rejects_zero_period() {
+        seasonal_climatology(&[1.0], 0);
+    }
+
+    #[test]
+    fn detrend_removes_linear_trend() {
+        let v: Vec<f64> = (0..100).map(|t| 3.0 + 0.5 * t as f64).collect();
+        let d = detrend(&v);
+        assert!(d.iter().all(|x| x.abs() < 1e-9));
+        // Detrending preserves everything orthogonal to the trend.
+        let wiggle: Vec<f64> = (0..100).map(|t| (t as f64 * 0.9).sin()).collect();
+        let with_trend: Vec<f64> = wiggle.iter().enumerate().map(|(t, w)| w + 0.2 * t as f64).collect();
+        let d2 = detrend(&with_trend);
+        let c = tsubasa_core::stats::pearson(&d2, &wiggle);
+        assert!(c > 0.99, "correlation after detrending {c}");
+    }
+
+    #[test]
+    fn detrend_short_inputs_are_passthrough() {
+        assert_eq!(detrend(&[]), Vec::<f64>::new());
+        assert_eq!(detrend(&[5.0]), vec![5.0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal CSV import/export for [`SeriesCollection`].
+//!
+//! The format is one row per series:
+//!
+//! ```text
+//! name,lat,lon,v_1,v_2,...,v_m
+//! ```
+//!
+//! It exists so generated datasets and experiment inputs can be inspected,
+//! shared, and re-loaded without adding a CSV dependency; the parser is
+//! intentionally strict (no quoting/escaping) because the writer never emits
+//! anything that needs it.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::{GeoLocation, SeriesCollection, TimeSeries};
+
+/// Write a collection to a CSV file (one row per series).
+pub fn write_collection_csv(collection: &SeriesCollection, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    for series in collection.iter() {
+        write!(
+            out,
+            "{},{},{}",
+            series.name, series.location.lat, series.location.lon
+        )?;
+        for v in series.values() {
+            write!(out, ",{v}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a collection previously written by [`write_collection_csv`].
+pub fn read_collection_csv(path: &Path) -> Result<SeriesCollection> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut series = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let name = fields
+            .next()
+            .ok_or_else(|| Error::Storage(format!("line {line_no}: missing name")))?
+            .to_string();
+        let lat: f64 = parse_field(fields.next(), line_no, "lat")?;
+        let lon: f64 = parse_field(fields.next(), line_no, "lon")?;
+        let values: Vec<f64> = fields
+            .map(|f| {
+                f.trim()
+                    .parse::<f64>()
+                    .map_err(|e| Error::Storage(format!("line {line_no}: bad value {f:?}: {e}")))
+            })
+            .collect::<Result<_>>()?;
+        series.push(TimeSeries::new(name, GeoLocation::new(lat, lon), values));
+    }
+    SeriesCollection::new(series)
+}
+
+fn parse_field(field: Option<&str>, line_no: usize, what: &str) -> Result<f64> {
+    field
+        .ok_or_else(|| Error::Storage(format!("line {line_no}: missing {what}")))?
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| Error::Storage(format!("line {line_no}: bad {what}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::station::{generate_ncea_like, NceaLikeConfig};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tsubasa-csv-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_collection() {
+        let cfg = NceaLikeConfig {
+            stations: 5,
+            points: 60,
+            ..NceaLikeConfig::small()
+        };
+        let original = generate_ncea_like(&cfg).unwrap();
+        let path = temp_path("roundtrip.csv");
+        write_collection_csv(&original, &path).unwrap();
+        let loaded = read_collection_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), original.len());
+        assert_eq!(loaded.series_len(), original.series_len());
+        for (a, b) in original.iter().zip(loaded.iter()) {
+            assert_eq!(a.name, b.name);
+            assert!((a.location.lat - b.location.lat).abs() < 1e-12);
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn read_rejects_malformed_rows() {
+        let path = temp_path("malformed.csv");
+        std::fs::write(&path, "stn,not-a-number,0.0,1.0\n").unwrap();
+        let err = read_collection_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, Error::Storage(_)));
+    }
+
+    #[test]
+    fn read_missing_file_is_an_error() {
+        assert!(read_collection_csv(Path::new("/nonexistent/definitely-missing.csv")).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = temp_path("blank.csv");
+        std::fs::write(&path, "a,1.0,2.0,1,2,3\n\nb,3.0,4.0,4,5,6\n").unwrap();
+        let c = read_collection_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.series_len(), 3);
+        assert_eq!(c.get(1).unwrap().values()[2], 6.0);
+    }
+}

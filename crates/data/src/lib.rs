@@ -1,0 +1,45 @@
+//! # tsubasa-data
+//!
+//! Data substrate of the TSUBASA reproduction: synthetic climate datasets
+//! standing in for the two datasets used in the paper's evaluation, plus the
+//! data-wrangling transforms the paper assumes have already been applied
+//! upstream (synchronization, missing-value interpolation, anomaly
+//! computation).
+//!
+//! ## Substituted datasets
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | NCEA / NOAA hourly station data — 157 stations × ~8,760 points | [`station::NceaLikeConfig`] / [`station::generate_ncea_like`] |
+//! | Berkeley Earth 1°×1° gridded daily data — 18,638 nodes × 3,652 points | [`grid::BerkeleyLikeConfig`] / [`grid::generate_berkeley_like`] |
+//!
+//! The generators reproduce the *statistical character* the algorithms care
+//! about: strong shared seasonal/diurnal cycles (which make the series
+//! "uncooperative" for DFT approximation), distance-decaying spatial
+//! correlation (so thresholded networks have structure), slow trends, and
+//! autocorrelated noise. All generation is deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod climatology;
+pub mod csv;
+pub mod grid;
+pub mod missing;
+pub mod noise;
+pub mod station;
+
+pub use climatology::{anomalies, detrend, seasonal_climatology};
+pub use grid::{generate_berkeley_like, BerkeleyLikeConfig};
+pub use station::{generate_ncea_like, NceaLikeConfig};
+
+/// Commonly used items, for `use tsubasa_data::prelude::*;`.
+pub mod prelude {
+    pub use crate::climatology::{anomalies, detrend, seasonal_climatology};
+    pub use crate::csv::{read_collection_csv, write_collection_csv};
+    pub use crate::grid::{generate_berkeley_like, BerkeleyLikeConfig};
+    pub use crate::missing::{aggregate_duplicates, inject_missing, interpolate_missing};
+    pub use crate::noise::{Ar1, GaussianSampler};
+    pub use crate::station::{generate_ncea_like, NceaLikeConfig};
+}

@@ -1,0 +1,161 @@
+//! Synchronization transforms assumed by the paper's data model (§2.1):
+//! interpolating missing observations and aggregating duplicate observations
+//! so that every series has exactly one value per time-resolution tick.
+//!
+//! Missing values are represented as `f64::NAN` so raw sensor exports (which
+//! routinely contain gaps) can be passed through unchanged before cleaning.
+
+use crate::noise::GaussianSampler;
+
+/// Replace a random fraction of the values with NaN. Used by the generators
+/// and tests to emulate sensor dropouts.
+pub fn inject_missing(values: &mut [f64], fraction: f64, seed: u64) {
+    let mut rng = GaussianSampler::new(seed);
+    for v in values.iter_mut() {
+        if rng.uniform(0.0, 1.0) < fraction {
+            *v = f64::NAN;
+        }
+    }
+}
+
+/// Fill missing (NaN) values by linear interpolation between the nearest
+/// observed neighbours. Leading/trailing gaps are filled with the nearest
+/// observed value; an all-missing series becomes all zeros.
+pub fn interpolate_missing(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut out = values.to_vec();
+    if n == 0 {
+        return out;
+    }
+
+    // Indices of observed (non-NaN) values.
+    let observed: Vec<usize> = (0..n).filter(|&i| !values[i].is_nan()).collect();
+    if observed.is_empty() {
+        return vec![0.0; n];
+    }
+
+    // Leading gap → first observed value.
+    for i in 0..observed[0] {
+        out[i] = values[observed[0]];
+    }
+    // Trailing gap → last observed value.
+    for i in observed[observed.len() - 1] + 1..n {
+        out[i] = values[observed[observed.len() - 1]];
+    }
+    // Interior gaps → linear interpolation between the bracketing points.
+    for w in observed.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi > lo + 1 {
+            let span = (hi - lo) as f64;
+            for i in lo + 1..hi {
+                let t = (i - lo) as f64 / span;
+                out[i] = values[lo] * (1.0 - t) + values[hi] * t;
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate raw timestamped observations onto a regular grid of `ticks`
+/// intervals of length `resolution`, averaging all observations that fall in
+/// the same interval. Intervals with no observation are NaN (interpolate
+/// afterwards with [`interpolate_missing`]).
+///
+/// `observations` are `(timestamp, value)` pairs; the grid covers timestamps
+/// `[start, start + ticks·resolution)`.
+pub fn aggregate_duplicates(
+    observations: &[(f64, f64)],
+    start: f64,
+    resolution: f64,
+    ticks: usize,
+) -> Vec<f64> {
+    assert!(resolution > 0.0, "resolution must be positive");
+    let mut sums = vec![0.0f64; ticks];
+    let mut counts = vec![0usize; ticks];
+    for &(t, v) in observations {
+        if t < start {
+            continue;
+        }
+        let idx = ((t - start) / resolution).floor() as usize;
+        if idx < ticks {
+            sums[idx] += v;
+            counts[idx] += 1;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+        .collect()
+}
+
+/// Fraction of missing (NaN) values in a series.
+pub fn missing_fraction(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| v.is_nan()).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_and_measure_missing() {
+        let mut v = vec![1.0; 10_000];
+        inject_missing(&mut v, 0.2, 9);
+        let frac = missing_fraction(&v);
+        assert!((frac - 0.2).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn interpolation_fills_interior_gap_linearly() {
+        let v = vec![0.0, f64::NAN, f64::NAN, 3.0];
+        let filled = interpolate_missing(&v);
+        assert_eq!(filled, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn interpolation_fills_edges_with_nearest() {
+        let v = vec![f64::NAN, 5.0, f64::NAN, 7.0, f64::NAN, f64::NAN];
+        let filled = interpolate_missing(&v);
+        assert_eq!(filled, vec![5.0, 5.0, 6.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn interpolation_degenerate_cases() {
+        assert_eq!(interpolate_missing(&[]), Vec::<f64>::new());
+        assert_eq!(interpolate_missing(&[f64::NAN, f64::NAN]), vec![0.0, 0.0]);
+        assert_eq!(interpolate_missing(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn aggregation_averages_same_tick_and_marks_gaps() {
+        let obs = vec![(0.0, 2.0), (0.5, 4.0), (2.2, 10.0), (-1.0, 99.0), (9.0, 1.0)];
+        let grid = aggregate_duplicates(&obs, 0.0, 1.0, 4);
+        assert_eq!(grid[0], 3.0); // two observations averaged
+        assert!(grid[1].is_nan()); // empty tick
+        assert_eq!(grid[2], 10.0);
+        assert!(grid[3].is_nan());
+        // Out-of-range observations (t=-1, t=9) are ignored.
+    }
+
+    #[test]
+    fn aggregation_then_interpolation_produces_clean_series() {
+        let obs: Vec<(f64, f64)> = (0..20).filter(|t| t % 3 != 1).map(|t| (t as f64, t as f64)).collect();
+        let grid = aggregate_duplicates(&obs, 0.0, 1.0, 20);
+        assert!(missing_fraction(&grid) > 0.0);
+        let clean = interpolate_missing(&grid);
+        assert_eq!(missing_fraction(&clean), 0.0);
+        // Interpolated values sit between their neighbours.
+        for w in clean.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn aggregation_rejects_zero_resolution() {
+        aggregate_duplicates(&[], 0.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Random primitives for the synthetic generators: seeded Gaussian sampling
+//! (Box–Muller, so the workspace does not need `rand_distr`) and AR(1)
+//! autocorrelated noise processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded standard-normal sampler based on the Box–Muller transform.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Create a sampler from a seed. The same seed always produces the same
+    /// sequence, which keeps every experiment reproducible.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Draw one standard-normal sample.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Box–Muller: two uniforms → two independent normals.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draw a normal sample with the given mean and standard deviation.
+    pub fn sample_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample()
+    }
+
+    /// Draw a uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Draw a uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// A first-order autoregressive process `x_t = φ·x_{t-1} + ε_t`,
+/// `ε_t ~ N(0, σ²)`. Climate anomalies are strongly autocorrelated; AR(1)
+/// noise is the standard minimal model for that persistence.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    phi: f64,
+    sigma: f64,
+    state: f64,
+    noise: GaussianSampler,
+}
+
+impl Ar1 {
+    /// Create an AR(1) process with persistence `phi` (|φ| < 1 for
+    /// stationarity) and innovation standard deviation `sigma`.
+    pub fn new(phi: f64, sigma: f64, seed: u64) -> Self {
+        let mut noise = GaussianSampler::new(seed);
+        // Start from the stationary distribution so there is no burn-in
+        // transient at the beginning of generated series.
+        let stationary_std = if phi.abs() < 1.0 {
+            sigma / (1.0 - phi * phi).sqrt()
+        } else {
+            sigma
+        };
+        let state = noise.sample() * stationary_std;
+        Self {
+            phi,
+            sigma,
+            state,
+            noise,
+        }
+    }
+
+    /// Advance the process one step and return the new value.
+    pub fn next_value(&mut self) -> f64 {
+        self.state = self.phi * self.state + self.noise.sample() * self.sigma;
+        self.state
+    }
+
+    /// Generate `len` consecutive values.
+    pub fn generate(&mut self, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.next_value()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::stats::{pearson, WindowStats};
+
+    #[test]
+    fn gaussian_sampler_is_deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut s = GaussianSampler::new(42);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = GaussianSampler::new(42);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        let c: Vec<f64> = {
+            let mut s = GaussianSampler::new(43);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_sampler_has_roughly_standard_moments() {
+        let mut s = GaussianSampler::new(7);
+        let values: Vec<f64> = (0..20_000).map(|_| s.sample()).collect();
+        let stats = WindowStats::from_values(&values);
+        assert!(stats.mean.abs() < 0.05, "mean {}", stats.mean);
+        assert!((stats.std - 1.0).abs() < 0.05, "std {}", stats.std);
+    }
+
+    #[test]
+    fn sample_with_scales_and_shifts() {
+        let mut s = GaussianSampler::new(3);
+        let values: Vec<f64> = (0..20_000).map(|_| s.sample_with(10.0, 2.0)).collect();
+        let stats = WindowStats::from_values(&values);
+        assert!((stats.mean - 10.0).abs() < 0.1);
+        assert!((stats.std - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn uniform_and_index_stay_in_range() {
+        let mut s = GaussianSampler::new(11);
+        for _ in 0..1000 {
+            let u = s.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&u));
+            assert!(s.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn ar1_is_autocorrelated() {
+        let mut p = Ar1::new(0.9, 1.0, 123);
+        let x = p.generate(5000);
+        // Lag-1 autocorrelation of an AR(1) with φ=0.9 is ≈ 0.9.
+        let lag1 = pearson(&x[..x.len() - 1], &x[1..]);
+        assert!(lag1 > 0.8, "lag-1 autocorrelation {lag1}");
+    }
+
+    #[test]
+    fn ar1_with_zero_phi_is_white_noise() {
+        let mut p = Ar1::new(0.0, 1.0, 5);
+        let x = p.generate(5000);
+        let lag1 = pearson(&x[..x.len() - 1], &x[1..]);
+        assert!(lag1.abs() < 0.1, "lag-1 autocorrelation {lag1}");
+    }
+
+    #[test]
+    fn ar1_stationary_variance_matches_theory() {
+        let phi = 0.7f64;
+        let sigma = 2.0f64;
+        let mut p = Ar1::new(phi, sigma, 99);
+        let x = p.generate(50_000);
+        let stats = WindowStats::from_values(&x);
+        let expected = sigma / (1.0 - phi * phi).sqrt();
+        assert!(
+            (stats.std - expected).abs() / expected < 0.1,
+            "std {} vs expected {expected}",
+            stats.std
+        );
+    }
+}

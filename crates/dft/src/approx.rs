@@ -1,0 +1,334 @@
+//! Approximate query-window correlation from per-window DFT distances
+//! (paper Equations 3, 4, 5 and Algorithm 4).
+//!
+//! Two recombination strategies are implemented:
+//!
+//! * [`ApproxStrategy::Equation5`] — the paper's Equation 5, which weights
+//!   every per-window distance with the window's mean/σ statistics and makes
+//!   no assumption that the windows look alike. Exact when all coefficients
+//!   are used.
+//! * [`ApproxStrategy::StatStreamAverage`] — the plain StatStream heuristic:
+//!   the query-window correlation is the average of the per-window
+//!   correlations. Valid only when basic-window statistics match the query
+//!   window ("cooperative" series), which climate data generally are not —
+//!   this is the source of the spurious edges in Figure 5a.
+
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use tsubasa_core::stats::{clamp_corr, WindowStats};
+
+use crate::sketch::DftSketchSet;
+
+/// Equation 3: correlation of two unit-normalized windows from their
+/// Euclidean (or DFT coefficient) distance.
+pub fn corr_from_distance(d: f64) -> f64 {
+    clamp_corr(1.0 - d * d / 2.0)
+}
+
+/// Inverse of Equation 3: the normalized distance corresponding to a
+/// correlation value.
+pub fn distance_from_corr(c: f64) -> f64 {
+    (2.0 * (1.0 - c.clamp(-1.0, 1.0))).max(0.0).sqrt()
+}
+
+/// Equation 4's pruning radius: pairs whose coefficient distance is at most
+/// this value form a superset of the pairs with `corr ≥ θ` (no false
+/// negatives, possibly false positives).
+pub fn pruning_radius(theta: f64) -> f64 {
+    distance_from_corr(theta)
+}
+
+/// One basic window's contribution to the approximate recombination: the two
+/// per-series statistics plus the DFT coefficient distance `d_j` of the pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxWindow {
+    /// Statistics of this window of the first series.
+    pub x: WindowStats,
+    /// Statistics of this window of the second series.
+    pub y: WindowStats,
+    /// DFT coefficient distance of the normalized windows.
+    pub dist: f64,
+}
+
+/// Equation 5 (combined with Equation 3): the approximate correlation of the
+/// query window assembled from per-window statistics and DFT distances.
+///
+/// Implemented by substituting the per-window correlation estimate
+/// `c_j ≈ 1 − d_j²/2` into the Lemma 1 recombination, which is algebraically
+/// identical to the paper's Equation 5 and numerically more stable.
+pub fn query_correlation(parts: &[ApproxWindow]) -> f64 {
+    let total: f64 = parts.iter().map(|p| p.x.len as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mean_x = parts.iter().map(|p| p.x.len as f64 * p.x.mean).sum::<f64>() / total;
+    let mean_y = parts.iter().map(|p| p.y.len as f64 * p.y.mean).sum::<f64>() / total;
+    let mut num = 0.0;
+    let mut den_x = 0.0;
+    let mut den_y = 0.0;
+    for p in parts {
+        let b = p.x.len as f64;
+        let dx = p.x.mean - mean_x;
+        let dy = p.y.mean - mean_y;
+        let c_j = 1.0 - p.dist * p.dist / 2.0;
+        num += b * (p.x.std * p.y.std * c_j + dx * dy);
+        den_x += b * (p.x.std * p.x.std + dx * dx);
+        den_y += b * (p.y.std * p.y.std + dy * dy);
+    }
+    if den_x <= 0.0 || den_y <= 0.0 {
+        return 0.0;
+    }
+    clamp_corr(num / (den_x.sqrt() * den_y.sqrt()))
+}
+
+/// Equation 5 expressed as a distance (`Dist_n(X̂, Ŷ)` of the whole query
+/// window): `Dist² = 2(1 − corr)`.
+pub fn query_distance(parts: &[ApproxWindow]) -> f64 {
+    distance_from_corr(query_correlation(parts))
+}
+
+/// The StatStream heuristic: the query-window correlation is the average of
+/// the per-window correlation estimates `1 − d_j²/2`.
+pub fn statstream_average_correlation(dists: &[f64]) -> f64 {
+    if dists.is_empty() {
+        return 0.0;
+    }
+    clamp_corr(dists.iter().map(|&d| 1.0 - d * d / 2.0).sum::<f64>() / dists.len() as f64)
+}
+
+/// Which recombination the approximate matrix / network construction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxStrategy {
+    /// Paper Equation 5 (statistics-weighted recombination).
+    Equation5,
+    /// StatStream's per-window averaging.
+    StatStreamAverage,
+}
+
+fn gather_parts(
+    sketch: &DftSketchSet,
+    windows: std::ops::Range<usize>,
+    i: usize,
+    j: usize,
+) -> Result<Vec<ApproxWindow>> {
+    let base = sketch.base();
+    let sx = base.series_sketch(i)?;
+    let sy = base.series_sketch(j)?;
+    let dists = sketch.pair_distances(i, j)?;
+    Ok(windows
+        .map(|w| ApproxWindow {
+            x: sx.window(w),
+            y: sy.window(w),
+            dist: dists[w],
+        })
+        .collect())
+}
+
+/// Approximate correlation of one pair over an aligned range of basic
+/// windows.
+pub fn approximate_pair_correlation(
+    sketch: &DftSketchSet,
+    windows: std::ops::Range<usize>,
+    i: usize,
+    j: usize,
+    strategy: ApproxStrategy,
+) -> Result<f64> {
+    if i == j {
+        return Ok(1.0);
+    }
+    if windows.end > sketch.window_count() || windows.is_empty() {
+        return Err(Error::SketchMismatch {
+            requested: format!("basic windows {windows:?}"),
+            available: format!("{} sketched windows", sketch.window_count()),
+        });
+    }
+    match strategy {
+        ApproxStrategy::Equation5 => {
+            let parts = gather_parts(sketch, windows, i, j)?;
+            Ok(query_correlation(&parts))
+        }
+        ApproxStrategy::StatStreamAverage => {
+            let dists = sketch.pair_distances(i, j)?;
+            Ok(statstream_average_correlation(&dists[windows.start..windows.end]))
+        }
+    }
+}
+
+/// Approximate all-pair correlation matrix over an aligned range of basic
+/// windows.
+pub fn approximate_correlation_matrix(
+    sketch: &DftSketchSet,
+    windows: std::ops::Range<usize>,
+    strategy: ApproxStrategy,
+) -> Result<CorrelationMatrix> {
+    let n = sketch.series_count();
+    let mut m = CorrelationMatrix::identity(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            m.set(
+                i,
+                j,
+                approximate_pair_correlation(sketch, windows.clone(), i, j, strategy)?,
+            );
+        }
+    }
+    Ok(m)
+}
+
+/// Algorithm 4: the approximate climate network. Pairs are connected when
+/// their estimated query-window distance is within the Equation 4 pruning
+/// radius for θ — a superset of the exact network (false positives possible,
+/// false negatives not, assuming distances are not over-estimated).
+pub fn approximate_network(
+    sketch: &DftSketchSet,
+    windows: std::ops::Range<usize>,
+    theta: f64,
+    strategy: ApproxStrategy,
+) -> Result<AdjacencyMatrix> {
+    if !(-1.0..=1.0).contains(&theta) {
+        return Err(Error::InvalidThreshold(theta));
+    }
+    let radius = pruning_radius(theta);
+    let n = sketch.series_count();
+    let mut net = AdjacencyMatrix::empty(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let corr =
+                approximate_pair_correlation(sketch, windows.clone(), i, j, strategy)?;
+            let dist = distance_from_corr(corr);
+            net.set_edge(i, j, dist <= radius);
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::Transform;
+    use tsubasa_core::{baseline, QueryWindow, SeriesCollection};
+
+    fn collection(n: usize, len: usize) -> SeriesCollection {
+        SeriesCollection::from_rows(
+            (0..n)
+                .map(|s| {
+                    (0..len)
+                        .map(|i| {
+                            // Strong seasonal component plus a per-series trend and
+                            // deterministic "noise": deliberately uncooperative.
+                            (i as f64 * 0.05).sin() * (1.0 + s as f64 * 0.2)
+                                + i as f64 * 0.002 * s as f64
+                                + ((i * (s + 3) + 11) % 17) as f64 * 0.05
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq3_roundtrip() {
+        for c in [-1.0, -0.3, 0.0, 0.5, 0.99, 1.0] {
+            let d = distance_from_corr(c);
+            assert!((corr_from_distance(d) - c).abs() < 1e-12);
+        }
+        assert!((pruning_radius(0.75) - (2.0f64 * 0.25).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation5_with_all_coefficients_is_exact() {
+        let c = collection(4, 200);
+        let b = 25;
+        let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        let query = QueryWindow::new(199, 200).unwrap();
+        let exact = baseline::correlation_matrix(&c, query).unwrap();
+        let approx =
+            approximate_correlation_matrix(&sk, 0..8, ApproxStrategy::Equation5).unwrap();
+        assert!(
+            approx.max_abs_diff(&exact) < 1e-9,
+            "max diff {}",
+            approx.max_abs_diff(&exact)
+        );
+    }
+
+    #[test]
+    fn fewer_coefficients_degrade_accuracy() {
+        let c = collection(4, 200);
+        let b = 50;
+        let query = QueryWindow::new(199, 200).unwrap();
+        let exact = baseline::correlation_matrix(&c, query).unwrap();
+        let full = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        let coarse = DftSketchSet::build(&c, b, 2, Transform::Naive).unwrap();
+        let err_full = approximate_correlation_matrix(&full, 0..4, ApproxStrategy::Equation5)
+            .unwrap()
+            .mean_abs_diff(&exact);
+        let err_coarse = approximate_correlation_matrix(&coarse, 0..4, ApproxStrategy::Equation5)
+            .unwrap()
+            .mean_abs_diff(&exact);
+        assert!(err_full < 1e-9);
+        assert!(err_coarse > err_full, "{err_coarse} vs {err_full}");
+    }
+
+    #[test]
+    fn statstream_average_differs_from_exact_on_uncooperative_data() {
+        // The averaging heuristic ignores mean drift across windows, so on
+        // trending data it disagrees with the exact correlation.
+        let c = collection(3, 200);
+        let b = 50;
+        let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        let query = QueryWindow::new(199, 200).unwrap();
+        let exact = baseline::correlation_matrix(&c, query).unwrap();
+        let avg =
+            approximate_correlation_matrix(&sk, 0..4, ApproxStrategy::StatStreamAverage).unwrap();
+        assert!(avg.max_abs_diff(&exact) > 1e-3);
+    }
+
+    #[test]
+    fn approximate_network_has_no_false_negatives() {
+        let c = collection(6, 240);
+        let b = 40;
+        let theta = 0.75;
+        let query = QueryWindow::new(239, 240).unwrap();
+        let exact_net = baseline::correlation_matrix(&c, query).unwrap().threshold(theta);
+        // Few coefficients → under-estimated distances → superset of edges.
+        let sk = DftSketchSet::build(&c, b, 4, Transform::Naive).unwrap();
+        let approx_net =
+            approximate_network(&sk, 0..6, theta, ApproxStrategy::Equation5).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                if exact_net.has_edge(i, j) {
+                    assert!(
+                        approx_net.has_edge(i, j),
+                        "missing exact edge ({i},{j}) in the approximate network"
+                    );
+                }
+            }
+        }
+        assert!(approx_net.edge_count() >= exact_net.edge_count());
+    }
+
+    #[test]
+    fn approximate_network_validates_inputs() {
+        let c = collection(3, 100);
+        let sk = DftSketchSet::build(&c, 25, 25, Transform::Naive).unwrap();
+        assert!(approximate_network(&sk, 0..4, 1.5, ApproxStrategy::Equation5).is_err());
+        assert!(
+            approximate_pair_correlation(&sk, 0..9, 0, 1, ApproxStrategy::Equation5).is_err()
+        );
+        assert_eq!(
+            approximate_pair_correlation(&sk, 0..4, 2, 2, ApproxStrategy::Equation5).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn statstream_average_helper_behaviour() {
+        assert_eq!(statstream_average_correlation(&[]), 0.0);
+        // distances 0 → corr 1 for every window → average 1.
+        assert_eq!(statstream_average_correlation(&[0.0, 0.0]), 1.0);
+        // distance √2 → corr 0.
+        let d = 2f64.sqrt();
+        assert!((statstream_average_correlation(&[d, d]) - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! Discrete Fourier Transform primitives.
+//!
+//! The comparator in the paper assumes the *naive* `O(k²)` DFT (its
+//! complexity analysis and Figures 5b/5d hinge on that quadratic cost), so
+//! [`naive_dft`] is the default used by the sketching path. A radix-2 FFT is
+//! provided as an ablation ([`radix2_fft`]) to quantify how much of the
+//! comparator's disadvantage is the transform itself.
+
+use serde::{Deserialize, Serialize};
+
+/// A minimal complex number. We intentionally avoid pulling in an external
+/// complex/FFT crate: the comparator only needs addition, multiplication by a
+//  twiddle factor, and magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The complex number `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex addition.
+    pub fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    /// Multiply by a real scalar.
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+}
+
+/// The unitary DFT of `x` computed naively in `O(k²)` — paper Equation 2,
+/// including the `1/√k` factor so that Parseval's theorem holds exactly
+/// (`Σ|X_f|² = Σ|x_i|²`) and Euclidean distances are preserved.
+pub fn naive_dft(x: &[f64]) -> Vec<Complex> {
+    let k = x.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (k as f64).sqrt();
+    let base = -2.0 * std::f64::consts::PI / k as f64;
+    (0..k)
+        .map(|f| {
+            let mut acc = Complex::default();
+            for (i, &v) in x.iter().enumerate() {
+                let angle = base * (f as f64) * (i as f64);
+                acc = acc.add(Complex::from_angle(angle).scale(v));
+            }
+            acc.scale(scale)
+        })
+        .collect()
+}
+
+/// Unitary radix-2 FFT. Falls back to [`naive_dft`] when the length is not a
+/// power of two (the sketching path never depends on power-of-two basic
+/// windows). Provided for the `dft_vs_fft` ablation benchmark.
+pub fn radix2_fft(x: &[f64]) -> Vec<Complex> {
+    let k = x.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    if !k.is_power_of_two() || k == 1 {
+        return naive_dft(x);
+    }
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+
+    // Bit-reversal permutation.
+    let bits = k.trailing_zeros();
+    for i in 0..k {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Iterative Cooley–Tukey butterflies.
+    let mut len = 2;
+    while len <= k {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(angle);
+        for start in (0..k).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for off in 0..len / 2 {
+                let a = buf[start + off];
+                let b = buf[start + off + len / 2].mul(w);
+                buf[start + off] = a.add(b);
+                buf[start + off + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+
+    let scale = 1.0 / (k as f64).sqrt();
+    buf.iter_mut().for_each(|c| *c = c.scale(scale));
+    buf
+}
+
+/// Euclidean distance between the first `n` coefficients of two DFT
+/// coefficient vectors — the paper's `Dist_n(X̂, Ŷ)`.
+///
+/// When `n` equals the full length this is the exact distance of the
+/// underlying (normalized) windows by Parseval's theorem.
+pub fn coefficient_distance(x: &[Complex], y: &[Complex], n: usize) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = n.min(x.len());
+    x.iter()
+        .zip(y)
+        .take(n)
+        .map(|(a, b)| a.sub(*b).norm_sq())
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a.add(b), Complex::new(4.0, 1.0));
+        assert_eq!(a.sub(b), Complex::new(-2.0, 3.0));
+        assert_eq!(a.mul(b), Complex::new(5.0, 5.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dft_of_constant_concentrates_in_dc() {
+        let x = vec![2.0; 8];
+        let coeffs = naive_dft(&x);
+        // DC coefficient = sum / sqrt(k) = 16 / sqrt(8).
+        assert!((coeffs[0].re - 16.0 / 8f64.sqrt()).abs() < 1e-9);
+        for c in &coeffs[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds_for_naive_dft() {
+        let x: Vec<f64> = (0..13).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let energy_time: f64 = x.iter().map(|v| v * v).sum();
+        let energy_freq: f64 = naive_dft(&x).iter().map(|c| c.norm_sq()).sum();
+        assert!((energy_time - energy_freq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_on_power_of_two() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin() + 0.3 * i as f64).collect();
+        let a = naive_dft(&x);
+        let b = radix2_fft(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u.re - v.re).abs() < 1e-9 && (u.im - v.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_falls_back_on_non_power_of_two() {
+        let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let a = naive_dft(&x);
+        let b = radix2_fft(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u.re - v.re).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_coefficient_distance_equals_time_domain_distance() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).cos()).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.31).sin() * 1.2).collect();
+        let dx = naive_dft(&x);
+        let dy = naive_dft(&y);
+        let d_freq = coefficient_distance(&dx, &dy, 20);
+        assert!((d_freq - euclid(&x, &y)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_coefficient_distance_is_monotone_in_n() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).sin()).collect();
+        let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.25).sin() + 0.1).collect();
+        let dx = naive_dft(&x);
+        let dy = naive_dft(&y);
+        let mut last = 0.0;
+        for n in 1..=32 {
+            let d = coefficient_distance(&dx, &dy, n);
+            assert!(d + 1e-12 >= last, "distance must grow with more coefficients");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(naive_dft(&[]).is_empty());
+        assert!(radix2_fft(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fft_equals_naive(
+            x in proptest::collection::vec(-100.0f64..100.0, 1..65),
+        ) {
+            let a = naive_dft(&x);
+            let b = radix2_fft(&x);
+            for (u, v) in a.iter().zip(&b) {
+                prop_assert!((u.re - v.re).abs() < 1e-6);
+                prop_assert!((u.im - v.im).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_parseval(
+            x in proptest::collection::vec(-50.0f64..50.0, 1..50),
+        ) {
+            let energy_time: f64 = x.iter().map(|v| v * v).sum();
+            let energy_freq: f64 = naive_dft(&x).iter().map(|c| c.norm_sq()).sum();
+            prop_assert!((energy_time - energy_freq).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Incremental approximate correlation maintenance for real-time data
+//! (paper §3.2.2, Equation 6).
+//!
+//! [`SlidingApproxNetwork`] mirrors
+//! [`tsubasa_core::incremental::SlidingNetwork`] but uses the DFT comparator:
+//! when a new basic window arrives it
+//!
+//! 1. normalizes the window of every series and computes its DFT coefficients
+//!    (the `O(B²)` step that makes this updater slower than TSUBASA's —
+//!    exactly the effect Figure 5d measures),
+//! 2. computes the pairwise coefficient distance `d_{ns+1}` for every pair,
+//! 3. folds `c_{ns+1} ≈ 1 − d_{ns+1}²/2` into the sliding recombination using
+//!    the Lemma 2 update, which is the algebraic content of Equation 6.
+
+use std::collections::VecDeque;
+
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::exact::WindowContribution;
+use tsubasa_core::incremental::{lemma2_update, SlidingSeriesState};
+use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use tsubasa_core::sketch::pair_index;
+use tsubasa_core::stats::WindowStats;
+
+use crate::approx::{corr_from_distance, query_correlation, ApproxWindow};
+use crate::dft::{coefficient_distance, naive_dft, Complex};
+use crate::normalize::normalize_unit_with_stats;
+use crate::sketch::DftSketchSet;
+
+/// Incrementally maintained approximate all-pair correlation matrix over a
+/// sliding real-time query window.
+#[derive(Debug, Clone)]
+pub struct SlidingApproxNetwork {
+    basic_window: usize,
+    coefficients: usize,
+    n: usize,
+    series: Vec<SlidingSeriesState>,
+    /// Per basic window inside the query window: packed per-pair DFT
+    /// distances, oldest first.
+    pair_windows: VecDeque<Vec<f64>>,
+    /// Current packed per-pair approximate correlations.
+    corrs: Vec<f64>,
+}
+
+impl SlidingApproxNetwork {
+    /// Build the initial state from a [`DftSketchSet`]: the query window
+    /// covers the most recent `query_len` sketched points (`query_len` must
+    /// be a positive multiple of the basic window).
+    pub fn initialize(sketch: &DftSketchSet, query_len: usize) -> Result<Self> {
+        let b = sketch.basic_window();
+        if query_len == 0 || query_len % b != 0 {
+            return Err(Error::InvalidQueryWindow {
+                end: 0,
+                len: query_len,
+                series_len: sketch.window_count() * b,
+            });
+        }
+        let ns = query_len / b;
+        let available = sketch.window_count();
+        if ns > available {
+            return Err(Error::SketchMismatch {
+                requested: format!("{ns} basic windows"),
+                available: format!("{available} sketched windows"),
+            });
+        }
+        let first = available - ns;
+        let n = sketch.series_count();
+        let base = sketch.base();
+
+        let series: Vec<SlidingSeriesState> = (0..n)
+            .map(|i| {
+                let sk = base.series_sketch(i)?;
+                Ok(SlidingSeriesState::new(
+                    (first..available).map(|w| sk.window(w)).collect(),
+                ))
+            })
+            .collect::<Result<_>>()?;
+
+        let mut pair_windows = VecDeque::with_capacity(ns);
+        for w in first..available {
+            let mut per_pair = Vec::with_capacity(n * (n - 1) / 2);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    per_pair.push(sketch.pair_distances(i, j)?[w]);
+                }
+            }
+            pair_windows.push_back(per_pair);
+        }
+
+        let mut corrs = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let sx = base.series_sketch(i)?;
+                let sy = base.series_sketch(j)?;
+                let dists = sketch.pair_distances(i, j)?;
+                let parts: Vec<ApproxWindow> = (first..available)
+                    .map(|w| ApproxWindow {
+                        x: sx.window(w),
+                        y: sy.window(w),
+                        dist: dists[w],
+                    })
+                    .collect();
+                corrs.push(query_correlation(&parts));
+            }
+        }
+
+        Ok(Self {
+            basic_window: b,
+            coefficients: sketch.coefficients(),
+            n,
+            series,
+            pair_windows,
+            corrs,
+        })
+    }
+
+    /// Number of series.
+    pub fn series_count(&self) -> usize {
+        self.n
+    }
+
+    /// The chunk size expected by [`SlidingApproxNetwork::ingest`].
+    pub fn basic_window(&self) -> usize {
+        self.basic_window
+    }
+
+    /// Slide forward by one basic window given the newly arrived chunk
+    /// (`chunk[i]` holds the `B` new points of series `i`). This is the
+    /// Equation 6 update: the only new DFT work is for the arriving window.
+    pub fn ingest(&mut self, chunk: &[Vec<f64>]) -> Result<()> {
+        if chunk.len() != self.n {
+            return Err(Error::UnalignedSeries {
+                expected: self.n,
+                found: chunk.len(),
+                index: 0,
+            });
+        }
+        for points in chunk {
+            if points.len() != self.basic_window {
+                return Err(Error::ChunkSizeMismatch {
+                    expected: self.basic_window,
+                    found: points.len(),
+                });
+            }
+        }
+
+        // Per-series statistics and DFT coefficients of the arriving window.
+        let arriving_stats: Vec<WindowStats> =
+            chunk.iter().map(|p| WindowStats::from_values(p)).collect();
+        let coeffs: Vec<Vec<Complex>> = chunk
+            .iter()
+            .zip(&arriving_stats)
+            .map(|(p, s)| naive_dft(&normalize_unit_with_stats(p, s)))
+            .collect();
+
+        // Pairwise coefficient distances of the arriving window.
+        let mut arriving_dists = Vec::with_capacity(self.corrs.len());
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                arriving_dists.push(coefficient_distance(&coeffs[i], &coeffs[j], self.coefficients));
+            }
+        }
+
+        let evicted_dists = self.pair_windows.front().expect("non-empty window").clone();
+        let mut idx = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let evicted = WindowContribution {
+                    x: self.series[i].front().expect("non-empty"),
+                    y: self.series[j].front().expect("non-empty"),
+                    corr: corr_from_distance(evicted_dists[idx]),
+                };
+                let arriving = WindowContribution {
+                    x: arriving_stats[i],
+                    y: arriving_stats[j],
+                    corr: corr_from_distance(arriving_dists[idx]),
+                };
+                self.corrs[idx] = lemma2_update(
+                    self.series[i].total_len() as f64,
+                    self.series[i].mean(),
+                    self.series[j].mean(),
+                    self.series[i].std(),
+                    self.series[j].std(),
+                    self.corrs[idx],
+                    &evicted,
+                    &arriving,
+                );
+                idx += 1;
+            }
+        }
+
+        for (state, stats) in self.series.iter_mut().zip(&arriving_stats) {
+            state.slide(*stats);
+        }
+        self.pair_windows.pop_front();
+        self.pair_windows.push_back(arriving_dists);
+        Ok(())
+    }
+
+    /// Current approximate correlation of one pair.
+    pub fn correlation(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.corrs[pair_index(a, b, self.n)]
+    }
+
+    /// Snapshot of the approximate correlation matrix.
+    pub fn correlation_matrix(&self) -> CorrelationMatrix {
+        CorrelationMatrix::from_upper_triangle(self.n, self.corrs.clone())
+    }
+
+    /// Snapshot of the approximate climate network at threshold `theta`.
+    pub fn network(&self, theta: f64) -> AdjacencyMatrix {
+        self.correlation_matrix().threshold(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::Transform;
+    use tsubasa_core::{baseline, QueryWindow, SeriesCollection};
+
+    fn series(seed: usize, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                (i as f64 * 0.11 + seed as f64).sin() * 1.4
+                    + ((i * (seed + 2) + 5) % 23) as f64 * 0.07
+            })
+            .collect()
+    }
+
+    fn full_data(n: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|s| series(s, len)).collect()
+    }
+
+    #[test]
+    fn initialize_matches_eq5_on_initial_window() {
+        let data = full_data(4, 160);
+        let c = SeriesCollection::from_rows(data).unwrap();
+        let b = 20;
+        let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        let sliding = SlidingApproxNetwork::initialize(&sk, 120).unwrap();
+        // With all coefficients the approximation is exact, so the initial
+        // matrix matches the baseline on the last 120 points.
+        let query = QueryWindow::new(159, 120).unwrap();
+        let exact = baseline::correlation_matrix(&c, query).unwrap();
+        assert!(sliding.correlation_matrix().max_abs_diff(&exact) < 1e-9);
+    }
+
+    #[test]
+    fn full_coefficient_updates_track_exact_baseline() {
+        let n = 3;
+        let b = 16;
+        let total = 400;
+        let hist = 160;
+        let query_len = 96;
+        let data = full_data(n, total);
+        let c = SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        let mut sliding = SlidingApproxNetwork::initialize(&sk, query_len).unwrap();
+
+        let mut now = hist;
+        while now + b <= total {
+            let chunk: Vec<Vec<f64>> = data.iter().map(|s| s[now..now + b].to_vec()).collect();
+            sliding.ingest(&chunk).unwrap();
+            now += b;
+            let cur =
+                SeriesCollection::from_rows(data.iter().map(|s| s[..now].to_vec()).collect()).unwrap();
+            let query = QueryWindow::latest(now, query_len).unwrap();
+            let exact = baseline::correlation_matrix(&cur, query).unwrap();
+            let diff = sliding.correlation_matrix().max_abs_diff(&exact);
+            assert!(diff < 1e-6, "drift {diff} at now={now}");
+        }
+    }
+
+    #[test]
+    fn partial_coefficients_give_bounded_error() {
+        let n = 3;
+        let b = 24;
+        let total = 300;
+        let hist = 144;
+        let query_len = 96;
+        let data = full_data(n, total);
+        let c = SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let sk = DftSketchSet::build(&c, b, b * 3 / 4, Transform::Naive).unwrap();
+        let mut sliding = SlidingApproxNetwork::initialize(&sk, query_len).unwrap();
+        let mut now = hist;
+        while now + b <= total {
+            let chunk: Vec<Vec<f64>> = data.iter().map(|s| s[now..now + b].to_vec()).collect();
+            sliding.ingest(&chunk).unwrap();
+            now += b;
+        }
+        // The 75%-coefficient approximation drifts from the exact value (it
+        // is an approximation, after all) but must remain a bounded, sane
+        // correlation estimate.
+        let cur = SeriesCollection::from_rows(data.iter().map(|s| s[..now].to_vec()).collect()).unwrap();
+        let query = QueryWindow::latest(now, query_len).unwrap();
+        let exact = baseline::correlation_matrix(&cur, query).unwrap();
+        let diff = sliding.correlation_matrix().max_abs_diff(&exact);
+        assert!(diff > 0.0, "partial coefficients should not be exact here");
+        assert!(diff < 0.75, "approximation error unexpectedly large: {diff}");
+        for (_, _, c) in sliding.correlation_matrix().iter_pairs() {
+            assert!((-1.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn ingest_validates_chunk_shape() {
+        let data = full_data(3, 120);
+        let c = SeriesCollection::from_rows(data).unwrap();
+        let sk = DftSketchSet::build(&c, 20, 20, Transform::Naive).unwrap();
+        let mut sliding = SlidingApproxNetwork::initialize(&sk, 80).unwrap();
+        assert!(sliding.ingest(&[vec![0.0; 20]]).is_err());
+        assert!(sliding
+            .ingest(&[vec![0.0; 5], vec![0.0; 5], vec![0.0; 5]])
+            .is_err());
+    }
+
+    #[test]
+    fn initialize_validates_query_length() {
+        let data = full_data(2, 100);
+        let c = SeriesCollection::from_rows(data).unwrap();
+        let sk = DftSketchSet::build(&c, 20, 20, Transform::Naive).unwrap();
+        assert!(SlidingApproxNetwork::initialize(&sk, 0).is_err());
+        assert!(SlidingApproxNetwork::initialize(&sk, 30).is_err());
+        assert!(SlidingApproxNetwork::initialize(&sk, 200).is_err());
+        assert!(SlidingApproxNetwork::initialize(&sk, 100).is_ok());
+    }
+
+    #[test]
+    fn network_snapshot_thresholds_current_state() {
+        let data = full_data(4, 160);
+        let c = SeriesCollection::from_rows(data).unwrap();
+        let sk = DftSketchSet::build(&c, 20, 20, Transform::Naive).unwrap();
+        let sliding = SlidingApproxNetwork::initialize(&sk, 120).unwrap();
+        let m = sliding.correlation_matrix();
+        let g = sliding.network(0.5);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(g.has_edge(i, j), m.get(i, j) > 0.5);
+                assert_eq!(sliding.correlation(i, j), m.get(i, j));
+            }
+        }
+        assert_eq!(sliding.correlation(2, 2), 1.0);
+        assert_eq!(sliding.series_count(), 4);
+        assert_eq!(sliding.basic_window(), 20);
+    }
+}

@@ -1,0 +1,229 @@
+//! Sketching for the DFT comparator (the full Algorithm 1, lines 8–10).
+//!
+//! On top of the statistics kept by [`tsubasa_core::SketchSet`] (per-window
+//! mean/σ and per-pair correlation), the comparator stores, per pair and per
+//! basic window, the Euclidean distance of the first `n` DFT coefficients of
+//! the two normalized windows (`d_j`). The number of coefficients is fixed at
+//! sketch time; using all `B` coefficients makes the comparator exact.
+
+use serde::{Deserialize, Serialize};
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::sketch::pair_index;
+use tsubasa_core::{SeriesCollection, SketchSet};
+
+use crate::dft::{coefficient_distance, naive_dft, Complex};
+use crate::normalize::normalize_unit_with_stats;
+
+/// How the DFT coefficients of a basic window are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transform {
+    /// Naive `O(B²)` DFT — the cost model assumed by the paper.
+    Naive,
+    /// Radix-2 FFT (falls back to naive for non-power-of-two windows); used
+    /// by the `dft_vs_fft` ablation.
+    Fft,
+}
+
+/// The comparator's sketch: the core statistics plus per-pair per-window DFT
+/// coefficient distances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DftSketchSet {
+    base: SketchSet,
+    /// Number of DFT coefficients used when computing distances.
+    coefficients: usize,
+    /// Packed per-pair vectors of per-window distances `d_j`.
+    pair_distances: Vec<Vec<f64>>,
+}
+
+impl DftSketchSet {
+    /// Sketch a collection for the DFT comparator: basic-window statistics,
+    /// per-pair correlations (reused by Equation 5), normalized-window DFT
+    /// coefficients, and the per-pair coefficient distances.
+    ///
+    /// `coefficients` is the `n` of `Dist_n`; it is clamped to the basic
+    /// window size.
+    pub fn build(
+        collection: &SeriesCollection,
+        basic_window: usize,
+        coefficients: usize,
+        transform: Transform,
+    ) -> Result<Self> {
+        let base = SketchSet::build(collection, basic_window)?;
+        let n_coeff = coefficients.clamp(1, basic_window);
+        let ns = base.window_count();
+        let n = collection.len();
+
+        // DFT coefficients of every normalized basic window of every series.
+        // Stored transiently: only the pairwise distances are kept, matching
+        // the paper's space analysis.
+        let mut coeffs: Vec<Vec<Vec<Complex>>> = Vec::with_capacity(n);
+        for (id, series) in collection.iter_with_ids() {
+            let sketch = base.series_sketch(id)?;
+            let mut per_window = Vec::with_capacity(ns);
+            for w in 0..ns {
+                let span = base.windowing().window_span(w);
+                let normalized =
+                    normalize_unit_with_stats(span.slice(series.values()), &sketch.window(w));
+                let c = match transform {
+                    Transform::Naive => naive_dft(&normalized),
+                    Transform::Fft => crate::dft::radix2_fft(&normalized),
+                };
+                per_window.push(c);
+            }
+            coeffs.push(per_window);
+        }
+
+        let mut pair_distances = Vec::with_capacity(n * (n - 1) / 2);
+        for (i, j) in collection.pairs() {
+            let dists = (0..ns)
+                .map(|w| coefficient_distance(&coeffs[i][w], &coeffs[j][w], n_coeff))
+                .collect();
+            pair_distances.push(dists);
+        }
+
+        Ok(Self {
+            base,
+            coefficients: n_coeff,
+            pair_distances,
+        })
+    }
+
+    /// The underlying statistics sketch.
+    pub fn base(&self) -> &SketchSet {
+        &self.base
+    }
+
+    /// Number of DFT coefficients the distances were computed with.
+    pub fn coefficients(&self) -> usize {
+        self.coefficients
+    }
+
+    /// Basic-window size.
+    pub fn basic_window(&self) -> usize {
+        self.base.basic_window()
+    }
+
+    /// Number of series.
+    pub fn series_count(&self) -> usize {
+        self.base.series_count()
+    }
+
+    /// Number of sketched basic windows.
+    pub fn window_count(&self) -> usize {
+        self.base.window_count()
+    }
+
+    /// Per-window DFT distances of one unordered pair.
+    pub fn pair_distances(&self, i: usize, j: usize) -> Result<&[f64]> {
+        let n = self.series_count();
+        if i == j || i >= n || j >= n {
+            return Err(Error::UnknownSeries(i.max(j)));
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        Ok(&self.pair_distances[pair_index(a, b, n)])
+    }
+
+    /// Number of floats stored (core statistics plus distances) — used for
+    /// the Figure 6d space-overhead comparison.
+    pub fn stored_floats(&self) -> usize {
+        // The comparator does not need the per-pair correlations of the core
+        // sketch (it has distances instead), so count series stats + dists.
+        let ns = self.window_count();
+        let n = self.series_count();
+        ns * (2 * n + n * (n - 1) / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::stats::pearson;
+
+    fn collection(n: usize, len: usize) -> SeriesCollection {
+        SeriesCollection::from_rows(
+            (0..n)
+                .map(|s| {
+                    (0..len)
+                        .map(|i| ((i + s * 13) as f64 * 0.17).sin() + 0.3 * ((i * s + 7) % 5) as f64)
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_produces_expected_shapes() {
+        let c = collection(4, 120);
+        let sk = DftSketchSet::build(&c, 20, 10, Transform::Naive).unwrap();
+        assert_eq!(sk.basic_window(), 20);
+        assert_eq!(sk.coefficients(), 10);
+        assert_eq!(sk.window_count(), 6);
+        assert_eq!(sk.series_count(), 4);
+        assert_eq!(sk.pair_distances(0, 3).unwrap().len(), 6);
+        assert!(sk.stored_floats() > 0);
+    }
+
+    #[test]
+    fn coefficients_clamped_to_basic_window() {
+        let c = collection(2, 60);
+        let sk = DftSketchSet::build(&c, 15, 500, Transform::Naive).unwrap();
+        assert_eq!(sk.coefficients(), 15);
+        let sk0 = DftSketchSet::build(&c, 15, 0, Transform::Naive).unwrap();
+        assert_eq!(sk0.coefficients(), 1);
+    }
+
+    #[test]
+    fn full_coefficient_distance_recovers_window_correlation() {
+        let c = collection(3, 100);
+        let b = 25;
+        let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        // With all coefficients, 1 - d²/2 equals the exact per-window
+        // correlation (Equation 3).
+        let dists = sk.pair_distances(0, 1).unwrap();
+        for (w, &d) in dists.iter().enumerate() {
+            let x = &c.get(0).unwrap().values()[w * b..(w + 1) * b];
+            let y = &c.get(1).unwrap().values()[w * b..(w + 1) * b];
+            let expected = pearson(x, y);
+            assert!(
+                ((1.0 - d * d / 2.0) - expected).abs() < 1e-9,
+                "window {w}: {} vs {expected}",
+                1.0 - d * d / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_coefficients_underestimate_distance() {
+        let c = collection(2, 200);
+        let full = DftSketchSet::build(&c, 50, 50, Transform::Naive).unwrap();
+        let few = DftSketchSet::build(&c, 50, 5, Transform::Naive).unwrap();
+        let d_full = full.pair_distances(0, 1).unwrap();
+        let d_few = few.pair_distances(0, 1).unwrap();
+        for (a, b) in d_full.iter().zip(d_few) {
+            assert!(b <= &(a + 1e-12), "partial distance must not exceed full distance");
+        }
+    }
+
+    #[test]
+    fn fft_and_naive_sketches_agree() {
+        let c = collection(3, 128);
+        let a = DftSketchSet::build(&c, 32, 16, Transform::Naive).unwrap();
+        let b = DftSketchSet::build(&c, 32, 16, Transform::Fft).unwrap();
+        for (i, j) in c.pairs() {
+            let da = a.pair_distances(i, j).unwrap();
+            let db = b.pair_distances(i, j).unwrap();
+            for (x, y) in da.iter().zip(db) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_distances_rejects_bad_ids() {
+        let c = collection(3, 60);
+        let sk = DftSketchSet::build(&c, 20, 20, Transform::Naive).unwrap();
+        assert!(sk.pair_distances(1, 1).is_err());
+        assert!(sk.pair_distances(0, 9).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Community detection by synchronous label propagation.
+//!
+//! Community structure is one of the standard analyses run on climate
+//! networks (the paper cites community detection as a downstream task of the
+//! correlation matrix). Label propagation is simple, fast (`O(edges)` per
+//! sweep), and needs no parameters; the implementation below is made
+//! deterministic by updating nodes in index order and breaking label ties
+//! toward the smallest label.
+
+use std::collections::HashMap;
+
+use crate::graph::ClimateNetwork;
+
+/// Result of a community-detection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Communities {
+    /// Community label of every node (labels are arbitrary but densely
+    /// re-numbered from 0).
+    pub labels: Vec<usize>,
+    /// Number of sweeps until convergence (or the sweep cap).
+    pub iterations: usize,
+}
+
+impl Communities {
+    /// Number of distinct communities.
+    pub fn count(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// The communities as lists of node ids, largest first.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.count()];
+        for (node, &label) in self.labels.iter().enumerate() {
+            groups[label].push(node);
+        }
+        groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        groups
+    }
+}
+
+/// Run label propagation for at most `max_sweeps` sweeps.
+pub fn label_propagation(network: &ClimateNetwork, max_sweeps: usize) -> Communities {
+    let n = network.node_count();
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut iterations = 0;
+
+    for _ in 0..max_sweeps.max(1) {
+        iterations += 1;
+        let mut changed = false;
+        for node in 0..n {
+            let neighbours = network.neighbours(node);
+            if neighbours.is_empty() {
+                continue;
+            }
+            // Most frequent neighbour label; ties go to the smallest label so
+            // the outcome does not depend on hash iteration order.
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for &v in &neighbours {
+                *counts.entry(labels[v]).or_insert(0) += 1;
+            }
+            let best = counts
+                .iter()
+                .map(|(&label, &count)| (count, std::cmp::Reverse(label)))
+                .max()
+                .map(|(_, std::cmp::Reverse(label))| label)
+                .expect("non-empty neighbour set");
+            if best != labels[node] {
+                labels[node] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Densely renumber labels.
+    let mut mapping = HashMap::new();
+    let mut next = 0usize;
+    let labels = labels
+        .into_iter()
+        .map(|l| {
+            *mapping.entry(l).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect();
+
+    Communities { labels, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::matrix::AdjacencyMatrix;
+    use tsubasa_core::SeriesCollection;
+
+    fn network(n: usize, edges: &[(usize, usize)]) -> ClimateNetwork {
+        let collection =
+            SeriesCollection::from_rows((0..n).map(|i| vec![i as f64, 0.0]).collect()).unwrap();
+        let mut adj = AdjacencyMatrix::empty(n);
+        for &(a, b) in edges {
+            adj.set_edge(a, b, true);
+        }
+        ClimateNetwork::from_adjacency(&collection, adj, 0.5).unwrap()
+    }
+
+    #[test]
+    fn two_cliques_with_a_bridge_form_two_communities() {
+        // Clique {0,1,2,3} and clique {4,5,6,7} joined by a single bridge.
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+                edges.push((i + 4, j + 4));
+            }
+        }
+        edges.push((3, 4));
+        let net = network(8, &edges);
+        let communities = label_propagation(&net, 50);
+        assert!(communities.count() <= 2, "found {} communities", communities.count());
+        // Members of the same clique share a label.
+        assert_eq!(communities.labels[0], communities.labels[1]);
+        assert_eq!(communities.labels[0], communities.labels[2]);
+        assert_eq!(communities.labels[5], communities.labels[6]);
+        assert_eq!(communities.labels[5], communities.labels[7]);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_community() {
+        let net = network(4, &[(0, 1)]);
+        let communities = label_propagation(&net, 10);
+        assert_eq!(communities.labels[0], communities.labels[1]);
+        assert_ne!(communities.labels[2], communities.labels[3]);
+        assert_eq!(communities.count(), 3);
+    }
+
+    #[test]
+    fn groups_partition_all_nodes() {
+        let net = network(6, &[(0, 1), (1, 2), (3, 4)]);
+        let communities = label_propagation(&net, 10);
+        let groups = communities.groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 6);
+        // Largest group first.
+        for w in groups.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn propagation_is_deterministic() {
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
+        let net = network(6, &edges);
+        let a = label_propagation(&net, 30);
+        let b = label_propagation(&net, 30);
+        assert_eq!(a, b);
+        assert!(a.iterations >= 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Connected components of a climate network.
+
+use crate::graph::ClimateNetwork;
+
+/// Assign every node a component id (0-based, in order of discovery) via
+/// breadth-first search.
+pub fn component_labels(network: &ClimateNetwork) -> Vec<usize> {
+    let n = network.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for v in network.neighbours(u) {
+                if labels[v] == usize::MAX {
+                    labels[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// The connected components as lists of node ids, largest first.
+pub fn components(network: &ClimateNetwork) -> Vec<Vec<usize>> {
+    let labels = component_labels(network);
+    let count = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut groups = vec![Vec::new(); count];
+    for (node, &label) in labels.iter().enumerate() {
+        groups[label].push(node);
+    }
+    groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    groups
+}
+
+/// Number of connected components.
+pub fn component_count(network: &ClimateNetwork) -> usize {
+    components(network).len()
+}
+
+/// Size of the largest connected component (0 for an empty network).
+pub fn largest_component_size(network: &ClimateNetwork) -> usize {
+    components(network).first().map_or(0, |c| c.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::matrix::AdjacencyMatrix;
+    use tsubasa_core::SeriesCollection;
+
+    fn network(n: usize, edges: &[(usize, usize)]) -> ClimateNetwork {
+        let collection =
+            SeriesCollection::from_rows((0..n).map(|i| vec![i as f64, 0.0]).collect()).unwrap();
+        let mut adj = AdjacencyMatrix::empty(n);
+        for &(a, b) in edges {
+            adj.set_edge(a, b, true);
+        }
+        ClimateNetwork::from_adjacency(&collection, adj, 0.5).unwrap()
+    }
+
+    #[test]
+    fn splits_into_expected_components() {
+        // Two components: {0,1,2} chained and {3,4}; node 5 isolated.
+        let net = network(6, &[(0, 1), (1, 2), (3, 4)]);
+        let comps = components(&net);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+        assert_eq!(component_count(&net), 3);
+        assert_eq!(largest_component_size(&net), 3);
+    }
+
+    #[test]
+    fn labels_are_consistent_with_components() {
+        let net = network(5, &[(0, 4), (1, 2)]);
+        let labels = component_labels(&net);
+        assert_eq!(labels[0], labels[4]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[3], labels[0]);
+    }
+
+    #[test]
+    fn fully_connected_network_is_one_component() {
+        let net = network(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(component_count(&net), 1);
+        assert_eq!(largest_component_size(&net), 4);
+    }
+
+    #[test]
+    fn edgeless_network_has_singleton_components() {
+        let net = network(3, &[]);
+        assert_eq!(component_count(&net), 3);
+        assert_eq!(largest_component_size(&net), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Network dynamics: analysing how the climate network changes over a
+//! sequence of query windows.
+//!
+//! The paper motivates TSUBASA with network-dynamics studies (Berezin et al.,
+//! "Stability of Climate Networks with Time"): scientists construct one
+//! network per hypothesized time window and study how edges appear, vanish,
+//! and persist. This module provides the bookkeeping for such studies on top
+//! of a sequence of [`AdjacencyMatrix`] snapshots (produced either by
+//! repeated historical queries or by the real-time updater).
+
+use tsubasa_core::matrix::AdjacencyMatrix;
+use tsubasa_core::sketch::pair_index;
+
+/// Edge-level change between two consecutive network snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotDelta {
+    /// Edges present in the new snapshot but not the previous one.
+    pub appeared: usize,
+    /// Edges present in the previous snapshot but not the new one.
+    pub vanished: usize,
+    /// Edges present in both.
+    pub persisted: usize,
+}
+
+impl SnapshotDelta {
+    /// Compare two consecutive snapshots. Panics if the node counts differ.
+    pub fn between(previous: &AdjacencyMatrix, current: &AdjacencyMatrix) -> Self {
+        assert_eq!(
+            previous.len(),
+            current.len(),
+            "snapshots must cover the same node set"
+        );
+        let mut delta = SnapshotDelta::default();
+        for (p, c) in previous
+            .upper_triangle()
+            .iter()
+            .zip(current.upper_triangle())
+        {
+            match (p, c) {
+                (false, true) => delta.appeared += 1,
+                (true, false) => delta.vanished += 1,
+                (true, true) => delta.persisted += 1,
+                (false, false) => {}
+            }
+        }
+        delta
+    }
+
+    /// Jaccard stability of the edge set: persisted edges over the union of
+    /// both edge sets (1.0 when nothing changed, 0.0 when the edge sets are
+    /// disjoint; defined as 1.0 when both snapshots are edge-less).
+    pub fn stability(&self) -> f64 {
+        let union = self.appeared + self.vanished + self.persisted;
+        if union == 0 {
+            1.0
+        } else {
+            self.persisted as f64 / union as f64
+        }
+    }
+}
+
+/// Accumulated statistics over a whole sequence of network snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsSummary {
+    /// Number of snapshots observed.
+    pub snapshots: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Edge count of every snapshot, in order.
+    pub edge_counts: Vec<usize>,
+    /// Per-transition deltas (one fewer than `snapshots`).
+    pub deltas: Vec<SnapshotDelta>,
+    /// For every unordered pair (packed upper-triangle order), the number of
+    /// snapshots in which it was an edge.
+    edge_presence: Vec<usize>,
+    /// For every unordered pair, the number of edge ↔ non-edge state flips
+    /// across consecutive snapshots.
+    flip_counts: Vec<usize>,
+}
+
+impl DynamicsSummary {
+    /// Fraction of snapshots in which the pair `(i, j)` was connected.
+    pub fn edge_persistence(&self, i: usize, j: usize) -> f64 {
+        if self.snapshots == 0 || i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.edge_presence[pair_index(a, b, self.nodes)] as f64 / self.snapshots as f64
+    }
+
+    /// Number of state flips of the pair `(i, j)` across the sequence.
+    pub fn flip_count(&self, i: usize, j: usize) -> usize {
+        if i == j {
+            return 0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.flip_counts[pair_index(a, b, self.nodes)]
+    }
+
+    /// Pairs that were edges in *every* snapshot — the stable backbone of the
+    /// evolving network.
+    pub fn backbone(&self) -> Vec<(usize, usize)> {
+        if self.snapshots == 0 {
+            return Vec::new();
+        }
+        self.pairs_where(|idx| self.edge_presence[idx] == self.snapshots)
+    }
+
+    /// Pairs that changed state (edge ↔ non-edge) at least `min_flips` times
+    /// across the sequence — the "blinking links" climate studies track
+    /// around events such as El Niño.
+    pub fn blinking_links(&self, min_flips: usize) -> Vec<(usize, usize)> {
+        self.pairs_where(|idx| self.flip_counts[idx] >= min_flips)
+    }
+
+    /// Mean Jaccard stability across consecutive snapshots.
+    pub fn mean_stability(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 1.0;
+        }
+        self.deltas.iter().map(|d| d.stability()).sum::<f64>() / self.deltas.len() as f64
+    }
+
+    fn pairs_where(&self, predicate: impl Fn(usize) -> bool) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                if predicate(pair_index(i, j, self.nodes)) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Incrementally tracks network dynamics as snapshots arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsTracker {
+    nodes: usize,
+    snapshots: usize,
+    edge_counts: Vec<usize>,
+    deltas: Vec<SnapshotDelta>,
+    edge_presence: Vec<usize>,
+    flip_counts: Vec<usize>,
+    previous: Option<AdjacencyMatrix>,
+}
+
+impl DynamicsTracker {
+    /// Create a tracker for networks over `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        let pairs = nodes * nodes.saturating_sub(1) / 2;
+        Self {
+            nodes,
+            snapshots: 0,
+            edge_counts: Vec::new(),
+            deltas: Vec::new(),
+            edge_presence: vec![0; pairs],
+            flip_counts: vec![0; pairs],
+            previous: None,
+        }
+    }
+
+    /// Record one snapshot. Panics if the node count differs from the
+    /// tracker's.
+    pub fn observe(&mut self, snapshot: &AdjacencyMatrix) {
+        assert_eq!(snapshot.len(), self.nodes, "snapshot node count mismatch");
+        self.snapshots += 1;
+        self.edge_counts.push(snapshot.edge_count());
+        for (slot, present) in self.edge_presence.iter_mut().zip(snapshot.upper_triangle()) {
+            *slot += usize::from(*present);
+        }
+        if let Some(prev) = &self.previous {
+            self.deltas.push(SnapshotDelta::between(prev, snapshot));
+            for ((flips, was), is) in self
+                .flip_counts
+                .iter_mut()
+                .zip(prev.upper_triangle())
+                .zip(snapshot.upper_triangle())
+            {
+                if was != is {
+                    *flips += 1;
+                }
+            }
+        }
+        self.previous = Some(snapshot.clone());
+    }
+
+    /// Number of snapshots observed so far.
+    pub fn snapshots(&self) -> usize {
+        self.snapshots
+    }
+
+    /// Finish tracking and produce the summary.
+    pub fn summarize(self) -> DynamicsSummary {
+        DynamicsSummary {
+            snapshots: self.snapshots,
+            nodes: self.nodes,
+            edge_counts: self.edge_counts,
+            deltas: self.deltas,
+            edge_presence: self.edge_presence,
+            flip_counts: self.flip_counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adjacency(n: usize, edges: &[(usize, usize)]) -> AdjacencyMatrix {
+        let mut adj = AdjacencyMatrix::empty(n);
+        for &(a, b) in edges {
+            adj.set_edge(a, b, true);
+        }
+        adj
+    }
+
+    #[test]
+    fn delta_counts_edge_changes() {
+        let a = adjacency(4, &[(0, 1), (1, 2)]);
+        let b = adjacency(4, &[(1, 2), (2, 3)]);
+        let d = SnapshotDelta::between(&a, &b);
+        assert_eq!(d.appeared, 1);
+        assert_eq!(d.vanished, 1);
+        assert_eq!(d.persisted, 1);
+        assert!((d.stability() - 1.0 / 3.0).abs() < 1e-12);
+        // Identical snapshots are perfectly stable.
+        assert_eq!(SnapshotDelta::between(&a, &a).stability(), 1.0);
+        // Edge-less snapshots are defined as stable too.
+        let empty = adjacency(4, &[]);
+        assert_eq!(SnapshotDelta::between(&empty, &empty).stability(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same node set")]
+    fn delta_rejects_mismatched_sizes() {
+        SnapshotDelta::between(&adjacency(3, &[]), &adjacency(4, &[]));
+    }
+
+    #[test]
+    fn tracker_accumulates_presence_flips_and_backbone() {
+        let mut tracker = DynamicsTracker::new(4);
+        tracker.observe(&adjacency(4, &[(0, 1), (1, 2)]));
+        tracker.observe(&adjacency(4, &[(0, 1), (2, 3)]));
+        tracker.observe(&adjacency(4, &[(0, 1), (1, 2)]));
+        assert_eq!(tracker.snapshots(), 3);
+        let summary = tracker.summarize();
+
+        assert_eq!(summary.edge_counts, vec![2, 2, 2]);
+        assert_eq!(summary.deltas.len(), 2);
+        assert!((summary.edge_persistence(0, 1) - 1.0).abs() < 1e-12);
+        assert!((summary.edge_persistence(1, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((summary.edge_persistence(2, 3) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(summary.edge_persistence(1, 1), 0.0);
+
+        assert_eq!(summary.backbone(), vec![(0, 1)]);
+        // (1,2) flipped off then on again → 2 flips; (2,3) flipped on then
+        // off → 2 flips; (0,1) never flipped.
+        assert_eq!(summary.flip_count(1, 2), 2);
+        assert_eq!(summary.flip_count(2, 3), 2);
+        assert_eq!(summary.flip_count(0, 1), 0);
+        let blinking = summary.blinking_links(2);
+        assert!(blinking.contains(&(1, 2)));
+        assert!(blinking.contains(&(2, 3)));
+        assert!(!blinking.contains(&(0, 1)));
+        assert!(summary.mean_stability() > 0.0 && summary.mean_stability() < 1.0);
+    }
+
+    #[test]
+    fn empty_tracker_summarizes_cleanly() {
+        let summary = DynamicsTracker::new(3).summarize();
+        assert_eq!(summary.snapshots, 0);
+        assert!(summary.backbone().is_empty());
+        assert_eq!(summary.mean_stability(), 1.0);
+        assert_eq!(summary.edge_persistence(0, 1), 0.0);
+        assert!(summary.blinking_links(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn tracker_rejects_mismatched_snapshots() {
+        let mut tracker = DynamicsTracker::new(3);
+        tracker.observe(&adjacency(4, &[]));
+    }
+}

@@ -1,0 +1,92 @@
+//! Exporting climate networks for downstream visualization tools
+//! (the "visualization and network science tools" box of the paper's
+//! Figure 1): a plain edge-list CSV and Graphviz DOT.
+
+use std::fmt::Write as _;
+
+use crate::graph::ClimateNetwork;
+
+/// Render the network as an edge-list CSV with node metadata:
+/// `source,target,source_lat,source_lon,target_lat,target_lon,distance_km`.
+pub fn to_edge_list_csv(network: &ClimateNetwork) -> String {
+    let mut out = String::from("source,target,source_lat,source_lon,target_lat,target_lon,distance_km\n");
+    for (i, j) in network.edges() {
+        let a = network.location(i);
+        let b = network.location(j);
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.1}",
+            network.name(i),
+            network.name(j),
+            a.lat,
+            a.lon,
+            b.lat,
+            b.lon,
+            network.edge_length_km(i, j)
+        );
+    }
+    out
+}
+
+/// Render the network as a Graphviz DOT graph. Node labels are the series
+/// names; isolated nodes are included so the rendering shows the full grid.
+pub fn to_dot(network: &ClimateNetwork) -> String {
+    let mut out = String::from("graph climate_network {\n");
+    let _ = writeln!(out, "  // threshold = {}", network.threshold());
+    for i in 0..network.node_count() {
+        let loc = network.location(i);
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}\", pos=\"{},{}\"];",
+            network.name(i),
+            loc.lon,
+            loc.lat
+        );
+    }
+    for (i, j) in network.edges() {
+        let _ = writeln!(out, "  n{i} -- n{j};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::matrix::AdjacencyMatrix;
+    use tsubasa_core::{GeoLocation, SeriesCollection, TimeSeries};
+
+    fn network() -> ClimateNetwork {
+        let collection = SeriesCollection::new(vec![
+            TimeSeries::new("alpha", GeoLocation::new(10.0, 20.0), vec![0.0, 1.0]),
+            TimeSeries::new("beta", GeoLocation::new(11.0, 20.0), vec![0.0, 1.0]),
+            TimeSeries::new("gamma", GeoLocation::new(-5.0, 100.0), vec![0.0, 1.0]),
+        ])
+        .unwrap();
+        let mut adj = AdjacencyMatrix::empty(3);
+        adj.set_edge(0, 1, true);
+        ClimateNetwork::from_adjacency(&collection, adj, 0.8).unwrap()
+    }
+
+    #[test]
+    fn edge_list_csv_contains_header_and_edges() {
+        let csv = to_edge_list_csv(&network());
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 2); // header + one edge
+        assert!(lines[0].starts_with("source,target"));
+        assert!(lines[1].starts_with("alpha,beta"));
+        assert!(lines[1].contains("10,20,11,20"));
+    }
+
+    #[test]
+    fn dot_output_lists_all_nodes_and_edges() {
+        let dot = to_dot(&network());
+        assert!(dot.starts_with("graph climate_network {"));
+        assert!(dot.contains("threshold = 0.8"));
+        assert!(dot.contains("n0 [label=\"alpha\""));
+        assert!(dot.contains("n2 [label=\"gamma\""));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(!dot.contains("n1 -- n2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

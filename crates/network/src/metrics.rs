@@ -1,0 +1,150 @@
+//! Topological metrics of climate networks: the quantities network-dynamics
+//! studies compute on each reconstructed network snapshot.
+
+use crate::graph::ClimateNetwork;
+
+/// Degree of every node.
+pub fn degrees(network: &ClimateNetwork) -> Vec<usize> {
+    (0..network.node_count()).map(|i| network.degree(i)).collect()
+}
+
+/// Average node degree.
+pub fn average_degree(network: &ClimateNetwork) -> f64 {
+    let n = network.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    2.0 * network.edge_count() as f64 / n as f64
+}
+
+/// Edge density: edges over possible edges.
+pub fn density(network: &ClimateNetwork) -> f64 {
+    network.adjacency().density()
+}
+
+/// Histogram of node degrees: `histogram[d]` is the number of nodes with
+/// degree `d`.
+pub fn degree_histogram(network: &ClimateNetwork) -> Vec<usize> {
+    let degs = degrees(network);
+    let max = degs.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degs {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of node `i`: the fraction of the node's
+/// neighbour pairs that are themselves connected.
+pub fn local_clustering(network: &ClimateNetwork, i: usize) -> f64 {
+    let neighbours = network.neighbours(i);
+    let k = neighbours.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            if network.has_edge(neighbours[a], neighbours[b]) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (k * (k - 1) / 2) as f64
+}
+
+/// Average clustering coefficient over all nodes.
+pub fn average_clustering(network: &ClimateNetwork) -> f64 {
+    let n = network.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|i| local_clustering(network, i)).sum::<f64>() / n as f64
+}
+
+/// Fraction of edges longer than `km` — a crude teleconnection indicator
+/// (climate networks are interesting precisely because strongly correlated
+/// locations are not always nearby; long edges encode large-scale patterns).
+pub fn long_edge_fraction(network: &ClimateNetwork, km: f64) -> f64 {
+    let total = network.edge_count();
+    if total == 0 {
+        return 0.0;
+    }
+    let long = network
+        .edges()
+        .filter(|&(i, j)| network.edge_length_km(i, j) > km)
+        .count();
+    long as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::matrix::AdjacencyMatrix;
+    use tsubasa_core::{GeoLocation, SeriesCollection, TimeSeries};
+
+    /// A 4-node network: triangle 0-1-2 plus pendant node 3 attached to 0.
+    fn triangle_plus_pendant() -> ClimateNetwork {
+        let collection = SeriesCollection::new(
+            (0..4)
+                .map(|i| {
+                    TimeSeries::new(
+                        format!("n{i}"),
+                        GeoLocation::new(i as f64 * 10.0, 0.0),
+                        vec![0.0; 4],
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut adj = AdjacencyMatrix::empty(4);
+        adj.set_edge(0, 1, true);
+        adj.set_edge(1, 2, true);
+        adj.set_edge(0, 2, true);
+        adj.set_edge(0, 3, true);
+        ClimateNetwork::from_adjacency(&collection, adj, 0.5).unwrap()
+    }
+
+    #[test]
+    fn degree_metrics() {
+        let net = triangle_plus_pendant();
+        assert_eq!(degrees(&net), vec![3, 2, 2, 1]);
+        assert!((average_degree(&net) - 2.0).abs() < 1e-12);
+        assert!((density(&net) - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(degree_histogram(&net), vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        let net = triangle_plus_pendant();
+        // Node 0 has neighbours {1,2,3}; only (1,2) of the three pairs is
+        // connected → 1/3.
+        assert!((local_clustering(&net, 0) - 1.0 / 3.0).abs() < 1e-12);
+        // Nodes 1 and 2 have neighbours {0,2}/{0,1}, both connected → 1.
+        assert!((local_clustering(&net, 1) - 1.0).abs() < 1e-12);
+        // Pendant node has fewer than 2 neighbours → 0.
+        assert_eq!(local_clustering(&net, 3), 0.0);
+        let avg = average_clustering(&net);
+        assert!((avg - (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_edge_fraction_counts_geodesic_lengths() {
+        let net = triangle_plus_pendant();
+        // Nodes are 10 degrees of latitude apart (~1,110 km per step).
+        // Edges: (0,1) ~1110, (1,2) ~1110, (0,2) ~2220, (0,3) ~3330 km.
+        assert!((long_edge_fraction(&net, 2_000.0) - 0.5).abs() < 1e-12);
+        assert_eq!(long_edge_fraction(&net, 10_000.0), 0.0);
+    }
+
+    #[test]
+    fn empty_network_metrics_are_zero() {
+        let collection = SeriesCollection::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let net =
+            ClimateNetwork::from_adjacency(&collection, AdjacencyMatrix::empty(1), 0.5).unwrap();
+        assert_eq!(average_degree(&net), 0.0);
+        assert_eq!(average_clustering(&net), 0.0);
+        assert_eq!(long_edge_fraction(&net, 1.0), 0.0);
+        assert_eq!(degree_histogram(&net), vec![1]);
+    }
+}

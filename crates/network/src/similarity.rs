@@ -1,0 +1,145 @@
+//! Network comparison: the accuracy measures of the paper's Figure 5a
+//! (edge count and correlation similarity ratio), plus precision/recall of an
+//! approximate network against the exact reference.
+
+use tsubasa_core::matrix::AdjacencyMatrix;
+
+/// Summary of how a candidate network (typically the DFT approximation)
+/// compares to a reference network (the exact TSUBASA network).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkComparison {
+    /// Edges in the reference network.
+    pub reference_edges: usize,
+    /// Edges in the candidate network.
+    pub candidate_edges: usize,
+    /// The paper's correlation similarity ratio `D_p`: fraction of node pairs
+    /// on which the two networks agree.
+    pub similarity_ratio: f64,
+    /// Candidate edges that are also reference edges (true positives).
+    pub true_positives: usize,
+    /// Candidate edges that are not reference edges (the spurious edges the
+    /// paper warns about).
+    pub false_positives: usize,
+    /// Reference edges missing from the candidate.
+    pub false_negatives: usize,
+}
+
+impl NetworkComparison {
+    /// Compare `candidate` against `reference`. Panics if the node counts
+    /// differ (comparing networks over different node sets is meaningless).
+    pub fn compare(reference: &AdjacencyMatrix, candidate: &AdjacencyMatrix) -> Self {
+        assert_eq!(
+            reference.len(),
+            candidate.len(),
+            "networks must share the same node set"
+        );
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for (r, c) in reference
+            .upper_triangle()
+            .iter()
+            .zip(candidate.upper_triangle())
+        {
+            match (r, c) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        Self {
+            reference_edges: reference.edge_count(),
+            candidate_edges: candidate.edge_count(),
+            similarity_ratio: reference.similarity_ratio(candidate),
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+        }
+    }
+
+    /// Precision of the candidate's edges (1.0 when the candidate proposes no
+    /// edges at all).
+    pub fn precision(&self) -> f64 {
+        if self.candidate_edges == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.candidate_edges as f64
+        }
+    }
+
+    /// Recall of the reference's edges (1.0 when the reference has no edges).
+    pub fn recall(&self) -> f64 {
+        if self.reference_edges == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.reference_edges as f64
+        }
+    }
+
+    /// True when the candidate misses no reference edge — the guarantee
+    /// Equation 4 provides for DFT-based pruning.
+    pub fn has_no_false_negatives(&self) -> bool {
+        self.false_negatives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adjacency(n: usize, edges: &[(usize, usize)]) -> AdjacencyMatrix {
+        let mut adj = AdjacencyMatrix::empty(n);
+        for &(a, b) in edges {
+            adj.set_edge(a, b, true);
+        }
+        adj
+    }
+
+    #[test]
+    fn comparison_counts_edge_classes() {
+        let reference = adjacency(4, &[(0, 1), (1, 2)]);
+        let candidate = adjacency(4, &[(0, 1), (2, 3), (0, 3)]);
+        let cmp = NetworkComparison::compare(&reference, &candidate);
+        assert_eq!(cmp.reference_edges, 2);
+        assert_eq!(cmp.candidate_edges, 3);
+        assert_eq!(cmp.true_positives, 1);
+        assert_eq!(cmp.false_positives, 2);
+        assert_eq!(cmp.false_negatives, 1);
+        assert!((cmp.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cmp.recall() - 0.5).abs() < 1e-12);
+        assert!(!cmp.has_no_false_negatives());
+        // 6 pairs, 3 disagreements → D_p = 0.5.
+        assert!((cmp.similarity_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_networks_compare_perfectly() {
+        let net = adjacency(5, &[(0, 4), (2, 3)]);
+        let cmp = NetworkComparison::compare(&net, &net);
+        assert_eq!(cmp.false_positives, 0);
+        assert_eq!(cmp.false_negatives, 0);
+        assert_eq!(cmp.similarity_ratio, 1.0);
+        assert_eq!(cmp.precision(), 1.0);
+        assert_eq!(cmp.recall(), 1.0);
+        assert!(cmp.has_no_false_negatives());
+    }
+
+    #[test]
+    fn empty_networks_have_defined_metrics() {
+        let a = adjacency(3, &[]);
+        let b = adjacency(3, &[(0, 1)]);
+        let cmp = NetworkComparison::compare(&a, &b);
+        assert_eq!(cmp.recall(), 1.0); // no reference edges to miss
+        assert_eq!(cmp.precision(), 0.0);
+        let cmp2 = NetworkComparison::compare(&b, &a);
+        assert_eq!(cmp2.precision(), 1.0); // candidate proposes nothing
+        assert_eq!(cmp2.recall(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same node set")]
+    fn comparing_different_sizes_panics() {
+        NetworkComparison::compare(&adjacency(3, &[]), &adjacency(4, &[]));
+    }
+}

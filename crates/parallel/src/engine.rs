@@ -1,0 +1,539 @@
+//! The parallel sketch / query engine (paper §3.4).
+//!
+//! Both phases follow the same shape: the unordered pairs are partitioned
+//! across computation workers ([`crate::partition::partition_pairs`]); during
+//! sketching the workers stream [`WriteBatch`]es to the single database
+//! worker, and during querying they read sketch batches back from the store
+//! and emit sub-matrices that are merged into the final correlation matrix.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::exact::{combine, WindowContribution};
+use tsubasa_core::matrix::CorrelationMatrix;
+use tsubasa_core::stats::{sketch_pair, WindowStats};
+use tsubasa_core::window::BasicWindowing;
+use tsubasa_core::SeriesCollection;
+use tsubasa_dft::approx::{query_correlation, ApproxWindow};
+use tsubasa_dft::dft::{coefficient_distance, naive_dft, Complex};
+use tsubasa_dft::normalize::normalize_unit_with_stats;
+use tsubasa_storage::{BatchWriter, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout, WriteBatch};
+
+use crate::partition::partition_pairs;
+use crate::timing::{QueryReport, SketchReport};
+
+/// Which sketch the computation workers produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchMethod {
+    /// TSUBASA's exact sketch: per-pair per-window Pearson correlations.
+    Exact,
+    /// The DFT comparator's sketch: per-series DFT coefficients of normalized
+    /// windows and per-pair per-window coefficient distances, using the given
+    /// number of coefficients.
+    Dft {
+        /// Number of DFT coefficients (`n` of `Dist_n`).
+        coefficients: usize,
+    },
+}
+
+/// How the query phase turns stored records into correlations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMethod {
+    /// Exact recombination (Lemma 1) from stored per-window correlations.
+    Exact,
+    /// Approximate recombination (Equation 5) from stored DFT distances.
+    Approximate,
+}
+
+/// Configuration of the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of computation workers (the paper uses 63 plus one database
+    /// worker).
+    pub workers: usize,
+    /// Number of pairs whose records are grouped into one write batch / one
+    /// ranged read.
+    pub batch_pairs: usize,
+    /// What the sketch phase computes.
+    pub sketch_method: SketchMethod,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get().saturating_sub(1).max(1))
+            .unwrap_or(1);
+        Self {
+            workers,
+            batch_pairs: 256,
+            sketch_method: SketchMethod::Exact,
+        }
+    }
+}
+
+/// The parallel, disk-based TSUBASA engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelEngine {
+    config: ParallelConfig,
+}
+
+impl ParallelEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: ParallelConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> ParallelConfig {
+        self.config
+    }
+
+    /// The store layout required to hold the sketch of `collection` at the
+    /// given basic-window size.
+    pub fn layout_for(collection: &SeriesCollection, basic_window: usize) -> Result<StoreLayout> {
+        let windowing = BasicWindowing::new(basic_window)?;
+        Ok(StoreLayout {
+            n_series: collection.len(),
+            n_windows: windowing.complete_windows(collection.series_len()),
+            basic_window,
+        })
+    }
+
+    /// Sketch `collection` into `store` using the configured number of
+    /// computation workers plus one database worker, and report the timing
+    /// breakdown (Figure 6a).
+    pub fn sketch_to_store(
+        &self,
+        collection: &SeriesCollection,
+        basic_window: usize,
+        store: Arc<dyn SketchStore>,
+    ) -> Result<SketchReport> {
+        let wall_start = Instant::now();
+        let layout = store.layout();
+        let expected = Self::layout_for(collection, basic_window)?;
+        if layout != expected {
+            return Err(Error::SketchMismatch {
+                requested: format!("{expected:?}"),
+                available: format!("{layout:?}"),
+            });
+        }
+        let windowing = BasicWindowing::new(basic_window)?;
+        let ns = layout.n_windows;
+        let n = collection.len();
+        if ns == 0 {
+            return Err(Error::InvalidBasicWindow {
+                window: basic_window,
+                series_len: collection.series_len(),
+            });
+        }
+
+        let writer = BatchWriter::spawn(store, self.config.batch_pairs.max(1));
+        let mut compute_time = Duration::ZERO;
+
+        // Per-series pass: window statistics (and, for the DFT comparator,
+        // the coefficients of every normalized window). The statistics are
+        // shared read-only with the pair workers below.
+        let per_series_start = Instant::now();
+        let mut series_stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
+        let mut series_coeffs: Vec<Vec<Vec<Complex>>> = Vec::new();
+        for (id, series) in collection.iter_with_ids() {
+            let values = series.values();
+            let stats: Vec<WindowStats> = (0..ns)
+                .map(|w| WindowStats::from_values(windowing.window_span(w).slice(values)))
+                .collect();
+            if let SketchMethod::Dft { coefficients: _ } = self.config.sketch_method {
+                let coeffs = (0..ns)
+                    .map(|w| {
+                        let span = windowing.window_span(w);
+                        naive_dft(&normalize_unit_with_stats(span.slice(values), &stats[w]))
+                    })
+                    .collect();
+                series_coeffs.push(coeffs);
+            }
+            // Stream the per-series records to the database worker.
+            let records: Vec<SeriesWindowRecord> = stats
+                .iter()
+                .enumerate()
+                .map(|(w, st)| SeriesWindowRecord::from_stats(id, w, st))
+                .collect();
+            writer
+                .sender()
+                .send(WriteBatch {
+                    series: records,
+                    pairs: vec![],
+                })
+                .map_err(|_| Error::Storage("database worker hung up".into()))?;
+            series_stats.push(stats);
+        }
+        compute_time += per_series_start.elapsed();
+
+        // Pair pass: partitioned across computation workers.
+        let partitions = partition_pairs(n, self.config.workers.max(1));
+        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
+        let batch_pairs = self.config.batch_pairs.max(1);
+        let method = self.config.sketch_method;
+        let series_stats = &series_stats;
+        let series_coeffs = &series_coeffs;
+
+        let worker_times = crossbeam::thread::scope(|scope| -> Result<Vec<Duration>> {
+            let mut handles = Vec::new();
+            for part in &partitions {
+                if part.is_empty() {
+                    continue;
+                }
+                let sender = writer.sender();
+                handles.push(scope.spawn(move |_| -> Result<Duration> {
+                    let mut busy = Duration::ZERO;
+                    let mut batch = WriteBatch::default();
+                    for &(a, b) in &part.pairs {
+                        let start = Instant::now();
+                        let xs = collection.get(a)?.values();
+                        let ys = collection.get(b)?.values();
+                        for w in 0..ns {
+                            let record = match method {
+                                SketchMethod::Exact => {
+                                    let span = windowing.window_span(w);
+                                    let (_, _, c) = sketch_pair(span.slice(xs), span.slice(ys));
+                                    PairWindowRecord {
+                                        a: a as u32,
+                                        b: b as u32,
+                                        window: w as u32,
+                                        corr: c,
+                                        dft_dist: f64::NAN,
+                                    }
+                                }
+                                SketchMethod::Dft { coefficients } => {
+                                    let d = coefficient_distance(
+                                        &series_coeffs[a][w],
+                                        &series_coeffs[b][w],
+                                        coefficients,
+                                    );
+                                    let _ = &series_stats; // stats already persisted per series
+                                    PairWindowRecord {
+                                        a: a as u32,
+                                        b: b as u32,
+                                        window: w as u32,
+                                        corr: f64::NAN,
+                                        dft_dist: d,
+                                    }
+                                }
+                            };
+                            batch.pairs.push(record);
+                        }
+                        busy += start.elapsed();
+                        if batch.pairs.len() >= batch_pairs * ns {
+                            let full = std::mem::take(&mut batch);
+                            sender
+                                .send(full)
+                                .map_err(|_| Error::Storage("database worker hung up".into()))?;
+                        }
+                    }
+                    if !batch.is_empty() {
+                        sender
+                            .send(batch)
+                            .map_err(|_| Error::Storage("database worker hung up".into()))?;
+                    }
+                    Ok(busy)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| Error::Storage("sketch worker panicked".into()))?)
+                .collect()
+        })
+        .map_err(|_| Error::Storage("sketch scope panicked".into()))??;
+
+        compute_time += worker_times.iter().sum::<Duration>();
+        let writer_stats = writer.finish()?;
+
+        Ok(SketchReport {
+            workers: self.config.workers.max(1),
+            pairs: pair_count,
+            compute_time,
+            write_time: writer_stats.write_time,
+            wall_time: wall_start.elapsed(),
+        })
+    }
+
+    /// Build the all-pair correlation matrix for an aligned range of basic
+    /// windows by reading sketches back from the store, and report the
+    /// read/compute breakdown (Figure 6b).
+    pub fn query_from_store(
+        &self,
+        store: Arc<dyn SketchStore>,
+        windows: Range<usize>,
+        method: QueryMethod,
+    ) -> Result<(CorrelationMatrix, QueryReport)> {
+        let wall_start = Instant::now();
+        let layout = store.layout();
+        layout.check_windows(&windows)?;
+        let n = layout.n_series;
+
+        // Read every series' window statistics once up front; they are shared
+        // by all pairs of the partitioned workers.
+        let read_start = Instant::now();
+        let mut series_stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
+        for s in 0..n {
+            series_stats.push(store.read_series(s, windows.clone())?);
+        }
+        let series_read_time = read_start.elapsed();
+
+        let partitions = partition_pairs(n, self.config.workers.max(1));
+        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
+        let series_stats = &series_stats;
+        let store_ref = &store;
+        let windows_ref = &windows;
+
+        struct WorkerOut {
+            entries: Vec<(usize, usize, f64)>,
+            read: Duration,
+            compute: Duration,
+        }
+
+        let outputs = crossbeam::thread::scope(|scope| -> Result<Vec<WorkerOut>> {
+            let mut handles = Vec::new();
+            for part in &partitions {
+                if part.is_empty() {
+                    continue;
+                }
+                let batch_pairs = self.config.batch_pairs.max(1);
+                handles.push(scope.spawn(move |_| -> Result<WorkerOut> {
+                    let mut out = WorkerOut {
+                        entries: Vec::with_capacity(part.len()),
+                        read: Duration::ZERO,
+                        compute: Duration::ZERO,
+                    };
+                    // Pairs are read from the store in batches: consecutive
+                    // pairs of a partition are contiguous on disk, so the
+                    // store can serve a batch with a single ranged read.
+                    for chunk in part.pairs.chunks(batch_pairs) {
+                        let t0 = Instant::now();
+                        let batch = store_ref.read_pairs(chunk, windows_ref.clone())?;
+                        out.read += t0.elapsed();
+
+                        let t1 = Instant::now();
+                        for (&(a, b), records) in chunk.iter().zip(&batch) {
+                            let corr = match method {
+                                QueryMethod::Exact => {
+                                    let parts: Vec<WindowContribution> = records
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(k, r)| WindowContribution {
+                                            x: series_stats[a][k],
+                                            y: series_stats[b][k],
+                                            corr: r.corr,
+                                        })
+                                        .collect();
+                                    combine(&parts)
+                                }
+                                QueryMethod::Approximate => {
+                                    let parts: Vec<ApproxWindow> = records
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(k, r)| ApproxWindow {
+                                            x: series_stats[a][k],
+                                            y: series_stats[b][k],
+                                            dist: r.dft_dist,
+                                        })
+                                        .collect();
+                                    query_correlation(&parts)
+                                }
+                            };
+                            out.entries.push((a, b, corr));
+                        }
+                        out.compute += t1.elapsed();
+                    }
+                    Ok(out)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| Error::Storage("query worker panicked".into()))?)
+                .collect()
+        })
+        .map_err(|_| Error::Storage("query scope panicked".into()))??;
+
+        let mut matrix = CorrelationMatrix::identity(n);
+        let mut read_time = series_read_time;
+        let mut compute_time = Duration::ZERO;
+        for out in outputs {
+            read_time += out.read;
+            compute_time += out.compute;
+            for (a, b, c) in out.entries {
+                matrix.set(a, b, c);
+            }
+        }
+
+        Ok((
+            matrix,
+            QueryReport {
+                workers: self.config.workers.max(1),
+                pairs: pair_count,
+                read_time,
+                compute_time,
+                wall_time: wall_start.elapsed(),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::{baseline, QueryWindow};
+    use tsubasa_data::station::{generate_ncea_like, NceaLikeConfig};
+    use tsubasa_dft::sketch::{DftSketchSet, Transform};
+    use tsubasa_storage::{DiskSketchStore, MemorySketchStore};
+
+    fn small_collection() -> SeriesCollection {
+        generate_ncea_like(&NceaLikeConfig {
+            stations: 10,
+            points: 600,
+            seed: 3,
+            regions: 3,
+            correlation_length_km: 900.0,
+            missing_fraction: 0.0,
+        })
+        .unwrap()
+    }
+
+    fn engine(workers: usize, method: SketchMethod) -> ParallelEngine {
+        ParallelEngine::new(ParallelConfig {
+            workers,
+            batch_pairs: 8,
+            sketch_method: method,
+        })
+    }
+
+    #[test]
+    fn parallel_exact_matches_baseline_via_memory_store() {
+        let c = small_collection();
+        let b = 50;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(4, SketchMethod::Exact);
+        let report = eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        assert_eq!(report.pairs, c.pair_count());
+        assert!(report.wall_time > Duration::ZERO);
+
+        let (matrix, qreport) = eng
+            .query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+        assert_eq!(qreport.pairs, c.pair_count());
+        let query = QueryWindow::new(599, 600).unwrap();
+        let direct = baseline::correlation_matrix(&c, query).unwrap();
+        assert!(matrix.max_abs_diff(&direct) < 1e-9, "diff {}", matrix.max_abs_diff(&direct));
+    }
+
+    #[test]
+    fn parallel_exact_matches_baseline_via_disk_store() {
+        let c = small_collection();
+        let b = 60;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("tsubasa-parallel-test-{}", std::process::id()));
+        let store = Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
+        let eng = engine(3, SketchMethod::Exact);
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        let (matrix, _) = eng
+            .query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+        let query = QueryWindow::new(599, 600).unwrap();
+        let direct = baseline::correlation_matrix(&c, query).unwrap();
+        assert!(matrix.max_abs_diff(&direct) < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_dft_sketch_matches_serial_dft_sketch() {
+        let c = small_collection();
+        let b = 50;
+        let coeff = 20;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(4, SketchMethod::Dft { coefficients: coeff });
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+
+        let serial = DftSketchSet::build(&c, b, coeff, Transform::Naive).unwrap();
+        for (i, j) in c.pairs() {
+            let stored = store.read_pair(i, j, 0..layout.n_windows).unwrap();
+            let expected = serial.pair_distances(i, j).unwrap();
+            for (r, e) in stored.iter().zip(expected) {
+                assert!((r.dft_dist - e).abs() < 1e-9);
+                assert!(r.corr.is_nan());
+            }
+        }
+
+        // Approximate query over the stored distances equals the serial
+        // Equation 5 path.
+        let (matrix, _) = eng
+            .query_from_store(store, 0..layout.n_windows, QueryMethod::Approximate)
+            .unwrap();
+        let serial_matrix = tsubasa_dft::approx::approximate_correlation_matrix(
+            &serial,
+            0..layout.n_windows,
+            tsubasa_dft::approx::ApproxStrategy::Equation5,
+        )
+        .unwrap();
+        assert!(matrix.max_abs_diff(&serial_matrix) < 1e-9);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let c = small_collection();
+        let b = 100;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let mut matrices = Vec::new();
+        for workers in [1, 2, 5] {
+            let store = Arc::new(MemorySketchStore::new(layout));
+            let eng = engine(workers, SketchMethod::Exact);
+            eng.sketch_to_store(&c, b, store.clone()).unwrap();
+            let (m, report) = eng
+                .query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)
+                .unwrap();
+            assert_eq!(report.workers, workers);
+            matrices.push(m);
+        }
+        assert!(matrices[0].max_abs_diff(&matrices[1]) < 1e-12);
+        assert!(matrices[1].max_abs_diff(&matrices[2]) < 1e-12);
+    }
+
+    #[test]
+    fn sketch_rejects_mismatched_store_layout() {
+        let c = small_collection();
+        let wrong = StoreLayout {
+            n_series: 3,
+            n_windows: 2,
+            basic_window: 10,
+        };
+        let store = Arc::new(MemorySketchStore::new(wrong));
+        let eng = engine(2, SketchMethod::Exact);
+        assert!(eng.sketch_to_store(&c, 50, store).is_err());
+    }
+
+    #[test]
+    fn query_rejects_bad_window_range() {
+        let c = small_collection();
+        let b = 100;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(2, SketchMethod::Exact);
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        assert!(eng
+            .query_from_store(store.clone(), 0..0, QueryMethod::Exact)
+            .is_err());
+        assert!(eng
+            .query_from_store(store, 0..99, QueryMethod::Exact)
+            .is_err());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ParallelConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.batch_pairs >= 1);
+        assert_eq!(cfg.sketch_method, SketchMethod::Exact);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tsubasa-parallel
+//!
+//! The parallel, disk-based TSUBASA configuration (paper §3.4).
+//!
+//! The all-pair workload is embarrassingly parallel: the `N(N−1)/2` unordered
+//! pairs are split into partitions processed by independent computation
+//! workers, while a single dedicated database worker persists sketches (see
+//! [`tsubasa_storage::BatchWriter`]). At query time each worker reads the
+//! sketches of its partition from the store in batches and emits a sub-matrix
+//! of the correlation matrix.
+//!
+//! Both phases report the timing breakdowns the paper's Figure 6a/6b plot:
+//! sketch-computation vs database-write time, and database-read vs
+//! matrix-calculation time.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod partition;
+pub mod timing;
+
+pub use engine::{ParallelConfig, ParallelEngine, QueryMethod, SketchMethod};
+pub use partition::{partition_pairs, PairPartition};
+pub use timing::{QueryReport, SketchReport};

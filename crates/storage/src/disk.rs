@@ -1,0 +1,453 @@
+//! Disk-backed sketch store.
+//!
+//! Two fixed-record-size table files (`series.tbl`, `pairs.tbl`) live inside
+//! a store directory. Because the layout is regular, a record's offset is
+//! computed from its identifiers, so random writes from the sketching phase
+//! and ranged reads from the query phase are both single `seek` + I/O calls.
+//! Writers batch records (see [`crate::writer::BatchWriter`]); readers fetch
+//! contiguous window ranges per series / pair, which is exactly the access
+//! pattern of the paper's disk-based configuration.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::stats::WindowStats;
+
+use crate::record::{PairWindowRecord, SeriesWindowRecord};
+use crate::store::{SketchStore, StoreLayout};
+
+/// A [`SketchStore`] backed by two pre-sized files on disk.
+#[derive(Debug)]
+pub struct DiskSketchStore {
+    layout: StoreLayout,
+    dir: PathBuf,
+    series_file: Mutex<File>,
+    pairs_file: Mutex<File>,
+}
+
+impl DiskSketchStore {
+    /// File name of the per-series table inside the store directory.
+    pub const SERIES_TABLE: &'static str = "series.tbl";
+    /// File name of the per-pair table inside the store directory.
+    pub const PAIRS_TABLE: &'static str = "pairs.tbl";
+
+    /// Create (or truncate) a store in `dir` for the given layout. The table
+    /// files are pre-sized so that out-of-order batch writes from parallel
+    /// workers land at their final offsets.
+    pub fn create(dir: &Path, layout: StoreLayout) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let series_path = dir.join(Self::SERIES_TABLE);
+        let pairs_path = dir.join(Self::PAIRS_TABLE);
+
+        let series_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&series_path)?;
+        series_file.set_len((layout.series_records() * SeriesWindowRecord::SIZE) as u64)?;
+
+        let pairs_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&pairs_path)?;
+        pairs_file.set_len((layout.pair_records() * PairWindowRecord::SIZE) as u64)?;
+
+        Ok(Self {
+            layout,
+            dir: dir.to_path_buf(),
+            series_file: Mutex::new(series_file),
+            pairs_file: Mutex::new(pairs_file),
+        })
+    }
+
+    /// Open an existing store created by [`DiskSketchStore::create`]. The
+    /// caller supplies the layout (it is part of the experiment
+    /// configuration); the file sizes are validated against it.
+    pub fn open(dir: &Path, layout: StoreLayout) -> Result<Self> {
+        let series_path = dir.join(Self::SERIES_TABLE);
+        let pairs_path = dir.join(Self::PAIRS_TABLE);
+        let series_file = OpenOptions::new().read(true).write(true).open(&series_path)?;
+        let pairs_file = OpenOptions::new().read(true).write(true).open(&pairs_path)?;
+
+        let expected_series = (layout.series_records() * SeriesWindowRecord::SIZE) as u64;
+        let expected_pairs = (layout.pair_records() * PairWindowRecord::SIZE) as u64;
+        if series_file.metadata()?.len() != expected_series
+            || pairs_file.metadata()?.len() != expected_pairs
+        {
+            return Err(Error::Storage(format!(
+                "store at {} does not match the requested layout",
+                dir.display()
+            )));
+        }
+        Ok(Self {
+            layout,
+            dir: dir.to_path_buf(),
+            series_file: Mutex::new(series_file),
+            pairs_file: Mutex::new(pairs_file),
+        })
+    }
+
+    /// The directory holding the table files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Group consecutive records (by slot) into one contiguous write each, so
+    /// a batch of records for one series / one pair costs one syscall.
+    fn write_run(file: &Mutex<File>, offset: u64, bytes: &[u8]) -> Result<()> {
+        let mut f = file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn read_run(file: &Mutex<File>, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        let mut f = file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl SketchStore for DiskSketchStore {
+    fn layout(&self) -> StoreLayout {
+        self.layout
+    }
+
+    fn write_series(&self, records: &[SeriesWindowRecord]) -> Result<()> {
+        // Coalesce runs of consecutive slots into single writes.
+        let mut i = 0;
+        while i < records.len() {
+            let start_slot = self
+                .layout
+                .series_slot(records[i].series as usize, records[i].window as usize)?;
+            let mut run = vec![];
+            records[i].encode(&mut run);
+            let mut j = i + 1;
+            while j < records.len() {
+                let slot = self
+                    .layout
+                    .series_slot(records[j].series as usize, records[j].window as usize)?;
+                if slot != start_slot + (j - i) {
+                    break;
+                }
+                records[j].encode(&mut run);
+                j += 1;
+            }
+            Self::write_run(
+                &self.series_file,
+                (start_slot * SeriesWindowRecord::SIZE) as u64,
+                &run,
+            )?;
+            i = j;
+        }
+        Ok(())
+    }
+
+    fn write_pairs(&self, records: &[PairWindowRecord]) -> Result<()> {
+        let mut i = 0;
+        while i < records.len() {
+            let start_slot = self.layout.pair_slot(
+                records[i].a as usize,
+                records[i].b as usize,
+                records[i].window as usize,
+            )?;
+            let mut run = vec![];
+            records[i].encode(&mut run);
+            let mut j = i + 1;
+            while j < records.len() {
+                let slot = self.layout.pair_slot(
+                    records[j].a as usize,
+                    records[j].b as usize,
+                    records[j].window as usize,
+                )?;
+                if slot != start_slot + (j - i) {
+                    break;
+                }
+                records[j].encode(&mut run);
+                j += 1;
+            }
+            Self::write_run(
+                &self.pairs_file,
+                (start_slot * PairWindowRecord::SIZE) as u64,
+                &run,
+            )?;
+            i = j;
+        }
+        Ok(())
+    }
+
+    fn read_series(&self, series: usize, windows: Range<usize>) -> Result<Vec<WindowStats>> {
+        self.layout.check_windows(&windows)?;
+        let start = self.layout.series_slot(series, windows.start)?;
+        let bytes = Self::read_run(
+            &self.series_file,
+            (start * SeriesWindowRecord::SIZE) as u64,
+            windows.len() * SeriesWindowRecord::SIZE,
+        )?;
+        let mut slice = bytes.as_slice();
+        Ok((0..windows.len())
+            .map(|_| SeriesWindowRecord::decode(&mut slice).to_stats())
+            .collect())
+    }
+
+    fn read_pair(&self, a: usize, b: usize, windows: Range<usize>) -> Result<Vec<PairWindowRecord>> {
+        self.layout.check_windows(&windows)?;
+        let start = self.layout.pair_slot(a, b, windows.start)?;
+        let bytes = Self::read_run(
+            &self.pairs_file,
+            (start * PairWindowRecord::SIZE) as u64,
+            windows.len() * PairWindowRecord::SIZE,
+        )?;
+        let mut slice = bytes.as_slice();
+        Ok((0..windows.len())
+            .map(|_| PairWindowRecord::decode(&mut slice))
+            .collect())
+    }
+
+    fn read_pairs(
+        &self,
+        pairs: &[(usize, usize)],
+        windows: Range<usize>,
+    ) -> Result<Vec<Vec<PairWindowRecord>>> {
+        self.layout.check_windows(&windows)?;
+        // When the requested window range covers every stored window, the
+        // records of pairs with consecutive packed indices are contiguous on
+        // disk, so a run of such pairs costs a single ranged read. Otherwise
+        // fall back to per-pair reads.
+        if windows.len() != self.layout.n_windows {
+            return pairs
+                .iter()
+                .map(|&(a, b)| self.read_pair(a, b, windows.clone()))
+                .collect();
+        }
+        let per_pair = self.layout.n_windows;
+        let slots: Vec<usize> = pairs
+            .iter()
+            .map(|&(a, b)| self.layout.pair_slot(a, b, 0))
+            .collect::<Result<_>>()?;
+
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && slots[j] == slots[j - 1] + per_pair {
+                j += 1;
+            }
+            let run_pairs = j - i;
+            let bytes = Self::read_run(
+                &self.pairs_file,
+                (slots[i] * PairWindowRecord::SIZE) as u64,
+                run_pairs * per_pair * PairWindowRecord::SIZE,
+            )?;
+            let mut slice = bytes.as_slice();
+            for _ in 0..run_pairs {
+                out.push(
+                    (0..per_pair)
+                        .map(|_| PairWindowRecord::decode(&mut slice))
+                        .collect(),
+                );
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.series_file.lock().sync_data()?;
+        self.pairs_file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn space_bytes(&self) -> u64 {
+        let s = self
+            .series_file
+            .lock()
+            .metadata()
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let p = self
+            .pairs_file
+            .lock()
+            .metadata()
+            .map(|m| m.len())
+            .unwrap_or(0);
+        s + p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{load_sketchset, persist_sketchset};
+    use tsubasa_core::{SeriesCollection, SketchSet};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tsubasa-disk-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn layout() -> StoreLayout {
+        StoreLayout {
+            n_series: 5,
+            n_windows: 4,
+            basic_window: 10,
+        }
+    }
+
+    #[test]
+    fn create_pre_sizes_files() {
+        let dir = temp_dir("presize");
+        let store = DiskSketchStore::create(&dir, layout()).unwrap();
+        let expected = (layout().series_records() * SeriesWindowRecord::SIZE
+            + layout().pair_records() * PairWindowRecord::SIZE) as u64;
+        assert_eq!(store.space_bytes(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_read_roundtrip_on_disk() {
+        let dir = temp_dir("roundtrip");
+        let store = DiskSketchStore::create(&dir, layout()).unwrap();
+        store
+            .write_series(&[
+                SeriesWindowRecord {
+                    series: 3,
+                    window: 0,
+                    len: 10,
+                    mean: 1.0,
+                    std: 0.5,
+                },
+                SeriesWindowRecord {
+                    series: 3,
+                    window: 1,
+                    len: 10,
+                    mean: 2.0,
+                    std: 0.25,
+                },
+            ])
+            .unwrap();
+        store
+            .write_pairs(&[PairWindowRecord {
+                a: 0,
+                b: 4,
+                window: 3,
+                corr: -0.75,
+                dft_dist: 1.5,
+            }])
+            .unwrap();
+        store.flush().unwrap();
+
+        let stats = store.read_series(3, 0..2).unwrap();
+        assert_eq!(stats[0].mean, 1.0);
+        assert_eq!(stats[1].std, 0.25);
+        let pair = store.read_pair(4, 0, 3..4).unwrap();
+        assert_eq!(pair[0].corr, -0.75);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_validates_layout() {
+        let dir = temp_dir("open");
+        {
+            DiskSketchStore::create(&dir, layout()).unwrap();
+        }
+        assert!(DiskSketchStore::open(&dir, layout()).is_ok());
+        let wrong = StoreLayout {
+            n_series: 9,
+            ..layout()
+        };
+        assert!(DiskSketchStore::open(&dir, wrong).is_err());
+        assert!(DiskSketchStore::open(Path::new("/nonexistent/store"), layout()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sketchset_roundtrip_through_disk_store() {
+        let c = SeriesCollection::from_rows(
+            (0..5)
+                .map(|s| (0..40).map(|i| ((i * (s + 1)) as f64 * 0.21).cos()).collect())
+                .collect(),
+        )
+        .unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let dir = temp_dir("sketchset");
+        let store = DiskSketchStore::create(&dir, layout()).unwrap();
+        persist_sketchset(&store, &sketch, None).unwrap();
+        let loaded = load_sketchset(&store).unwrap();
+        assert_eq!(loaded, sketch);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_pair_reads_match_individual_reads() {
+        let c = SeriesCollection::from_rows(
+            (0..5)
+                .map(|s| (0..40).map(|i| ((i + s * 7) as f64 * 0.33).sin()).collect())
+                .collect(),
+        )
+        .unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let dir = temp_dir("batched");
+        let store = DiskSketchStore::create(&dir, layout()).unwrap();
+        // Use finite DFT distances so the records compare with plain
+        // equality (NaN != NaN would make the assertions below vacuous).
+        let dists: Vec<Vec<f64>> = (0..c.pair_count()).map(|p| vec![p as f64 * 0.1; 4]).collect();
+        persist_sketchset(&store, &sketch, Some(&dists)).unwrap();
+
+        // All pairs at once, full window range (contiguous fast path).
+        let pairs: Vec<(usize, usize)> = c.pairs().collect();
+        let batched = store.read_pairs(&pairs, 0..4).unwrap();
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batched[k], store.read_pair(a, b, 0..4).unwrap());
+        }
+        // Partial window range falls back to per-pair reads and still agrees.
+        let partial = store.read_pairs(&pairs, 1..3).unwrap();
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(partial[k], store.read_pair(a, b, 1..3).unwrap());
+        }
+        // Non-consecutive subset (skip some pairs) also agrees.
+        let sparse = vec![pairs[0], pairs[3], pairs[4], pairs[9]];
+        let got = store.read_pairs(&sparse, 0..4).unwrap();
+        for (k, &(a, b)) in sparse.iter().enumerate() {
+            assert_eq!(got[k], store.read_pair(a, b, 0..4).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let dir = temp_dir("threads");
+        let store = std::sync::Arc::new(DiskSketchStore::create(&dir, layout()).unwrap());
+        let mut handles = Vec::new();
+        for s in 0..4u32 {
+            let st = store.clone();
+            handles.push(std::thread::spawn(move || {
+                st.write_series(&[SeriesWindowRecord {
+                    series: s,
+                    window: 2,
+                    len: 10,
+                    mean: s as f64,
+                    std: 1.0,
+                }])
+                .unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for s in 0..4 {
+            assert_eq!(store.read_series(s, 2..3).unwrap()[0].mean, s as f64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

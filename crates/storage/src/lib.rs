@@ -1,0 +1,34 @@
+//! # tsubasa-storage
+//!
+//! Sketch persistence for the disk-based TSUBASA configuration (paper §3.4).
+//!
+//! The paper stores basic-window sketches in PostgreSQL, written by a single
+//! dedicated database worker and read back in batches at query time. This
+//! crate substitutes a purpose-built store with the same contract:
+//!
+//! * fixed-size binary records, one per `(series, basic window)` and one per
+//!   `(pair, basic window)` (see [`record`]);
+//! * a [`SketchStore`] trait with an in-memory implementation
+//!   ([`MemorySketchStore`]) for the paper's in-memory experiments and a
+//!   paged, disk-backed implementation ([`DiskSketchStore`]) for the
+//!   scalability experiments;
+//! * a [`writer::BatchWriter`] that runs on its own thread and drains write
+//!   batches from a channel — the "database worker" of the parallel engine;
+//! * space accounting ([`SketchStore::space_bytes`]) used by the Figure 6d
+//!   experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod disk;
+pub mod memory;
+pub mod record;
+pub mod store;
+pub mod writer;
+
+pub use disk::DiskSketchStore;
+pub use memory::MemorySketchStore;
+pub use record::{PairWindowRecord, SeriesWindowRecord};
+pub use store::{SketchStore, StoreLayout};
+pub use writer::{BatchWriter, WriteBatch};

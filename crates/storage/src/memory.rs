@@ -1,0 +1,198 @@
+//! In-memory sketch store: the backing used by the paper's in-memory
+//! experiments and by unit tests. Thread-safe so the parallel engine can use
+//! it interchangeably with the disk store.
+
+use std::ops::Range;
+
+use parking_lot::RwLock;
+use tsubasa_core::error::Result;
+use tsubasa_core::stats::WindowStats;
+
+use crate::record::{PairWindowRecord, SeriesWindowRecord};
+use crate::store::{SketchStore, StoreLayout};
+
+/// A [`SketchStore`] backed by two flat in-memory vectors.
+#[derive(Debug)]
+pub struct MemorySketchStore {
+    layout: StoreLayout,
+    series: RwLock<Vec<SeriesWindowRecord>>,
+    pairs: RwLock<Vec<PairWindowRecord>>,
+}
+
+impl MemorySketchStore {
+    /// Create an empty store for the given layout.
+    pub fn new(layout: StoreLayout) -> Self {
+        let series = vec![
+            SeriesWindowRecord {
+                series: 0,
+                window: 0,
+                len: 0,
+                mean: 0.0,
+                std: 0.0,
+            };
+            layout.series_records()
+        ];
+        let pairs = vec![
+            PairWindowRecord {
+                a: 0,
+                b: 0,
+                window: 0,
+                corr: 0.0,
+                dft_dist: f64::NAN,
+            };
+            layout.pair_records()
+        ];
+        Self {
+            layout,
+            series: RwLock::new(series),
+            pairs: RwLock::new(pairs),
+        }
+    }
+}
+
+impl SketchStore for MemorySketchStore {
+    fn layout(&self) -> StoreLayout {
+        self.layout
+    }
+
+    fn write_series(&self, records: &[SeriesWindowRecord]) -> Result<()> {
+        let mut table = self.series.write();
+        for r in records {
+            let slot = self.layout.series_slot(r.series as usize, r.window as usize)?;
+            table[slot] = *r;
+        }
+        Ok(())
+    }
+
+    fn write_pairs(&self, records: &[PairWindowRecord]) -> Result<()> {
+        let mut table = self.pairs.write();
+        for r in records {
+            let slot = self
+                .layout
+                .pair_slot(r.a as usize, r.b as usize, r.window as usize)?;
+            table[slot] = *r;
+        }
+        Ok(())
+    }
+
+    fn read_series(&self, series: usize, windows: Range<usize>) -> Result<Vec<WindowStats>> {
+        self.layout.check_windows(&windows)?;
+        let start = self.layout.series_slot(series, windows.start)?;
+        let table = self.series.read();
+        Ok(table[start..start + windows.len()]
+            .iter()
+            .map(|r| r.to_stats())
+            .collect())
+    }
+
+    fn read_pair(&self, a: usize, b: usize, windows: Range<usize>) -> Result<Vec<PairWindowRecord>> {
+        self.layout.check_windows(&windows)?;
+        let start = self.layout.pair_slot(a, b, windows.start)?;
+        let table = self.pairs.read();
+        Ok(table[start..start + windows.len()].to_vec())
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn space_bytes(&self) -> u64 {
+        (self.layout.series_records() * SeriesWindowRecord::SIZE
+            + self.layout.pair_records() * PairWindowRecord::SIZE) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{load_sketchset, persist_sketchset};
+    use tsubasa_core::{SeriesCollection, SketchSet};
+
+    fn layout() -> StoreLayout {
+        StoreLayout {
+            n_series: 4,
+            n_windows: 3,
+            basic_window: 10,
+        }
+    }
+
+    #[test]
+    fn write_then_read_series_and_pairs() {
+        let store = MemorySketchStore::new(layout());
+        store
+            .write_series(&[SeriesWindowRecord {
+                series: 2,
+                window: 1,
+                len: 10,
+                mean: 5.0,
+                std: 2.0,
+            }])
+            .unwrap();
+        let stats = store.read_series(2, 0..3).unwrap();
+        assert_eq!(stats[1].mean, 5.0);
+        assert_eq!(stats[0].len, 0); // untouched slot
+
+        store
+            .write_pairs(&[PairWindowRecord {
+                a: 1,
+                b: 3,
+                window: 2,
+                corr: 0.5,
+                dft_dist: 0.1,
+            }])
+            .unwrap();
+        let pair = store.read_pair(3, 1, 2..3).unwrap();
+        assert_eq!(pair[0].corr, 0.5);
+    }
+
+    #[test]
+    fn invalid_reads_and_writes_error() {
+        let store = MemorySketchStore::new(layout());
+        assert!(store.read_series(9, 0..1).is_err());
+        assert!(store.read_series(0, 0..9).is_err());
+        assert!(store.read_pair(0, 0, 0..1).is_err());
+        assert!(store
+            .write_series(&[SeriesWindowRecord {
+                series: 9,
+                window: 0,
+                len: 1,
+                mean: 0.0,
+                std: 0.0,
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn space_accounting_matches_record_sizes() {
+        let store = MemorySketchStore::new(layout());
+        let expected = (4 * 3) * SeriesWindowRecord::SIZE + (6 * 3) * PairWindowRecord::SIZE;
+        assert_eq!(store.space_bytes(), expected as u64);
+    }
+
+    #[test]
+    fn sketchset_roundtrip_through_store() {
+        let c = SeriesCollection::from_rows(
+            (0..4)
+                .map(|s| (0..30).map(|i| ((i + s * 3) as f64 * 0.4).sin()).collect())
+                .collect(),
+        )
+        .unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let store = MemorySketchStore::new(StoreLayout {
+            n_series: 4,
+            n_windows: 3,
+            basic_window: 10,
+        });
+        persist_sketchset(&store, &sketch, None).unwrap();
+        let loaded = load_sketchset(&store).unwrap();
+        assert_eq!(loaded, sketch);
+    }
+
+    #[test]
+    fn persist_rejects_mismatched_layout() {
+        let c = SeriesCollection::from_rows(vec![vec![1.0; 20], vec![2.0; 20]]).unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let store = MemorySketchStore::new(layout());
+        assert!(persist_sketchset(&store, &sketch, None).is_err());
+    }
+}

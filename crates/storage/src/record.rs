@@ -1,0 +1,194 @@
+//! Fixed-size binary encoding of sketch records.
+//!
+//! Every record type has a constant on-disk size so that the offset of any
+//! record can be computed from its identifiers alone — no secondary index is
+//! needed, which keeps the store honest about its space overhead (what the
+//! Figure 6d experiment measures is the sketch payload, not index bloat).
+
+use bytes::{Buf, BufMut};
+use tsubasa_core::stats::WindowStats;
+
+/// Per-`(series, basic window)` statistics record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesWindowRecord {
+    /// Series id.
+    pub series: u32,
+    /// Basic-window index.
+    pub window: u32,
+    /// Number of points in the window.
+    pub len: u32,
+    /// Mean of the window.
+    pub mean: f64,
+    /// Population standard deviation of the window.
+    pub std: f64,
+}
+
+impl SeriesWindowRecord {
+    /// Encoded size in bytes.
+    pub const SIZE: usize = 4 + 4 + 4 + 8 + 8;
+
+    /// Build a record from core window statistics.
+    pub fn from_stats(series: usize, window: usize, stats: &WindowStats) -> Self {
+        Self {
+            series: series as u32,
+            window: window as u32,
+            len: stats.len as u32,
+            mean: stats.mean,
+            std: stats.std,
+        }
+    }
+
+    /// Convert back to core window statistics.
+    pub fn to_stats(&self) -> WindowStats {
+        WindowStats {
+            len: self.len as usize,
+            mean: self.mean,
+            std: self.std,
+        }
+    }
+
+    /// Append the binary encoding to a buffer.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32_le(self.series);
+        buf.put_u32_le(self.window);
+        buf.put_u32_le(self.len);
+        buf.put_f64_le(self.mean);
+        buf.put_f64_le(self.std);
+    }
+
+    /// Decode a record from a buffer holding at least [`Self::SIZE`] bytes.
+    pub fn decode<B: Buf>(buf: &mut B) -> Self {
+        Self {
+            series: buf.get_u32_le(),
+            window: buf.get_u32_le(),
+            len: buf.get_u32_le(),
+            mean: buf.get_f64_le(),
+            std: buf.get_f64_le(),
+        }
+    }
+}
+
+/// Per-`(pair, basic window)` record: the within-window correlation used by
+/// exact TSUBASA and the DFT coefficient distance used by the approximate
+/// comparator. Both algorithms therefore store records of the same size, as
+/// the paper's space analysis assumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairWindowRecord {
+    /// Smaller series id of the pair.
+    pub a: u32,
+    /// Larger series id of the pair.
+    pub b: u32,
+    /// Basic-window index.
+    pub window: u32,
+    /// Pearson correlation of the aligned windows (`c_j`).
+    pub corr: f64,
+    /// DFT coefficient distance of the aligned normalized windows (`d_j`);
+    /// NaN when the sketch was built without the DFT comparator.
+    pub dft_dist: f64,
+}
+
+impl PairWindowRecord {
+    /// Encoded size in bytes.
+    pub const SIZE: usize = 4 + 4 + 4 + 8 + 8;
+
+    /// Append the binary encoding to a buffer.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32_le(self.a);
+        buf.put_u32_le(self.b);
+        buf.put_u32_le(self.window);
+        buf.put_f64_le(self.corr);
+        buf.put_f64_le(self.dft_dist);
+    }
+
+    /// Decode a record from a buffer holding at least [`Self::SIZE`] bytes.
+    pub fn decode<B: Buf>(buf: &mut B) -> Self {
+        Self {
+            a: buf.get_u32_le(),
+            b: buf.get_u32_le(),
+            window: buf.get_u32_le(),
+            corr: buf.get_f64_le(),
+            dft_dist: buf.get_f64_le(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn series_record_roundtrip() {
+        let r = SeriesWindowRecord {
+            series: 7,
+            window: 123,
+            len: 50,
+            mean: -3.25,
+            std: 1.75,
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), SeriesWindowRecord::SIZE);
+        let decoded = SeriesWindowRecord::decode(&mut buf.as_slice());
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn pair_record_roundtrip() {
+        let r = PairWindowRecord {
+            a: 1,
+            b: 9,
+            window: 4,
+            corr: 0.875,
+            dft_dist: 0.5,
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), PairWindowRecord::SIZE);
+        let decoded = PairWindowRecord::decode(&mut buf.as_slice());
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn stats_conversion_roundtrip() {
+        let stats = WindowStats {
+            len: 31,
+            mean: 2.5,
+            std: 0.125,
+        };
+        let r = SeriesWindowRecord::from_stats(3, 8, &stats);
+        assert_eq!(r.to_stats(), stats);
+        assert_eq!(r.series, 3);
+        assert_eq!(r.window, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_series_record_roundtrip(
+            series in 0u32..1_000_000,
+            window in 0u32..100_000,
+            len in 0u32..100_000,
+            mean in -1e9f64..1e9,
+            std in 0.0f64..1e9,
+        ) {
+            let r = SeriesWindowRecord { series, window, len, mean, std };
+            let mut buf = Vec::new();
+            r.encode(&mut buf);
+            prop_assert_eq!(SeriesWindowRecord::decode(&mut buf.as_slice()), r);
+        }
+
+        #[test]
+        fn prop_pair_record_roundtrip(
+            a in 0u32..1_000_000,
+            b in 0u32..1_000_000,
+            window in 0u32..100_000,
+            corr in -1.0f64..1.0,
+            dist in 0.0f64..2.0,
+        ) {
+            let r = PairWindowRecord { a, b, window, corr, dft_dist: dist };
+            let mut buf = Vec::new();
+            r.encode(&mut buf);
+            prop_assert_eq!(PairWindowRecord::decode(&mut buf.as_slice()), r);
+        }
+    }
+}

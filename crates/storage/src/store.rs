@@ -1,0 +1,240 @@
+//! The [`SketchStore`] abstraction shared by the in-memory and disk-backed
+//! stores, plus helpers to persist / re-hydrate whole sketch sets.
+
+use std::ops::Range;
+
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::sketch::pair_index;
+use tsubasa_core::stats::WindowStats;
+use tsubasa_core::{PairSketch, SeriesSketch, SketchSet};
+
+use crate::record::{PairWindowRecord, SeriesWindowRecord};
+
+/// The regular layout of a sketch store: everything is addressed by
+/// `(series, window)` or `(pair, window)`, so record offsets are pure
+/// arithmetic and no secondary index is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreLayout {
+    /// Number of series.
+    pub n_series: usize,
+    /// Number of basic windows per series.
+    pub n_windows: usize,
+    /// Basic-window size the sketches were computed with.
+    pub basic_window: usize,
+}
+
+impl StoreLayout {
+    /// Number of unordered series pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.n_series * self.n_series.saturating_sub(1) / 2
+    }
+
+    /// Total number of per-series records.
+    pub fn series_records(&self) -> usize {
+        self.n_series * self.n_windows
+    }
+
+    /// Total number of per-pair records.
+    pub fn pair_records(&self) -> usize {
+        self.n_pairs() * self.n_windows
+    }
+
+    /// Flat index of a `(series, window)` record.
+    pub fn series_slot(&self, series: usize, window: usize) -> Result<usize> {
+        if series >= self.n_series {
+            return Err(Error::UnknownSeries(series));
+        }
+        if window >= self.n_windows {
+            return Err(Error::Storage(format!(
+                "window {window} out of range ({} windows)",
+                self.n_windows
+            )));
+        }
+        Ok(series * self.n_windows + window)
+    }
+
+    /// Flat index of a `(pair, window)` record; the pair is given by any
+    /// ordering of its two distinct series ids.
+    pub fn pair_slot(&self, a: usize, b: usize, window: usize) -> Result<usize> {
+        if a == b || a >= self.n_series || b >= self.n_series {
+            return Err(Error::UnknownSeries(a.max(b)));
+        }
+        if window >= self.n_windows {
+            return Err(Error::Storage(format!(
+                "window {window} out of range ({} windows)",
+                self.n_windows
+            )));
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        Ok(pair_index(lo, hi, self.n_series) * self.n_windows + window)
+    }
+
+    /// Validate that a window range is non-empty and inside the layout.
+    pub fn check_windows(&self, windows: &Range<usize>) -> Result<()> {
+        if windows.is_empty() || windows.end > self.n_windows {
+            return Err(Error::Storage(format!(
+                "window range {windows:?} invalid for {} stored windows",
+                self.n_windows
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A store holding basic-window sketches. Both implementations are safe to
+/// share across threads: one writer thread and many reader threads is the
+/// intended usage (paper §3.4).
+pub trait SketchStore: Send + Sync {
+    /// The store's layout.
+    fn layout(&self) -> StoreLayout;
+
+    /// Write (or overwrite) a batch of per-series records.
+    fn write_series(&self, records: &[SeriesWindowRecord]) -> Result<()>;
+
+    /// Write (or overwrite) a batch of per-pair records.
+    fn write_pairs(&self, records: &[PairWindowRecord]) -> Result<()>;
+
+    /// Read the statistics of one series over a range of basic windows.
+    fn read_series(&self, series: usize, windows: Range<usize>) -> Result<Vec<WindowStats>>;
+
+    /// Read the records of one pair over a range of basic windows.
+    fn read_pair(&self, a: usize, b: usize, windows: Range<usize>) -> Result<Vec<PairWindowRecord>>;
+
+    /// Read the records of several pairs over the same range of basic
+    /// windows. The default implementation issues one [`SketchStore::read_pair`]
+    /// per pair; disk-backed stores override it to coalesce consecutive pairs
+    /// into single ranged reads (the batched access pattern of the paper's
+    /// query workers).
+    fn read_pairs(
+        &self,
+        pairs: &[(usize, usize)],
+        windows: Range<usize>,
+    ) -> Result<Vec<Vec<PairWindowRecord>>> {
+        pairs
+            .iter()
+            .map(|&(a, b)| self.read_pair(a, b, windows.clone()))
+            .collect()
+    }
+
+    /// Flush buffered writes to the backing medium.
+    fn flush(&self) -> Result<()>;
+
+    /// Bytes occupied by the stored sketches — the Figure 6d metric.
+    fn space_bytes(&self) -> u64;
+}
+
+/// Persist an in-memory [`SketchSet`] into a store. `dft_dists`, when given,
+/// supplies the per-pair per-window DFT distances of the approximate
+/// comparator (packed in the same pair order as `SketchSet::pair_sketches`).
+pub fn persist_sketchset(
+    store: &dyn SketchStore,
+    sketch: &SketchSet,
+    dft_dists: Option<&[Vec<f64>]>,
+) -> Result<()> {
+    let layout = store.layout();
+    if layout.n_series != sketch.series_count()
+        || layout.n_windows != sketch.window_count()
+        || layout.basic_window != sketch.basic_window()
+    {
+        return Err(Error::SketchMismatch {
+            requested: format!(
+                "{} series x {} windows (B={})",
+                sketch.series_count(),
+                sketch.window_count(),
+                sketch.basic_window()
+            ),
+            available: format!(
+                "{} series x {} windows (B={})",
+                layout.n_series, layout.n_windows, layout.basic_window
+            ),
+        });
+    }
+
+    let mut series_batch = Vec::with_capacity(layout.n_windows);
+    for s in sketch.series_sketches() {
+        series_batch.clear();
+        for (w, stats) in s.windows.iter().enumerate() {
+            series_batch.push(SeriesWindowRecord::from_stats(s.series, w, stats));
+        }
+        store.write_series(&series_batch)?;
+    }
+
+    let mut pair_batch = Vec::with_capacity(layout.n_windows);
+    for (idx, p) in sketch.pair_sketches().enumerate() {
+        pair_batch.clear();
+        for (w, &corr) in p.corrs.iter().enumerate() {
+            let dft_dist = dft_dists
+                .map(|d| d[idx][w])
+                .unwrap_or(f64::NAN);
+            pair_batch.push(PairWindowRecord {
+                a: p.a as u32,
+                b: p.b as u32,
+                window: w as u32,
+                corr,
+                dft_dist,
+            });
+        }
+        store.write_pairs(&pair_batch)?;
+    }
+    store.flush()
+}
+
+/// Re-hydrate a [`SketchSet`] from a store (the query-time path of the
+/// disk-based configuration when raw data is no longer needed).
+pub fn load_sketchset(store: &dyn SketchStore) -> Result<SketchSet> {
+    let layout = store.layout();
+    let mut series = Vec::with_capacity(layout.n_series);
+    for s in 0..layout.n_series {
+        let windows = store.read_series(s, 0..layout.n_windows)?;
+        series.push(SeriesSketch { series: s, windows });
+    }
+    let mut pairs = Vec::with_capacity(layout.n_pairs());
+    for a in 0..layout.n_series {
+        for b in (a + 1)..layout.n_series {
+            let records = store.read_pair(a, b, 0..layout.n_windows)?;
+            pairs.push(PairSketch {
+                a,
+                b,
+                corrs: records.iter().map(|r| r.corr).collect(),
+            });
+        }
+    }
+    SketchSet::from_parts(layout.basic_window, layout.n_series, series, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_arithmetic() {
+        let l = StoreLayout {
+            n_series: 5,
+            n_windows: 4,
+            basic_window: 10,
+        };
+        assert_eq!(l.n_pairs(), 10);
+        assert_eq!(l.series_records(), 20);
+        assert_eq!(l.pair_records(), 40);
+        assert_eq!(l.series_slot(2, 3).unwrap(), 11);
+        assert_eq!(l.pair_slot(0, 1, 0).unwrap(), 0);
+        assert_eq!(l.pair_slot(1, 0, 0).unwrap(), 0); // order-insensitive
+        assert_eq!(l.pair_slot(3, 4, 2).unwrap(), 9 * 4 + 2);
+    }
+
+    #[test]
+    fn layout_rejects_out_of_range() {
+        let l = StoreLayout {
+            n_series: 3,
+            n_windows: 2,
+            basic_window: 5,
+        };
+        assert!(l.series_slot(3, 0).is_err());
+        assert!(l.series_slot(0, 2).is_err());
+        assert!(l.pair_slot(1, 1, 0).is_err());
+        assert!(l.pair_slot(0, 5, 0).is_err());
+        assert!(l.check_windows(&(0..0)).is_err());
+        assert!(l.check_windows(&(0..3)).is_err());
+        assert!(l.check_windows(&(0..2)).is_ok());
+    }
+}

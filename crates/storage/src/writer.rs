@@ -1,0 +1,222 @@
+//! The dedicated database-writer worker (paper §3.4).
+//!
+//! During parallel sketching, computation workers do not touch the store
+//! directly: they send [`WriteBatch`]es over a channel to a single
+//! [`BatchWriter`] thread that owns all writes. This mirrors the paper's
+//! division of workers into computation workers and one database worker, and
+//! it lets the Figure 6a experiment report the write time separately from the
+//! sketch-computation time.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+use tsubasa_core::error::{Error, Result};
+
+use crate::record::{PairWindowRecord, SeriesWindowRecord};
+use crate::store::SketchStore;
+
+/// A batch of sketch records produced by one computation worker for one
+/// partition chunk.
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    /// Per-series records in the batch.
+    pub series: Vec<SeriesWindowRecord>,
+    /// Per-pair records in the batch.
+    pub pairs: Vec<PairWindowRecord>,
+}
+
+impl WriteBatch {
+    /// True when the batch carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty() && self.pairs.is_empty()
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.series.len() + self.pairs.len()
+    }
+}
+
+/// Statistics reported by the writer thread when it finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WriterStats {
+    /// Number of batches drained from the channel.
+    pub batches: usize,
+    /// Total number of records written.
+    pub records: usize,
+    /// Wall-clock time spent inside store write calls (the paper's
+    /// "write time" component of the sketch-time breakdown).
+    pub write_time: Duration,
+}
+
+/// Handle to the running database-writer thread.
+pub struct BatchWriter {
+    sender: Option<Sender<WriteBatch>>,
+    handle: Option<JoinHandle<Result<WriterStats>>>,
+}
+
+impl BatchWriter {
+    /// Spawn the writer thread on top of a shared store. `queue_depth` bounds
+    /// the channel so computation workers back off instead of buffering the
+    /// whole sketch in memory.
+    pub fn spawn(store: Arc<dyn SketchStore>, queue_depth: usize) -> Self {
+        let (tx, rx) = bounded::<WriteBatch>(queue_depth.max(1));
+        let handle = std::thread::spawn(move || -> Result<WriterStats> {
+            let mut stats = WriterStats::default();
+            for batch in rx.iter() {
+                let start = Instant::now();
+                if !batch.series.is_empty() {
+                    store.write_series(&batch.series)?;
+                }
+                if !batch.pairs.is_empty() {
+                    store.write_pairs(&batch.pairs)?;
+                }
+                stats.write_time += start.elapsed();
+                stats.batches += 1;
+                stats.records += batch.len();
+            }
+            let start = Instant::now();
+            store.flush()?;
+            stats.write_time += start.elapsed();
+            Ok(stats)
+        });
+        Self {
+            sender: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// A cloneable sender that computation workers use to submit batches.
+    pub fn sender(&self) -> Sender<WriteBatch> {
+        self.sender
+            .as_ref()
+            .expect("writer already finished")
+            .clone()
+    }
+
+    /// Close the channel, wait for the writer to drain it, and return the
+    /// accumulated statistics.
+    pub fn finish(mut self) -> Result<WriterStats> {
+        // Dropping the last sender closes the channel; the thread then exits
+        // its drain loop and flushes.
+        self.sender.take();
+        let handle = self.handle.take().expect("writer already joined");
+        handle
+            .join()
+            .map_err(|_| Error::Storage("database writer thread panicked".into()))?
+    }
+}
+
+impl Drop for BatchWriter {
+    fn drop(&mut self) {
+        self.sender.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemorySketchStore;
+    use crate::store::StoreLayout;
+
+    fn layout() -> StoreLayout {
+        StoreLayout {
+            n_series: 4,
+            n_windows: 3,
+            basic_window: 8,
+        }
+    }
+
+    #[test]
+    fn writer_drains_batches_and_reports_stats() {
+        let store = Arc::new(MemorySketchStore::new(layout()));
+        let writer = BatchWriter::spawn(store.clone(), 4);
+        let tx = writer.sender();
+        for s in 0..4u32 {
+            tx.send(WriteBatch {
+                series: vec![SeriesWindowRecord {
+                    series: s,
+                    window: 1,
+                    len: 8,
+                    mean: s as f64,
+                    std: 1.0,
+                }],
+                pairs: vec![],
+            })
+            .unwrap();
+        }
+        drop(tx);
+        let stats = writer.finish().unwrap();
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.records, 4);
+        for s in 0..4 {
+            assert_eq!(store.read_series(s, 1..2).unwrap()[0].mean, s as f64);
+        }
+    }
+
+    #[test]
+    fn writer_handles_mixed_batches_from_many_threads() {
+        let store = Arc::new(MemorySketchStore::new(layout()));
+        let writer = BatchWriter::spawn(store.clone(), 2);
+        let mut threads = Vec::new();
+        for t in 0..3u32 {
+            let tx = writer.sender();
+            threads.push(std::thread::spawn(move || {
+                tx.send(WriteBatch {
+                    series: vec![SeriesWindowRecord {
+                        series: t,
+                        window: 0,
+                        len: 8,
+                        mean: 10.0 + t as f64,
+                        std: 0.0,
+                    }],
+                    pairs: vec![PairWindowRecord {
+                        a: 0,
+                        b: t + 1,
+                        window: 2,
+                        corr: 0.5,
+                        dft_dist: f64::NAN,
+                    }],
+                })
+                .unwrap();
+            }));
+        }
+        for th in threads {
+            th.join().unwrap();
+        }
+        let stats = writer.finish().unwrap();
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.records, 6);
+        assert_eq!(store.read_pair(0, 2, 2..3).unwrap()[0].corr, 0.5);
+    }
+
+    #[test]
+    fn empty_batches_are_counted_but_harmless() {
+        let store = Arc::new(MemorySketchStore::new(layout()));
+        let writer = BatchWriter::spawn(store, 1);
+        writer.sender().send(WriteBatch::default()).unwrap();
+        let stats = writer.finish().unwrap();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.records, 0);
+    }
+
+    #[test]
+    fn write_batch_len_and_is_empty() {
+        let mut b = WriteBatch::default();
+        assert!(b.is_empty());
+        b.series.push(SeriesWindowRecord {
+            series: 0,
+            window: 0,
+            len: 1,
+            mean: 0.0,
+            std: 0.0,
+        });
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 1);
+    }
+}

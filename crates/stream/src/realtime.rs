@@ -1,0 +1,243 @@
+//! The end-to-end real-time network driver (paper Algorithm 3).
+//!
+//! [`RealTimeNetwork`] ties the pieces together:
+//!
+//! 1. construct the initial network from historical data (Algorithm 2 /
+//!    Lemma 1);
+//! 2. buffer incoming observations until a basic window completes
+//!    ([`StreamBuffer`]);
+//! 3. update every pairwise correlation incrementally — exactly (Lemma 2) or
+//!    approximately (Equation 6) depending on the configured
+//!    [`UpdateEngine`];
+//! 4. expose the current correlation matrix / thresholded network at any
+//!    time.
+
+use tsubasa_core::error::Result;
+use tsubasa_core::incremental::SlidingNetwork;
+use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use tsubasa_core::{SeriesCollection, SketchSet};
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+use tsubasa_dft::SlidingApproxNetwork;
+
+use crate::buffer::StreamBuffer;
+
+/// Which incremental updater maintains the correlations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateEngine {
+    /// Exact Lemma 2 updates (TSUBASA).
+    Exact,
+    /// DFT-based Equation 6 updates with the given number of coefficients
+    /// (the approximate comparator).
+    Approximate {
+        /// Number of DFT coefficients used for the arriving windows.
+        coefficients: usize,
+    },
+}
+
+enum Updater {
+    Exact(SlidingNetwork),
+    Approx(SlidingApproxNetwork),
+}
+
+/// A continuously maintained climate network over the `m` most recent
+/// observations of a collection of streams.
+pub struct RealTimeNetwork {
+    buffer: StreamBuffer,
+    updater: Updater,
+    threshold: f64,
+    observed: usize,
+    updates_applied: usize,
+}
+
+impl RealTimeNetwork {
+    /// Bootstrap from historical data: sketch `historical`, build the initial
+    /// network over its most recent `query_len` points (which must be a
+    /// multiple of `basic_window`), and prepare for streaming ingestion.
+    pub fn new(
+        historical: &SeriesCollection,
+        basic_window: usize,
+        query_len: usize,
+        threshold: f64,
+        engine: UpdateEngine,
+    ) -> Result<Self> {
+        let updater = match engine {
+            UpdateEngine::Exact => {
+                let sketch = SketchSet::build(historical, basic_window)?;
+                Updater::Exact(SlidingNetwork::initialize(historical, &sketch, query_len)?)
+            }
+            UpdateEngine::Approximate { coefficients } => {
+                let sketch =
+                    DftSketchSet::build(historical, basic_window, coefficients, Transform::Naive)?;
+                Updater::Approx(SlidingApproxNetwork::initialize(&sketch, query_len)?)
+            }
+        };
+        Ok(Self {
+            buffer: StreamBuffer::new(historical.len(), basic_window)?,
+            updater,
+            threshold,
+            observed: historical.series_len(),
+            updates_applied: 0,
+        })
+    }
+
+    /// Feed newly observed points (`updates[i]` are the new points of series
+    /// `i`, any length). Complete basic windows are applied immediately;
+    /// leftovers stay buffered. Returns the number of network updates applied
+    /// by this call.
+    pub fn ingest(&mut self, updates: &[Vec<f64>]) -> Result<usize> {
+        let new_points = updates.first().map(|u| u.len()).unwrap_or(0);
+        let chunks = self.buffer.push(updates)?;
+        let applied = chunks.len();
+        for chunk in chunks {
+            match &mut self.updater {
+                Updater::Exact(net) => net.ingest(&chunk)?,
+                Updater::Approx(net) => net.ingest(&chunk)?,
+            }
+        }
+        self.observed += new_points;
+        self.updates_applied += applied;
+        Ok(applied)
+    }
+
+    /// Total observations seen so far (historical plus streamed).
+    pub fn observed_points(&self) -> usize {
+        self.observed
+    }
+
+    /// Number of basic-window updates applied since construction.
+    pub fn updates_applied(&self) -> usize {
+        self.updates_applied
+    }
+
+    /// Observations buffered but not yet folded into the network.
+    pub fn pending_points(&self) -> usize {
+        self.buffer.pending()
+    }
+
+    /// The current correlation matrix over the sliding query window.
+    pub fn correlation_matrix(&self) -> CorrelationMatrix {
+        match &self.updater {
+            Updater::Exact(net) => net.correlation_matrix(),
+            Updater::Approx(net) => net.correlation_matrix(),
+        }
+    }
+
+    /// The current climate network at the configured threshold.
+    pub fn network(&self) -> AdjacencyMatrix {
+        self.correlation_matrix().threshold(self.threshold)
+    }
+
+    /// The current climate network at an ad-hoc threshold.
+    pub fn network_with_threshold(&self, theta: f64) -> AdjacencyMatrix {
+        self.correlation_matrix().threshold(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::{baseline, QueryWindow};
+    use tsubasa_data::station::{generate_ncea_like, NceaLikeConfig};
+
+    fn data(points: usize) -> SeriesCollection {
+        generate_ncea_like(&NceaLikeConfig {
+            stations: 6,
+            points,
+            seed: 21,
+            regions: 3,
+            correlation_length_km: 800.0,
+            missing_fraction: 0.0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_realtime_tracks_baseline() {
+        let total = 700;
+        let hist_len = 400;
+        let b = 25;
+        let query_len = 200;
+        let full = data(total);
+        let historical = full.truncate_length(hist_len).unwrap();
+        let mut rt =
+            RealTimeNetwork::new(&historical, b, query_len, 0.7, UpdateEngine::Exact).unwrap();
+
+        // Stream the rest in odd-sized pieces (11 points at a time).
+        let mut now = hist_len;
+        while now + 11 <= total {
+            let updates: Vec<Vec<f64>> = full
+                .iter()
+                .map(|s| s.values()[now..now + 11].to_vec())
+                .collect();
+            rt.ingest(&updates).unwrap();
+            now += 11;
+        }
+        assert_eq!(rt.observed_points(), now);
+        assert!(rt.updates_applied() > 5);
+        assert!(rt.pending_points() < b);
+
+        // The network reflects the last `query_len` points ending at the last
+        // *completed* basic window.
+        let completed = hist_len + rt.updates_applied() * b;
+        let truncated = full.truncate_length(completed).unwrap();
+        let query = QueryWindow::latest(completed, query_len).unwrap();
+        let expected = baseline::correlation_matrix(&truncated, query).unwrap();
+        let diff = rt.correlation_matrix().max_abs_diff(&expected);
+        assert!(diff < 1e-7, "drift {diff}");
+        assert_eq!(rt.network(), expected.threshold(0.7));
+        assert_eq!(rt.network_with_threshold(0.9), expected.threshold(0.9));
+    }
+
+    #[test]
+    fn approximate_realtime_with_all_coefficients_matches_exact() {
+        let total = 500;
+        let hist_len = 300;
+        let b = 20;
+        let query_len = 160;
+        let full = data(total);
+        let historical = full.truncate_length(hist_len).unwrap();
+        let mut exact =
+            RealTimeNetwork::new(&historical, b, query_len, 0.7, UpdateEngine::Exact).unwrap();
+        let mut approx = RealTimeNetwork::new(
+            &historical,
+            b,
+            query_len,
+            0.7,
+            UpdateEngine::Approximate { coefficients: b },
+        )
+        .unwrap();
+
+        let mut now = hist_len;
+        while now + b <= total {
+            let updates: Vec<Vec<f64>> = full
+                .iter()
+                .map(|s| s.values()[now..now + b].to_vec())
+                .collect();
+            exact.ingest(&updates).unwrap();
+            approx.ingest(&updates).unwrap();
+            now += b;
+        }
+        let diff = exact
+            .correlation_matrix()
+            .max_abs_diff(&approx.correlation_matrix());
+        assert!(diff < 1e-6, "full-coefficient approximation drifted by {diff}");
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let historical = data(200);
+        assert!(RealTimeNetwork::new(&historical, 25, 90, 0.7, UpdateEngine::Exact).is_err());
+        assert!(RealTimeNetwork::new(&historical, 0, 100, 0.7, UpdateEngine::Exact).is_err());
+        assert!(RealTimeNetwork::new(&historical, 25, 100, 0.7, UpdateEngine::Exact).is_ok());
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_updates() {
+        let historical = data(200);
+        let mut rt =
+            RealTimeNetwork::new(&historical, 20, 100, 0.7, UpdateEngine::Exact).unwrap();
+        assert!(rt.ingest(&[vec![1.0]]).is_err());
+        let ragged: Vec<Vec<f64>> = (0..6).map(|i| vec![0.0; i % 2 + 1]).collect();
+        assert!(rt.ingest(&ragged).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Network-science analysis of a constructed climate network: components,
+//! communities, clustering, teleconnections, and export — the downstream
+//! tasks the paper's pipeline feeds (Figure 1).
+//!
+//! ```bash
+//! cargo run --release --example network_analysis
+//! ```
+
+use tsubasa::core::prelude::*;
+use tsubasa::data::prelude::*;
+use tsubasa::network::{communities, components, export, metrics, ClimateNetwork};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A gridded dataset with built-in regional structure and an ENSO-like
+    // teleconnection, so the resulting network has something to find.
+    let collection = generate_berkeley_like(&BerkeleyLikeConfig {
+        cells: 150,
+        points: 1_095, // three years, daily
+        ..BerkeleyLikeConfig::default()
+    })?;
+    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(73, 0.6)?)?;
+    let query = QueryWindow::latest(collection.series_len(), 730)?;
+    let matrix = builder.correlation_matrix(query)?;
+    let network = ClimateNetwork::from_matrix(&collection, &matrix, 0.6)?;
+
+    println!(
+        "network: {} nodes, {} edges, density {:.3}",
+        network.node_count(),
+        network.edge_count(),
+        metrics::density(&network)
+    );
+    println!(
+        "average degree {:.2}, average clustering {:.3}",
+        metrics::average_degree(&network),
+        metrics::average_clustering(&network)
+    );
+    println!(
+        "teleconnections: {:.1}% of edges span more than 3,000 km",
+        100.0 * metrics::long_edge_fraction(&network, 3_000.0)
+    );
+
+    let comps = components::components(&network);
+    println!(
+        "{} connected components; largest covers {} nodes",
+        comps.len(),
+        components::largest_component_size(&network)
+    );
+
+    let communities = communities::label_propagation(&network, 50);
+    let groups = communities.groups();
+    println!(
+        "label propagation found {} communities in {} sweeps; largest sizes: {:?}",
+        communities.count(),
+        communities.iterations,
+        groups.iter().take(5).map(|g| g.len()).collect::<Vec<_>>()
+    );
+
+    // Export artifacts for external tools.
+    let out_dir = std::env::temp_dir();
+    let csv_path = out_dir.join("tsubasa_network_edges.csv");
+    let dot_path = out_dir.join("tsubasa_network.dot");
+    std::fs::write(&csv_path, export::to_edge_list_csv(&network))?;
+    std::fs::write(&dot_path, export::to_dot(&network))?;
+    println!("wrote {} and {}", csv_path.display(), dot_path.display());
+    Ok(())
+}

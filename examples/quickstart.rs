@@ -1,0 +1,64 @@
+//! Quickstart: build a climate network from synthetic station data.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow mirrors the paper's Figure 1: ingest raw time-series, sketch
+//! basic windows once, then answer query-window + threshold requests at
+//! interactive speed without touching the raw data again.
+
+use tsubasa::core::prelude::*;
+use tsubasa::data::prelude::*;
+use tsubasa::network::{metrics, ClimateNetwork};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a small NCEA-like station dataset (stands in for the NOAA
+    //    hourly data used in the paper's in-memory experiments).
+    let config = NceaLikeConfig {
+        stations: 40,
+        points: 4_380, // half a year of hourly data
+        ..NceaLikeConfig::default()
+    };
+    let collection = generate_ncea_like(&config)?;
+    println!(
+        "dataset: {} stations x {} hourly points",
+        collection.len(),
+        collection.series_len()
+    );
+
+    // 2. Sketch once (Algorithm 1). Basic windows of ~one week of hours.
+    let basic_window = 168;
+    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(basic_window, 0.75)?)?;
+    println!(
+        "sketched {} basic windows per series ({} floats total)",
+        builder.sketch().window_count(),
+        builder.sketch().stored_floats()
+    );
+
+    // 3. Ask for a network on an arbitrary query window: the last 1,000 hours
+    //    (not a multiple of the basic window — Lemma 1 handles it exactly).
+    let query = QueryWindow::latest(collection.series_len(), 1_000)?;
+    let matrix = builder.correlation_matrix(query)?;
+    let network = ClimateNetwork::from_matrix(&collection, &matrix, 0.75)?;
+    println!(
+        "network @ theta=0.75: {} edges, density {:.3}, average degree {:.2}",
+        network.edge_count(),
+        metrics::density(&network),
+        metrics::average_degree(&network)
+    );
+
+    // 4. Re-threshold the same matrix for free (no recomputation).
+    for theta in [0.6, 0.8, 0.9] {
+        let net = matrix.threshold(theta);
+        println!("  theta={theta:.1}: {} edges", net.edge_count());
+    }
+
+    // 5. Sanity check against the brute-force baseline.
+    let direct = baseline::correlation_matrix(&collection, query)?;
+    println!(
+        "max |TSUBASA - baseline| over all pairs: {:.2e}",
+        matrix.max_abs_diff(&direct)
+    );
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Workspace integration tests: the accuracy experiment of Figure 5a at test
+//! scale (edge count / similarity-ratio behaviour as the DFT coefficient
+//! budget grows), network-dynamics tracking over a stream of snapshots, and
+//! the capacity-planning helpers of §3.3.
+
+use tsubasa::core::prelude::*;
+use tsubasa::data::prelude::*;
+use tsubasa::dft::approx::{approximate_network, ApproxStrategy};
+use tsubasa::dft::sketch::{DftSketchSet, Transform};
+use tsubasa::network::dynamics::DynamicsTracker;
+use tsubasa::network::NetworkComparison;
+use tsubasa::stream::{RealTimeNetwork, StreamReplay, UpdateEngine};
+
+fn stations(count: usize, points: usize, seed: u64) -> SeriesCollection {
+    generate_ncea_like(&NceaLikeConfig {
+        stations: count,
+        points,
+        seed,
+        regions: 4,
+        correlation_length_km: 900.0,
+        missing_fraction: 0.0,
+    })
+    .unwrap()
+}
+
+#[test]
+fn figure_5a_shape_holds_at_test_scale() {
+    // B = 200, theta = 0.75, coefficients swept upward: the approximate
+    // network must (a) never miss exact edges, (b) shed false positives as
+    // coefficients increase, and (c) become identical at full rank.
+    let collection = stations(20, 2_400, 42);
+    let b = 200;
+    let theta = 0.75;
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, theta).unwrap()).unwrap();
+    let n_windows = builder.sketch().window_count();
+    let query = QueryWindow::new(n_windows * b - 1, n_windows * b).unwrap();
+    let exact_net = builder.correlation_matrix(query).unwrap().threshold(theta);
+
+    let mut previous_false_positives = usize::MAX;
+    let mut previous_similarity = -1.0;
+    for coefficients in [10usize, 50, 200] {
+        let sketch = DftSketchSet::build(&collection, b, coefficients, Transform::Naive).unwrap();
+        let approx = approximate_network(&sketch, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
+        let cmp = NetworkComparison::compare(&exact_net, &approx);
+        assert!(cmp.has_no_false_negatives(), "coefficients={coefficients}");
+        assert!(
+            cmp.false_positives <= previous_false_positives,
+            "false positives must not grow with more coefficients"
+        );
+        assert!(
+            cmp.similarity_ratio >= previous_similarity,
+            "similarity ratio must not drop with more coefficients"
+        );
+        previous_false_positives = cmp.false_positives;
+        previous_similarity = cmp.similarity_ratio;
+        if coefficients == b {
+            assert_eq!(cmp.false_positives, 0);
+            assert_eq!(cmp.similarity_ratio, 1.0);
+            assert_eq!(cmp.candidate_edges, cmp.reference_edges);
+        }
+    }
+}
+
+#[test]
+fn realtime_snapshots_feed_network_dynamics_analysis() {
+    let total = 1_600;
+    let history = 1_000;
+    let b = 50;
+    let query_len = 500;
+    let world = stations(10, total, 7);
+    let historical = world.truncate_length(history).unwrap();
+    let mut rt = RealTimeNetwork::new(&historical, b, query_len, 0.8, UpdateEngine::Exact).unwrap();
+
+    let mut tracker = DynamicsTracker::new(world.len());
+    tracker.observe(&rt.network());
+    for delivery in StreamReplay::new(&world, history, b).unwrap() {
+        rt.ingest(&delivery).unwrap();
+        tracker.observe(&rt.network());
+    }
+    let snapshots = tracker.snapshots();
+    assert_eq!(snapshots, 1 + (total - history) / b);
+
+    let summary = tracker.summarize();
+    assert_eq!(summary.edge_counts.len(), snapshots);
+    assert_eq!(summary.deltas.len(), snapshots - 1);
+    assert!((0.0..=1.0).contains(&summary.mean_stability()));
+    // Every backbone edge must have full persistence, and persistence is a
+    // probability for every pair.
+    for (i, j) in summary.backbone() {
+        assert!((summary.edge_persistence(i, j) - 1.0).abs() < 1e-12);
+    }
+    for i in 0..world.len() {
+        for j in (i + 1)..world.len() {
+            let p = summary.edge_persistence(i, j);
+            assert!((0.0..=1.0).contains(&p));
+            // Flip counts are bounded by the number of transitions.
+            assert!(summary.flip_count(i, j) <= snapshots - 1);
+        }
+    }
+}
+
+#[test]
+fn capacity_planning_is_consistent_with_real_sketches() {
+    let collection = stations(12, 1_800, 99);
+    let plan_b = recommend_basic_window(collection.len(), collection.series_len(), 600, 1 << 20).unwrap();
+    assert!(plan_b >= 1 && plan_b <= collection.series_len());
+
+    // The plan's size prediction matches the sketch actually built with that B.
+    let plan = SketchPlan {
+        n_series: collection.len(),
+        series_len: collection.series_len(),
+        basic_window: plan_b,
+    };
+    let sketch = SketchSet::build(&collection, plan_b).unwrap();
+    assert_eq!(plan.stored_floats(), sketch.stored_floats());
+
+    // And the budget-derived minimum indeed fits the budget.
+    let budget = 64 * 1024;
+    let min_b = min_basic_window_for_budget(collection.len(), collection.series_len(), budget).unwrap();
+    let min_plan = SketchPlan {
+        n_series: collection.len(),
+        series_len: collection.series_len(),
+        basic_window: min_b,
+    };
+    assert!(min_plan.stored_bytes() <= budget);
+}

@@ -1,0 +1,141 @@
+//! Workspace integration tests: the real-time pipeline (Algorithm 3) —
+//! bootstrap from history, stream observations in irregular deliveries, and
+//! keep the incrementally-maintained network glued to a from-scratch
+//! recomputation.
+
+use tsubasa::core::prelude::*;
+use tsubasa::data::prelude::*;
+use tsubasa::stream::{RealTimeNetwork, StreamBuffer, StreamReplay, UpdateEngine};
+
+fn world(stations: usize, points: usize, seed: u64) -> SeriesCollection {
+    generate_ncea_like(&NceaLikeConfig {
+        stations,
+        points,
+        seed,
+        regions: 3,
+        correlation_length_km: 800.0,
+        missing_fraction: 0.0,
+    })
+    .unwrap()
+}
+
+#[test]
+fn exact_incremental_network_never_drifts_from_recomputation() {
+    let total = 2_000;
+    let history = 1_200;
+    let b = 50;
+    let query_len = 600;
+    let full = world(8, total, 9);
+    let historical = full.truncate_length(history).unwrap();
+    let mut rt = RealTimeNetwork::new(&historical, b, query_len, 0.75, UpdateEngine::Exact).unwrap();
+
+    // Deliveries of awkward sizes (7 points at a time).
+    for delivery in StreamReplay::new(&full, history, 7).unwrap() {
+        rt.ingest(&delivery).unwrap();
+        if rt.updates_applied() % 4 == 0 && rt.pending_points() == 0 {
+            let completed = history + rt.updates_applied() * b;
+            let snapshot = full.truncate_length(completed).unwrap();
+            let query = QueryWindow::latest(completed, query_len).unwrap();
+            let expected = baseline::correlation_matrix(&snapshot, query).unwrap();
+            let diff = rt.correlation_matrix().max_abs_diff(&expected);
+            assert!(diff < 1e-7, "drift {diff} after {} updates", rt.updates_applied());
+        }
+    }
+    assert!(rt.updates_applied() >= 10, "the test must exercise many slides");
+}
+
+#[test]
+fn exact_and_full_coefficient_approx_agree_while_streaming() {
+    let total = 1_200;
+    let history = 720;
+    let b = 40;
+    let query_len = 400;
+    let full = world(6, total, 17);
+    let historical = full.truncate_length(history).unwrap();
+
+    let mut exact = RealTimeNetwork::new(&historical, b, query_len, 0.7, UpdateEngine::Exact).unwrap();
+    let mut approx = RealTimeNetwork::new(
+        &historical,
+        b,
+        query_len,
+        0.7,
+        UpdateEngine::Approximate { coefficients: b },
+    )
+    .unwrap();
+
+    for delivery in StreamReplay::new(&full, history, b).unwrap() {
+        exact.ingest(&delivery).unwrap();
+        approx.ingest(&delivery).unwrap();
+        assert!(
+            exact
+                .correlation_matrix()
+                .max_abs_diff(&approx.correlation_matrix())
+                < 1e-6
+        );
+        assert_eq!(exact.network(), approx.network());
+    }
+}
+
+#[test]
+fn buffered_deliveries_apply_updates_only_on_complete_windows() {
+    let full = world(5, 900, 3);
+    let historical = full.truncate_length(600).unwrap();
+    let b = 60;
+    let mut rt = RealTimeNetwork::new(&historical, b, 300, 0.7, UpdateEngine::Exact).unwrap();
+    let before = rt.correlation_matrix();
+
+    // 59 points: not enough for an update.
+    let partial: Vec<Vec<f64>> = full.iter().map(|s| s.values()[600..659].to_vec()).collect();
+    assert_eq!(rt.ingest(&partial).unwrap(), 0);
+    assert_eq!(rt.pending_points(), 59);
+    assert!(rt.correlation_matrix().max_abs_diff(&before) < 1e-15);
+
+    // One more point completes the basic window and triggers exactly one
+    // update.
+    let one_more: Vec<Vec<f64>> = full.iter().map(|s| vec![s.values()[659]]).collect();
+    assert_eq!(rt.ingest(&one_more).unwrap(), 1);
+    assert_eq!(rt.pending_points(), 0);
+    assert!(rt.correlation_matrix().max_abs_diff(&before) > 0.0);
+}
+
+#[test]
+fn stream_buffer_and_replay_compose() {
+    let full = world(4, 500, 5);
+    let mut buffer = StreamBuffer::new(4, 30).unwrap();
+    let mut chunks = 0;
+    for delivery in StreamReplay::new(&full, 0, 13).unwrap() {
+        chunks += buffer.push(&delivery).unwrap().len();
+    }
+    // 38 deliveries of 13 points = 494 points → 16 full windows of 30.
+    assert_eq!(chunks, 16);
+    assert_eq!(buffer.pending(), 494 - 16 * 30);
+}
+
+#[test]
+fn sliding_pair_is_consistent_with_sliding_network() {
+    let full = world(3, 800, 77);
+    let b = 40;
+    let query_len = 320;
+    let history = 480;
+    let historical = full.truncate_length(history).unwrap();
+
+    let sketch = SketchSet::build(&historical, b).unwrap();
+    let mut network = SlidingNetwork::initialize(&historical, &sketch, query_len).unwrap();
+    let x = full.get(0).unwrap().values();
+    let y = full.get(2).unwrap().values();
+    let mut pair = SlidingPair::new(
+        &x[history - query_len..history],
+        &y[history - query_len..history],
+        b,
+    )
+    .unwrap();
+
+    let mut now = history;
+    while now + b <= full.series_len() {
+        let chunk: Vec<Vec<f64>> = full.iter().map(|s| s.values()[now..now + b].to_vec()).collect();
+        network.ingest(&chunk).unwrap();
+        pair.ingest(&x[now..now + b], &y[now..now + b]).unwrap();
+        now += b;
+        assert!((network.correlation(0, 2) - pair.correlation()).abs() < 1e-9);
+    }
+}
