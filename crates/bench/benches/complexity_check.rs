@@ -56,7 +56,15 @@ fn main() {
 
     // --- scaling in the number of series N (fixed L) -------------------------
     let points_fixed = 2_000;
-    let mut table_n = Table::new(&["N", "TSUBASA sketch", "growth", "TSUBASA query", "growth", "baseline query", "growth"]);
+    let mut table_n = Table::new(&[
+        "N",
+        "TSUBASA sketch",
+        "growth",
+        "TSUBASA query",
+        "growth",
+        "baseline query",
+        "growth",
+    ]);
     let mut prev: Option<(f64, f64, f64)> = None;
     for factor in [1usize, 2, 4] {
         let n = scaled(16, 8) * factor;
@@ -66,7 +74,13 @@ fn main() {
         let (_, t_query) = time(|| exact::correlation_matrix(&collection, &sketch, query).unwrap());
         let (_, t_baseline) = time(|| baseline::correlation_matrix(&collection, query).unwrap());
         let (g_s, g_q, g_b) = prev
-            .map(|(a, b, c)| (millis(t_sketch) / a, millis(t_query) / b, millis(t_baseline) / c))
+            .map(|(a, b, c)| {
+                (
+                    millis(t_sketch) / a,
+                    millis(t_query) / b,
+                    millis(t_baseline) / c,
+                )
+            })
             .unwrap_or((1.0, 1.0, 1.0));
         table_n.row(vec![
             n.to_string(),

@@ -48,7 +48,12 @@ fn bench_lemma1_and_lemma2(c: &mut Criterion) {
     let y = series(4, 3_000);
     let b_size = 100;
     let parts: Vec<WindowContribution> = (0..30)
-        .map(|w| WindowContribution::from_raw(&x[w * b_size..(w + 1) * b_size], &y[w * b_size..(w + 1) * b_size]))
+        .map(|w| {
+            WindowContribution::from_raw(
+                &x[w * b_size..(w + 1) * b_size],
+                &y[w * b_size..(w + 1) * b_size],
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("recombination");
     group.sample_size(50);

@@ -57,14 +57,16 @@ fn main() {
         ..NceaLikeConfig::default()
     })
     .expect("generate dataset");
-    let collection = SeriesCollection::from_rows(
-        raw.iter().map(|s| deseasonalize(s.values())).collect(),
-    )
-    .expect("anomaly transform");
+    let collection =
+        SeriesCollection::from_rows(raw.iter().map(|s| deseasonalize(s.values())).collect())
+            .expect("anomaly transform");
 
     // Exact network (independent of the coefficient count).
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(basic_window, theta).unwrap())
-        .expect("sketch");
+    let builder = HistoricalBuilder::new(
+        collection.clone(),
+        NetworkConfig::new(basic_window, theta).unwrap(),
+    )
+    .expect("sketch");
     let n_windows = builder.sketch().window_count();
     let query = QueryWindow::new(n_windows * basic_window - 1, n_windows * basic_window).unwrap();
     let (exact_matrix, exact_time) = time(|| builder.correlation_matrix(query).unwrap());

@@ -39,12 +39,19 @@ fn main() {
 
     for basic_window in [50usize, 100, 200, 300, 500] {
         // --- sketch times ---------------------------------------------------
-        let (exact_sketch, t_exact_sketch) = time(|| SketchSet::build(&collection, basic_window).unwrap());
+        let (exact_sketch, t_exact_sketch) =
+            time(|| SketchSet::build(&collection, basic_window).unwrap());
         let (_, t_dft_full) = time(|| {
             DftSketchSet::build(&collection, basic_window, basic_window, Transform::Naive).unwrap()
         });
         let (dft75, t_dft_75) = time(|| {
-            DftSketchSet::build(&collection, basic_window, basic_window * 3 / 4, Transform::Naive).unwrap()
+            DftSketchSet::build(
+                &collection,
+                basic_window,
+                basic_window * 3 / 4,
+                Transform::Naive,
+            )
+            .unwrap()
         });
 
         // --- query times on a window of `query_len` points ------------------
@@ -55,7 +62,8 @@ fn main() {
         let (_, t_exact_query) =
             time(|| exact::correlation_matrix(&collection, &exact_sketch, query).unwrap());
         let (_, t_dft_query) = time(|| {
-            approximate_correlation_matrix(&dft75, windows.clone(), ApproxStrategy::Equation5).unwrap()
+            approximate_correlation_matrix(&dft75, windows.clone(), ApproxStrategy::Equation5)
+                .unwrap()
         });
 
         table.row(vec![

@@ -19,7 +19,9 @@ fn main() {
     let basic_window = 50;
     let stations = scaled(60, 16);
     let points = scaled(8_760, 5_500).max(5_500);
-    println!("Figure 5c: query-window sweep | {stations} stations x {points} points | B={basic_window}");
+    println!(
+        "Figure 5c: query-window sweep | {stations} stations x {points} points | B={basic_window}"
+    );
 
     let collection = generate_ncea_like(&NceaLikeConfig {
         stations,

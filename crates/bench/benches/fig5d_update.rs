@@ -42,7 +42,8 @@ fn main() {
         // Bootstrap both engines on the most recent `query_len` points of the
         // historical prefix (query_len is a multiple of every swept B).
         let exact_sketch = SketchSet::build(&historical, basic_window).unwrap();
-        let mut exact_net = SlidingNetwork::initialize(&historical, &exact_sketch, query_len).unwrap();
+        let mut exact_net =
+            SlidingNetwork::initialize(&historical, &exact_sketch, query_len).unwrap();
         let dft_sketch = DftSketchSet::build(
             &historical,
             basic_window,

@@ -29,13 +29,7 @@ fn main() {
         "Figure 6a: parallel sketch breakdown | B={basic_window} | {points} points | {workers} computation workers + 1 db worker"
     );
 
-    let mut table = Table::new(&[
-        "series",
-        "method",
-        "sketch calc (sum)",
-        "db write",
-        "wall",
-    ]);
+    let mut table = Table::new(&["series", "method", "sketch calc (sum)", "db write", "wall"]);
     let mut json_rows = Vec::new();
 
     for &n in &sweep {
@@ -49,19 +43,25 @@ fn main() {
 
         for (label, method) in [
             ("TSUBASA", SketchMethod::Exact),
-            ("DFT 75%", SketchMethod::Dft { coefficients: basic_window * 3 / 4 }),
+            (
+                "DFT 75%",
+                SketchMethod::Dft {
+                    coefficients: basic_window * 3 / 4,
+                },
+            ),
         ] {
-            let dir = std::env::temp_dir().join(format!(
-                "tsubasa-fig6a-{}-{n}-{label}",
-                std::process::id()
-            ));
-            let store: Arc<dyn SketchStore> = Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
+            let dir = std::env::temp_dir()
+                .join(format!("tsubasa-fig6a-{}-{n}-{label}", std::process::id()));
+            let store: Arc<dyn SketchStore> =
+                Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
             let engine = ParallelEngine::new(ParallelConfig {
                 workers,
                 batch_pairs: 128,
                 sketch_method: method,
             });
-            let report = engine.sketch_to_store(&collection, basic_window, store.clone()).unwrap();
+            let report = engine
+                .sketch_to_store(&collection, basic_window, store.clone())
+                .unwrap();
             table.row(vec![
                 n.to_string(),
                 label.to_string(),

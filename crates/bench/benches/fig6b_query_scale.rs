@@ -44,21 +44,24 @@ fn main() {
             ("TSUBASA", SketchMethod::Exact, QueryMethod::Exact),
             (
                 "DFT 75%",
-                SketchMethod::Dft { coefficients: basic_window * 3 / 4 },
+                SketchMethod::Dft {
+                    coefficients: basic_window * 3 / 4,
+                },
                 QueryMethod::Approximate,
             ),
         ] {
-            let dir = std::env::temp_dir().join(format!(
-                "tsubasa-fig6b-{}-{n}-{label}",
-                std::process::id()
-            ));
-            let store: Arc<dyn SketchStore> = Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
+            let dir = std::env::temp_dir()
+                .join(format!("tsubasa-fig6b-{}-{n}-{label}", std::process::id()));
+            let store: Arc<dyn SketchStore> =
+                Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
             let engine = ParallelEngine::new(ParallelConfig {
                 workers,
                 batch_pairs: 128,
                 sketch_method,
             });
-            engine.sketch_to_store(&collection, basic_window, store.clone()).unwrap();
+            engine
+                .sketch_to_store(&collection, basic_window, store.clone())
+                .unwrap();
             let (_, report) = engine
                 .query_from_store(store, 0..layout.n_windows, query_method)
                 .unwrap();

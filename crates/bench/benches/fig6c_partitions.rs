@@ -18,7 +18,9 @@ fn main() {
     let basic_window = 120;
     let points = 960;
     let n = scaled(300, 60);
-    let max_workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let max_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     println!(
         "Figure 6c: partition sweep | {n} series x {points} points | B={basic_window} | host has {max_workers} cores"
     );
@@ -35,17 +37,17 @@ fn main() {
     let mut json_rows = Vec::new();
 
     for partitions in [1usize, 2, 4, 8, 16] {
-        let dir = std::env::temp_dir().join(format!(
-            "tsubasa-fig6c-{}-{partitions}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tsubasa-fig6c-{}-{partitions}", std::process::id()));
         let store: Arc<dyn SketchStore> = Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
         let engine = ParallelEngine::new(ParallelConfig {
             workers: partitions,
             batch_pairs: 128,
             sketch_method: SketchMethod::Exact,
         });
-        let sketch_report = engine.sketch_to_store(&collection, basic_window, store.clone()).unwrap();
+        let sketch_report = engine
+            .sketch_to_store(&collection, basic_window, store.clone())
+            .unwrap();
         let (_, query_report) = engine
             .query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)
             .unwrap();

@@ -11,7 +11,9 @@
 use tsubasa_bench::{scaled, Table};
 use tsubasa_data::prelude::*;
 use tsubasa_parallel::ParallelEngine;
-use tsubasa_storage::{DiskSketchStore, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout};
+use tsubasa_storage::{
+    DiskSketchStore, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout,
+};
 
 fn analytic_bytes(layout: StoreLayout) -> u64 {
     (layout.series_records() * SeriesWindowRecord::SIZE
@@ -65,8 +67,13 @@ fn main() {
     let store = DiskSketchStore::create(&dir, layout).unwrap();
     let actual = store.space_bytes();
     let predicted = analytic_bytes(layout);
-    println!("validation on a 40-series store: predicted {predicted} bytes, on-disk {actual} bytes");
-    assert_eq!(actual, predicted, "analytic space formula must match the real store");
+    println!(
+        "validation on a 40-series store: predicted {predicted} bytes, on-disk {actual} bytes"
+    );
+    assert_eq!(
+        actual, predicted,
+        "analytic space formula must match the real store"
+    );
     std::fs::remove_dir_all(&dir).ok();
 
     table.print("Figure 6d: sketch-store size vs basic-window size");

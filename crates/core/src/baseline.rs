@@ -70,7 +70,8 @@ mod tests {
 
     #[test]
     fn baseline_self_correlation_is_one() {
-        let c = SeriesCollection::from_rows(vec![vec![1.0, 2.0, 3.0], vec![3.0, 1.0, 2.0]]).unwrap();
+        let c =
+            SeriesCollection::from_rows(vec![vec![1.0, 2.0, 3.0], vec![3.0, 1.0, 2.0]]).unwrap();
         let w = QueryWindow::new(2, 3).unwrap();
         assert_eq!(pair_correlation(&c, w, 0, 0).unwrap(), 1.0);
     }

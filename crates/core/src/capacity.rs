@@ -58,7 +58,9 @@ pub fn min_basic_window_for_budget(
     budget_bytes: usize,
 ) -> Result<usize> {
     if n_series == 0 || series_len == 0 {
-        return Err(Error::EmptyInput("capacity planning needs a non-empty dataset"));
+        return Err(Error::EmptyInput(
+            "capacity planning needs a non-empty dataset",
+        ));
     }
     let per_window_floats = 2 * n_series + n_series * (n_series - 1) / 2;
     let per_window_bytes = per_window_floats * std::mem::size_of::<f64>();
@@ -97,7 +99,11 @@ mod tests {
     #[test]
     fn stored_floats_matches_actual_sketch() {
         let rows: Vec<Vec<f64>> = (0..6)
-            .map(|s| (0..120).map(|i| ((i * (s + 1)) as f64 * 0.3).sin()).collect())
+            .map(|s| {
+                (0..120)
+                    .map(|i| ((i * (s + 1)) as f64 * 0.3).sin())
+                    .collect()
+            })
             .collect();
         let collection = SeriesCollection::from_rows(rows).unwrap();
         let sketch = SketchSet::build(&collection, 20).unwrap();
@@ -126,7 +132,11 @@ mod tests {
             series_len: len,
             basic_window: b,
         };
-        assert!(plan.stored_bytes() <= budget, "{} > {budget}", plan.stored_bytes());
+        assert!(
+            plan.stored_bytes() <= budget,
+            "{} > {budget}",
+            plan.stored_bytes()
+        );
         // One window smaller would overflow the budget (or be impossible).
         if b > 1 {
             let tighter = SketchPlan {

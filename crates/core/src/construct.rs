@@ -63,15 +63,10 @@ impl HistoricalBuilder {
         sketch: SketchSet,
         config: NetworkConfig,
     ) -> Result<Self> {
-        if sketch.basic_window() != config.basic_window
-            || sketch.series_count() != collection.len()
+        if sketch.basic_window() != config.basic_window || sketch.series_count() != collection.len()
         {
             return Err(Error::SketchMismatch {
-                requested: format!(
-                    "B={} over {} series",
-                    config.basic_window,
-                    collection.len()
-                ),
+                requested: format!("B={} over {} series", config.basic_window, collection.len()),
                 available: format!(
                     "B={} over {} series",
                     sketch.basic_window(),
@@ -141,7 +136,9 @@ mod tests {
 
     fn wave(seed: usize, len: usize) -> Vec<f64> {
         (0..len)
-            .map(|i| ((i + seed * 11) as f64 * 0.13).sin() + 0.01 * ((seed * 31 + i * 7) % 13) as f64)
+            .map(|i| {
+                ((i + seed * 11) as f64 * 0.13).sin() + 0.01 * ((seed * 31 + i * 7) % 13) as f64
+            })
             .collect()
     }
 
@@ -188,12 +185,9 @@ mod tests {
     fn with_sketch_rejects_mismatch() {
         let b = builder();
         let other_cfg = NetworkConfig::new(10, 0.5).unwrap();
-        let err = HistoricalBuilder::with_sketch(
-            b.collection().clone(),
-            b.sketch().clone(),
-            other_cfg,
-        )
-        .unwrap_err();
+        let err =
+            HistoricalBuilder::with_sketch(b.collection().clone(), b.sketch().clone(), other_cfg)
+                .unwrap_err();
         assert!(matches!(err, Error::SketchMismatch { .. }));
         // Matching config round-trips fine.
         assert!(HistoricalBuilder::with_sketch(

@@ -98,7 +98,10 @@ impl fmt::Display for Error {
                 "sketch mismatch: requested {requested}, sketch contains {available}"
             ),
             Error::InvalidThreshold(t) => {
-                write!(f, "correlation threshold {t} outside the valid range [-1, 1]")
+                write!(
+                    f,
+                    "correlation threshold {t} outside the valid range [-1, 1]"
+                )
             }
             Error::ChunkSizeMismatch { expected, found } => write!(
                 f,

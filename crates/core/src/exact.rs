@@ -45,7 +45,11 @@ impl WindowContribution {
     /// Sketch a raw (partial) window pair on the fly.
     pub fn from_raw(x: &[f64], y: &[f64]) -> Self {
         let (sx, sy, c) = sketch_pair(x, y);
-        Self { x: sx, y: sy, corr: c }
+        Self {
+            x: sx,
+            y: sy,
+            corr: c,
+        }
     }
 }
 
@@ -124,8 +128,9 @@ fn gather_contributions(
     // When the caller passes (i, j) with i > j the pair sketch still refers
     // to (min, max); correlation is symmetric so the value is unaffected.
 
-    let mut parts =
-        Vec::with_capacity(seg.full_count() + seg.head.is_some() as usize + seg.tail.is_some() as usize);
+    let mut parts = Vec::with_capacity(
+        seg.full_count() + seg.head.is_some() as usize + seg.tail.is_some() as usize,
+    );
     if let Some(head) = seg.head {
         parts.push(WindowContribution::from_raw(head.slice(xs), head.slice(ys)));
     }
@@ -247,7 +252,8 @@ mod tests {
     }
 
     fn test_collection(n: usize, len: usize) -> SeriesCollection {
-        SeriesCollection::from_rows((0..n).map(|s| lcg_series(s as u64 + 1, len)).collect()).unwrap()
+        SeriesCollection::from_rows((0..n).map(|s| lcg_series(s as u64 + 1, len)).collect())
+            .unwrap()
     }
 
     #[test]
@@ -264,7 +270,9 @@ mod tests {
         let y = lcg_series(9, 120);
         // Split into 6 windows of 20 and recombine.
         let parts: Vec<WindowContribution> = (0..6)
-            .map(|w| WindowContribution::from_raw(&x[w * 20..(w + 1) * 20], &y[w * 20..(w + 1) * 20]))
+            .map(|w| {
+                WindowContribution::from_raw(&x[w * 20..(w + 1) * 20], &y[w * 20..(w + 1) * 20])
+            })
             .collect();
         let direct = pearson(&x, &y);
         assert!((combine(&parts) - direct).abs() < 1e-10);

@@ -199,7 +199,7 @@ impl SlidingPair {
                 series_len: x.len(),
             });
         }
-        if x.len() != y.len() || x.len() % basic_window != 0 {
+        if x.len() != y.len() || !x.len().is_multiple_of(basic_window) {
             return Err(Error::ChunkSizeMismatch {
                 expected: basic_window,
                 found: x.len(),
@@ -216,7 +216,11 @@ impl SlidingPair {
             xw.push(sx);
             yw.push(sy);
             corrs.push_back(c);
-            parts.push(WindowContribution { x: sx, y: sy, corr: c });
+            parts.push(WindowContribution {
+                x: sx,
+                y: sy,
+                corr: c,
+            });
         }
         let corr = exact::combine(&parts);
         Ok(Self {
@@ -243,7 +247,11 @@ impl SlidingPair {
             });
         }
         let (sx, sy, c_new) = sketch_pair(chunk_x, chunk_y);
-        let arriving = WindowContribution { x: sx, y: sy, corr: c_new };
+        let arriving = WindowContribution {
+            x: sx,
+            y: sy,
+            corr: c_new,
+        };
         let evicted = WindowContribution {
             x: self.x.front().expect("non-empty window"),
             y: self.y.front().expect("non-empty window"),
@@ -292,7 +300,7 @@ impl SlidingNetwork {
         query_len: usize,
     ) -> Result<Self> {
         let b = sketch.basic_window();
-        if query_len == 0 || query_len % b != 0 {
+        if query_len == 0 || !query_len.is_multiple_of(b) {
             return Err(Error::InvalidQueryWindow {
                 end: collection.series_len().saturating_sub(1),
                 len: query_len,
@@ -462,7 +470,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         (0..len)
             .map(|i| {
                 state = state
@@ -534,9 +544,16 @@ mod tests {
         assert!(SlidingPair::new(&x, &y, 0).is_err());
     }
 
-    fn build_network(n: usize, len: usize, b: usize, query: usize) -> (SeriesCollection, SlidingNetwork) {
-        let c = SeriesCollection::from_rows((0..n).map(|s| lcg_series(s as u64 * 13 + 1, len)).collect())
-            .unwrap();
+    fn build_network(
+        n: usize,
+        len: usize,
+        b: usize,
+        query: usize,
+    ) -> (SeriesCollection, SlidingNetwork) {
+        let c = SeriesCollection::from_rows(
+            (0..n).map(|s| lcg_series(s as u64 * 13 + 1, len)).collect(),
+        )
+        .unwrap();
         let sketch = SketchSet::build(&c, b).unwrap();
         let net = SlidingNetwork::initialize(&c, &sketch, query).unwrap();
         (c, net)
@@ -557,10 +574,13 @@ mod tests {
         let b = 15;
         let query_len = 90;
         let total = 400;
-        let full: Vec<Vec<f64>> = (0..n).map(|s| lcg_series(s as u64 * 7 + 3, total)).collect();
+        let full: Vec<Vec<f64>> = (0..n)
+            .map(|s| lcg_series(s as u64 * 7 + 3, total))
+            .collect();
         // Historical prefix of 150 points; stream the rest chunk by chunk.
         let hist_len = 150;
-        let c = SeriesCollection::from_rows(full.iter().map(|s| s[..hist_len].to_vec()).collect()).unwrap();
+        let c = SeriesCollection::from_rows(full.iter().map(|s| s[..hist_len].to_vec()).collect())
+            .unwrap();
         let sketch = SketchSet::build(&c, b).unwrap();
         let mut net = SlidingNetwork::initialize(&c, &sketch, query_len).unwrap();
 
@@ -571,13 +591,17 @@ mod tests {
             now += b;
 
             // Compare against a from-scratch baseline on the same window.
-            let cur = SeriesCollection::from_rows(full.iter().map(|s| s[..now].to_vec()).collect()).unwrap();
+            let cur = SeriesCollection::from_rows(full.iter().map(|s| s[..now].to_vec()).collect())
+                .unwrap();
             let query = QueryWindow::latest(now, query_len).unwrap();
             let direct = baseline::correlation_matrix(&cur, query).unwrap();
             let diff = net.correlation_matrix().max_abs_diff(&direct);
             assert!(diff < 1e-7, "drift {diff} at now={now}");
         }
-        assert!(now > hist_len + 10 * b, "the loop must have exercised many slides");
+        assert!(
+            now > hist_len + 10 * b,
+            "the loop must have exercised many slides"
+        );
     }
 
     #[test]

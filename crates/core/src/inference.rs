@@ -117,12 +117,12 @@ where
         }
         // Compute the anchor row exactly; those cells are now decided too.
         let mut row = vec![0.0; n];
-        for j in 0..n {
+        for (j, cell) in row.iter_mut().enumerate() {
             if j == anchor {
                 continue;
             }
             let c = corr(anchor, j);
-            row[j] = c;
+            *cell = c;
             let idx = index(anchor, j);
             if decided[idx].is_none() {
                 decided[idx] = Some(c.abs() >= theta);
@@ -190,15 +190,24 @@ mod tests {
     fn bounds_are_valid_and_contain_truth_for_consistent_triples() {
         // Build three series with known correlations by mixing two factors.
         let base: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
-        let noise: Vec<f64> = (0..200).map(|i| ((i * 37 + 11) % 101) as f64 / 50.0 - 1.0).collect();
+        let noise: Vec<f64> = (0..200)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 50.0 - 1.0)
+            .collect();
         let x: Vec<f64> = base.iter().zip(&noise).map(|(b, n)| b + 0.2 * n).collect();
-        let y: Vec<f64> = base.iter().zip(&noise).map(|(b, n)| 0.8 * b - 0.3 * n).collect();
+        let y: Vec<f64> = base
+            .iter()
+            .zip(&noise)
+            .map(|(b, n)| 0.8 * b - 0.3 * n)
+            .collect();
         let z: Vec<f64> = base.clone();
         let c_xz = crate::stats::pearson(&x, &z);
         let c_yz = crate::stats::pearson(&y, &z);
         let c_xy = crate::stats::pearson(&x, &y);
         let (lo, hi) = correlation_bounds(c_xz, c_yz);
-        assert!(lo <= c_xy + 1e-12 && c_xy <= hi + 1e-12, "{lo} <= {c_xy} <= {hi}");
+        assert!(
+            lo <= c_xy + 1e-12 && c_xy <= hi + 1e-12,
+            "{lo} <= {c_xy} <= {hi}"
+        );
         assert!((-1.0..=1.0).contains(&lo) && (-1.0..=1.0).contains(&hi));
     }
 
@@ -247,7 +256,10 @@ mod tests {
         let truth = toy_matrix();
         let outcome = infer_threshold_matrix(4, 0.8, &[0], |i, j| truth.get(i, j)).unwrap();
         assert_eq!(outcome.matrix, truth.threshold_abs(0.8));
-        assert!(outcome.inferred_pairs > 0, "anchor 0 should decide some cells");
+        assert!(
+            outcome.inferred_pairs > 0,
+            "anchor 0 should decide some cells"
+        );
         assert!(outcome.inferred_fraction() > 0.0);
     }
 

@@ -197,7 +197,9 @@ impl AdjacencyMatrix {
 
     /// Degree of node `i`.
     pub fn degree(&self, i: usize) -> usize {
-        (0..self.n).filter(|&j| j != i && self.has_edge(i, j)).count()
+        (0..self.n)
+            .filter(|&j| j != i && self.has_edge(i, j))
+            .count()
     }
 
     /// The correlation similarity ratio `D_p` of the paper (§4.1): the

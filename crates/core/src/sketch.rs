@@ -153,7 +153,10 @@ impl SketchSet {
         }
         if series.len() != n_series || pairs.len() != n_series * n_series.saturating_sub(1) / 2 {
             return Err(Error::SketchMismatch {
-                requested: format!("{n_series} series / {} pairs", n_series * (n_series - 1) / 2),
+                requested: format!(
+                    "{n_series} series / {} pairs",
+                    n_series * (n_series - 1) / 2
+                ),
                 available: format!("{} series / {} pairs", series.len(), pairs.len()),
             });
         }
@@ -172,7 +175,9 @@ impl SketchSet {
 
     /// The basic-window configuration as a [`BasicWindowing`].
     pub fn windowing(&self) -> BasicWindowing {
-        BasicWindowing { size: self.basic_window }
+        BasicWindowing {
+            size: self.basic_window,
+        }
     }
 
     /// Number of series covered.
@@ -335,7 +340,11 @@ mod tests {
         let c = collection();
         let mut sketch = SketchSet::build(&c, 4).unwrap();
         let stats = vec![
-            WindowStats { len: 4, mean: 0.0, std: 1.0 };
+            WindowStats {
+                len: 4,
+                mean: 0.0,
+                std: 1.0
+            };
             3
         ];
         sketch.push_window(stats, vec![0.5, 0.2, -0.1]).unwrap();

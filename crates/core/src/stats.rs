@@ -144,8 +144,16 @@ pub fn joint_stats(x: &[f64], y: &[f64]) -> (WindowStats, WindowStats) {
     }
     let n = x.len();
     let nf = n as f64;
-    let std_x = if n == 0 { 0.0 } else { (m2_x / nf).max(0.0).sqrt() };
-    let std_y = if n == 0 { 0.0 } else { (m2_y / nf).max(0.0).sqrt() };
+    let std_x = if n == 0 {
+        0.0
+    } else {
+        (m2_x / nf).max(0.0).sqrt()
+    };
+    let std_y = if n == 0 {
+        0.0
+    } else {
+        (m2_y / nf).max(0.0).sqrt()
+    };
     (
         WindowStats {
             len: n,

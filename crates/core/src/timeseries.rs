@@ -134,11 +134,15 @@ impl SeriesCollection {
     /// Fails if the collection is empty or the series lengths differ.
     pub fn new(series: Vec<TimeSeries>) -> Result<Self> {
         if series.is_empty() {
-            return Err(Error::EmptyInput("SeriesCollection::new received no series"));
+            return Err(Error::EmptyInput(
+                "SeriesCollection::new received no series",
+            ));
         }
         let expected = series[0].len();
         if expected == 0 {
-            return Err(Error::EmptyInput("series in a collection must be non-empty"));
+            return Err(Error::EmptyInput(
+                "series in a collection must be non-empty",
+            ));
         }
         for (index, s) in series.iter().enumerate() {
             if s.len() != expected {

@@ -186,7 +186,7 @@ impl BasicWindowing {
 
         // Partial head: the query starts inside basic window `first_window`
         // but does not cover it from the beginning.
-        let head = if span.start % b == 0 {
+        let head = if span.start.is_multiple_of(b) {
             None
         } else {
             Some(WindowSpan {
@@ -196,7 +196,7 @@ impl BasicWindowing {
         };
         // Partial tail: the query ends inside basic window `last_window`
         // before its last point.
-        let tail = if span.end % b == 0 {
+        let tail = if span.end.is_multiple_of(b) {
             None
         } else {
             Some(WindowSpan {

@@ -169,8 +169,8 @@ mod tests {
         // 10 full periods → the per-phase mean is the cycle itself.
         let v = m.generate(500);
         let clim = seasonal_climatology(&v, 50);
-        for t in 0..50 {
-            assert!((clim[t] - m.value(t)).abs() < 1e-9);
+        for (t, c) in clim.iter().enumerate() {
+            assert!((c - m.value(t)).abs() < 1e-9);
         }
         // Anomalies of a purely periodic signal are ~0.
         let anom = anomalies(&v, &clim);
@@ -208,7 +208,11 @@ mod tests {
         assert!(d.iter().all(|x| x.abs() < 1e-9));
         // Detrending preserves everything orthogonal to the trend.
         let wiggle: Vec<f64> = (0..100).map(|t| (t as f64 * 0.9).sin()).collect();
-        let with_trend: Vec<f64> = wiggle.iter().enumerate().map(|(t, w)| w + 0.2 * t as f64).collect();
+        let with_trend: Vec<f64> = wiggle
+            .iter()
+            .enumerate()
+            .map(|(t, w)| w + 0.2 * t as f64)
+            .collect();
         let d2 = detrend(&with_trend);
         let c = tsubasa_core::stats::pearson(&d2, &wiggle);
         assert!(c > 0.99, "correlation after detrending {c}");

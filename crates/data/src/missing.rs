@@ -35,21 +35,19 @@ pub fn interpolate_missing(values: &[f64]) -> Vec<f64> {
     }
 
     // Leading gap → first observed value.
-    for i in 0..observed[0] {
-        out[i] = values[observed[0]];
-    }
+    let first = observed[0];
+    out[..first].fill(values[first]);
     // Trailing gap → last observed value.
-    for i in observed[observed.len() - 1] + 1..n {
-        out[i] = values[observed[observed.len() - 1]];
-    }
+    let last = observed[observed.len() - 1];
+    out[last + 1..].fill(values[last]);
     // Interior gaps → linear interpolation between the bracketing points.
     for w in observed.windows(2) {
         let (lo, hi) = (w[0], w[1]);
         if hi > lo + 1 {
             let span = (hi - lo) as f64;
-            for i in lo + 1..hi {
-                let t = (i - lo) as f64 / span;
-                out[i] = values[lo] * (1.0 - t) + values[hi] * t;
+            for (off, slot) in out[lo + 1..hi].iter_mut().enumerate() {
+                let t = (off + 1) as f64 / span;
+                *slot = values[lo] * (1.0 - t) + values[hi] * t;
             }
         }
     }
@@ -131,7 +129,13 @@ mod tests {
 
     #[test]
     fn aggregation_averages_same_tick_and_marks_gaps() {
-        let obs = vec![(0.0, 2.0), (0.5, 4.0), (2.2, 10.0), (-1.0, 99.0), (9.0, 1.0)];
+        let obs = vec![
+            (0.0, 2.0),
+            (0.5, 4.0),
+            (2.2, 10.0),
+            (-1.0, 99.0),
+            (9.0, 1.0),
+        ];
         let grid = aggregate_duplicates(&obs, 0.0, 1.0, 4);
         assert_eq!(grid[0], 3.0); // two observations averaged
         assert!(grid[1].is_nan()); // empty tick
@@ -142,7 +146,10 @@ mod tests {
 
     #[test]
     fn aggregation_then_interpolation_produces_clean_series() {
-        let obs: Vec<(f64, f64)> = (0..20).filter(|t| t % 3 != 1).map(|t| (t as f64, t as f64)).collect();
+        let obs: Vec<(f64, f64)> = (0..20)
+            .filter(|t| t % 3 != 1)
+            .map(|t| (t as f64, t as f64))
+            .collect();
         let grid = aggregate_duplicates(&obs, 0.0, 1.0, 20);
         assert!(missing_fraction(&grid) > 0.0);
         let clean = interpolate_missing(&grid);

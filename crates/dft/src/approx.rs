@@ -149,7 +149,9 @@ pub fn approximate_pair_correlation(
         }
         ApproxStrategy::StatStreamAverage => {
             let dists = sketch.pair_distances(i, j)?;
-            Ok(statstream_average_correlation(&dists[windows.start..windows.end]))
+            Ok(statstream_average_correlation(
+                &dists[windows.start..windows.end],
+            ))
         }
     }
 }
@@ -193,8 +195,7 @@ pub fn approximate_network(
     let mut net = AdjacencyMatrix::empty(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            let corr =
-                approximate_pair_correlation(sketch, windows.clone(), i, j, strategy)?;
+            let corr = approximate_pair_correlation(sketch, windows.clone(), i, j, strategy)?;
             let dist = distance_from_corr(corr);
             net.set_edge(i, j, dist <= radius);
         }
@@ -243,8 +244,7 @@ mod tests {
         let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
         let query = QueryWindow::new(199, 200).unwrap();
         let exact = baseline::correlation_matrix(&c, query).unwrap();
-        let approx =
-            approximate_correlation_matrix(&sk, 0..8, ApproxStrategy::Equation5).unwrap();
+        let approx = approximate_correlation_matrix(&sk, 0..8, ApproxStrategy::Equation5).unwrap();
         assert!(
             approx.max_abs_diff(&exact) < 1e-9,
             "max diff {}",
@@ -290,11 +290,12 @@ mod tests {
         let b = 40;
         let theta = 0.75;
         let query = QueryWindow::new(239, 240).unwrap();
-        let exact_net = baseline::correlation_matrix(&c, query).unwrap().threshold(theta);
+        let exact_net = baseline::correlation_matrix(&c, query)
+            .unwrap()
+            .threshold(theta);
         // Few coefficients → under-estimated distances → superset of edges.
         let sk = DftSketchSet::build(&c, b, 4, Transform::Naive).unwrap();
-        let approx_net =
-            approximate_network(&sk, 0..6, theta, ApproxStrategy::Equation5).unwrap();
+        let approx_net = approximate_network(&sk, 0..6, theta, ApproxStrategy::Equation5).unwrap();
         for i in 0..6 {
             for j in (i + 1)..6 {
                 if exact_net.has_edge(i, j) {
@@ -313,9 +314,7 @@ mod tests {
         let c = collection(3, 100);
         let sk = DftSketchSet::build(&c, 25, 25, Transform::Naive).unwrap();
         assert!(approximate_network(&sk, 0..4, 1.5, ApproxStrategy::Equation5).is_err());
-        assert!(
-            approximate_pair_correlation(&sk, 0..9, 0, 1, ApproxStrategy::Equation5).is_err()
-        );
+        assert!(approximate_pair_correlation(&sk, 0..9, 0, 1, ApproxStrategy::Equation5).is_err());
         assert_eq!(
             approximate_pair_correlation(&sk, 0..4, 2, 2, ApproxStrategy::Equation5).unwrap(),
             1.0

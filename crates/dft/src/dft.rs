@@ -33,24 +33,6 @@ impl Complex {
         }
     }
 
-    /// Complex addition.
-    pub fn add(self, other: Complex) -> Complex {
-        Complex::new(self.re + other.re, self.im + other.im)
-    }
-
-    /// Complex subtraction.
-    pub fn sub(self, other: Complex) -> Complex {
-        Complex::new(self.re - other.re, self.im - other.im)
-    }
-
-    /// Complex multiplication.
-    pub fn mul(self, other: Complex) -> Complex {
-        Complex::new(
-            self.re * other.re - self.im * other.im,
-            self.re * other.im + self.im * other.re,
-        )
-    }
-
     /// Multiply by a real scalar.
     pub fn scale(self, s: f64) -> Complex {
         Complex::new(self.re * s, self.im * s)
@@ -64,6 +46,33 @@ impl Complex {
     /// Magnitude.
     pub fn abs(self) -> f64 {
         self.norm_sq().sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
     }
 }
 
@@ -82,7 +91,7 @@ pub fn naive_dft(x: &[f64]) -> Vec<Complex> {
             let mut acc = Complex::default();
             for (i, &v) in x.iter().enumerate() {
                 let angle = base * (f as f64) * (i as f64);
-                acc = acc.add(Complex::from_angle(angle).scale(v));
+                acc = acc + Complex::from_angle(angle).scale(v);
             }
             acc.scale(scale)
         })
@@ -121,10 +130,10 @@ pub fn radix2_fft(x: &[f64]) -> Vec<Complex> {
             let mut w = Complex::new(1.0, 0.0);
             for off in 0..len / 2 {
                 let a = buf[start + off];
-                let b = buf[start + off + len / 2].mul(w);
-                buf[start + off] = a.add(b);
-                buf[start + off + len / 2] = a.sub(b);
-                w = w.mul(wlen);
+                let b = buf[start + off + len / 2] * w;
+                buf[start + off] = a + b;
+                buf[start + off + len / 2] = a - b;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -146,7 +155,7 @@ pub fn coefficient_distance(x: &[Complex], y: &[Complex], n: usize) -> f64 {
     x.iter()
         .zip(y)
         .take(n)
-        .map(|(a, b)| a.sub(*b).norm_sq())
+        .map(|(a, b)| (*a - *b).norm_sq())
         .sum::<f64>()
         .sqrt()
 }
@@ -168,9 +177,9 @@ mod tests {
     fn complex_arithmetic() {
         let a = Complex::new(1.0, 2.0);
         let b = Complex::new(3.0, -1.0);
-        assert_eq!(a.add(b), Complex::new(4.0, 1.0));
-        assert_eq!(a.sub(b), Complex::new(-2.0, 3.0));
-        assert_eq!(a.mul(b), Complex::new(5.0, 5.0));
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
         assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
     }
 
@@ -195,7 +204,9 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft_on_power_of_two() {
-        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin() + 0.3 * i as f64).collect();
+        let x: Vec<f64> = (0..16)
+            .map(|i| (i as f64 * 0.7).sin() + 0.3 * i as f64)
+            .collect();
         let a = naive_dft(&x);
         let b = radix2_fft(&x);
         for (u, v) in a.iter().zip(&b) {
@@ -232,7 +243,10 @@ mod tests {
         let mut last = 0.0;
         for n in 1..=32 {
             let d = coefficient_distance(&dx, &dy, n);
-            assert!(d + 1e-12 >= last, "distance must grow with more coefficients");
+            assert!(
+                d + 1e-12 >= last,
+                "distance must grow with more coefficients"
+            );
             last = d;
         }
     }

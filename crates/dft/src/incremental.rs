@@ -47,7 +47,7 @@ impl SlidingApproxNetwork {
     /// be a positive multiple of the basic window).
     pub fn initialize(sketch: &DftSketchSet, query_len: usize) -> Result<Self> {
         let b = sketch.basic_window();
-        if query_len == 0 || query_len % b != 0 {
+        if query_len == 0 || !query_len.is_multiple_of(b) {
             return Err(Error::InvalidQueryWindow {
                 end: 0,
                 len: query_len,
@@ -156,7 +156,11 @@ impl SlidingApproxNetwork {
         let mut arriving_dists = Vec::with_capacity(self.corrs.len());
         for i in 0..self.n {
             for j in (i + 1)..self.n {
-                arriving_dists.push(coefficient_distance(&coeffs[i], &coeffs[j], self.coefficients));
+                arriving_dists.push(coefficient_distance(
+                    &coeffs[i],
+                    &coeffs[j],
+                    self.coefficients,
+                ));
             }
         }
 
@@ -257,7 +261,8 @@ mod tests {
         let hist = 160;
         let query_len = 96;
         let data = full_data(n, total);
-        let c = SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let c =
+            SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
         let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
         let mut sliding = SlidingApproxNetwork::initialize(&sk, query_len).unwrap();
 
@@ -266,8 +271,8 @@ mod tests {
             let chunk: Vec<Vec<f64>> = data.iter().map(|s| s[now..now + b].to_vec()).collect();
             sliding.ingest(&chunk).unwrap();
             now += b;
-            let cur =
-                SeriesCollection::from_rows(data.iter().map(|s| s[..now].to_vec()).collect()).unwrap();
+            let cur = SeriesCollection::from_rows(data.iter().map(|s| s[..now].to_vec()).collect())
+                .unwrap();
             let query = QueryWindow::latest(now, query_len).unwrap();
             let exact = baseline::correlation_matrix(&cur, query).unwrap();
             let diff = sliding.correlation_matrix().max_abs_diff(&exact);
@@ -283,7 +288,8 @@ mod tests {
         let hist = 144;
         let query_len = 96;
         let data = full_data(n, total);
-        let c = SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let c =
+            SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
         let sk = DftSketchSet::build(&c, b, b * 3 / 4, Transform::Naive).unwrap();
         let mut sliding = SlidingApproxNetwork::initialize(&sk, query_len).unwrap();
         let mut now = hist;
@@ -295,12 +301,16 @@ mod tests {
         // The 75%-coefficient approximation drifts from the exact value (it
         // is an approximation, after all) but must remain a bounded, sane
         // correlation estimate.
-        let cur = SeriesCollection::from_rows(data.iter().map(|s| s[..now].to_vec()).collect()).unwrap();
+        let cur =
+            SeriesCollection::from_rows(data.iter().map(|s| s[..now].to_vec()).collect()).unwrap();
         let query = QueryWindow::latest(now, query_len).unwrap();
         let exact = baseline::correlation_matrix(&cur, query).unwrap();
         let diff = sliding.correlation_matrix().max_abs_diff(&exact);
         assert!(diff > 0.0, "partial coefficients should not be exact here");
-        assert!(diff < 0.75, "approximation error unexpectedly large: {diff}");
+        assert!(
+            diff < 0.75,
+            "approximation error unexpectedly large: {diff}"
+        );
         for (_, _, c) in sliding.correlation_matrix().iter_pairs() {
             assert!((-1.0..=1.0).contains(&c));
         }

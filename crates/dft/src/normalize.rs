@@ -48,7 +48,9 @@ mod tests {
 
     #[test]
     fn normalized_window_has_unit_norm() {
-        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin() * 3.0 + 10.0).collect();
+        let x: Vec<f64> = (0..40)
+            .map(|i| (i as f64 * 0.3).sin() * 3.0 + 10.0)
+            .collect();
         let n = normalize_unit(&x);
         let norm: f64 = n.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!((norm - 1.0).abs() < 1e-9);
@@ -65,8 +67,12 @@ mod tests {
 
     #[test]
     fn equation3_distance_correlation_identity() {
-        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin() + 0.05 * i as f64).collect();
-        let y: Vec<f64> = (0..50).map(|i| (i as f64 * 0.22).cos() * 2.0 - 1.0).collect();
+        let x: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.2).sin() + 0.05 * i as f64)
+            .collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.22).cos() * 2.0 - 1.0)
+            .collect();
         let d = normalized_distance(&normalize_unit(&x), &normalize_unit(&y));
         let corr = pearson(&x, &y);
         assert!((corr - (1.0 - d * d / 2.0)).abs() < 1e-9);

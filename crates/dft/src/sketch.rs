@@ -144,7 +144,9 @@ mod tests {
             (0..n)
                 .map(|s| {
                     (0..len)
-                        .map(|i| ((i + s * 13) as f64 * 0.17).sin() + 0.3 * ((i * s + 7) % 5) as f64)
+                        .map(|i| {
+                            ((i + s * 13) as f64 * 0.17).sin() + 0.3 * ((i * s + 7) % 5) as f64
+                        })
                         .collect()
                 })
                 .collect(),
@@ -201,7 +203,10 @@ mod tests {
         let d_full = full.pair_distances(0, 1).unwrap();
         let d_few = few.pair_distances(0, 1).unwrap();
         for (a, b) in d_full.iter().zip(d_few) {
-            assert!(b <= &(a + 1e-12), "partial distance must not exceed full distance");
+            assert!(
+                b <= &(a + 1e-12),
+                "partial distance must not exceed full distance"
+            );
         }
     }
 

@@ -120,7 +120,11 @@ mod tests {
         edges.push((3, 4));
         let net = network(8, &edges);
         let communities = label_propagation(&net, 50);
-        assert!(communities.count() <= 2, "found {} communities", communities.count());
+        assert!(
+            communities.count() <= 2,
+            "found {} communities",
+            communities.count()
+        );
         // Members of the same clique share a label.
         assert_eq!(communities.labels[0], communities.labels[1]);
         assert_eq!(communities.labels[0], communities.labels[2]);

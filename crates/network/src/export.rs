@@ -9,7 +9,8 @@ use crate::graph::ClimateNetwork;
 /// Render the network as an edge-list CSV with node metadata:
 /// `source,target,source_lat,source_lon,target_lat,target_lon,distance_km`.
 pub fn to_edge_list_csv(network: &ClimateNetwork) -> String {
-    let mut out = String::from("source,target,source_lat,source_lon,target_lat,target_lon,distance_km\n");
+    let mut out =
+        String::from("source,target,source_lat,source_lon,target_lat,target_lon,distance_km\n");
     for (i, j) in network.edges() {
         let a = network.location(i);
         let b = network.location(j);

@@ -5,7 +5,9 @@ use crate::graph::ClimateNetwork;
 
 /// Degree of every node.
 pub fn degrees(network: &ClimateNetwork) -> Vec<usize> {
-    (0..network.node_count()).map(|i| network.degree(i)).collect()
+    (0..network.node_count())
+        .map(|i| network.degree(i))
+        .collect()
 }
 
 /// Average node degree.

@@ -19,7 +19,9 @@ use tsubasa_core::SeriesCollection;
 use tsubasa_dft::approx::{query_correlation, ApproxWindow};
 use tsubasa_dft::dft::{coefficient_distance, naive_dft, Complex};
 use tsubasa_dft::normalize::normalize_unit_with_stats;
-use tsubasa_storage::{BatchWriter, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout, WriteBatch};
+use tsubasa_storage::{
+    BatchWriter, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout, WriteBatch,
+};
 
 use crate::partition::partition_pairs;
 use crate::timing::{QueryReport, SketchReport};
@@ -191,6 +193,10 @@ impl ParallelEngine {
                         let start = Instant::now();
                         let xs = collection.get(a)?.values();
                         let ys = collection.get(b)?.values();
+                        // `w` is the window id carried into every emitted
+                        // record, not just an index into `series_coeffs`
+                        // (which is empty in `SketchMethod::Exact` mode).
+                        #[allow(clippy::needless_range_loop)]
                         for w in 0..ns {
                             let record = match method {
                                 SketchMethod::Exact => {
@@ -240,7 +246,10 @@ impl ParallelEngine {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().map_err(|_| Error::Storage("sketch worker panicked".into()))?)
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| Error::Storage("sketch worker panicked".into()))?
+                })
                 .collect()
         })
         .map_err(|_| Error::Storage("sketch scope panicked".into()))??;
@@ -350,7 +359,10 @@ impl ParallelEngine {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().map_err(|_| Error::Storage("query worker panicked".into()))?)
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| Error::Storage("query worker panicked".into()))?
+                })
                 .collect()
         })
         .map_err(|_| Error::Storage("query scope panicked".into()))??;
@@ -424,7 +436,11 @@ mod tests {
         assert_eq!(qreport.pairs, c.pair_count());
         let query = QueryWindow::new(599, 600).unwrap();
         let direct = baseline::correlation_matrix(&c, query).unwrap();
-        assert!(matrix.max_abs_diff(&direct) < 1e-9, "diff {}", matrix.max_abs_diff(&direct));
+        assert!(
+            matrix.max_abs_diff(&direct) < 1e-9,
+            "diff {}",
+            matrix.max_abs_diff(&direct)
+        );
     }
 
     #[test]
@@ -453,7 +469,12 @@ mod tests {
         let coeff = 20;
         let layout = ParallelEngine::layout_for(&c, b).unwrap();
         let store = Arc::new(MemorySketchStore::new(layout));
-        let eng = engine(4, SketchMethod::Dft { coefficients: coeff });
+        let eng = engine(
+            4,
+            SketchMethod::Dft {
+                coefficients: coeff,
+            },
+        );
         eng.sketch_to_store(&c, b, store.clone()).unwrap();
 
         let serial = DftSketchSet::build(&c, b, coeff, Transform::Naive).unwrap();

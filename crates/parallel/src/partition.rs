@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert_eq!(partition_pairs(0, 4).iter().map(|p| p.len()).sum::<usize>(), 0);
+        assert_eq!(
+            partition_pairs(0, 4).iter().map(|p| p.len()).sum::<usize>(),
+            0
+        );
         assert_eq!(partition_pairs(1, 1)[0].len(), 0);
         // parts == 0 is clamped to 1.
         let single = partition_pairs(5, 0);

@@ -94,8 +94,17 @@ mod tests {
 
     #[test]
     fn zero_workers_do_not_divide_by_zero() {
-        assert_eq!(SketchReport::default().compute_time_per_worker(), Duration::ZERO);
-        assert_eq!(QueryReport::default().read_time_per_worker(), Duration::ZERO);
-        assert_eq!(QueryReport::default().compute_time_per_worker(), Duration::ZERO);
+        assert_eq!(
+            SketchReport::default().compute_time_per_worker(),
+            Duration::ZERO
+        );
+        assert_eq!(
+            QueryReport::default().read_time_per_worker(),
+            Duration::ZERO
+        );
+        assert_eq!(
+            QueryReport::default().compute_time_per_worker(),
+            Duration::ZERO
+        );
     }
 }

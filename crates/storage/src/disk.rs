@@ -73,8 +73,14 @@ impl DiskSketchStore {
     pub fn open(dir: &Path, layout: StoreLayout) -> Result<Self> {
         let series_path = dir.join(Self::SERIES_TABLE);
         let pairs_path = dir.join(Self::PAIRS_TABLE);
-        let series_file = OpenOptions::new().read(true).write(true).open(&series_path)?;
-        let pairs_file = OpenOptions::new().read(true).write(true).open(&pairs_path)?;
+        let series_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&series_path)?;
+        let pairs_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&pairs_path)?;
 
         let expected_series = (layout.series_records() * SeriesWindowRecord::SIZE) as u64;
         let expected_pairs = (layout.pair_records() * PairWindowRecord::SIZE) as u64;
@@ -199,7 +205,12 @@ impl SketchStore for DiskSketchStore {
             .collect())
     }
 
-    fn read_pair(&self, a: usize, b: usize, windows: Range<usize>) -> Result<Vec<PairWindowRecord>> {
+    fn read_pair(
+        &self,
+        a: usize,
+        b: usize,
+        windows: Range<usize>,
+    ) -> Result<Vec<PairWindowRecord>> {
         self.layout.check_windows(&windows)?;
         let start = self.layout.pair_slot(a, b, windows.start)?;
         let bytes = Self::read_run(
@@ -375,7 +386,11 @@ mod tests {
     fn sketchset_roundtrip_through_disk_store() {
         let c = SeriesCollection::from_rows(
             (0..5)
-                .map(|s| (0..40).map(|i| ((i * (s + 1)) as f64 * 0.21).cos()).collect())
+                .map(|s| {
+                    (0..40)
+                        .map(|i| ((i * (s + 1)) as f64 * 0.21).cos())
+                        .collect()
+                })
                 .collect(),
         )
         .unwrap();
@@ -401,7 +416,9 @@ mod tests {
         let store = DiskSketchStore::create(&dir, layout()).unwrap();
         // Use finite DFT distances so the records compare with plain
         // equality (NaN != NaN would make the assertions below vacuous).
-        let dists: Vec<Vec<f64>> = (0..c.pair_count()).map(|p| vec![p as f64 * 0.1; 4]).collect();
+        let dists: Vec<Vec<f64>> = (0..c.pair_count())
+            .map(|p| vec![p as f64 * 0.1; 4])
+            .collect();
         persist_sketchset(&store, &sketch, Some(&dists)).unwrap();
 
         // All pairs at once, full window range (contiguous fast path).

@@ -58,7 +58,9 @@ impl SketchStore for MemorySketchStore {
     fn write_series(&self, records: &[SeriesWindowRecord]) -> Result<()> {
         let mut table = self.series.write();
         for r in records {
-            let slot = self.layout.series_slot(r.series as usize, r.window as usize)?;
+            let slot = self
+                .layout
+                .series_slot(r.series as usize, r.window as usize)?;
             table[slot] = *r;
         }
         Ok(())
@@ -85,7 +87,12 @@ impl SketchStore for MemorySketchStore {
             .collect())
     }
 
-    fn read_pair(&self, a: usize, b: usize, windows: Range<usize>) -> Result<Vec<PairWindowRecord>> {
+    fn read_pair(
+        &self,
+        a: usize,
+        b: usize,
+        windows: Range<usize>,
+    ) -> Result<Vec<PairWindowRecord>> {
         self.layout.check_windows(&windows)?;
         let start = self.layout.pair_slot(a, b, windows.start)?;
         let table = self.pairs.read();

@@ -98,7 +98,8 @@ pub trait SketchStore: Send + Sync {
     fn read_series(&self, series: usize, windows: Range<usize>) -> Result<Vec<WindowStats>>;
 
     /// Read the records of one pair over a range of basic windows.
-    fn read_pair(&self, a: usize, b: usize, windows: Range<usize>) -> Result<Vec<PairWindowRecord>>;
+    fn read_pair(&self, a: usize, b: usize, windows: Range<usize>)
+        -> Result<Vec<PairWindowRecord>>;
 
     /// Read the records of several pairs over the same range of basic
     /// windows. The default implementation issues one [`SketchStore::read_pair`]
@@ -163,9 +164,7 @@ pub fn persist_sketchset(
     for (idx, p) in sketch.pair_sketches().enumerate() {
         pair_batch.clear();
         for (w, &corr) in p.corrs.iter().enumerate() {
-            let dft_dist = dft_dists
-                .map(|d| d[idx][w])
-                .unwrap_or(f64::NAN);
+            let dft_dist = dft_dists.map(|d| d[idx][w]).unwrap_or(f64::NAN);
             pair_batch.push(PairWindowRecord {
                 a: p.a as u32,
                 b: p.b as u32,

@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn accumulates_until_a_full_window_is_available() {
         let mut buf = StreamBuffer::new(2, 4).unwrap();
-        assert!(buf.push(&[vec![1.0, 2.0], vec![5.0, 6.0]]).unwrap().is_empty());
+        assert!(buf
+            .push(&[vec![1.0, 2.0], vec![5.0, 6.0]])
+            .unwrap()
+            .is_empty());
         assert_eq!(buf.pending(), 2);
         let chunks = buf.push(&[vec![3.0, 4.0], vec![7.0, 8.0]]).unwrap();
         assert_eq!(chunks.len(), 1);

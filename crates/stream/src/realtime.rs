@@ -220,7 +220,10 @@ mod tests {
         let diff = exact
             .correlation_matrix()
             .max_abs_diff(&approx.correlation_matrix());
-        assert!(diff < 1e-6, "full-coefficient approximation drifted by {diff}");
+        assert!(
+            diff < 1e-6,
+            "full-coefficient approximation drifted by {diff}"
+        );
     }
 
     #[test]
@@ -234,8 +237,7 @@ mod tests {
     #[test]
     fn ingest_rejects_malformed_updates() {
         let historical = data(200);
-        let mut rt =
-            RealTimeNetwork::new(&historical, 20, 100, 0.7, UpdateEngine::Exact).unwrap();
+        let mut rt = RealTimeNetwork::new(&historical, 20, 100, 0.7, UpdateEngine::Exact).unwrap();
         assert!(rt.ingest(&[vec![1.0]]).is_err());
         let ragged: Vec<Vec<f64>> = (0..6).map(|i| vec![0.0; i % 2 + 1]).collect();
         assert!(rt.ingest(&ragged).is_err());

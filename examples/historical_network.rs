@@ -31,11 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Sketch phase -------------------------------------------------------
     let t = Instant::now();
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(basic_window, theta)?)?;
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(basic_window, theta)?)?;
     let tsubasa_sketch_time = t.elapsed();
 
     let t = Instant::now();
-    let dft_sketch = DftSketchSet::build(&collection, basic_window, basic_window * 3 / 4, Transform::Naive)?;
+    let dft_sketch = DftSketchSet::build(
+        &collection,
+        basic_window,
+        basic_window * 3 / 4,
+        Transform::Naive,
+    )?;
     let dft_sketch_time = t.elapsed();
     println!("sketch time: TSUBASA {tsubasa_sketch_time:?}   DFT(75% coeffs) {dft_sketch_time:?}");
 
@@ -66,8 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // on the aligned portion.
         if windows.is_aligned() {
             let t = Instant::now();
-            let approx_net =
-                approximate_network(&dft_sketch, windows.full.clone(), theta, ApproxStrategy::Equation5)?;
+            let approx_net = approximate_network(
+                &dft_sketch,
+                windows.full.clone(),
+                theta,
+                ApproxStrategy::Equation5,
+            )?;
             let approx_time = t.elapsed();
             let exact_net = exact_matrix.threshold(theta);
             let cmp = NetworkComparison::compare(&exact_net, &approx_net);

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("tsubasa-parallel-example-{}", std::process::id()));
     let store: Arc<dyn SketchStore> = Arc::new(DiskSketchStore::create(&dir, layout)?);
 
-    let workers = std::thread::available_parallelism()?.get().saturating_sub(1).max(1);
+    let workers = std::thread::available_parallelism()?
+        .get()
+        .saturating_sub(1)
+        .max(1);
     let engine = ParallelEngine::new(ParallelConfig {
         workers,
         batch_pairs: 128,
@@ -45,21 +48,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sketch: {} pairs on {} workers | compute {:?} (sum) | db write {:?} | wall {:?}",
         report.pairs, report.workers, report.compute_time, report.write_time, report.wall_time
     );
-    println!("sketch store size on disk: {} KiB", store.space_bytes() / 1024);
+    println!(
+        "sketch store size on disk: {} KiB",
+        store.space_bytes() / 1024
+    );
 
     // --- Query phase: read sketches back and build the matrix --------------
-    let (matrix, qreport) = engine.query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)?;
+    let (matrix, qreport) =
+        engine.query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)?;
     println!(
         "query:  db read {:?} (sum) | matrix calc {:?} (sum) | wall {:?}",
         qreport.read_time, qreport.compute_time, qreport.wall_time
     );
     let network = matrix.threshold(0.75);
-    println!("network @ 0.75: {} edges over {} cells", network.edge_count(), matrix.len());
+    println!(
+        "network @ 0.75: {} edges over {} cells",
+        network.edge_count(),
+        matrix.len()
+    );
 
     // Spot-check against the brute-force baseline on the aligned window.
-    let query = QueryWindow::new(layout.n_windows * basic_window - 1, layout.n_windows * basic_window)?;
+    let query = QueryWindow::new(
+        layout.n_windows * basic_window - 1,
+        layout.n_windows * basic_window,
+    )?;
     let direct = baseline::correlation_matrix(&collection, query)?;
-    println!("max |parallel - baseline| = {:.2e}", matrix.max_abs_diff(&direct));
+    println!(
+        "max |parallel - baseline| = {:.2e}",
+        matrix.max_abs_diff(&direct)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

@@ -29,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Sketch once (Algorithm 1). Basic windows of ~one week of hours.
     let basic_window = 168;
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(basic_window, 0.75)?)?;
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(basic_window, 0.75)?)?;
     println!(
         "sketched {} basic windows per series ({} floats total)",
         builder.sketch().window_count(),

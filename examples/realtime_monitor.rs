@@ -26,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let query_len = 2_000; // the network always covers the last 2,000 hours
     let theta = 0.75;
 
-    let mut monitor = RealTimeNetwork::new(&historical, basic_window, query_len, theta, UpdateEngine::Exact)?;
+    let mut monitor = RealTimeNetwork::new(
+        &historical,
+        basic_window,
+        query_len,
+        theta,
+        UpdateEngine::Exact,
+    )?;
     println!(
         "initial network over the last {query_len} points: {} edges",
         monitor.network().edge_count()

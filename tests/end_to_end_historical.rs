@@ -5,9 +5,7 @@
 
 use tsubasa::core::prelude::*;
 use tsubasa::data::prelude::*;
-use tsubasa::dft::approx::{
-    approximate_correlation_matrix, approximate_network, ApproxStrategy,
-};
+use tsubasa::dft::approx::{approximate_correlation_matrix, approximate_network, ApproxStrategy};
 use tsubasa::dft::sketch::{DftSketchSet, Transform};
 use tsubasa::network::{metrics, ClimateNetwork, NetworkComparison};
 
@@ -26,7 +24,8 @@ fn station_data(stations: usize, points: usize) -> SeriesCollection {
 #[test]
 fn exact_matches_baseline_on_many_window_shapes() {
     let collection = station_data(12, 2_200);
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(150, 0.75).unwrap()).unwrap();
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(150, 0.75).unwrap()).unwrap();
 
     // Aligned, unaligned-start, unaligned-end, tiny, and within-one-window
     // query shapes.
@@ -53,18 +52,24 @@ fn dft_with_all_coefficients_reproduces_exact_network() {
     let collection = station_data(10, 1_600);
     let b = 200;
     let theta = 0.75;
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, theta).unwrap()).unwrap();
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, theta).unwrap()).unwrap();
     let dft = DftSketchSet::build(&collection, b, b, Transform::Naive).unwrap();
 
     let n_windows = builder.sketch().window_count();
     let query = QueryWindow::new(n_windows * b - 1, n_windows * b).unwrap();
     let exact = builder.correlation_matrix(query).unwrap();
-    let approx = approximate_correlation_matrix(&dft, 0..n_windows, ApproxStrategy::Equation5).unwrap();
+    let approx =
+        approximate_correlation_matrix(&dft, 0..n_windows, ApproxStrategy::Equation5).unwrap();
     assert!(exact.max_abs_diff(&approx) < 1e-9);
 
     let exact_net = exact.threshold(theta);
-    let approx_net = approximate_network(&dft, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
-    assert_eq!(NetworkComparison::compare(&exact_net, &approx_net).similarity_ratio, 1.0);
+    let approx_net =
+        approximate_network(&dft, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
+    assert_eq!(
+        NetworkComparison::compare(&exact_net, &approx_net).similarity_ratio,
+        1.0
+    );
 }
 
 #[test]
@@ -72,16 +77,21 @@ fn dft_with_few_coefficients_overestimates_edges_but_never_misses() {
     let collection = station_data(14, 1_600);
     let b = 200;
     let theta = 0.75;
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, theta).unwrap()).unwrap();
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, theta).unwrap()).unwrap();
     let few = DftSketchSet::build(&collection, b, 8, Transform::Naive).unwrap();
 
     let n_windows = builder.sketch().window_count();
     let query = QueryWindow::new(n_windows * b - 1, n_windows * b).unwrap();
     let exact_net = builder.correlation_matrix(query).unwrap().threshold(theta);
-    let approx_net = approximate_network(&few, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
+    let approx_net =
+        approximate_network(&few, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
 
     let cmp = NetworkComparison::compare(&exact_net, &approx_net);
-    assert!(cmp.has_no_false_negatives(), "Equation 4 pruning must not drop exact edges");
+    assert!(
+        cmp.has_no_false_negatives(),
+        "Equation 4 pruning must not drop exact edges"
+    );
     assert!(
         cmp.candidate_edges >= cmp.reference_edges,
         "few-coefficient approximation should be a superset ({} vs {})",
@@ -93,28 +103,31 @@ fn dft_with_few_coefficients_overestimates_edges_but_never_misses() {
 #[test]
 fn inference_pruning_reproduces_thresholded_matrix_with_less_work() {
     let collection = station_data(16, 1_200);
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(100, 0.6).unwrap()).unwrap();
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(100, 0.6).unwrap()).unwrap();
     let query = QueryWindow::latest(collection.series_len(), 1_000).unwrap();
     let matrix = builder.correlation_matrix(query).unwrap();
 
     let n = collection.len();
-    let outcome = inference::infer_threshold_matrix(n, 0.6, &[0, 1], |i, j| matrix.get(i, j)).unwrap();
+    let outcome =
+        inference::infer_threshold_matrix(n, 0.6, &[0, 1], |i, j| matrix.get(i, j)).unwrap();
     assert_eq!(outcome.matrix, matrix.threshold_abs(0.6));
-    assert_eq!(outcome.computed_pairs + outcome.inferred_pairs, n * (n - 1) / 2);
+    assert_eq!(
+        outcome.computed_pairs + outcome.inferred_pairs,
+        n * (n - 1) / 2
+    );
 }
 
 #[test]
 fn climate_network_metrics_are_consistent_with_matrix() {
     let collection = station_data(10, 1_000);
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(100, 0.8).unwrap()).unwrap();
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(100, 0.8).unwrap()).unwrap();
     let query = QueryWindow::latest(collection.series_len(), 800).unwrap();
     let matrix = builder.correlation_matrix(query).unwrap();
     let network = ClimateNetwork::from_matrix(&collection, &matrix, 0.8).unwrap();
 
-    let direct_edges = matrix
-        .iter_pairs()
-        .filter(|&(_, _, c)| c > 0.8)
-        .count();
+    let direct_edges = matrix.iter_pairs().filter(|&(_, _, c)| c > 0.8).count();
     assert_eq!(network.edge_count(), direct_edges);
     let degree_sum: usize = (0..network.node_count()).map(|i| network.degree(i)).sum();
     assert_eq!(degree_sum, 2 * network.edge_count());
@@ -131,7 +144,8 @@ fn anomaly_transform_then_network_still_matches_baseline() {
         .map(|s| anomalies_with_period_helper(s.values(), 24))
         .collect();
     let anomalies = SeriesCollection::from_rows(anomaly_rows).unwrap();
-    let builder = HistoricalBuilder::new(anomalies.clone(), NetworkConfig::new(96, 0.5).unwrap()).unwrap();
+    let builder =
+        HistoricalBuilder::new(anomalies.clone(), NetworkConfig::new(96, 0.5).unwrap()).unwrap();
     let query = QueryWindow::new(1_399, 1_003).unwrap();
     let a = builder.correlation_matrix(query).unwrap();
     let b = baseline::correlation_matrix(&anomalies, query).unwrap();

@@ -41,7 +41,9 @@ fn parallel_disk_pipeline_matches_serial_exact_path() {
         batch_pairs: 16,
         sketch_method: SketchMethod::Exact,
     });
-    let sketch_report = engine.sketch_to_store(&collection, b, store.clone()).unwrap();
+    let sketch_report = engine
+        .sketch_to_store(&collection, b, store.clone())
+        .unwrap();
     assert_eq!(sketch_report.pairs, collection.pair_count());
 
     let (parallel_matrix, query_report) = engine
@@ -50,7 +52,8 @@ fn parallel_disk_pipeline_matches_serial_exact_path() {
     assert_eq!(query_report.pairs, collection.pair_count());
 
     // Serial reference on the same aligned window.
-    let builder = HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, 0.75).unwrap()).unwrap();
+    let builder =
+        HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, 0.75).unwrap()).unwrap();
     let query = QueryWindow::new(layout.n_windows * b - 1, layout.n_windows * b).unwrap();
     let serial_matrix = builder.correlation_matrix(query).unwrap();
     assert!(parallel_matrix.max_abs_diff(&serial_matrix) < 1e-9);
@@ -83,7 +86,9 @@ fn disk_and_memory_stores_are_interchangeable() {
 
     let dir = temp_dir("interchange");
     let disk: Arc<dyn SketchStore> = Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
-    engine.sketch_to_store(&collection, b, disk.clone()).unwrap();
+    engine
+        .sketch_to_store(&collection, b, disk.clone())
+        .unwrap();
     let (disk_matrix, _) = engine
         .query_from_store(disk.clone(), 0..layout.n_windows, QueryMethod::Exact)
         .unwrap();
@@ -161,7 +166,9 @@ fn partition_count_changes_throughput_not_results() {
             batch_pairs: 4,
             sketch_method: SketchMethod::Exact,
         });
-        engine.sketch_to_store(&collection, b, store.clone()).unwrap();
+        engine
+            .sketch_to_store(&collection, b, store.clone())
+            .unwrap();
         let (matrix, report) = engine
             .query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)
             .unwrap();

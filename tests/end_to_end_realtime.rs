@@ -27,21 +27,29 @@ fn exact_incremental_network_never_drifts_from_recomputation() {
     let query_len = 600;
     let full = world(8, total, 9);
     let historical = full.truncate_length(history).unwrap();
-    let mut rt = RealTimeNetwork::new(&historical, b, query_len, 0.75, UpdateEngine::Exact).unwrap();
+    let mut rt =
+        RealTimeNetwork::new(&historical, b, query_len, 0.75, UpdateEngine::Exact).unwrap();
 
     // Deliveries of awkward sizes (7 points at a time).
     for delivery in StreamReplay::new(&full, history, 7).unwrap() {
         rt.ingest(&delivery).unwrap();
-        if rt.updates_applied() % 4 == 0 && rt.pending_points() == 0 {
+        if rt.updates_applied().is_multiple_of(4) && rt.pending_points() == 0 {
             let completed = history + rt.updates_applied() * b;
             let snapshot = full.truncate_length(completed).unwrap();
             let query = QueryWindow::latest(completed, query_len).unwrap();
             let expected = baseline::correlation_matrix(&snapshot, query).unwrap();
             let diff = rt.correlation_matrix().max_abs_diff(&expected);
-            assert!(diff < 1e-7, "drift {diff} after {} updates", rt.updates_applied());
+            assert!(
+                diff < 1e-7,
+                "drift {diff} after {} updates",
+                rt.updates_applied()
+            );
         }
     }
-    assert!(rt.updates_applied() >= 10, "the test must exercise many slides");
+    assert!(
+        rt.updates_applied() >= 10,
+        "the test must exercise many slides"
+    );
 }
 
 #[test]
@@ -53,7 +61,8 @@ fn exact_and_full_coefficient_approx_agree_while_streaming() {
     let full = world(6, total, 17);
     let historical = full.truncate_length(history).unwrap();
 
-    let mut exact = RealTimeNetwork::new(&historical, b, query_len, 0.7, UpdateEngine::Exact).unwrap();
+    let mut exact =
+        RealTimeNetwork::new(&historical, b, query_len, 0.7, UpdateEngine::Exact).unwrap();
     let mut approx = RealTimeNetwork::new(
         &historical,
         b,
@@ -132,7 +141,10 @@ fn sliding_pair_is_consistent_with_sliding_network() {
 
     let mut now = history;
     while now + b <= full.series_len() {
-        let chunk: Vec<Vec<f64>> = full.iter().map(|s| s.values()[now..now + b].to_vec()).collect();
+        let chunk: Vec<Vec<f64>> = full
+            .iter()
+            .map(|s| s.values()[now..now + b].to_vec())
+            .collect();
         network.ingest(&chunk).unwrap();
         pair.ingest(&x[now..now + b], &y[now..now + b]).unwrap();
         now += b;

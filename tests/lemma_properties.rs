@@ -1,0 +1,162 @@
+//! Property tests for the paper's two exactness lemmas.
+//!
+//! * **Lemma 1** — the Pearson correlation of an arbitrary query window,
+//!   recombined from basic-window sketches (including partial head/tail
+//!   windows when the query is unaligned), equals the naive computation over
+//!   the raw data.
+//! * **Lemma 2** — sliding the query window forward with the incremental
+//!   update equals recomputing the correlation from scratch after every
+//!   slide, over random update sequences.
+//!
+//! Each property runs at least 256 generated cases.
+
+use proptest::prelude::*;
+use tsubasa::core::prelude::*;
+
+/// Tight numerical budget for Lemma 1: it is an algebraic identity, so the
+/// recombined value must match the direct one to near machine precision.
+const LEMMA1_TOL: f64 = 1e-9;
+
+/// Lemma 2 repeatedly updates sums-of-products in place, so its error grows
+/// slowly with the number of slides; this stays far below any threshold the
+/// network construction would use while still catching real defects.
+const LEMMA2_TOL: f64 = 1e-8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lemma 1: exact recombination from sketches equals the naive baseline
+    /// for random series, random basic-window sizes, and random query
+    /// windows whose boundaries need not align with basic windows.
+    #[test]
+    fn prop_lemma1_recombination_is_exact(
+        xs in proptest::collection::vec(-100.0f64..100.0, 64..200),
+        ys in proptest::collection::vec(-100.0f64..100.0, 64..200),
+        basic in 3usize..33,
+        end_off in 0usize..25,
+        len_off in 0usize..60,
+    ) {
+        let n = xs.len().min(ys.len());
+        prop_assume!(basic <= n);
+        let collection = SeriesCollection::from_rows(vec![
+            xs[..n].to_vec(),
+            ys[..n].to_vec(),
+        ]).unwrap();
+        let sketch = SketchSet::build(&collection, basic).unwrap();
+
+        // An arbitrary, generally unaligned query window inside the series.
+        let end = n - 1 - end_off.min(n - 3);
+        let len = (end + 1).min(2 + len_off);
+        prop_assume!(len >= 2);
+        let query = QueryWindow::new(end, len).unwrap();
+
+        let recombined = exact::pair_correlation(&collection, &sketch, query, 0, 1).unwrap();
+        let direct = baseline::pair_correlation(&collection, query, 0, 1).unwrap();
+        prop_assert!(
+            (recombined - direct).abs() < LEMMA1_TOL,
+            "lemma 1 drift: recombined {recombined} vs direct {direct} \
+             (n={n}, basic={basic}, query end={end} len={len})"
+        );
+    }
+
+    /// Lemma 1 must also hold when the query covers the full series and when
+    /// the basic window does not divide the series length (ragged tail).
+    #[test]
+    fn prop_lemma1_full_range_ragged_tail(
+        xs in proptest::collection::vec(-1e3f64..1e3, 30..120),
+        ys in proptest::collection::vec(-1e3f64..1e3, 30..120),
+        basic in 7usize..23,
+    ) {
+        let n = xs.len().min(ys.len());
+        let collection = SeriesCollection::from_rows(vec![
+            xs[..n].to_vec(),
+            ys[..n].to_vec(),
+        ]).unwrap();
+        let sketch = SketchSet::build(&collection, basic).unwrap();
+        let query = QueryWindow::new(n - 1, n).unwrap();
+
+        let recombined = exact::pair_correlation(&collection, &sketch, query, 0, 1).unwrap();
+        let direct = baseline::pair_correlation(&collection, query, 0, 1).unwrap();
+        prop_assert!(
+            (recombined - direct).abs() < LEMMA1_TOL,
+            "lemma 1 drift on full range: {recombined} vs {direct} (n={n}, basic={basic})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lemma 2: a pair slid forward one basic window at a time stays equal
+    /// to the from-scratch Pearson computation over the current window, for
+    /// random data, window geometry, and number of slides.
+    #[test]
+    fn prop_lemma2_sliding_matches_scratch(
+        xs in proptest::collection::vec(-100.0f64..100.0, 224..320),
+        ys in proptest::collection::vec(-100.0f64..100.0, 224..320),
+        basic in 4usize..16,
+        windows in 2usize..8,
+        slides in 1usize..8,
+    ) {
+        let query_len = basic * windows;
+        let total = query_len + basic * slides;
+        let n = xs.len().min(ys.len());
+        prop_assume!(total <= n);
+
+        let mut pair = SlidingPair::new(&xs[..query_len], &ys[..query_len], basic).unwrap();
+        for s in 0..slides {
+            let lo = query_len + s * basic;
+            pair.ingest(&xs[lo..lo + basic], &ys[lo..lo + basic]).unwrap();
+            let start = (s + 1) * basic;
+            let scratch = pearson(&xs[start..lo + basic], &ys[start..lo + basic]);
+            prop_assert!(
+                (pair.correlation() - scratch).abs() < LEMMA2_TOL,
+                "lemma 2 drift after slide {s}: incremental {} vs scratch {scratch} \
+                 (basic={basic}, windows={windows})",
+                pair.correlation()
+            );
+        }
+    }
+
+    /// Lemma 2 at the network level: every pair of a `SlidingNetwork` stays
+    /// glued to a freshly recomputed correlation matrix after each ingested
+    /// chunk.
+    #[test]
+    fn prop_lemma2_network_matches_recomputation(
+        values in proptest::collection::vec(-50.0f64..50.0, 700..800),
+        basic in 5usize..12,
+        windows in 2usize..6,
+        slides in 1usize..5,
+    ) {
+        let n_series = 3usize;
+        let query_len = basic * windows;
+        let total = query_len + basic * slides;
+        prop_assume!(n_series * total <= values.len());
+
+        let rows: Vec<Vec<f64>> = (0..n_series)
+            .map(|s| values[s * total..(s + 1) * total].to_vec())
+            .collect();
+        let initial: Vec<Vec<f64>> = rows.iter().map(|r| r[..query_len].to_vec()).collect();
+        let initial_collection = SeriesCollection::from_rows(initial).unwrap();
+        let sketch = SketchSet::build(&initial_collection, basic).unwrap();
+        let mut net = SlidingNetwork::initialize(&initial_collection, &sketch, query_len).unwrap();
+
+        for s in 0..slides {
+            let lo = query_len + s * basic;
+            let chunk: Vec<Vec<f64>> = rows.iter().map(|r| r[lo..lo + basic].to_vec()).collect();
+            net.ingest(&chunk).unwrap();
+
+            let start = (s + 1) * basic;
+            for i in 0..n_series {
+                for j in (i + 1)..n_series {
+                    let scratch = pearson(&rows[i][start..lo + basic], &rows[j][start..lo + basic]);
+                    prop_assert!(
+                        (net.correlation(i, j) - scratch).abs() < LEMMA2_TOL,
+                        "network pair ({i},{j}) drift after slide {s}: {} vs {scratch}",
+                        net.correlation(i, j)
+                    );
+                }
+            }
+        }
+    }
+}

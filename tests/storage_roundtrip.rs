@@ -1,0 +1,209 @@
+//! Round-trip tests for the sketch stores: whatever is written through the
+//! [`SketchStore`] trait must read back identically from the disk-backed
+//! store and the in-memory store, and a freshly persisted sketch set must
+//! re-hydrate equal to the original.
+
+use std::path::PathBuf;
+
+use tsubasa::core::prelude::*;
+use tsubasa::storage::{DiskSketchStore, MemorySketchStore, PairWindowRecord, SketchStore};
+use tsubasa_storage::store::{load_sketchset, persist_sketchset, StoreLayout};
+
+/// A fresh per-test temp directory; recreated empty on entry, removed by the
+/// guard on drop so reruns and panics cannot leak state between tests.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("tsubasa-store-rt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small deterministic collection with non-trivial cross-correlations.
+fn sample_collection(n_series: usize, len: usize) -> SeriesCollection {
+    let rows: Vec<Vec<f64>> = (0..n_series)
+        .map(|s| {
+            (0..len)
+                .map(|t| {
+                    let t = t as f64;
+                    (t * 0.07 + s as f64).sin() * 3.0 + (s as f64 + 1.0) * 0.01 * t
+                })
+                .collect()
+        })
+        .collect();
+    SeriesCollection::from_rows(rows).unwrap()
+}
+
+/// Field-wise record equality that treats NaN as equal to NaN: pair records
+/// persisted without the DFT comparator carry `dft_dist: NaN`, which derived
+/// `PartialEq` (IEEE semantics) would never match.
+fn pair_records_equal(a: &[PairWindowRecord], b: &[PairWindowRecord]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.a == y.a
+                && x.b == y.b
+                && x.window == y.window
+                && x.corr.to_bits() == y.corr.to_bits()
+                && x.dft_dist.to_bits() == y.dft_dist.to_bits()
+        })
+}
+
+fn layout_for(sketch: &SketchSet) -> StoreLayout {
+    StoreLayout {
+        n_series: sketch.series_count(),
+        n_windows: sketch.window_count(),
+        basic_window: sketch.basic_window(),
+    }
+}
+
+#[test]
+fn disk_store_reads_back_identical_to_memory_store() {
+    let tmp = TempDir::new("disk-vs-mem");
+    let collection = sample_collection(5, 96);
+    let sketch = SketchSet::build(&collection, 12).unwrap();
+    let layout = layout_for(&sketch);
+
+    let memory = MemorySketchStore::new(layout);
+    let disk = DiskSketchStore::create(&tmp.0, layout).unwrap();
+    persist_sketchset(&memory, &sketch, None).unwrap();
+    persist_sketchset(&disk, &sketch, None).unwrap();
+
+    // Every series over every window range.
+    for s in 0..layout.n_series {
+        for start in 0..layout.n_windows {
+            for end in (start + 1)..=layout.n_windows {
+                let from_mem = memory.read_series(s, start..end).unwrap();
+                let from_disk = disk.read_series(s, start..end).unwrap();
+                assert_eq!(from_mem, from_disk, "series {s} windows {start}..{end}");
+            }
+        }
+    }
+
+    // Every pair, in both id orders, over the full range.
+    for a in 0..layout.n_series {
+        for b in (a + 1)..layout.n_series {
+            let from_mem = memory.read_pair(a, b, 0..layout.n_windows).unwrap();
+            let from_disk = disk.read_pair(a, b, 0..layout.n_windows).unwrap();
+            assert!(pair_records_equal(&from_mem, &from_disk), "pair ({a},{b})");
+            let swapped = disk.read_pair(b, a, 0..layout.n_windows).unwrap();
+            assert!(
+                pair_records_equal(&from_disk, &swapped),
+                "pair id order must not matter"
+            );
+        }
+    }
+
+    // Batched pair reads agree with the one-pair path.
+    let pairs: Vec<(usize, usize)> = vec![(0, 1), (1, 4), (2, 3)];
+    let batched = disk.read_pairs(&pairs, 0..layout.n_windows).unwrap();
+    for (&(a, b), batch) in pairs.iter().zip(&batched) {
+        let single = disk.read_pair(a, b, 0..layout.n_windows).unwrap();
+        assert!(pair_records_equal(batch, &single), "batched pair ({a},{b})");
+    }
+}
+
+#[test]
+fn persisted_sketchset_rehydrates_identically_from_both_stores() {
+    let tmp = TempDir::new("rehydrate");
+    let collection = sample_collection(4, 80);
+    let sketch = SketchSet::build(&collection, 10).unwrap();
+    let layout = layout_for(&sketch);
+
+    let memory = MemorySketchStore::new(layout);
+    persist_sketchset(&memory, &sketch, None).unwrap();
+    assert_eq!(load_sketchset(&memory).unwrap(), sketch);
+
+    let disk = DiskSketchStore::create(&tmp.0, layout).unwrap();
+    persist_sketchset(&disk, &sketch, None).unwrap();
+    assert_eq!(load_sketchset(&disk).unwrap(), sketch);
+
+    // Re-open the same directory: the data must survive the handle.
+    drop(disk);
+    let reopened = DiskSketchStore::open(&tmp.0, layout).unwrap();
+    assert_eq!(load_sketchset(&reopened).unwrap(), sketch);
+}
+
+#[test]
+fn dft_distances_roundtrip_through_pair_records() {
+    let tmp = TempDir::new("dft-dists");
+    let collection = sample_collection(3, 48);
+    let sketch = SketchSet::build(&collection, 8).unwrap();
+    let layout = layout_for(&sketch);
+
+    // Synthetic per-pair per-window distances, distinguishable per slot.
+    let dists: Vec<Vec<f64>> = (0..layout.n_pairs())
+        .map(|p| {
+            (0..layout.n_windows)
+                .map(|w| (p * 10 + w) as f64 / 4.0)
+                .collect()
+        })
+        .collect();
+
+    let disk = DiskSketchStore::create(&tmp.0, layout).unwrap();
+    persist_sketchset(&disk, &sketch, Some(&dists)).unwrap();
+
+    let mut idx = 0usize;
+    for a in 0..layout.n_series {
+        for b in (a + 1)..layout.n_series {
+            let records: Vec<PairWindowRecord> = disk.read_pair(a, b, 0..layout.n_windows).unwrap();
+            for (w, r) in records.iter().enumerate() {
+                assert_eq!(r.dft_dist, dists[idx][w], "pair ({a},{b}) window {w}");
+            }
+            idx += 1;
+        }
+    }
+}
+
+#[test]
+fn empty_store_roundtrips_and_reports_zero_space() {
+    let tmp = TempDir::new("empty");
+    let layout = StoreLayout {
+        n_series: 0,
+        n_windows: 0,
+        basic_window: 8,
+    };
+
+    let memory = MemorySketchStore::new(layout);
+    assert_eq!(memory.layout().n_pairs(), 0);
+    memory.flush().unwrap();
+    let empty = load_sketchset(&memory).unwrap();
+    assert_eq!(empty.series_count(), 0);
+
+    let disk = DiskSketchStore::create(&tmp.0, layout).unwrap();
+    disk.flush().unwrap();
+    let empty = load_sketchset(&disk).unwrap();
+    assert_eq!(empty.series_count(), 0);
+    assert_eq!(empty.window_count(), 0);
+
+    // No records exist, so any concrete read must fail rather than fabricate.
+    assert!(disk.read_series(0, 0..1).is_err());
+    assert!(disk.read_pair(0, 1, 0..1).is_err());
+}
+
+#[test]
+fn stores_agree_on_space_accounting_shape() {
+    let tmp = TempDir::new("space");
+    let collection = sample_collection(4, 64);
+    let sketch = SketchSet::build(&collection, 8).unwrap();
+    let layout = layout_for(&sketch);
+
+    let memory = MemorySketchStore::new(layout);
+    let disk = DiskSketchStore::create(&tmp.0, layout).unwrap();
+    persist_sketchset(&memory, &sketch, None).unwrap();
+    persist_sketchset(&disk, &sketch, None).unwrap();
+
+    // Identical layout and record sizes: both stores must account the same
+    // number of payload bytes (the Figure 6d metric is store-independent).
+    assert!(memory.space_bytes() > 0);
+    assert_eq!(memory.space_bytes(), disk.space_bytes());
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the [`Buf`] / [`BufMut`] little-endian accessors the storage
+//! record codec uses, implemented for `&[u8]` readers and `Vec<u8>` writers.
+
+#![warn(missing_docs)]
+
+/// Sequential little-endian reader over a byte source.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return the next `N` bytes.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.split_at(N);
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        *self = tail;
+        out
+    }
+}
+
+/// Sequential little-endian writer into a growable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, value: f64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_fields() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_f64_le(-1.5);
+        buf.put_u64_le(u64::MAX - 1);
+        let mut reader: &[u8] = &buf;
+        assert_eq!(reader.remaining(), 20);
+        assert_eq!(reader.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(reader.get_f64_le(), -1.5);
+        assert_eq!(reader.get_u64_le(), u64::MAX - 1);
+        assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_the_end_panics() {
+        let mut reader: &[u8] = &[1, 2];
+        let _ = reader.get_u32_le();
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities the workspace uses, implemented on std:
+//!
+//! * [`thread::scope`] — crossbeam-style scoped threads (the spawn closure
+//!   receives the scope, and the scope call returns a `Result` capturing
+//!   panics) layered over `std::thread::scope`;
+//! * [`channel::bounded`] — a bounded MPSC channel with cloneable senders,
+//!   layered over `std::sync::mpsc::sync_channel`.
+
+#![warn(missing_docs)]
+
+/// Crossbeam-style scoped threads over `std::thread::scope`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope or a joined scoped thread: `Err` carries the panic
+    /// payload, mirroring `crossbeam::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// The scope handle passed to the closure and to every spawned thread.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a thread spawned inside a [`scope`].
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads all finish before this
+    /// call returns. Returns `Err` with the panic payload if the closure or
+    /// an unjoined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Bounded MPSC channels over `std::sync::mpsc::sync_channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half; cloneable so many workers can feed one receiver.
+    #[derive(Debug)]
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking while the channel is full. Fails only when
+        /// the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterate over values, ending when every sender is dropped.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Create a bounded channel holding at most `cap` queued values
+    /// (`cap == 0` makes every send rendezvous with a receive).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_threads_and_returns_value() {
+        let mut counter = 0u32;
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = (0..4u32).map(|i| s.spawn(move |_| i * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        counter += total;
+        assert_eq!(counter, 60);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let v = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let result = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker exploded") });
+            h.join()
+        })
+        .unwrap();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_fans_in_from_many_senders() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || tx.send(i).unwrap()));
+        }
+        drop(tx);
+        // Drain while the senders run: with capacity 2 the third send blocks
+        // until the receiver makes room, so the drain must come before join.
+        let mut got: Vec<u32> = rx.iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn receiver_errors_after_senders_drop() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset the workspace uses — `rand::rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open ranges
+//! of `f64` and unsigned integers — on top of a SplitMix64 generator.
+//! SplitMix64 passes BigCrush on its own and is more than adequate for the
+//! synthetic-data generators here; determinism per seed is the property the
+//! workspace actually relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open `lo..hi` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a uniform sample in `[lo, hi)` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + (range.end - range.start) * unit;
+        // Guard against round-up onto the excluded endpoint.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is < 2^-32 for every span this workspace uses.
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+/// Minimal core-RNG trait: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Produce the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draw a uniform sample from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from seed material, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed; the same seed always yields
+    /// the same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn usize_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn float_mean_is_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean: f64 = (0..50_000).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the *exact* subset of serde the workspace relies on:
+//! the `Serialize` / `Deserialize` marker traits and their derive macros.
+//! Nothing in the workspace performs serde-driven (de)serialization — the
+//! storage layer uses hand-rolled fixed-width binary records and the bench
+//! harness serializes through the `serde_json` stand-in's own `Value` type —
+//! so the traits carry no methods. Replacing this with the real `serde`
+//! crate is a one-line change in the root `Cargo.toml`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Derivable via `#[derive(Serialize)]`; carries no methods because no code
+/// in this workspace serializes through serde's data model.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Derivable via `#[derive(Deserialize)]`; carries no methods because no
+/// code in this workspace deserializes through serde's data model.
+pub trait Deserialize {}

@@ -1,0 +1,46 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Each derive emits an empty trait impl for the annotated type. Only plain
+//! (non-generic) structs and enums are supported — which covers every
+//! derive site in this workspace. Written against the bare `proc_macro`
+//! bridge so the workspace needs neither `syn` nor `quote`.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name from a `struct` / `enum` definition token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input does not contain a struct or enum definition")
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl should parse")
+}
+
+/// Derive the no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Derive the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides the subset the bench harness uses: a [`Value`] tree built with
+//! the [`json!`] macro and rendered with [`to_string_pretty`]. The `json!`
+//! macro supports flat object literals with string-literal keys and
+//! arbitrary expression values (nest by passing another `json!(...)` call as
+//! the value expression), which is the only shape the workspace uses.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_num!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Error type returned by the serialization entry points.
+///
+/// The stand-in serializer is infallible, so this is never actually
+/// constructed; it exists to keep call-site signatures source-compatible
+/// with the real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity; the real serde_json refuses to produce
+        // them from f64 and emits null instead.
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, key);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Render a [`Value`] as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a literal, an object literal with string-literal
+/// keys, or an array literal. Values are arbitrary expressions convertible
+/// into [`Value`] (including nested `json!(...)` calls).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::Value::from($value)) ),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trip_renders_keys_in_order() {
+        let v = json!({ "b": 2usize, "a": [1, 2], "s": "x\"y", "flag": true });
+        let text = to_string_pretty(&v).unwrap();
+        let b = text.find("\"b\"").unwrap();
+        let a = text.find("\"a\"").unwrap();
+        assert!(b < a, "insertion order preserved: {text}");
+        assert!(text.contains("\"s\": \"x\\\"y\""));
+        assert!(text.contains("\"flag\": true"));
+    }
+
+    #[test]
+    fn numbers_render_integers_without_fraction() {
+        assert_eq!(number_to_string(3.0), "3");
+        assert_eq!(number_to_string(3.5), "3.5");
+        assert_eq!(number_to_string(f64::NAN), "null");
+    }
+
+    #[test]
+    fn nested_json_calls_compose() {
+        let inner = json!({ "k": 1 });
+        let outer = json!({ "rows": vec![inner.clone(), inner] });
+        match outer {
+            Value::Object(entries) => match &entries[0].1 {
+                Value::Array(rows) => assert_eq!(rows.len(), 2),
+                other => panic!("expected array, got {other:?}"),
+            },
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}
