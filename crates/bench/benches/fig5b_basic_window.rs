@@ -8,7 +8,7 @@
 //! while the approximation's sketch time *increases* with B because of the
 //! O(B²) DFT per basic window; query times of the two are on par.
 
-use tsubasa_bench::{fmt_ms, millis, scaled, time, Table};
+use tsubasa_bench::{fmt_ms, millis, scaled, time, workers, Table};
 use tsubasa_core::prelude::*;
 use tsubasa_data::prelude::*;
 use tsubasa_dft::approx::{approximate_correlation_matrix, ApproxStrategy};
@@ -33,9 +33,11 @@ fn main() {
         "DFT sketch (100%)",
         "DFT sketch (75%)",
         "TSUBASA query",
+        "TSUBASA query (par)",
         "DFT query",
     ]);
     let mut json_rows = Vec::new();
+    let query_workers = workers();
 
     for basic_window in [50usize, 100, 200, 300, 500] {
         // --- sketch times ---------------------------------------------------
@@ -61,6 +63,10 @@ fn main() {
         let query = QueryWindow::new(last * basic_window - 1, query_len).unwrap();
         let (_, t_exact_query) =
             time(|| exact::correlation_matrix(&collection, &exact_sketch, query).unwrap());
+        let (_, t_exact_query_par) = time(|| {
+            exact::correlation_matrix_parallel(&collection, &exact_sketch, query, query_workers)
+                .unwrap()
+        });
         let (_, t_dft_query) = time(|| {
             approximate_correlation_matrix(&dft75, windows.clone(), ApproxStrategy::Equation5)
                 .unwrap()
@@ -72,6 +78,7 @@ fn main() {
             fmt_ms(millis(t_dft_full)),
             fmt_ms(millis(t_dft_75)),
             fmt_ms(millis(t_exact_query)),
+            fmt_ms(millis(t_exact_query_par)),
             fmt_ms(millis(t_dft_query)),
         ]);
         json_rows.push(serde_json::json!({
@@ -80,6 +87,8 @@ fn main() {
             "dft_sketch_full_ms": millis(t_dft_full),
             "dft_sketch_75_ms": millis(t_dft_75),
             "tsubasa_query_ms": millis(t_exact_query),
+            "tsubasa_query_parallel_ms": millis(t_exact_query_par),
+            "query_workers": query_workers,
             "dft_query_ms": millis(t_dft_query),
         }));
     }

@@ -133,11 +133,34 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
 }
 
 /// Directory where benchmark results are persisted.
+///
+/// Resolution order: `CARGO_TARGET_DIR` if set; else the enclosing workspace
+/// root found by walking up from the current directory to the first
+/// `Cargo.lock`; else the compile-time workspace location. The workspace
+/// anchor matters because cargo runs bench binaries with the *package*
+/// directory as the working directory — a cwd-relative `target/` would
+/// scatter results under `crates/bench/target/` instead of the advertised
+/// `target/bench-results/`. The runtime walk (rather than a baked-in
+/// `env!` path alone) keeps relocated checkouts writing next to themselves.
 pub fn results_dir() -> PathBuf {
-    // CARGO_TARGET_DIR is not necessarily set; fall back to ./target.
-    std::env::var_os("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target"))
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("bench-results");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_default();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench-results");
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|ws| ws.to_path_buf())
+        .unwrap_or_default()
+        .join("target")
         .join("bench-results")
 }
 

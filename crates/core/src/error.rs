@@ -59,6 +59,15 @@ pub enum Error {
         /// Length of the chunk actually delivered.
         found: usize,
     },
+    /// A query window over which at least one series is constant: the
+    /// correlation denominator is non-positive and Pearson correlation is
+    /// undefined. Callers that prefer the classic "constant ⇒ 0.0"
+    /// convention (e.g. matrix construction) map this error to `0.0`
+    /// explicitly instead of the old silent fallback.
+    DegenerateWindow {
+        /// Number of raw points covered by the degenerate query window.
+        points: usize,
+    },
     /// Catch-all for storage-layer and I/O failures surfaced through the core
     /// API (the storage crate wraps `std::io::Error` into this).
     Storage(String),
@@ -103,6 +112,11 @@ impl fmt::Display for Error {
                     "correlation threshold {t} outside the valid range [-1, 1]"
                 )
             }
+            Error::DegenerateWindow { points } => write!(
+                f,
+                "degenerate query window: a series is constant over all {points} covered points, \
+                 so its Pearson correlation is undefined"
+            ),
             Error::ChunkSizeMismatch { expected, found } => write!(
                 f,
                 "ingested chunk of {found} points, but the basic window size is {expected}"

@@ -20,11 +20,19 @@
 //! boundaries fall *inside* a basic window are handled exactly: the partial
 //! head and tail are re-sketched from raw data, the interior windows come
 //! from the pre-computed sketch.
+//!
+//! The all-pairs entry points ([`correlation_matrix`],
+//! [`correlation_matrix_aligned`], [`correlation_matrix_parallel`]) do *not*
+//! loop over [`pair_correlation`]: they build a [`crate::plan::QueryPlan`]
+//! once per query and run its allocation-free flat kernel over every pair,
+//! which produces bit-identical values while doing the per-series half of
+//! the recombination once instead of `N−1` times.
 
 use crate::error::{Error, Result};
 use crate::matrix::CorrelationMatrix;
+use crate::plan::QueryPlan;
 use crate::sketch::SketchSet;
-use crate::stats::{clamp_corr, sketch_pair, WindowStats};
+use crate::stats::{clamp_corr, WindowStats};
 use crate::timeseries::{SeriesCollection, SeriesId};
 use crate::window::QueryWindow;
 
@@ -42,9 +50,19 @@ pub struct WindowContribution {
 }
 
 impl WindowContribution {
-    /// Sketch a raw (partial) window pair on the fly.
+    /// Sketch a raw (partial) window pair on the fly: per-series statistics
+    /// first, then the centered cross-product for the correlation
+    /// ([`crate::stats::pair_corr_from_stats`]). Within this function that
+    /// split is not a saving — it makes three passes where the old fused
+    /// Welford pass made one — but it keeps every per-window correlation in
+    /// the workspace (sketch build, plan head/tail handling, sliding
+    /// updates) on the *same* arithmetic, which is what the bit-for-bit
+    /// equivalence between the reference path and the
+    /// [`crate::plan::QueryPlan`] kernel rests on.
     pub fn from_raw(x: &[f64], y: &[f64]) -> Self {
-        let (sx, sy, c) = sketch_pair(x, y);
+        let sx = WindowStats::from_values(x);
+        let sy = WindowStats::from_values(y);
+        let c = crate::stats::pair_corr_from_stats(x, y, &sx, &sy);
         Self {
             x: sx,
             y: sy,
@@ -56,12 +74,16 @@ impl WindowContribution {
 /// Exact Pearson correlation of the concatenation of the given windows
 /// (Lemma 1, generalized to arbitrary window lengths).
 ///
-/// Returns `0.0` when the concatenated window has zero variance in either
-/// series (the same convention as [`crate::stats::pearson`]).
-pub fn combine(parts: &[WindowContribution]) -> f64 {
+/// Fails with [`Error::DegenerateWindow`] when the concatenated window has
+/// zero variance in either series (a constant series), or when no points are
+/// covered at all — Pearson correlation is undefined there. Callers that
+/// want the classic "constant ⇒ 0.0" convention of
+/// [`crate::stats::pearson`] map the error explicitly, as
+/// [`pair_correlation`] does.
+pub fn combine(parts: &[WindowContribution]) -> Result<f64> {
     let total: f64 = parts.iter().map(|p| p.x.len as f64).sum();
     if total == 0.0 {
-        return 0.0;
+        return Err(Error::DegenerateWindow { points: 0 });
     }
     // Length-weighted means of the whole query window.
     let mean_x = parts.iter().map(|p| p.x.len as f64 * p.x.mean).sum::<f64>() / total;
@@ -79,9 +101,22 @@ pub fn combine(parts: &[WindowContribution]) -> f64 {
         den_y += b * (p.y.std * p.y.std + dy * dy);
     }
     if den_x <= 0.0 || den_y <= 0.0 {
-        return 0.0;
+        return Err(Error::DegenerateWindow {
+            points: total as usize,
+        });
     }
-    clamp_corr(num / (den_x.sqrt() * den_y.sqrt()))
+    Ok(clamp_corr(num / (den_x.sqrt() * den_y.sqrt())))
+}
+
+/// Map the [`Error::DegenerateWindow`] produced by a constant series to the
+/// `0.0` correlation convention of [`crate::stats::pearson`], passing every
+/// other error through. The matrix-construction paths use this so that
+/// constant series yield isolated nodes instead of failing the whole query.
+pub(crate) fn degenerate_to_zero(r: Result<f64>) -> Result<f64> {
+    match r {
+        Err(Error::DegenerateWindow { .. }) => Ok(0.0),
+        other => other,
+    }
 }
 
 /// Variance-recombination identity used in the proof of Lemma 1: the
@@ -150,6 +185,16 @@ fn gather_contributions(
 /// Exact Pearson correlation of series `i` and `j` on `query`, recombined
 /// from the sketch (Lemma 1). Arbitrary query windows are supported; the
 /// partial head/tail, if any, are sketched from the raw data in `collection`.
+///
+/// This is the *reference* per-pair path: it materializes the
+/// [`WindowContribution`]s of the pair and recombines them with [`combine`].
+/// The all-pairs entry points ([`correlation_matrix`],
+/// [`correlation_matrix_parallel`]) instead share a precomputed
+/// [`crate::plan::QueryPlan`] across pairs and produce bit-identical values;
+/// the equality is asserted by the `flat_kernel_equivalence` property tests.
+///
+/// A constant series yields `0.0` (the [`crate::stats::pearson`]
+/// convention), mapped explicitly from [`Error::DegenerateWindow`].
 pub fn pair_correlation(
     collection: &SeriesCollection,
     sketch: &SketchSet,
@@ -161,7 +206,7 @@ pub fn pair_correlation(
         return Ok(1.0);
     }
     let parts = gather_contributions(collection, sketch, query, i, j)?;
-    Ok(combine(&parts))
+    degenerate_to_zero(combine(&parts))
 }
 
 /// Exact correlation of a pair using *only* the sketch, for a query window
@@ -193,40 +238,142 @@ pub fn pair_correlation_aligned(
             corr: pair.corrs[w],
         })
         .collect();
-    Ok(combine(&parts))
+    degenerate_to_zero(combine(&parts))
 }
 
 /// Exact all-pair correlation matrix on `query` (the correlation-matrix step
-/// of Algorithm 2), recombined from the sketch.
+/// of Algorithm 2), recombined from the sketch through a shared
+/// [`QueryPlan`].
+///
+/// ```
+/// use tsubasa_core::prelude::*;
+///
+/// let collection = SeriesCollection::from_rows(vec![
+///     vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+///     vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0],
+/// ])
+/// .unwrap();
+/// let sketch = SketchSet::build(&collection, 4).unwrap();
+/// let query = QueryWindow::new(7, 8).unwrap();
+/// let matrix = exact::correlation_matrix(&collection, &sketch, query).unwrap();
+/// assert!((matrix.get(0, 1) - 1.0).abs() < 1e-12); // perfectly correlated
+/// ```
 pub fn correlation_matrix(
     collection: &SeriesCollection,
     sketch: &SketchSet,
     query: QueryWindow,
 ) -> Result<CorrelationMatrix> {
     let n = collection.len();
-    let mut matrix = CorrelationMatrix::identity(n);
-    for (i, j) in collection.pairs() {
-        let c = pair_correlation(collection, sketch, query, i, j)?;
-        matrix.set(i, j, c);
+    let plan = QueryPlan::build(collection, sketch, query)?;
+    if n < 2 {
+        return Ok(CorrelationMatrix::identity(n));
     }
-    Ok(matrix)
+    let mut values = Vec::with_capacity(n * (n - 1) / 2);
+    for (i, j) in collection.pairs() {
+        values.push(plan.pair_correlation(collection, sketch, i, j)?);
+    }
+    Ok(CorrelationMatrix::from_upper_triangle(n, values))
 }
 
 /// All-pair correlation matrix over an aligned range of basic windows, using
-/// only the sketch.
+/// only the sketch (shared [`QueryPlan`], no raw data touched).
 pub fn correlation_matrix_aligned(
     sketch: &SketchSet,
     windows: std::ops::Range<usize>,
 ) -> Result<CorrelationMatrix> {
     let n = sketch.series_count();
-    let mut matrix = CorrelationMatrix::identity(n);
+    let plan = QueryPlan::build_aligned(sketch, windows)?;
+    if n < 2 {
+        return Ok(CorrelationMatrix::identity(n));
+    }
+    let mut values = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            let c = pair_correlation_aligned(sketch, windows.clone(), i, j)?;
-            matrix.set(i, j, c);
+            values.push(plan.pair_correlation_aligned(sketch, i, j)?);
         }
     }
-    Ok(matrix)
+    Ok(CorrelationMatrix::from_upper_triangle(n, values))
+}
+
+/// Map a packed upper-triangle index back to its unordered pair `(i, j)`,
+/// `i < j` — the inverse of [`crate::sketch::pair_index`]. Used to hand each
+/// parallel worker a contiguous run of pairs.
+fn unpack_pair_index(p: usize, n: usize) -> (usize, usize) {
+    let mut i = 0;
+    let mut row_start = 0;
+    loop {
+        let row_len = n - 1 - i;
+        if p < row_start + row_len {
+            return (i, i + 1 + p - row_start);
+        }
+        row_start += row_len;
+        i += 1;
+    }
+}
+
+/// Multi-threaded in-memory all-pairs sweep: the same flat [`QueryPlan`]
+/// kernel as [`correlation_matrix`], with the packed upper triangle split
+/// into contiguous disjoint slices written by `workers` scoped threads that
+/// share the read-only plan.
+///
+/// The result is bit-identical to [`correlation_matrix`] regardless of the
+/// worker count. `workers == 0` is clamped to 1; counts above the number of
+/// pairs are clamped down.
+pub fn correlation_matrix_parallel(
+    collection: &SeriesCollection,
+    sketch: &SketchSet,
+    query: QueryWindow,
+    workers: usize,
+) -> Result<CorrelationMatrix> {
+    let n = collection.len();
+    let total = n * n.saturating_sub(1) / 2;
+    let workers = workers.max(1).min(total.max(1));
+    if workers <= 1 || total == 0 {
+        return correlation_matrix(collection, sketch, query);
+    }
+    let plan = QueryPlan::build(collection, sketch, query)?;
+    let mut values = vec![0.0f64; total];
+
+    // Carve the packed upper triangle into one contiguous slice per worker,
+    // sized as evenly as possible.
+    let sizes = crate::plan::even_sizes(total, workers);
+    let starts: Vec<usize> = sizes
+        .iter()
+        .scan(0, |acc, s| {
+            let start = *acc;
+            *acc += s;
+            Some(start)
+        })
+        .collect();
+    let chunks = crate::plan::carve_packed_slices(&mut values, sizes.iter().copied());
+    let slices: Vec<(usize, &mut [f64])> = starts.into_iter().zip(chunks).collect();
+
+    let plan = &plan;
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::with_capacity(slices.len());
+        for (start, chunk) in slices {
+            handles.push(scope.spawn(move || -> Result<()> {
+                let (mut i, mut j) = unpack_pair_index(start, n);
+                for slot in chunk.iter_mut() {
+                    *slot = plan.pair_correlation(collection, sketch, i, j)?;
+                    j += 1;
+                    if j == n {
+                        i += 1;
+                        j = i + 1;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(r) => r?,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        Ok(())
+    })?;
+    Ok(CorrelationMatrix::from_upper_triangle(n, values))
 }
 
 #[cfg(test)]
@@ -261,7 +408,23 @@ mod tests {
         let x = lcg_series(1, 50);
         let y = lcg_series(2, 50);
         let part = WindowContribution::from_raw(&x, &y);
-        assert!((combine(&[part]) - pearson(&x, &y)).abs() < 1e-12);
+        assert!((combine(&[part]).unwrap() - pearson(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_rejects_degenerate_windows() {
+        // A constant series has zero variance: the denominator is 0 and the
+        // correlation is undefined — a typed error, not a silent 0.0.
+        let constant = vec![5.0; 30];
+        let y = lcg_series(2, 30);
+        let part = WindowContribution::from_raw(&constant, &y);
+        let err = combine(&[part]).unwrap_err();
+        assert!(matches!(err, Error::DegenerateWindow { points: 30 }));
+        // No points at all is degenerate too.
+        assert!(matches!(
+            combine(&[]).unwrap_err(),
+            Error::DegenerateWindow { points: 0 }
+        ));
     }
 
     #[test]
@@ -275,7 +438,7 @@ mod tests {
             })
             .collect();
         let direct = pearson(&x, &y);
-        assert!((combine(&parts) - direct).abs() < 1e-10);
+        assert!((combine(&parts).unwrap() - direct).abs() < 1e-10);
     }
 
     #[test]
@@ -288,7 +451,7 @@ mod tests {
             .windows(2)
             .map(|c| WindowContribution::from_raw(&x[c[0]..c[1]], &y[c[0]..c[1]]))
             .collect();
-        assert!((combine(&parts) - pearson(&x, &y)).abs() < 1e-10);
+        assert!((combine(&parts).unwrap() - pearson(&x, &y)).abs() < 1e-10);
     }
 
     #[test]
@@ -378,6 +541,35 @@ mod tests {
             assert_eq!(m.get(i, i), 1.0);
             for j in 0..6 {
                 assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let c = test_collection(7, 240);
+        let sketch = SketchSet::build(&c, 25).unwrap();
+        // Unaligned window so the partial-window path is exercised too.
+        let query = QueryWindow::new(233, 180).unwrap();
+        let serial = correlation_matrix(&c, &sketch, query).unwrap();
+        for workers in [1, 2, 3, 8, 100] {
+            let parallel = correlation_matrix_parallel(&c, &sketch, query, workers).unwrap();
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+        // workers == 0 is clamped, not an error.
+        assert_eq!(
+            correlation_matrix_parallel(&c, &sketch, query, 0).unwrap(),
+            serial
+        );
+    }
+
+    #[test]
+    fn unpack_pair_index_inverts_pair_index() {
+        let n = 9;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let p = crate::sketch::pair_index(i, j, n);
+                assert_eq!(unpack_pair_index(p, n), (i, j));
             }
         }
     }

@@ -26,8 +26,9 @@ use std::collections::VecDeque;
 use crate::error::{Error, Result};
 use crate::exact::{self, WindowContribution};
 use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use crate::plan::QueryPlan;
 use crate::sketch::SketchSet;
-use crate::stats::{clamp_corr, sketch_pair, WindowStats};
+use crate::stats::{clamp_corr, pair_corr_from_stats, WindowStats};
 use crate::timeseries::SeriesCollection;
 
 /// Summary of one series over the current sliding query window, maintained
@@ -212,17 +213,15 @@ impl SlidingPair {
         let mut parts = Vec::with_capacity(ns);
         for j in 0..ns {
             let range = j * basic_window..(j + 1) * basic_window;
-            let (sx, sy, c) = sketch_pair(&x[range.clone()], &y[range]);
-            xw.push(sx);
-            yw.push(sy);
-            corrs.push_back(c);
-            parts.push(WindowContribution {
-                x: sx,
-                y: sy,
-                corr: c,
-            });
+            let part = WindowContribution::from_raw(&x[range.clone()], &y[range]);
+            xw.push(part.x);
+            yw.push(part.y);
+            corrs.push_back(part.corr);
+            parts.push(part);
         }
-        let corr = exact::combine(&parts);
+        // Keep the pearson convention: a constant window starts at 0.0
+        // (only `DegenerateWindow` is mapped; other errors would propagate).
+        let corr = exact::degenerate_to_zero(exact::combine(&parts))?;
         Ok(Self {
             x: SlidingSeriesState::new(xw),
             y: SlidingSeriesState::new(yw),
@@ -246,12 +245,8 @@ impl SlidingPair {
                 found: chunk_x.len(),
             });
         }
-        let (sx, sy, c_new) = sketch_pair(chunk_x, chunk_y);
-        let arriving = WindowContribution {
-            x: sx,
-            y: sy,
-            corr: c_new,
-        };
+        let arriving = WindowContribution::from_raw(chunk_x, chunk_y);
+        let (sx, sy, c_new) = (arriving.x, arriving.y, arriving.corr);
         let evicted = WindowContribution {
             x: self.x.front().expect("non-empty window"),
             y: self.y.front().expect("non-empty window"),
@@ -277,6 +272,29 @@ impl SlidingPair {
 
 /// Incrementally maintained all-pair correlation matrix and climate network
 /// over a sliding real-time query window (Algorithm 3's update step).
+///
+/// Initialization reuses the flat [`QueryPlan`] kernel over the historical
+/// sketch; every [`SlidingNetwork::ingest`] then applies Lemma 2 to all
+/// pairs from a flat snapshot of the per-series sliding state.
+///
+/// ```
+/// use tsubasa_core::prelude::*;
+///
+/// let historical = SeriesCollection::from_rows(vec![
+///     vec![1.0, 2.0, 3.0, 4.0, 5.0, 7.0],
+///     vec![6.0, 5.0, 4.0, 3.0, 2.0, 0.0],
+/// ])
+/// .unwrap();
+/// let sketch = SketchSet::build(&historical, 2).unwrap();
+/// // Query window: the 4 most recent points (2 basic windows of 2).
+/// let mut net = SlidingNetwork::initialize(&historical, &sketch, 4).unwrap();
+/// assert!(net.correlation(0, 1) < -0.99); // anti-correlated
+///
+/// // One basic window of new observations per series slides the window.
+/// net.ingest(&[vec![8.0, 9.0], vec![-1.0, -2.0]]).unwrap();
+/// assert_eq!(net.window_count(), 2);
+/// assert!(net.correlation(0, 1) < -0.99);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SlidingNetwork {
     basic_window: usize,
@@ -336,14 +354,14 @@ impl SlidingNetwork {
             pair_windows.push_back(per_pair);
         }
 
+        // One shared QueryPlan replaces the per-pair contribution vectors of
+        // the old initialization: the per-series half of Lemma 1 is computed
+        // once and the per-pair kernel is allocation-free (bit-identical to
+        // `exact::pair_correlation_aligned`).
+        let plan = QueryPlan::build_aligned(sketch, first_window..available)?;
         let mut corrs = Vec::with_capacity(n * (n - 1) / 2);
         for (i, j) in collection.pairs() {
-            corrs.push(exact::pair_correlation_aligned(
-                sketch,
-                first_window..available,
-                i,
-                j,
-            )?);
+            corrs.push(plan.pair_correlation_aligned(sketch, i, j)?);
         }
 
         Ok(Self {
@@ -395,23 +413,41 @@ impl SlidingNetwork {
             .iter()
             .map(|points| WindowStats::from_values(points))
             .collect();
-        // ...and per-pair correlations.
+        // ...and per-pair correlations, reusing the per-series statistics so
+        // each pair only costs the centered cross-product.
         let mut arriving_corrs = Vec::with_capacity(self.corrs.len());
         for i in 0..self.n {
             for j in (i + 1)..self.n {
-                let (_, _, c) = sketch_pair(&chunk[i], &chunk[j]);
-                arriving_corrs.push(c);
+                arriving_corrs.push(pair_corr_from_stats(
+                    &chunk[i],
+                    &chunk[j],
+                    &arriving_stats[i],
+                    &arriving_stats[j],
+                ));
             }
         }
 
+        // Snapshot the per-series sliding state into flat arrays once — the
+        // same precompute-then-sweep shape as the QueryPlan kernel — instead
+        // of re-reading deque fronts and aggregates `n − 1` times per series
+        // inside the pair loop.
+        let fronts: Vec<WindowStats> = self
+            .series
+            .iter()
+            .map(|s| s.front().expect("non-empty"))
+            .collect();
+        let totals: Vec<f64> = self.series.iter().map(|s| s.total_len() as f64).collect();
+        let means: Vec<f64> = self.series.iter().map(|s| s.mean()).collect();
+        let stds: Vec<f64> = self.series.iter().map(|s| s.std()).collect();
+
         // Apply Lemma 2 to every pair before mutating any per-series state.
-        let evicted_corrs = self.pair_windows.front().expect("non-empty window").clone();
+        let evicted_corrs = self.pair_windows.front().expect("non-empty window");
         let mut idx = 0;
         for i in 0..self.n {
             for j in (i + 1)..self.n {
                 let evicted = WindowContribution {
-                    x: self.series[i].front().expect("non-empty"),
-                    y: self.series[j].front().expect("non-empty"),
+                    x: fronts[i],
+                    y: fronts[j],
                     corr: evicted_corrs[idx],
                 };
                 let arriving = WindowContribution {
@@ -420,11 +456,11 @@ impl SlidingNetwork {
                     corr: arriving_corrs[idx],
                 };
                 self.corrs[idx] = lemma2_update(
-                    self.series[i].total_len() as f64,
-                    self.series[i].mean(),
-                    self.series[j].mean(),
-                    self.series[i].std(),
-                    self.series[j].std(),
+                    totals[i],
+                    means[i],
+                    means[j],
+                    stds[i],
+                    stds[j],
                     self.corrs[idx],
                     &evicted,
                     &arriving,

@@ -14,6 +14,11 @@
 //!   arbitrary query window is recovered *exactly* from those per-window
 //!   statistics, including query windows whose boundaries fall inside a basic
 //!   window. See [`exact`].
+//! * **Query planning** — all-pairs queries precompute the per-series half of
+//!   the Lemma 1 recombination once per query window into a flat
+//!   [`plan::QueryPlan`] table, then evaluate every pair with an
+//!   allocation-free kernel (optionally across threads with
+//!   [`exact::correlation_matrix_parallel`]). See [`plan`].
 //! * **Incremental update (Lemma 2)** — for real-time sliding windows the
 //!   correlation after a new basic window arrives is derived from the previous
 //!   value plus the statistics of the evicted and arriving windows only.
@@ -67,6 +72,7 @@ pub mod exact;
 pub mod incremental;
 pub mod inference;
 pub mod matrix;
+pub mod plan;
 pub mod sketch;
 pub mod stats;
 pub mod timeseries;
@@ -74,6 +80,7 @@ pub mod window;
 
 pub use error::{Error, Result};
 pub use matrix::{AdjacencyMatrix, CorrelationMatrix};
+pub use plan::QueryPlan;
 pub use sketch::{PairSketch, SeriesSketch, SketchSet};
 pub use stats::WindowStats;
 pub use timeseries::{GeoLocation, SeriesCollection, SeriesId, TimeSeries};
@@ -90,6 +97,7 @@ pub mod prelude {
     pub use crate::incremental::{SlidingNetwork, SlidingPair};
     pub use crate::inference;
     pub use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
+    pub use crate::plan::QueryPlan;
     pub use crate::sketch::{PairSketch, SeriesSketch, SketchSet};
     pub use crate::stats::{pearson, WindowStats};
     pub use crate::timeseries::{GeoLocation, SeriesCollection, SeriesId, TimeSeries};

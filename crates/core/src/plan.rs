@@ -1,0 +1,587 @@
+//! The precomputed per-query evaluation plan behind the all-pairs paths.
+//!
+//! TSUBASA's Lemma 1 recombines the correlation of a query window from
+//! per-basic-window statistics. Done naively — as the reference per-pair path
+//! [`crate::exact::pair_correlation`] does — every one of the `N(N−1)/2`
+//! pairs re-derives the *per-series* part of the recombination: the
+//! length-weighted query-window mean `x̄`, the per-window mean offsets
+//! `δ_xj = x̄_j − x̄`, and the whole denominator `Σ_j B_j (σ_xj² + δ_xj²)`.
+//! Each series' values are recomputed `N−1` times, and every pair allocates a
+//! scratch `Vec` of window contributions.
+//!
+//! [`QueryPlan`] factors that waste out. Built **once per query window**, it
+//! stores flat `Vec<f64>` tables (row = series, column = window of the plan,
+//! in `[head?, full basic windows…, tail?]` order):
+//!
+//! * `stds[i·w + k]` — `σ` of series `i` in plan window `k`,
+//! * `deltas[i·w + k]` — `δ = mean_k − x̄_i`,
+//! * per series: the query-window mean `x̄_i` and the full denominator
+//!   `den_i = Σ_k B_k (σ² + δ²)`,
+//! * shared: the window lengths `B_k` and the total query length `T`.
+//!
+//! The per-pair kernel that remains is allocation-free and touches only
+//! cache-friendly flat rows plus the pair's contiguous per-window correlation
+//! slice from the sketch:
+//!
+//! ```text
+//! num(i,j) = Σ_k B_k (σ_ik σ_jk c_k + δ_ik δ_jk)
+//! corr(i,j) = num / (√den_i √den_j)
+//! ```
+//!
+//! Partial head/tail windows of unaligned queries contribute their raw
+//! centered cross-product through [`crate::stats::pair_corr_from_stats`]
+//! (per-series partial statistics live in the plan), exactly as the
+//! reference path does. Every arithmetic operation is performed with the
+//! same operands in the same order as [`crate::exact::combine`], so the plan
+//! kernel is **bit-for-bit identical** to the reference path — a property the
+//! `flat_kernel_equivalence` test suite asserts over 256 random
+//! configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use tsubasa_core::plan::QueryPlan;
+//! use tsubasa_core::{exact, QueryWindow, SeriesCollection, SketchSet};
+//!
+//! let collection = SeriesCollection::from_rows(vec![
+//!     vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0],
+//!     vec![2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 8.0, 7.0],
+//!     vec![9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 1.0],
+//! ])
+//! .unwrap();
+//! let sketch = SketchSet::build(&collection, 4).unwrap();
+//!
+//! // An unaligned query window (indices 1..=6) — the plan re-sketches the
+//! // partial head/tail and reuses the sketched interior.
+//! let query = QueryWindow::new(6, 6).unwrap();
+//! let plan = QueryPlan::build(&collection, &sketch, query).unwrap();
+//!
+//! let fast = plan.pair_correlation(&collection, &sketch, 0, 1).unwrap();
+//! let reference = exact::pair_correlation(&collection, &sketch, query, 0, 1).unwrap();
+//! assert_eq!(fast.to_bits(), reference.to_bits());
+//! ```
+
+use std::ops::Range;
+
+use crate::error::{Error, Result};
+use crate::sketch::SketchSet;
+use crate::stats::{clamp_corr, pair_corr_from_stats, WindowStats};
+use crate::timeseries::{SeriesCollection, SeriesId};
+use crate::window::{QueryWindow, WindowSpan};
+
+/// A flat, per-query-window table of combined per-series statistics: the
+/// precomputed half of the Lemma 1 recombination, shared by all pairs.
+///
+/// Built with [`QueryPlan::build`] (arbitrary query windows, needs raw data
+/// for partial head/tail), [`QueryPlan::build_aligned`] (sketch-only, for
+/// windows aligned to basic-window boundaries) or
+/// [`QueryPlan::from_window_stats`] (from statistics read back from a
+/// [`tsubasa-storage`-style](crate::sketch) store). See the [module
+/// documentation](crate::plan) for the layout and an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Number of series covered.
+    n: usize,
+    /// Number of plan windows (`head? + full + tail?`).
+    w: usize,
+    /// The range of full basic-window indices into the sketch.
+    full: Range<usize>,
+    /// Raw span of the partial head window, if the query start is unaligned.
+    head: Option<WindowSpan>,
+    /// Raw span of the partial tail window, if the query end is unaligned.
+    tail: Option<WindowSpan>,
+    /// Window lengths `B_k` (shared by all series), one per plan window.
+    lens: Vec<f64>,
+    /// Total raw points covered (`T = Σ B_k`).
+    total: f64,
+    /// `σ` per series per plan window, row-major (`n × w`).
+    stds: Vec<f64>,
+    /// `δ = mean_k − x̄_i` per series per plan window, row-major (`n × w`).
+    deltas: Vec<f64>,
+    /// Length-weighted query-window mean per series.
+    means: Vec<f64>,
+    /// Denominator `Σ_k B_k (σ² + δ²)` per series (`T ·` population variance).
+    dens: Vec<f64>,
+    /// Per-series statistics of the partial head window (empty when aligned);
+    /// the kernel combines them with the raw cross-product per pair.
+    head_stats: Vec<WindowStats>,
+    /// Per-series statistics of the partial tail window (empty when aligned).
+    tail_stats: Vec<WindowStats>,
+}
+
+impl QueryPlan {
+    /// Build the plan for an arbitrary query window: interior basic windows
+    /// come from `sketch`, partial head/tail statistics are computed from the
+    /// raw data in `collection`.
+    pub fn build(
+        collection: &SeriesCollection,
+        sketch: &SketchSet,
+        query: QueryWindow,
+    ) -> Result<Self> {
+        query.validate(collection.series_len())?;
+        let seg = sketch.windowing().segment(query);
+        if seg.full.end > sketch.window_count() {
+            return Err(Error::SketchMismatch {
+                requested: format!("basic windows up to {}", seg.full.end),
+                available: format!("{} sketched windows", sketch.window_count()),
+            });
+        }
+        let n = collection.len();
+        let w = seg.full_count() + seg.head.is_some() as usize + seg.tail.is_some() as usize;
+
+        let mut plan = Self::empty(n, w, seg.full.clone(), seg.head, seg.tail);
+        let mut row: Vec<WindowStats> = Vec::with_capacity(w);
+        for (i, series) in collection.iter_with_ids() {
+            let values = series.values();
+            let sk = sketch.series_sketch(i)?;
+            row.clear();
+            if let Some(head) = seg.head {
+                let stats = WindowStats::from_values(head.slice(values));
+                plan.head_stats.push(stats);
+                row.push(stats);
+            }
+            for k in seg.full.clone() {
+                row.push(sk.window(k));
+            }
+            if let Some(tail) = seg.tail {
+                let stats = WindowStats::from_values(tail.slice(values));
+                plan.tail_stats.push(stats);
+                row.push(stats);
+            }
+            plan.push_series_row(&row);
+        }
+        plan.finalize()
+    }
+
+    /// Build a sketch-only plan over a range of basic-window indices — the
+    /// aligned "special case" of Lemma 1 used by Algorithms 1–3. No raw data
+    /// is needed.
+    pub fn build_aligned(sketch: &SketchSet, windows: Range<usize>) -> Result<Self> {
+        if windows.end > sketch.window_count() || windows.is_empty() {
+            return Err(Error::SketchMismatch {
+                requested: format!("basic windows {windows:?}"),
+                available: format!("{} sketched windows", sketch.window_count()),
+            });
+        }
+        let n = sketch.series_count();
+        let w = windows.len();
+        let mut plan = Self::empty(n, w, windows.clone(), None, None);
+        let mut row: Vec<WindowStats> = Vec::with_capacity(w);
+        for i in 0..n {
+            let sk = sketch.series_sketch(i)?;
+            row.clear();
+            row.extend(windows.clone().map(|k| sk.window(k)));
+            plan.push_series_row(&row);
+        }
+        plan.finalize()
+    }
+
+    /// Build an aligned plan from per-series window statistics that were read
+    /// back from a sketch store (`stats[i][k]` is the `k`-th window of series
+    /// `i`). This is the constructor the parallel disk engine uses: the store
+    /// already served the statistics, so no [`SketchSet`] exists in memory.
+    pub fn from_window_stats(stats: &[Vec<WindowStats>]) -> Result<Self> {
+        let n = stats.len();
+        let w = stats.first().map_or(0, |row| row.len());
+        if n == 0 || w == 0 {
+            return Err(Error::EmptyInput("window statistics for a query plan"));
+        }
+        if let Some(bad) = stats.iter().find(|row| row.len() != w) {
+            return Err(Error::SketchMismatch {
+                requested: format!("{w} windows per series"),
+                available: format!("{} windows", bad.len()),
+            });
+        }
+        let mut plan = Self::empty(n, w, 0..w, None, None);
+        for row in stats {
+            plan.push_series_row(row);
+        }
+        plan.finalize()
+    }
+
+    fn empty(
+        n: usize,
+        w: usize,
+        full: Range<usize>,
+        head: Option<WindowSpan>,
+        tail: Option<WindowSpan>,
+    ) -> Self {
+        Self {
+            n,
+            w,
+            full,
+            head,
+            tail,
+            lens: Vec::with_capacity(w),
+            total: 0.0,
+            stds: Vec::with_capacity(n * w),
+            deltas: Vec::with_capacity(n * w),
+            means: Vec::with_capacity(n),
+            dens: Vec::with_capacity(n),
+            head_stats: Vec::new(),
+            tail_stats: Vec::new(),
+        }
+    }
+
+    /// Fold one series' window-statistics sequence into the flat tables.
+    ///
+    /// The arithmetic mirrors [`crate::exact::combine`] operation for
+    /// operation (same iterator `sum` for `T` and the weighted mean, same
+    /// accumulation expression and order for the denominator) so the kernel
+    /// stays bit-identical to the reference path.
+    fn push_series_row(&mut self, row: &[WindowStats]) {
+        debug_assert_eq!(row.len(), self.w);
+        if self.lens.is_empty() {
+            self.lens.extend(row.iter().map(|s| s.len as f64));
+            self.total = row.iter().map(|s| s.len as f64).sum();
+        }
+        let mean = row.iter().map(|s| s.len as f64 * s.mean).sum::<f64>() / self.total;
+        let mut den = 0.0;
+        for s in row {
+            let b = s.len as f64;
+            let d = s.mean - mean;
+            self.stds.push(s.std);
+            self.deltas.push(d);
+            den += b * (s.std * s.std + d * d);
+        }
+        self.means.push(mean);
+        self.dens.push(den);
+    }
+
+    fn finalize(self) -> Result<Self> {
+        if self.total == 0.0 {
+            return Err(Error::DegenerateWindow { points: 0 });
+        }
+        Ok(self)
+    }
+
+    /// Number of series covered by the plan.
+    pub fn series_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of plan windows (partial head/tail included).
+    pub fn window_count(&self) -> usize {
+        self.w
+    }
+
+    /// The range of full basic-window indices the plan covers in the sketch.
+    pub fn full_windows(&self) -> Range<usize> {
+        self.full.clone()
+    }
+
+    /// True when the query aligns with basic-window boundaries (no partial
+    /// head or tail) — the case where the kernel never touches raw data.
+    pub fn is_aligned(&self) -> bool {
+        self.head.is_none() && self.tail.is_none()
+    }
+
+    /// Total raw points covered by the query window (`T`).
+    pub fn total_len(&self) -> f64 {
+        self.total
+    }
+
+    /// Length-weighted query-window mean of series `i`.
+    pub fn mean(&self, i: SeriesId) -> f64 {
+        self.means[i]
+    }
+
+    /// `T ·` population variance of series `i` over the query window — the
+    /// Lemma 1 denominator `Σ_k B_k (σ² + δ²)`.
+    pub fn denominator(&self, i: SeriesId) -> f64 {
+        self.dens[i]
+    }
+
+    /// True when series `i` is constant over the query window (its Lemma 1
+    /// denominator is non-positive), i.e. the pair correlations involving it
+    /// are degenerate.
+    pub fn is_degenerate(&self, i: SeriesId) -> bool {
+        self.dens[i] <= 0.0
+    }
+
+    /// The allocation-free all-pairs kernel: correlation of series `i` and
+    /// `j` given the pair's per-window correlations for the plan's *full*
+    /// windows (`full_corrs.len() == full_windows().len()`) and, for
+    /// unaligned plans, the raw series values for the partial head/tail.
+    ///
+    /// Returns `0.0` for a degenerate (constant-series) pair, matching the
+    /// convention of the matrix paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `full_corrs` has the wrong length or when `raw` is `None`
+    /// for an unaligned plan — both are programming errors that would
+    /// otherwise produce a plausible but wrong correlation. The length check
+    /// is one branch per pair, negligible next to the per-window loop.
+    pub fn pair_kernel(
+        &self,
+        i: SeriesId,
+        j: SeriesId,
+        full_corrs: &[f64],
+        raw: Option<(&[f64], &[f64])>,
+    ) -> f64 {
+        assert_eq!(
+            full_corrs.len(),
+            self.full.len(),
+            "pair_kernel needs one correlation per full plan window"
+        );
+        let w = self.w;
+        let (sx, sy) = (
+            &self.stds[i * w..(i + 1) * w],
+            &self.stds[j * w..(j + 1) * w],
+        );
+        let (dx, dy) = (
+            &self.deltas[i * w..(i + 1) * w],
+            &self.deltas[j * w..(j + 1) * w],
+        );
+
+        let mut num = 0.0;
+        let mut k = 0;
+        if let Some(head) = self.head {
+            let (xs, ys) = raw.expect("unaligned plan kernel requires raw series data");
+            let (hx, hy) = (&self.head_stats[i], &self.head_stats[j]);
+            let c = pair_corr_from_stats(head.slice(xs), head.slice(ys), hx, hy);
+            num += self.lens[k] * (hx.std * hy.std * c + dx[k] * dy[k]);
+            k += 1;
+        }
+        for &c in full_corrs {
+            num += self.lens[k] * (sx[k] * sy[k] * c + dx[k] * dy[k]);
+            k += 1;
+        }
+        if let Some(tail) = self.tail {
+            let (xs, ys) = raw.expect("unaligned plan kernel requires raw series data");
+            let (tx, ty) = (&self.tail_stats[i], &self.tail_stats[j]);
+            let c = pair_corr_from_stats(tail.slice(xs), tail.slice(ys), tx, ty);
+            num += self.lens[k] * (tx.std * ty.std * c + dx[k] * dy[k]);
+        }
+
+        let (den_x, den_y) = (self.dens[i], self.dens[j]);
+        if den_x <= 0.0 || den_y <= 0.0 {
+            return 0.0;
+        }
+        clamp_corr(num / (den_x.sqrt() * den_y.sqrt()))
+    }
+
+    /// Correlation of one pair through the plan, fetching the pair's
+    /// per-window correlation slice from `sketch` and (for unaligned plans)
+    /// the raw values from `collection`.
+    pub fn pair_correlation(
+        &self,
+        collection: &SeriesCollection,
+        sketch: &SketchSet,
+        i: SeriesId,
+        j: SeriesId,
+    ) -> Result<f64> {
+        if i == j {
+            return Ok(1.0);
+        }
+        let pair = sketch.pair_sketch(i, j)?;
+        let corrs = &pair.corrs[self.full.clone()];
+        let raw = if self.is_aligned() {
+            None
+        } else {
+            Some((collection.get(i)?.values(), collection.get(j)?.values()))
+        };
+        Ok(self.pair_kernel(i, j, corrs, raw))
+    }
+
+    /// Correlation of one pair of an *aligned* plan using only the sketch.
+    pub fn pair_correlation_aligned(
+        &self,
+        sketch: &SketchSet,
+        i: SeriesId,
+        j: SeriesId,
+    ) -> Result<f64> {
+        if i == j {
+            return Ok(1.0);
+        }
+        debug_assert!(self.is_aligned(), "aligned kernel on an unaligned plan");
+        let pair = sketch.pair_sketch(i, j)?;
+        Ok(self.pair_kernel(i, j, &pair.corrs[self.full.clone()], None))
+    }
+}
+
+/// Split `total` work items into `parts` contiguous runs whose sizes differ
+/// by at most one — the partition policy shared by
+/// [`crate::exact::correlation_matrix_parallel`] and the parallel engine's
+/// `partition_pairs`, and the contiguity contract [`carve_packed_slices`]
+/// relies on. `parts == 0` is clamped to 1.
+pub fn even_sizes(total: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let remainder = total % parts;
+    (0..parts)
+        .map(|p| base + usize::from(p < remainder))
+        .collect()
+}
+
+/// Carve a flat packed-triangle buffer into disjoint contiguous mutable
+/// slices of the given `sizes`, in order.
+///
+/// This is the sharing primitive of the parallel all-pairs sweeps: because
+/// pair partitions are contiguous runs of the row-major packed upper
+/// triangle, each worker can own one of these slices and write its
+/// correlations without synchronization or a merge step. Used by
+/// [`crate::exact::correlation_matrix_parallel`] and the parallel disk
+/// engine.
+///
+/// # Panics
+///
+/// Panics if the sizes sum to more than `values.len()`.
+pub fn carve_packed_slices(
+    mut values: &mut [f64],
+    sizes: impl IntoIterator<Item = usize>,
+) -> Vec<&mut [f64]> {
+    let mut out = Vec::new();
+    for size in sizes {
+        let (chunk, rest) = values.split_at_mut(size);
+        out.push(chunk);
+        values = rest;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+
+    fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+                (i as f64 * 0.13).sin() * 2.0 + noise
+            })
+            .collect()
+    }
+
+    fn test_collection(n: usize, len: usize) -> SeriesCollection {
+        SeriesCollection::from_rows((0..n).map(|s| lcg_series(s as u64 + 1, len)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_matches_reference_path_bitwise_aligned() {
+        let c = test_collection(5, 200);
+        let sketch = SketchSet::build(&c, 25).unwrap();
+        let query = QueryWindow::new(199, 150).unwrap();
+        let plan = QueryPlan::build(&c, &sketch, query).unwrap();
+        assert!(plan.is_aligned());
+        for (i, j) in c.pairs() {
+            let fast = plan.pair_correlation(&c, &sketch, i, j).unwrap();
+            let reference = exact::pair_correlation(&c, &sketch, query, i, j).unwrap();
+            assert_eq!(fast.to_bits(), reference.to_bits(), "pair ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn plan_matches_reference_path_bitwise_unaligned() {
+        let c = test_collection(4, 200);
+        let sketch = SketchSet::build(&c, 30).unwrap();
+        // Both boundaries unaligned: indices 37..=171.
+        let query = QueryWindow::new(171, 135).unwrap();
+        let plan = QueryPlan::build(&c, &sketch, query).unwrap();
+        assert!(!plan.is_aligned());
+        for (i, j) in c.pairs() {
+            let fast = plan.pair_correlation(&c, &sketch, i, j).unwrap();
+            let reference = exact::pair_correlation(&c, &sketch, query, i, j).unwrap();
+            assert_eq!(fast.to_bits(), reference.to_bits(), "pair ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn aligned_builder_matches_general_builder() {
+        let c = test_collection(4, 120);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let query = QueryWindow::new(119, 80).unwrap(); // windows 2..6
+        let from_query = QueryPlan::build(&c, &sketch, query).unwrap();
+        let from_range = QueryPlan::build_aligned(&sketch, 2..6).unwrap();
+        assert_eq!(from_query, from_range);
+        let a = from_range.pair_correlation_aligned(&sketch, 0, 3).unwrap();
+        let b = exact::pair_correlation(&c, &sketch, query, 0, 3).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn from_window_stats_matches_aligned_builder() {
+        let c = test_collection(3, 100);
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let stats: Vec<Vec<WindowStats>> = (0..3)
+            .map(|i| {
+                (2..8)
+                    .map(|k| sketch.series_sketch(i).unwrap().window(k))
+                    .collect()
+            })
+            .collect();
+        let from_stats = QueryPlan::from_window_stats(&stats).unwrap();
+        let aligned = QueryPlan::build_aligned(&sketch, 2..8).unwrap();
+        // `full` ranges differ (store plans are 0-based) but the numeric
+        // tables must agree.
+        assert_eq!(from_stats.dens, aligned.dens);
+        assert_eq!(from_stats.means, aligned.means);
+        assert_eq!(from_stats.stds, aligned.stds);
+        assert_eq!(from_stats.deltas, aligned.deltas);
+    }
+
+    #[test]
+    fn accessors_expose_window_shape() {
+        let c = test_collection(3, 100);
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let query = QueryWindow::new(97, 93).unwrap(); // head 5..10, tail 90..98
+        let plan = QueryPlan::build(&c, &sketch, query).unwrap();
+        assert_eq!(plan.series_count(), 3);
+        assert_eq!(plan.full_windows(), 1..9);
+        assert_eq!(plan.window_count(), 8 + 2);
+        assert_eq!(plan.total_len(), 93.0);
+        assert!(!plan.is_degenerate(0));
+    }
+
+    #[test]
+    fn degenerate_series_yield_zero_pairs() {
+        let c = SeriesCollection::from_rows(vec![vec![5.0; 60], lcg_series(1, 60)]).unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let plan = QueryPlan::build_aligned(&sketch, 1..5).unwrap();
+        assert!(plan.is_degenerate(0));
+        assert!(!plan.is_degenerate(1));
+        assert_eq!(plan.pair_correlation_aligned(&sketch, 0, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn carve_packed_slices_covers_disjoint_ranges() {
+        let mut values = vec![0.0; 10];
+        let chunks = carve_packed_slices(&mut values, [4, 0, 3, 3]);
+        assert_eq!(
+            chunks.iter().map(|c| c.len()).collect::<Vec<_>>(),
+            vec![4, 0, 3, 3]
+        );
+        for (w, chunk) in chunks.into_iter().enumerate() {
+            for slot in chunk.iter_mut() {
+                *slot = w as f64;
+            }
+        }
+        assert_eq!(
+            values,
+            vec![0.0, 0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn builders_validate_inputs() {
+        let c = test_collection(3, 100);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        assert!(QueryPlan::build_aligned(&sketch, 0..9).is_err());
+        assert!(QueryPlan::build_aligned(&sketch, 2..2).is_err());
+        assert!(QueryPlan::from_window_stats(&[]).is_err());
+        let ragged = vec![
+            vec![WindowStats::from_values(&[1.0, 2.0]); 3],
+            vec![WindowStats::from_values(&[1.0, 2.0]); 2],
+        ];
+        assert!(QueryPlan::from_window_stats(&ragged).is_err());
+        let too_long = QueryWindow::new(200, 10).unwrap();
+        assert!(QueryPlan::build(&c, &sketch, too_long).is_err());
+    }
+}

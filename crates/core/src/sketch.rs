@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
-use crate::stats::{sketch_pair, WindowStats};
+use crate::stats::{pair_corr_from_stats, WindowStats};
 use crate::timeseries::{SeriesCollection, SeriesId};
 use crate::window::BasicWindowing;
 
@@ -97,6 +97,11 @@ impl SketchSet {
     /// Sketch an entire collection with basic windows of `basic_window`
     /// points (Algorithm 1, statistics-only lines 4–7 and 12).
     ///
+    /// The per-series statistics are computed first; the `N(N−1)/2` pair
+    /// passes then reuse them and only evaluate the centered cross-product
+    /// per window ([`pair_corr_from_stats`]) instead of re-deriving both
+    /// series' running statistics for every pair.
+    ///
     /// Fails if the basic window is zero or longer than the series.
     pub fn build(collection: &SeriesCollection, basic_window: usize) -> Result<Self> {
         let series_len = collection.series_len();
@@ -122,7 +127,12 @@ impl SketchSet {
             let mut corrs = Vec::with_capacity(ns);
             for w in 0..ns {
                 let span = windowing.window_span(w);
-                let (_, _, c) = sketch_pair(span.slice(x), span.slice(y));
+                let c = pair_corr_from_stats(
+                    span.slice(x),
+                    span.slice(y),
+                    &series[i].windows[w],
+                    &series[j].windows[w],
+                );
                 corrs.push(c);
             }
             pairs.push(PairSketch { a: i, b: j, corrs });

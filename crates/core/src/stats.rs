@@ -220,6 +220,35 @@ pub fn sketch_pair(x: &[f64], y: &[f64]) -> (WindowStats, WindowStats, f64) {
     )
 }
 
+/// Pearson correlation of two aligned windows whose per-series statistics
+/// have already been computed.
+///
+/// This is the hot-path sibling of [`sketch_pair`] used wherever per-series
+/// window statistics are shared across many pairs (sketching all `N(N−1)/2`
+/// pairs, streaming ingestion): instead of re-running the full Welford pass
+/// per pair, only the centered cross-product `Σ (x_t − x̄)(y_t − ȳ)` remains
+/// to be computed — one multiply-add per point instead of two divisions and
+/// five multiply-adds.
+///
+/// The result is bit-identical to [`pearson`] when `sx`/`sy` were produced by
+/// [`WindowStats::from_values`] (or the per-series half of [`sketch_pair`] /
+/// [`joint_stats`]) over the same slices, because `pearson` centers with the
+/// same Welford means.
+pub fn pair_corr_from_stats(x: &[f64], y: &[f64], sx: &WindowStats, sy: &WindowStats) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), sx.len);
+    let n = x.len();
+    if n == 0 || sx.std == 0.0 || sy.std == 0.0 {
+        return 0.0;
+    }
+    let mut cov = 0.0;
+    for i in 0..n {
+        cov += (x[i] - sx.mean) * (y[i] - sy.mean);
+    }
+    cov /= n as f64;
+    clamp_corr(cov / (sx.std * sy.std))
+}
+
 /// Clamp a correlation value into `[-1, 1]`, absorbing the tiny excursions
 /// floating-point recombination can produce.
 pub fn clamp_corr(c: f64) -> f64 {
@@ -334,6 +363,20 @@ mod tests {
         // mx=2, my=3, cov = ((-1)(-2) + 0 + (1)(2)) / 3 = 4/3
         assert!((covariance(&x, &y) - 4.0 / 3.0).abs() < 1e-12);
         assert_eq!(covariance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn pair_corr_from_stats_is_bit_identical_to_pearson() {
+        let x = [0.3, 1.7, -2.2, 5.0, 4.4, 0.0, 1.0];
+        let y = [1.3, -0.7, 2.2, 3.0, -4.4, 2.0, 0.5];
+        let sx = WindowStats::from_values(&x);
+        let sy = WindowStats::from_values(&y);
+        let fast = pair_corr_from_stats(&x, &y, &sx, &sy);
+        assert_eq!(fast.to_bits(), pearson(&x, &y).to_bits());
+        // Constant input keeps the 0.0 convention.
+        let c = [2.0; 7];
+        let sc = WindowStats::from_values(&c);
+        assert_eq!(pair_corr_from_stats(&c, &y, &sc, &sy), 0.0);
     }
 
     #[test]

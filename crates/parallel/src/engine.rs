@@ -11,9 +11,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tsubasa_core::error::{Error, Result};
-use tsubasa_core::exact::{combine, WindowContribution};
 use tsubasa_core::matrix::CorrelationMatrix;
-use tsubasa_core::stats::{sketch_pair, WindowStats};
+use tsubasa_core::plan::QueryPlan;
+use tsubasa_core::stats::{pair_corr_from_stats, WindowStats};
 use tsubasa_core::window::BasicWindowing;
 use tsubasa_core::SeriesCollection;
 use tsubasa_dft::approx::{query_correlation, ApproxWindow};
@@ -200,8 +200,16 @@ impl ParallelEngine {
                         for w in 0..ns {
                             let record = match method {
                                 SketchMethod::Exact => {
+                                    // The per-series statistics were computed
+                                    // once up front; only the centered
+                                    // cross-product remains per pair.
                                     let span = windowing.window_span(w);
-                                    let (_, _, c) = sketch_pair(span.slice(xs), span.slice(ys));
+                                    let c = pair_corr_from_stats(
+                                        span.slice(xs),
+                                        span.slice(ys),
+                                        &series_stats[a][w],
+                                        &series_stats[b][w],
+                                    );
                                     PairWindowRecord {
                                         a: a as u32,
                                         b: b as u32,
@@ -216,7 +224,6 @@ impl ParallelEngine {
                                         &series_coeffs[b][w],
                                         coefficients,
                                     );
-                                    let _ = &series_stats; // stats already persisted per series
                                     PairWindowRecord {
                                         a: a as u32,
                                         b: b as u32,
@@ -269,6 +276,12 @@ impl ParallelEngine {
     /// Build the all-pair correlation matrix for an aligned range of basic
     /// windows by reading sketches back from the store, and report the
     /// read/compute breakdown (Figure 6b).
+    ///
+    /// The per-series statistics are read once and folded into a single
+    /// read-only [`QueryPlan`] shared by every worker; each worker owns a
+    /// disjoint contiguous slice of the packed upper-triangle result (its
+    /// partition's pairs are contiguous in row-major order), so the matrix is
+    /// assembled without any merge step.
     pub fn query_from_store(
         &self,
         store: Arc<dyn SketchStore>,
@@ -289,31 +302,52 @@ impl ParallelEngine {
         }
         let series_read_time = read_start.elapsed();
 
+        // Precompute the per-series half of the Lemma 1 recombination once
+        // for all pairs (exact queries only; the DFT path recombines
+        // distances instead).
+        let plan = match method {
+            QueryMethod::Exact if n >= 2 => Some(QueryPlan::from_window_stats(&series_stats)?),
+            _ => None,
+        };
+
         let partitions = partition_pairs(n, self.config.workers.max(1));
         let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
+
+        // The flat packed upper triangle, carved into one disjoint
+        // contiguous slice per partition (partitions are contiguous in
+        // row-major pair order).
+        let mut values = vec![0.0f64; n * n.saturating_sub(1) / 2];
+        let slices = tsubasa_core::plan::carve_packed_slices(
+            &mut values,
+            partitions.iter().map(|p| p.len()),
+        );
+
         let series_stats = &series_stats;
+        let plan_ref = plan.as_ref();
         let store_ref = &store;
         let windows_ref = &windows;
 
         struct WorkerOut {
-            entries: Vec<(usize, usize, f64)>,
             read: Duration,
             compute: Duration,
         }
 
         let outputs = crossbeam::thread::scope(|scope| -> Result<Vec<WorkerOut>> {
             let mut handles = Vec::new();
-            for part in &partitions {
+            for (part, slice) in partitions.iter().zip(slices) {
                 if part.is_empty() {
                     continue;
                 }
                 let batch_pairs = self.config.batch_pairs.max(1);
                 handles.push(scope.spawn(move |_| -> Result<WorkerOut> {
                     let mut out = WorkerOut {
-                        entries: Vec::with_capacity(part.len()),
                         read: Duration::ZERO,
                         compute: Duration::ZERO,
                     };
+                    let mut cursor = 0;
+                    // Per-worker scratch for the pair's per-window
+                    // correlations: cleared and refilled, never reallocated.
+                    let mut corr_scratch: Vec<f64> = Vec::new();
                     // Pairs are read from the store in batches: consecutive
                     // pairs of a partition are contiguous on disk, so the
                     // store can serve a batch with a single ranged read.
@@ -326,16 +360,10 @@ impl ParallelEngine {
                         for (&(a, b), records) in chunk.iter().zip(&batch) {
                             let corr = match method {
                                 QueryMethod::Exact => {
-                                    let parts: Vec<WindowContribution> = records
-                                        .iter()
-                                        .enumerate()
-                                        .map(|(k, r)| WindowContribution {
-                                            x: series_stats[a][k],
-                                            y: series_stats[b][k],
-                                            corr: r.corr,
-                                        })
-                                        .collect();
-                                    combine(&parts)
+                                    let plan = plan_ref.expect("plan is built for exact queries");
+                                    corr_scratch.clear();
+                                    corr_scratch.extend(records.iter().map(|r| r.corr));
+                                    plan.pair_kernel(a, b, &corr_scratch, None)
                                 }
                                 QueryMethod::Approximate => {
                                     let parts: Vec<ApproxWindow> = records
@@ -350,7 +378,8 @@ impl ParallelEngine {
                                     query_correlation(&parts)
                                 }
                             };
-                            out.entries.push((a, b, corr));
+                            slice[cursor] = corr;
+                            cursor += 1;
                         }
                         out.compute += t1.elapsed();
                     }
@@ -367,15 +396,12 @@ impl ParallelEngine {
         })
         .map_err(|_| Error::Storage("query scope panicked".into()))??;
 
-        let mut matrix = CorrelationMatrix::identity(n);
+        let matrix = CorrelationMatrix::from_upper_triangle(n, values);
         let mut read_time = series_read_time;
         let mut compute_time = Duration::ZERO;
         for out in outputs {
             read_time += out.read;
             compute_time += out.compute;
-            for (a, b, c) in out.entries {
-                matrix.set(a, b, c);
-            }
         }
 
         Ok((

@@ -6,6 +6,7 @@
 //! statistics of the row's series stay hot while its pairs are computed. For
 //! load balancing every partition receives (almost) the same number of pairs.
 
+use tsubasa_core::plan::even_sizes;
 use tsubasa_core::SeriesId;
 
 /// One partition: a contiguous run of unordered pairs in row-major order.
@@ -34,7 +35,6 @@ impl PairPartition {
 /// of (nearly) equal size, preserving row-major order inside each partition
 /// so that consecutive pairs share their first series.
 pub fn partition_pairs(n: usize, parts: usize) -> Vec<PairPartition> {
-    let parts = parts.max(1);
     let total = n * n.saturating_sub(1) / 2;
     let mut all = Vec::with_capacity(total);
     for i in 0..n {
@@ -42,12 +42,10 @@ pub fn partition_pairs(n: usize, parts: usize) -> Vec<PairPartition> {
             all.push((i, j));
         }
     }
-    let base = total / parts;
-    let remainder = total % parts;
-    let mut out = Vec::with_capacity(parts);
+    let sizes = even_sizes(total, parts);
+    let mut out = Vec::with_capacity(sizes.len());
     let mut cursor = 0;
-    for id in 0..parts {
-        let size = base + usize::from(id < remainder);
+    for (id, size) in sizes.into_iter().enumerate() {
         let pairs = all[cursor..cursor + size].to_vec();
         cursor += size;
         out.push(PairPartition { id, pairs });

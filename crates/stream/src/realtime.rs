@@ -3,7 +3,8 @@
 //! [`RealTimeNetwork`] ties the pieces together:
 //!
 //! 1. construct the initial network from historical data (Algorithm 2 /
-//!    Lemma 1);
+//!    Lemma 1, evaluated through the shared flat
+//!    [`tsubasa_core::plan::QueryPlan`] kernel);
 //! 2. buffer incoming observations until a basic window completes
 //!    ([`StreamBuffer`]);
 //! 3. update every pairwise correlation incrementally — exactly (Lemma 2) or
@@ -53,6 +54,10 @@ impl RealTimeNetwork {
     /// Bootstrap from historical data: sketch `historical`, build the initial
     /// network over its most recent `query_len` points (which must be a
     /// multiple of `basic_window`), and prepare for streaming ingestion.
+    ///
+    /// The exact path initializes all pairs through one shared
+    /// [`tsubasa_core::plan::QueryPlan`] rather than per-pair contribution
+    /// vectors, so bootstrap cost is dominated by the sketch pass itself.
     pub fn new(
         historical: &SeriesCollection,
         basic_window: usize,

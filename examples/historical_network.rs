@@ -63,8 +63,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             windows.full_count(),
             windows.is_aligned()
         );
+        // The multi-threaded in-memory sweep shares one read-only QueryPlan
+        // across workers and is bit-identical to the serial path.
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let t = Instant::now();
+        let parallel_matrix =
+            exact::correlation_matrix_parallel(&collection, builder.sketch(), query, workers)?;
+        let parallel_time = t.elapsed();
+        assert_eq!(parallel_matrix, exact_matrix);
+
         println!(
-            "  TSUBASA query {exact_time:>10?}   baseline {baseline_time:>10?}   max diff {:.2e}",
+            "  TSUBASA query {exact_time:>10?}   parallel x{workers} {parallel_time:>10?}   \
+             baseline {baseline_time:>10?}   max diff {:.2e}",
             exact_matrix.max_abs_diff(&baseline_matrix)
         );
 
