@@ -56,7 +56,7 @@ fn main() {
                 Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
             let engine = ParallelEngine::new(ParallelConfig {
                 workers,
-                batch_pairs: 128,
+                batch_pairs: tsubasa_storage::default_batch_pairs(),
                 sketch_method: method,
             });
             let report = engine
@@ -88,6 +88,7 @@ fn main() {
             "basic_window": basic_window,
             "points": points,
             "workers": workers,
+            "db_batch_pairs": tsubasa_storage::default_batch_pairs(),
             "rows": json_rows,
         }),
     );

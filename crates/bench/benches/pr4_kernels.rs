@@ -1,0 +1,108 @@
+//! Tiled-kernel microbenchmark: the batch sketch and query kernels against
+//! their scalar reference paths, same process, same data, repeated runs.
+//!
+//! The fig5b harness measures end-to-end figures (including the slow DFT
+//! comparator sweeps); this target isolates the PR 4 kernels so the
+//! tiled-vs-scalar speedup can be measured quickly and with less noise:
+//!
+//! * sketch: `SketchSet::build` (window-major z-rows + `Z·Zᵀ` tiles) vs
+//!   `SketchSet::build_reference` (per-pair centered cross-products);
+//! * query: `exact::correlation_matrix` (`block_kernel` over the window-major
+//!   correlation table) vs the scalar plan kernel looped pair by pair —
+//!   exactly the pre-tiling all-pairs sweep.
+//!
+//! Results land in `target/bench-results/pr4_kernels.json`.
+
+use tsubasa_bench::{fmt_ms, millis, scaled, time, Table};
+use tsubasa_core::plan::QueryPlan;
+use tsubasa_core::prelude::*;
+use tsubasa_data::prelude::*;
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..reps)
+        .map(|_| millis(time(&mut f).1))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let stations = scaled(60, 16);
+    let points = scaled(8_760, 3_500).max(3_500);
+    let query_len = 3_000;
+    let reps = 5;
+    println!(
+        "PR4 kernel micro: {stations} stations x {points} points | query window {query_len} | best of {reps}"
+    );
+
+    let collection = generate_ncea_like(&NceaLikeConfig {
+        stations,
+        points,
+        ..NceaLikeConfig::default()
+    })
+    .expect("generate dataset");
+
+    let mut table = Table::new(&[
+        "B",
+        "sketch tiled",
+        "sketch scalar",
+        "x",
+        "query tiled",
+        "query scalar",
+        "x",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for basic_window in [50usize, 100, 200, 300, 500] {
+        let sketch_tiled = best_of(reps, || {
+            SketchSet::build(&collection, basic_window).unwrap()
+        });
+        let sketch_scalar = best_of(reps, || {
+            SketchSet::build_reference(&collection, basic_window).unwrap()
+        });
+
+        let sketch = SketchSet::build(&collection, basic_window).unwrap();
+        let last = sketch.window_count();
+        let query = QueryWindow::new(last * basic_window - 1, query_len).unwrap();
+
+        let query_tiled = best_of(reps, || {
+            exact::correlation_matrix(&collection, &sketch, query).unwrap()
+        });
+        let query_scalar = best_of(reps, || {
+            let plan = QueryPlan::build(&collection, &sketch, query).unwrap();
+            collection
+                .pairs()
+                .map(|(i, j)| plan.pair_correlation(&collection, &sketch, i, j).unwrap())
+                .collect::<Vec<f64>>()
+        });
+
+        table.row(vec![
+            basic_window.to_string(),
+            fmt_ms(sketch_tiled),
+            fmt_ms(sketch_scalar),
+            format!("{:.2}", sketch_scalar / sketch_tiled),
+            fmt_ms(query_tiled),
+            fmt_ms(query_scalar),
+            format!("{:.2}", query_scalar / query_tiled),
+        ]);
+        json_rows.push(serde_json::json!({
+            "basic_window": basic_window,
+            "sketch_tiled_ms": sketch_tiled,
+            "sketch_scalar_ms": sketch_scalar,
+            "sketch_speedup": sketch_scalar / sketch_tiled,
+            "query_tiled_ms": query_tiled,
+            "query_scalar_ms": query_scalar,
+            "query_speedup": query_scalar / query_tiled,
+        }));
+    }
+
+    table.print("PR4 tiled kernels vs scalar reference (best-of runs)");
+    tsubasa_bench::write_json(
+        "pr4_kernels",
+        &serde_json::json!({
+            "stations": stations,
+            "points": points,
+            "query_len": query_len,
+            "reps": reps,
+            "rows": json_rows,
+        }),
+    );
+}

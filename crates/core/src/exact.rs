@@ -24,14 +24,20 @@
 //! The all-pairs entry points ([`correlation_matrix`],
 //! [`correlation_matrix_aligned`], [`correlation_matrix_parallel`]) do *not*
 //! loop over [`pair_correlation`]: they build a [`crate::plan::QueryPlan`]
-//! once per query and run its allocation-free flat kernel over every pair,
-//! which produces bit-identical values while doing the per-series half of
-//! the recombination once instead of `N−1` times.
+//! once per query and evaluate the packed triangle row tile by row tile with
+//! the plan's batch kernel ([`QueryPlan::block_kernel`]) against the
+//! sketch's window-major correlation table (borrowed zero-copy through
+//! [`SketchSet::window_corrs_view`]). The batch kernel reorders the
+//! floating-point accumulation, so the matrix paths agree with the per-pair
+//! reference within `1e-10` absolute (the `tiled_kernel_agreement` property
+//! suite pins this) rather than bit-for-bit; the scalar plan kernel
+//! ([`QueryPlan::pair_kernel`]) remains bit-identical to [`pair_correlation`].
 
 use crate::error::{Error, Result};
 use crate::matrix::CorrelationMatrix;
-use crate::plan::QueryPlan;
-use crate::sketch::SketchSet;
+use crate::plan::{row_segments, CorrView, QueryPlan};
+use crate::runner::{Job, JobRunner, ScopedRunner};
+use crate::sketch::{pair_index, SketchSet};
 use crate::stats::{clamp_corr, WindowStats};
 use crate::timeseries::{SeriesCollection, SeriesId};
 use crate::window::QueryWindow;
@@ -268,15 +274,15 @@ pub fn correlation_matrix(
     if n < 2 {
         return Ok(CorrelationMatrix::identity(n));
     }
-    let mut values = Vec::with_capacity(n * (n - 1) / 2);
-    for (i, j) in collection.pairs() {
-        values.push(plan.pair_correlation(collection, sketch, i, j)?);
-    }
+    let corrs_t = sketch.window_corrs_view(plan.full_windows());
+    let mut values = vec![0.0f64; n * (n - 1) / 2];
+    sweep_packed_run(&plan, corrs_t, 0, &mut values);
     Ok(CorrelationMatrix::from_upper_triangle(n, values))
 }
 
 /// All-pair correlation matrix over an aligned range of basic windows, using
-/// only the sketch (shared [`QueryPlan`], no raw data touched).
+/// only the sketch (shared [`QueryPlan`] evaluated through the batch kernel,
+/// no raw data touched).
 pub fn correlation_matrix_aligned(
     sketch: &SketchSet,
     windows: std::ops::Range<usize>,
@@ -286,93 +292,83 @@ pub fn correlation_matrix_aligned(
     if n < 2 {
         return Ok(CorrelationMatrix::identity(n));
     }
-    let mut values = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            values.push(plan.pair_correlation_aligned(sketch, i, j)?);
-        }
-    }
+    let corrs_t = sketch.window_corrs_view(plan.full_windows());
+    let mut values = vec![0.0f64; n * (n - 1) / 2];
+    sweep_packed_run(&plan, corrs_t, 0, &mut values);
     Ok(CorrelationMatrix::from_upper_triangle(n, values))
 }
 
-/// Map a packed upper-triangle index back to its unordered pair `(i, j)`,
-/// `i < j` — the inverse of [`crate::sketch::pair_index`]. Used to hand each
-/// parallel worker a contiguous run of pairs.
-fn unpack_pair_index(p: usize, n: usize) -> (usize, usize) {
-    let mut i = 0;
-    let mut row_start = 0;
-    loop {
-        let row_len = n - 1 - i;
-        if p < row_start + row_len {
-            return (i, i + 1 + p - row_start);
-        }
-        row_start += row_len;
-        i += 1;
+/// Evaluate the contiguous packed-triangle run `start..start + out.len()`
+/// through the plan's batch kernel, one same-row tile at a time. This is the
+/// unit of work both the serial and the parallel sweeps execute — a worker's
+/// chunk boundary never changes any pair's arithmetic, so the matrix is
+/// independent of the worker count.
+fn sweep_packed_run(plan: &QueryPlan, corrs_t: CorrView<'_>, start: usize, out: &mut [f64]) {
+    let n = plan.series_count();
+    let mut cursor = 0;
+    for (i, j0, len) in row_segments(start, out.len(), n) {
+        plan.block_kernel(
+            i,
+            j0,
+            corrs_t,
+            pair_index(i, j0, n),
+            &mut out[cursor..cursor + len],
+        );
+        cursor += len;
     }
 }
 
-/// Multi-threaded in-memory all-pairs sweep: the same flat [`QueryPlan`]
-/// kernel as [`correlation_matrix`], with the packed upper triangle split
-/// into contiguous disjoint slices written by `workers` scoped threads that
-/// share the read-only plan.
+/// Multi-threaded in-memory all-pairs sweep: the same batch kernel as
+/// [`correlation_matrix`], with the packed upper triangle split into
+/// contiguous disjoint slices evaluated by `workers` threads that share the
+/// read-only plan.
 ///
-/// The result is bit-identical to [`correlation_matrix`] regardless of the
-/// worker count. `workers == 0` is clamped to 1; counts above the number of
-/// pairs are clamped down.
+/// The result is identical to [`correlation_matrix`] regardless of the
+/// worker count (every pair's accumulation is independent, so chunk
+/// boundaries don't change the arithmetic). `workers == 0` is clamped to 1;
+/// counts above the number of pairs are clamped down.
+///
+/// This convenience wrapper spawns scoped threads on every call
+/// ([`ScopedRunner`]); query-heavy callers should build a reusable
+/// `tsubasa_parallel::WorkerPool` once and call
+/// [`correlation_matrix_parallel_in`] to stop paying thread startup per
+/// query.
 pub fn correlation_matrix_parallel(
     collection: &SeriesCollection,
     sketch: &SketchSet,
     query: QueryWindow,
     workers: usize,
 ) -> Result<CorrelationMatrix> {
+    correlation_matrix_parallel_in(&ScopedRunner::new(workers), collection, sketch, query)
+}
+
+/// [`correlation_matrix_parallel`] on a caller-provided [`JobRunner`] — pass
+/// a reusable worker pool to amortize thread startup across repeated
+/// queries.
+pub fn correlation_matrix_parallel_in(
+    runner: &dyn JobRunner,
+    collection: &SeriesCollection,
+    sketch: &SketchSet,
+    query: QueryWindow,
+) -> Result<CorrelationMatrix> {
     let n = collection.len();
     let total = n * n.saturating_sub(1) / 2;
-    let workers = workers.max(1).min(total.max(1));
+    let workers = runner.worker_count().max(1).min(total.max(1));
     if workers <= 1 || total == 0 {
         return correlation_matrix(collection, sketch, query);
     }
     let plan = QueryPlan::build(collection, sketch, query)?;
+    let corrs_t = sketch.window_corrs_view(plan.full_windows());
     let mut values = vec![0.0f64; total];
 
-    // Carve the packed upper triangle into one contiguous slice per worker,
-    // sized as evenly as possible.
-    let sizes = crate::plan::even_sizes(total, workers);
-    let starts: Vec<usize> = sizes
-        .iter()
-        .scan(0, |acc, s| {
-            let start = *acc;
-            *acc += s;
-            Some(start)
+    let plan_ref = &plan;
+    let jobs: Vec<Job<'_>> = crate::plan::carve_for_workers(&mut values, workers)
+        .into_iter()
+        .map(|(start, chunk)| {
+            Box::new(move || sweep_packed_run(plan_ref, corrs_t, start, chunk)) as Job<'_>
         })
         .collect();
-    let chunks = crate::plan::carve_packed_slices(&mut values, sizes.iter().copied());
-    let slices: Vec<(usize, &mut [f64])> = starts.into_iter().zip(chunks).collect();
-
-    let plan = &plan;
-    std::thread::scope(|scope| -> Result<()> {
-        let mut handles = Vec::with_capacity(slices.len());
-        for (start, chunk) in slices {
-            handles.push(scope.spawn(move || -> Result<()> {
-                let (mut i, mut j) = unpack_pair_index(start, n);
-                for slot in chunk.iter_mut() {
-                    *slot = plan.pair_correlation(collection, sketch, i, j)?;
-                    j += 1;
-                    if j == n {
-                        i += 1;
-                        j = i + 1;
-                    }
-                }
-                Ok(())
-            }));
-        }
-        for h in handles {
-            match h.join() {
-                Ok(r) => r?,
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
-        }
-        Ok(())
-    })?;
+    runner.run(jobs);
     Ok(CorrelationMatrix::from_upper_triangle(n, values))
 }
 
@@ -569,8 +565,25 @@ mod tests {
         for i in 0..n {
             for j in (i + 1)..n {
                 let p = crate::sketch::pair_index(i, j, n);
-                assert_eq!(unpack_pair_index(p, n), (i, j));
+                assert_eq!(crate::sketch::unpack_pair_index(p, n), (i, j));
             }
+        }
+    }
+
+    #[test]
+    fn matrix_sweep_stays_within_tolerance_of_pair_reference() {
+        let c = test_collection(6, 200);
+        let sketch = SketchSet::build(&c, 30).unwrap();
+        // Unaligned on both ends so head/tail tiles are exercised.
+        let query = QueryWindow::new(187, 150).unwrap();
+        let m = correlation_matrix(&c, &sketch, query).unwrap();
+        for (i, j) in c.pairs() {
+            let reference = pair_correlation(&c, &sketch, query, i, j).unwrap();
+            assert!(
+                (m.get(i, j) - reference).abs() <= 1e-10,
+                "pair ({i},{j}): {} vs {reference}",
+                m.get(i, j)
+            );
         }
     }
 

@@ -26,9 +26,10 @@ use std::collections::VecDeque;
 use crate::error::{Error, Result};
 use crate::exact::{self, WindowContribution};
 use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
-use crate::plan::QueryPlan;
+use crate::plan::{self, QueryPlan};
+use crate::runner::{Job, JobRunner, SerialRunner};
 use crate::sketch::SketchSet;
-use crate::stats::{clamp_corr, pair_corr_from_stats, WindowStats};
+use crate::stats::{clamp_corr, normalize_into, tiled_pair_corrs_into, WindowStats};
 use crate::timeseries::SeriesCollection;
 
 /// Summary of one series over the current sliding query window, maintained
@@ -390,8 +391,21 @@ impl SlidingNetwork {
 
     /// Slide the network forward by one basic window. `chunk[i]` holds the
     /// `B` newly observed points of series `i`. This is the
-    /// `UpdateNetwork` step of Algorithm 3 (Lemma 2 applied to every pair).
+    /// `UpdateNetwork` step of Algorithm 3 (Lemma 2 applied to every pair),
+    /// run inline on the calling thread; [`SlidingNetwork::ingest_in`] is the
+    /// same update fanned out over a [`JobRunner`].
     pub fn ingest(&mut self, chunk: &[Vec<f64>]) -> Result<()> {
+        self.ingest_in(&SerialRunner, chunk)
+    }
+
+    /// [`SlidingNetwork::ingest`] with the per-pair Lemma 2 sweep split into
+    /// disjoint contiguous slices of the packed correlation triangle, one per
+    /// worker of `runner`. Hand the same reusable pool
+    /// (`tsubasa_parallel::WorkerPool`) to every call so repeated slides stop
+    /// paying thread startup. The result is identical to the serial
+    /// [`SlidingNetwork::ingest`] for any worker count (each pair's update
+    /// reads only shared snapshots and its own slot).
+    pub fn ingest_in(&mut self, runner: &dyn JobRunner, chunk: &[Vec<f64>]) -> Result<()> {
         if chunk.len() != self.n {
             return Err(Error::UnalignedSeries {
                 expected: self.n,
@@ -407,25 +421,24 @@ impl SlidingNetwork {
                 });
             }
         }
+        let n = self.n;
+        let b = self.basic_window;
 
         // Sketch the arriving basic window: per-series statistics...
         let arriving_stats: Vec<WindowStats> = chunk
             .iter()
             .map(|points| WindowStats::from_values(points))
             .collect();
-        // ...and per-pair correlations, reusing the per-series statistics so
-        // each pair only costs the centered cross-product.
-        let mut arriving_corrs = Vec::with_capacity(self.corrs.len());
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                arriving_corrs.push(pair_corr_from_stats(
-                    &chunk[i],
-                    &chunk[j],
-                    &arriving_stats[i],
-                    &arriving_stats[j],
-                ));
-            }
+        // ...and per-pair correlations through the tiled batch kernel: the
+        // chunk is z-normalized once (structure-of-arrays, one contiguous row
+        // per series) and every pair collapses to a dot product.
+        let mut z = vec![0.0f64; n * b];
+        for (i, points) in chunk.iter().enumerate() {
+            normalize_into(points, &arriving_stats[i], &mut z[i * b..(i + 1) * b]);
         }
+        let mut arriving_corrs = vec![0.0f64; self.corrs.len()];
+        tiled_pair_corrs_into(&z, n, b, &mut arriving_corrs);
+        drop(z);
 
         // Snapshot the per-series sliding state into flat arrays once — the
         // same precompute-then-sweep shape as the QueryPlan kernel — instead
@@ -440,40 +453,62 @@ impl SlidingNetwork {
         let means: Vec<f64> = self.series.iter().map(|s| s.mean()).collect();
         let stds: Vec<f64> = self.series.iter().map(|s| s.std()).collect();
 
-        // Apply Lemma 2 to every pair before mutating any per-series state.
-        let evicted_corrs = self.pair_windows.front().expect("non-empty window");
-        let mut idx = 0;
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                let evicted = WindowContribution {
-                    x: fronts[i],
-                    y: fronts[j],
-                    corr: evicted_corrs[idx],
-                };
-                let arriving = WindowContribution {
-                    x: arriving_stats[i],
-                    y: arriving_stats[j],
-                    corr: arriving_corrs[idx],
-                };
-                self.corrs[idx] = lemma2_update(
-                    totals[i],
-                    means[i],
-                    means[j],
-                    stds[i],
-                    stds[j],
-                    self.corrs[idx],
-                    &evicted,
-                    &arriving,
-                );
-                idx += 1;
-            }
-        }
+        // Apply Lemma 2 to every pair before mutating any per-series state,
+        // one disjoint contiguous slice of the packed triangle per worker.
+        // The evicted window's correlations are moved out up front so the
+        // sweep can borrow `self.corrs` mutably alongside them.
+        let evicted_corrs = self.pair_windows.pop_front().expect("non-empty window");
+        let total = self.corrs.len();
+        let workers = runner.worker_count().max(1).min(total.max(1));
+        let evicted_ref = &evicted_corrs;
+        let fronts_ref = &fronts;
+        let totals_ref = &totals;
+        let means_ref = &means;
+        let stds_ref = &stds;
+        let arriving_ref = &arriving_stats;
+        let arriving_corrs_ref = &arriving_corrs;
+        let jobs: Vec<Job<'_>> = plan::carve_for_workers(&mut self.corrs, workers)
+            .into_iter()
+            .map(|(start, slice)| {
+                Box::new(move || {
+                    let mut cursor = 0;
+                    for (i, j0, len) in plan::row_segments(start, slice.len(), n) {
+                        for p in 0..len {
+                            let j = j0 + p;
+                            let idx = start + cursor;
+                            let evicted = WindowContribution {
+                                x: fronts_ref[i],
+                                y: fronts_ref[j],
+                                corr: evicted_ref[idx],
+                            };
+                            let arriving = WindowContribution {
+                                x: arriving_ref[i],
+                                y: arriving_ref[j],
+                                corr: arriving_corrs_ref[idx],
+                            };
+                            slice[cursor] = lemma2_update(
+                                totals_ref[i],
+                                means_ref[i],
+                                means_ref[j],
+                                stds_ref[i],
+                                stds_ref[j],
+                                slice[cursor],
+                                &evicted,
+                                &arriving,
+                            );
+                            cursor += 1;
+                        }
+                    }
+                }) as Job<'_>
+            })
+            .collect();
+        runner.run(jobs);
 
-        // Now slide the per-series and per-window state.
+        // Now slide the per-series and per-window state (the evicted pair
+        // correlations were already popped above).
         for (state, stats) in self.series.iter_mut().zip(&arriving_stats) {
             state.slide(*stats);
         }
-        self.pair_windows.pop_front();
         self.pair_windows.push_back(arriving_corrs);
         Ok(())
     }
@@ -638,6 +673,38 @@ mod tests {
             now > hist_len + 10 * b,
             "the loop must have exercised many slides"
         );
+    }
+
+    #[test]
+    fn ingest_in_is_identical_across_worker_counts() {
+        use crate::runner::ScopedRunner;
+        let n = 5;
+        let b = 10;
+        let total = 260;
+        let full: Vec<Vec<f64>> = (0..n)
+            .map(|s| lcg_series(s as u64 * 3 + 2, total))
+            .collect();
+        let hist = 160;
+        let c =
+            SeriesCollection::from_rows(full.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let sketch = SketchSet::build(&c, b).unwrap();
+        let serial = SlidingNetwork::initialize(&c, &sketch, 80).unwrap();
+        let mut nets = [serial.clone(), serial.clone(), serial];
+        let runners: Vec<ScopedRunner> = [1usize, 3, 8]
+            .iter()
+            .map(|&w| ScopedRunner::new(w))
+            .collect();
+        let mut now = hist;
+        while now + b <= total {
+            let chunk: Vec<Vec<f64>> = full.iter().map(|s| s[now..now + b].to_vec()).collect();
+            for (net, runner) in nets.iter_mut().zip(&runners) {
+                net.ingest_in(runner, &chunk).unwrap();
+            }
+            now += b;
+            let m0 = nets[0].correlation_matrix();
+            assert_eq!(m0, nets[1].correlation_matrix());
+            assert_eq!(m0, nets[2].correlation_matrix());
+        }
     }
 
     #[test]

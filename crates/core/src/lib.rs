@@ -73,6 +73,7 @@ pub mod incremental;
 pub mod inference;
 pub mod matrix;
 pub mod plan;
+pub mod runner;
 pub mod sketch;
 pub mod stats;
 pub mod timeseries;
@@ -81,6 +82,7 @@ pub mod window;
 pub use error::{Error, Result};
 pub use matrix::{AdjacencyMatrix, CorrelationMatrix};
 pub use plan::QueryPlan;
+pub use runner::{Job, JobRunner, ScopedRunner, SerialRunner};
 pub use sketch::{PairSketch, SeriesSketch, SketchSet};
 pub use stats::WindowStats;
 pub use timeseries::{GeoLocation, SeriesCollection, SeriesId, TimeSeries};

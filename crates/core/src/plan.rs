@@ -65,7 +65,9 @@ use std::ops::Range;
 
 use crate::error::{Error, Result};
 use crate::sketch::SketchSet;
-use crate::stats::{clamp_corr, pair_corr_from_stats, WindowStats};
+use crate::stats::{
+    clamp_corr, normalize_into, normalized_dot_corr, pair_corr_from_stats, WindowStats,
+};
 use crate::timeseries::{SeriesCollection, SeriesId};
 use crate::window::{QueryWindow, WindowSpan};
 
@@ -107,6 +109,19 @@ pub struct QueryPlan {
     head_stats: Vec<WindowStats>,
     /// Per-series statistics of the partial tail window (empty when aligned).
     tail_stats: Vec<WindowStats>,
+    /// Window-major transpose of `stds` (`stds_t[k·n + i] = stds[i·w + k]`),
+    /// built by `finalize` for the tiled [`QueryPlan::block_kernel`]: a tile
+    /// of pairs `(i, j0..)` reads `σ_j` of one window as a contiguous slice.
+    stds_t: Vec<f64>,
+    /// Window-major transpose of `deltas`, companion of `stds_t`.
+    deltas_t: Vec<f64>,
+    /// Z-normalized partial-head values, one contiguous row per series
+    /// (`n × head_len`; empty when aligned). Lets the block kernel evaluate
+    /// head contributions as dot products instead of re-centering raw data
+    /// per pair.
+    head_z: Vec<f64>,
+    /// Z-normalized partial-tail values (`n × tail_len`; empty when aligned).
+    tail_z: Vec<f64>,
 }
 
 impl QueryPlan {
@@ -138,6 +153,9 @@ impl QueryPlan {
             if let Some(head) = seg.head {
                 let stats = WindowStats::from_values(head.slice(values));
                 plan.head_stats.push(stats);
+                let base = plan.head_z.len();
+                plan.head_z.resize(base + head.len(), 0.0);
+                normalize_into(head.slice(values), &stats, &mut plan.head_z[base..]);
                 row.push(stats);
             }
             for k in seg.full.clone() {
@@ -146,6 +164,9 @@ impl QueryPlan {
             if let Some(tail) = seg.tail {
                 let stats = WindowStats::from_values(tail.slice(values));
                 plan.tail_stats.push(stats);
+                let base = plan.tail_z.len();
+                plan.tail_z.resize(base + tail.len(), 0.0);
+                normalize_into(tail.slice(values), &stats, &mut plan.tail_z[base..]);
                 row.push(stats);
             }
             plan.push_series_row(&row);
@@ -220,6 +241,10 @@ impl QueryPlan {
             dens: Vec::with_capacity(n),
             head_stats: Vec::new(),
             tail_stats: Vec::new(),
+            stds_t: Vec::new(),
+            deltas_t: Vec::new(),
+            head_z: Vec::new(),
+            tail_z: Vec::new(),
         }
     }
 
@@ -248,10 +273,15 @@ impl QueryPlan {
         self.dens.push(den);
     }
 
-    fn finalize(self) -> Result<Self> {
+    fn finalize(mut self) -> Result<Self> {
         if self.total == 0.0 {
             return Err(Error::DegenerateWindow { points: 0 });
         }
+        // Window-major transposes for the block kernel: one allocation each,
+        // filled once per query — every tile evaluation then streams
+        // contiguous `σ_j` / `δ_j` slices instead of striding per-series rows.
+        self.stds_t = transpose(&self.stds, self.n, self.w);
+        self.deltas_t = transpose(&self.deltas, self.n, self.w);
         Ok(self)
     }
 
@@ -399,6 +429,240 @@ impl QueryPlan {
         let pair = sketch.pair_sketch(i, j)?;
         Ok(self.pair_kernel(i, j, &pair.corrs[self.full.clone()], None))
     }
+
+    /// The tiled batch kernel: correlations of the contiguous pair tile
+    /// `(i, j0), (i, j0+1), …, (i, j0+out.len()−1)` written into `out`.
+    ///
+    /// `corrs` is a window-major view of the per-pair sketch correlations
+    /// covering exactly the plan's full windows
+    /// ([`CorrView::window_count`] `==` [`QueryPlan::full_windows`]`.len()`) —
+    /// borrowed zero-copy from [`SketchSet::window_corrs_view`] by the
+    /// in-memory sweeps, or from a per-batch [`TransposedCorrs`] by the disk
+    /// engine — and `pair_offset` locates pair `(i, j0)` inside its pair
+    /// dimension.
+    /// Because the tile shares `i`, the inner loop streams four contiguous
+    /// arrays (`σ_j`, `δ_j`, `c_k`, `out`) with an independent accumulator
+    /// per pair — no reduction chain, so the backend can vectorize across
+    /// the tile. Partial head/tail windows of unaligned plans contribute via
+    /// dot products over the plan's normalized head/tail rows.
+    ///
+    /// Accumulation order differs from [`QueryPlan::pair_kernel`] (full
+    /// windows first, then head/tail; per-element `1/σ` normalization), so
+    /// agreement with the scalar reference is a *tolerance* contract —
+    /// ≤ `1e-10` absolute, pinned by the `tiled_kernel_agreement` suite — not
+    /// bit-equality. Degenerate (constant-series) pairs yield `0.0` as
+    /// everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tile exceeds the series range (`j0 ≤ i` or
+    /// `j0 + out.len() > n`) or when `corrs` does not cover the plan's full
+    /// windows — programming errors that would silently produce wrong tiles.
+    pub fn block_kernel(
+        &self,
+        i: SeriesId,
+        j0: SeriesId,
+        corrs: CorrView<'_>,
+        pair_offset: usize,
+        out: &mut [f64],
+    ) {
+        let np = out.len();
+        let n = self.n;
+        assert!(
+            i < j0 && j0 + np <= n,
+            "block_kernel tile ({i}, {j0}..{}) out of range for {n} series",
+            j0 + np
+        );
+        assert_eq!(
+            corrs.window_count(),
+            self.full.len(),
+            "block_kernel needs one transposed correlation row per full plan window"
+        );
+        let head_off = usize::from(self.head.is_some());
+        out.fill(0.0);
+
+        // Full sketched windows: everything the tile touches is contiguous.
+        for kk in 0..self.full.len() {
+            let k = head_off + kk;
+            let lk = self.lens[k];
+            let si = self.stds_t[k * n + i];
+            let di = self.deltas_t[k * n + i];
+            let st = &self.stds_t[k * n + j0..k * n + j0 + np];
+            let dt = &self.deltas_t[k * n + j0..k * n + j0 + np];
+            let c = &corrs.window_row(kk)[pair_offset..pair_offset + np];
+            for p in 0..np {
+                out[p] += lk * (si * st[p] * c[p] + di * dt[p]);
+            }
+        }
+
+        // Partial head/tail: per-pair dot products over normalized rows (the
+        // per-series σ/δ of these windows sit at plan-window indices 0 and
+        // w−1 of the transposed tables).
+        if self.head.is_some() {
+            let hl = self.head_z.len() / n;
+            let zi = &self.head_z[i * hl..(i + 1) * hl];
+            let l0 = self.lens[0];
+            for (p, slot) in out.iter_mut().enumerate() {
+                let j = j0 + p;
+                let zj = &self.head_z[j * hl..(j + 1) * hl];
+                let c = normalized_dot_corr(zi, zj);
+                *slot += l0
+                    * (self.stds_t[i] * self.stds_t[j] * c + self.deltas_t[i] * self.deltas_t[j]);
+            }
+        }
+        if self.tail.is_some() {
+            let tl = self.tail_z.len() / n;
+            let zi = &self.tail_z[i * tl..(i + 1) * tl];
+            let k = self.w - 1;
+            let lk = self.lens[k];
+            for (p, slot) in out.iter_mut().enumerate() {
+                let j = j0 + p;
+                let zj = &self.tail_z[j * tl..(j + 1) * tl];
+                let c = normalized_dot_corr(zi, zj);
+                *slot += lk
+                    * (self.stds_t[k * n + i] * self.stds_t[k * n + j] * c
+                        + self.deltas_t[k * n + i] * self.deltas_t[k * n + j]);
+            }
+        }
+
+        // Normalize and clamp; degenerate pairs keep the 0.0 convention.
+        let den_i = self.dens[i];
+        for (p, slot) in out.iter_mut().enumerate() {
+            let den_j = self.dens[j0 + p];
+            *slot = if den_i <= 0.0 || den_j <= 0.0 {
+                0.0
+            } else {
+                clamp_corr(*slot / (den_i.sqrt() * den_j.sqrt()))
+            };
+        }
+    }
+}
+
+/// Transpose a row-major `rows × cols` table into `cols × rows`.
+fn transpose(src: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    debug_assert_eq!(src.len(), rows * cols);
+    let mut out = vec![0.0f64; src.len()];
+    for r in 0..rows {
+        for (c, &v) in src[r * cols..(r + 1) * cols].iter().enumerate() {
+            out[c * rows + r] = v;
+        }
+    }
+    out
+}
+
+/// A borrowed window-major view of per-pair per-window correlations:
+/// `row k` holds `c_k` of every covered pair, contiguous in packed pair
+/// order.
+///
+/// The pair-major layout (one `Vec` per [`crate::sketch::PairSketch`])
+/// strides across `N(N−1)/2` separate allocations when a tile of pairs is
+/// evaluated; this view is what [`QueryPlan::block_kernel`] streams instead.
+/// The in-memory query paths borrow it straight from the sketch's own
+/// window-major table ([`SketchSet::window_corrs_view`], zero copies per
+/// query); the disk engine materializes an owned [`TransposedCorrs`] per
+/// read batch and takes its [`TransposedCorrs::view`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrView<'a> {
+    pairs: usize,
+    windows: usize,
+    /// `data[k · pairs + p]` is window `k` of pair `p`.
+    data: &'a [f64],
+}
+
+impl<'a> CorrView<'a> {
+    /// Wrap a window-major buffer of `windows` rows of `pairs` correlations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer length does not match `pairs · windows`.
+    pub fn new(data: &'a [f64], pairs: usize, windows: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            pairs * windows,
+            "window-major corr buffer has the wrong shape"
+        );
+        Self {
+            pairs,
+            windows,
+            data,
+        }
+    }
+
+    /// Number of pairs covered.
+    pub fn pair_count(&self) -> usize {
+        self.pairs
+    }
+
+    /// Number of windows covered.
+    pub fn window_count(&self) -> usize {
+        self.windows
+    }
+
+    /// The contiguous correlations of all pairs in window `k`.
+    pub fn window_row(&self, k: usize) -> &'a [f64] {
+        &self.data[k * self.pairs..(k + 1) * self.pairs]
+    }
+}
+
+/// An owned window-major transposed copy of per-pair per-window correlations
+/// — the buffer behind a [`CorrView`] when there is no long-lived
+/// window-major table to borrow from (e.g. a batch of records just read
+/// from a sketch store by the disk engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransposedCorrs {
+    pairs: usize,
+    windows: usize,
+    /// `data[k · pairs + p]` is window `k` of pair `p`.
+    data: Vec<f64>,
+}
+
+impl TransposedCorrs {
+    /// Build from a closure `f(p, k)` returning window `k` of pair `p`.
+    pub fn from_fn(pairs: usize, windows: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = vec![0.0f64; pairs * windows];
+        for (k, row) in data.chunks_exact_mut(pairs.max(1)).enumerate() {
+            for (p, slot) in row.iter_mut().enumerate() {
+                *slot = f(p, k);
+            }
+        }
+        Self {
+            pairs,
+            windows,
+            data,
+        }
+    }
+
+    /// The borrowed view the batch kernel consumes.
+    pub fn view(&self) -> CorrView<'_> {
+        CorrView {
+            pairs: self.pairs,
+            windows: self.windows,
+            data: &self.data,
+        }
+    }
+}
+
+/// Decompose a contiguous run of packed upper-triangle pair indices
+/// (`start..start + count` in row-major order over `n` series) into
+/// same-row segments `(i, j_start, len)` — the tiles
+/// [`QueryPlan::block_kernel`] consumes. Both matrix sweeps and the disk
+/// engine partition pairs into contiguous packed runs, so every partition is
+/// a short list of these segments.
+pub fn row_segments(start: usize, count: usize, n: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    if count == 0 {
+        return out;
+    }
+    let (mut i, mut j) = crate::sketch::unpack_pair_index(start, n);
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = (n - j).min(remaining);
+        out.push((i, j, take));
+        remaining -= take;
+        i += 1;
+        j = i + 1;
+    }
+    out
 }
 
 /// Split `total` work items into `parts` contiguous runs whose sizes differ
@@ -439,6 +703,27 @@ pub fn carve_packed_slices(
         values = rest;
     }
     out
+}
+
+/// The fan-out prologue shared by the parallel matrix sweep and the
+/// sliding-network update: split a packed-triangle buffer into one
+/// contiguous slice per worker ([`even_sizes`] + [`carve_packed_slices`]),
+/// each tagged with the packed index of its first pair so the worker can
+/// recover `(i, j)` coordinates via [`row_segments`].
+pub fn carve_for_workers(values: &mut [f64], workers: usize) -> Vec<(usize, &mut [f64])> {
+    let sizes = even_sizes(values.len(), workers);
+    let starts: Vec<usize> = sizes
+        .iter()
+        .scan(0, |acc, s| {
+            let start = *acc;
+            *acc += s;
+            Some(start)
+        })
+        .collect();
+    starts
+        .into_iter()
+        .zip(carve_packed_slices(values, sizes.iter().copied()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -567,6 +852,115 @@ mod tests {
             values,
             vec![0.0, 0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]
         );
+    }
+
+    #[test]
+    fn block_kernel_matches_scalar_kernel_aligned() {
+        let c = test_collection(6, 180);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let plan = QueryPlan::build_aligned(&sketch, 1..8).unwrap();
+        let corrs_t = sketch.window_corrs_view(1..8);
+        let n = c.len();
+        for i in 0..n - 1 {
+            let mut tile = vec![0.0f64; n - 1 - i];
+            plan.block_kernel(
+                i,
+                i + 1,
+                corrs_t,
+                crate::sketch::pair_index(i, i + 1, n),
+                &mut tile,
+            );
+            for (p, &got) in tile.iter().enumerate() {
+                let j = i + 1 + p;
+                let reference = plan.pair_correlation_aligned(&sketch, i, j).unwrap();
+                assert!(
+                    (got - reference).abs() <= 1e-10,
+                    "pair ({i},{j}): {got} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_kernel_matches_scalar_kernel_unaligned() {
+        let c = test_collection(5, 200);
+        let sketch = SketchSet::build(&c, 30).unwrap();
+        // Head and tail both partial.
+        let query = QueryWindow::new(171, 135).unwrap();
+        let plan = QueryPlan::build(&c, &sketch, query).unwrap();
+        assert!(!plan.is_aligned());
+        let corrs_t = sketch.window_corrs_view(plan.full_windows());
+        let n = c.len();
+        for i in 0..n - 1 {
+            let mut tile = vec![0.0f64; n - 1 - i];
+            plan.block_kernel(
+                i,
+                i + 1,
+                corrs_t,
+                crate::sketch::pair_index(i, i + 1, n),
+                &mut tile,
+            );
+            for (p, &got) in tile.iter().enumerate() {
+                let j = i + 1 + p;
+                let reference = plan.pair_correlation(&c, &sketch, i, j).unwrap();
+                assert!(
+                    (got - reference).abs() <= 1e-10,
+                    "pair ({i},{j}): {got} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_kernel_zeroes_degenerate_pairs() {
+        let c =
+            SeriesCollection::from_rows(vec![vec![5.0; 60], lcg_series(1, 60), lcg_series(2, 60)])
+                .unwrap();
+        let sketch = SketchSet::build(&c, 10).unwrap();
+        let plan = QueryPlan::build_aligned(&sketch, 0..6).unwrap();
+        let corrs_t = sketch.window_corrs_view(0..6);
+        let mut tile = vec![9.0f64; 2];
+        plan.block_kernel(0, 1, corrs_t, 0, &mut tile);
+        assert_eq!(tile, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn corr_views_mirror_pair_sketches() {
+        let c = test_collection(4, 120);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let t = sketch.window_corrs_view(2..6);
+        assert_eq!(t.pair_count(), 6);
+        assert_eq!(t.window_count(), 4);
+        for (p, pair) in sketch.pair_sketches().enumerate() {
+            for kk in 0..4 {
+                assert_eq!(t.window_row(kk)[p], pair.corrs[2 + kk]);
+            }
+        }
+        let f = TransposedCorrs::from_fn(3, 2, |p, k| (p * 10 + k) as f64);
+        assert_eq!(f.view().window_row(1), &[1.0, 11.0, 21.0]);
+        assert_eq!(f.view().pair_count(), 3);
+    }
+
+    #[test]
+    fn row_segments_cover_packed_runs() {
+        let n = 6; // 15 pairs
+                   // The whole triangle from 0 decomposes into the 5 rows.
+        assert_eq!(
+            row_segments(0, 15, n),
+            vec![(0, 1, 5), (1, 2, 4), (2, 3, 3), (3, 4, 2), (4, 5, 1)]
+        );
+        // A run starting mid-row splits the first row.
+        assert_eq!(row_segments(2, 5, n), vec![(0, 3, 3), (1, 2, 2)]);
+        assert!(row_segments(4, 0, n).is_empty());
+        // Segments re-concatenate to exactly the run's pairs.
+        let segs = row_segments(7, 6, n);
+        let mut rebuilt = Vec::new();
+        for (i, j0, len) in segs {
+            for p in 0..len {
+                rebuilt.push(crate::sketch::pair_index(i, j0 + p, n));
+            }
+        }
+        assert_eq!(rebuilt, (7..13).collect::<Vec<_>>());
     }
 
     #[test]

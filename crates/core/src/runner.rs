@@ -1,0 +1,154 @@
+//! Pluggable execution of batches of independent jobs.
+//!
+//! The parallel sweeps in this workspace all have the same shape: carve the
+//! packed all-pairs triangle into disjoint contiguous slices, then run one
+//! closure per slice to completion before continuing. [`JobRunner`] abstracts
+//! *where* those closures run so the hot paths don't hard-code a threading
+//! strategy:
+//!
+//! * [`SerialRunner`] runs jobs inline on the calling thread — the reference
+//!   execution, also what single-worker configurations collapse to.
+//! * [`ScopedRunner`] spawns one scoped OS thread per job
+//!   ([`std::thread::scope`]) — correct and dependency-free, but it pays
+//!   thread startup on every call.
+//! * `tsubasa_parallel::WorkerPool` (in the parallel crate) keeps a fixed set
+//!   of threads alive across calls, so repeated queries and sliding-network
+//!   re-evaluations stop paying that startup cost.
+//!
+//! The contract every implementation must honor: **`run` returns only after
+//! every job has finished executing.** Jobs may borrow from the caller's
+//! stack (`Job<'env>`); the blocking contract is what makes those borrows
+//! sound for implementations that move jobs to other threads.
+
+/// A unit of work: a closure that owns (or borrows, for the duration of the
+/// `run` call) everything it needs. Jobs produced by the sweeps write results
+/// through disjoint `&mut` slices and surface errors through captured slots,
+/// so the closure itself returns nothing.
+pub type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Something that can run a batch of independent jobs to completion.
+///
+/// Implementations must not return from [`JobRunner::run`] until every job
+/// has finished (or panicked — panics must propagate to the caller, not be
+/// swallowed, so invariants broken mid-job are never silently ignored).
+pub trait JobRunner {
+    /// The parallelism this runner provides — callers use it to size their
+    /// job batches (e.g. one contiguous pair slice per worker).
+    fn worker_count(&self) -> usize;
+
+    /// Run all jobs to completion before returning.
+    fn run<'env>(&self, jobs: Vec<Job<'env>>);
+}
+
+/// Runs every job inline on the calling thread, in order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialRunner;
+
+impl JobRunner for SerialRunner {
+    fn worker_count(&self) -> usize {
+        1
+    }
+
+    fn run<'env>(&self, jobs: Vec<Job<'env>>) {
+        for job in jobs {
+            job();
+        }
+    }
+}
+
+/// Spawns one scoped thread per job on every call — the zero-state reference
+/// implementation behind [`crate::exact::correlation_matrix_parallel`]. A
+/// reusable pool (`tsubasa_parallel::WorkerPool`) amortizes the per-call
+/// thread startup this runner pays.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopedRunner {
+    workers: usize,
+}
+
+impl ScopedRunner {
+    /// A runner advertising `workers` parallelism (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl JobRunner for ScopedRunner {
+    fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    fn run<'env>(&self, jobs: Vec<Job<'env>>) {
+        if jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                handles.push(scope.spawn(job));
+            }
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_jobs(counter: &AtomicUsize, jobs: usize) -> Vec<Job<'_>> {
+        (0..jobs)
+            .map(|_| {
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job<'_>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_runner_runs_everything_inline() {
+        let counter = AtomicUsize::new(0);
+        SerialRunner.run(counting_jobs(&counter, 5));
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(SerialRunner.worker_count(), 1);
+    }
+
+    #[test]
+    fn scoped_runner_completes_all_jobs_before_returning() {
+        let counter = AtomicUsize::new(0);
+        let runner = ScopedRunner::new(4);
+        runner.run(counting_jobs(&counter, 9));
+        assert_eq!(counter.load(Ordering::SeqCst), 9);
+        assert_eq!(runner.worker_count(), 4);
+        assert_eq!(ScopedRunner::new(0).worker_count(), 1);
+    }
+
+    #[test]
+    fn scoped_runner_jobs_may_write_disjoint_slices() {
+        let mut values = vec![0.0f64; 6];
+        let (a, b) = values.split_at_mut(3);
+        ScopedRunner::new(2).run(vec![
+            Box::new(move || a.fill(1.0)),
+            Box::new(move || b.fill(2.0)),
+        ]);
+        assert_eq!(values, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn scoped_runner_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            ScopedRunner::new(2).run(vec![Box::new(|| {}), Box::new(|| panic!("job exploded"))]);
+        });
+        assert!(result.is_err());
+    }
+}

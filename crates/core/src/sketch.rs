@@ -10,11 +10,25 @@
 //! Both are computed in a single pass over the raw data and are all that
 //! Lemma 1 needs to recombine the exact correlation of any query window. The
 //! space cost matches the paper's analysis: `L/B · (2N + N(N-1)/2)` floats.
+//!
+//! # The tiled batch kernel
+//!
+//! [`SketchSet::build`] evaluates the `N(N−1)/2` pair passes as a batch
+//! kernel over **window-major, structure-of-arrays data**: every basic window
+//! of every series is z-normalized once (`z = (x − μ)/σ`, stored contiguous
+//! per window), after which each window's pair correlations are plain dot
+//! products over contiguous rows ([`crate::stats::tiled_pair_corrs_into`],
+//! a cache-blocked `Z·Zᵀ` sweep with unrolled accumulator lanes). Dividing by
+//! `σ` per element instead of once at the end reorders the floating-point
+//! operations, so the tiled sketch agrees with the scalar reference within
+//! `1e-10` absolute rather than bit-for-bit; [`SketchSet::build_reference`]
+//! keeps the scalar per-pair path available as the reference implementation,
+//! and the `tiled_kernel_agreement` property suite pins the tolerance.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
-use crate::stats::{pair_corr_from_stats, WindowStats};
+use crate::stats::{normalize_into, pair_corr_from_stats, tiled_pair_corrs_into, WindowStats};
 use crate::timeseries::{SeriesCollection, SeriesId};
 use crate::window::BasicWindowing;
 
@@ -83,14 +97,90 @@ pub fn pair_index(i: usize, j: usize, n: usize) -> usize {
     i * (2 * n - i - 1) / 2 + (j - i - 1)
 }
 
+/// Map a packed upper-triangle index back to its unordered pair `(i, j)`,
+/// `i < j` — the inverse of [`pair_index`]. The parallel sweeps use it to
+/// locate the first pair of a contiguous packed run
+/// (see [`crate::plan::row_segments`]).
+pub fn unpack_pair_index(p: usize, n: usize) -> (usize, usize) {
+    let mut i = 0;
+    let mut row_start = 0;
+    loop {
+        let row_len = n - 1 - i;
+        if p < row_start + row_len {
+            return (i, i + 1 + p - row_start);
+        }
+        row_start += row_len;
+        i += 1;
+    }
+}
+
 /// The complete sketch of a collection: every [`SeriesSketch`] plus every
 /// [`PairSketch`], produced by one pass over the raw data (Algorithm 1).
+///
+/// Pair correlations are held in **both** layouts: the pair-major
+/// [`PairSketch`] vectors (the per-pair API every scalar path slices) and a
+/// window-major flat table (`window_corrs[w·P + p]`, packed pair order) that
+/// the tiled query kernel streams without any per-query transposition —
+/// [`SketchSet::window_corrs_view`] hands out a zero-copy view. The two are
+/// maintained together by every constructor and by
+/// [`SketchSet::push_window`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SketchSet {
     basic_window: usize,
     n_series: usize,
     series: Vec<SeriesSketch>,
     pairs: Vec<PairSketch>,
+    /// Window-major copy of all pair correlations (`ns × P`, row `w` holds
+    /// `c_w` of every pair in packed order).
+    ///
+    /// Derived redundantly from `pairs`. The serde derives above are
+    /// workspace-local marker traits (nothing serializes a `SketchSet`
+    /// through them today); if the real serde crate is ever swapped in,
+    /// exclude this field (`#[serde(skip)]`) and rebuild it from `pairs` via
+    /// `scatter_pair_rows` after deserialization — both so old payloads stay
+    /// readable and so a hand-edited payload cannot desynchronize the two
+    /// layouts.
+    window_corrs: Vec<f64>,
+}
+
+/// Pair-block size of the cache-blocked layout conversions: one tile reads a
+/// contiguous 512-byte run of a window row while keeping 64 per-pair write
+/// streams open, instead of striding the whole `ns × P` table per pair.
+const LAYOUT_TILE: usize = 64;
+
+/// Cache-blocked gather of a window-major flat table (`flat[w·P + p]`) into
+/// per-pair vectors (`out[p][w]`).
+fn gather_pair_rows(flat: &[f64], n_pairs: usize, ns: usize) -> Vec<Vec<f64>> {
+    debug_assert_eq!(flat.len(), n_pairs * ns);
+    let mut out: Vec<Vec<f64>> = (0..n_pairs).map(|_| vec![0.0f64; ns]).collect();
+    for p0 in (0..n_pairs).step_by(LAYOUT_TILE) {
+        let p1 = (p0 + LAYOUT_TILE).min(n_pairs);
+        for w in 0..ns {
+            let row = &flat[w * n_pairs..(w + 1) * n_pairs];
+            for p in p0..p1 {
+                out[p][w] = row[p];
+            }
+        }
+    }
+    out
+}
+
+/// Cache-blocked scatter of per-pair vectors into a window-major flat table
+/// — the inverse of [`gather_pair_rows`], used when a sketch is assembled
+/// from pair-major parts (store rehydration, partition merges).
+fn scatter_pair_rows(pairs: &[PairSketch], ns: usize) -> Vec<f64> {
+    let n_pairs = pairs.len();
+    let mut flat = vec![0.0f64; n_pairs * ns];
+    for p0 in (0..n_pairs).step_by(LAYOUT_TILE) {
+        let p1 = (p0 + LAYOUT_TILE).min(n_pairs);
+        for w in 0..ns {
+            let row = &mut flat[w * n_pairs..(w + 1) * n_pairs];
+            for p in p0..p1 {
+                row[p] = pairs[p].corrs[w];
+            }
+        }
+    }
+    flat
 }
 
 impl SketchSet {
@@ -98,12 +188,83 @@ impl SketchSet {
     /// points (Algorithm 1, statistics-only lines 4–7 and 12).
     ///
     /// The per-series statistics are computed first; the `N(N−1)/2` pair
-    /// passes then reuse them and only evaluate the centered cross-product
-    /// per window ([`pair_corr_from_stats`]) instead of re-deriving both
-    /// series' running statistics for every pair.
+    /// passes are then evaluated as a tiled batch kernel: every window of
+    /// every series is z-normalized once into a window-major
+    /// structure-of-arrays buffer, and each window's pair correlations become
+    /// dot products over contiguous rows
+    /// ([`crate::stats::tiled_pair_corrs_into`]). The result agrees with the
+    /// scalar reference path ([`SketchSet::build_reference`]) within `1e-10`
+    /// absolute on every correlation (see the module docs for why the two
+    /// are not bit-identical).
     ///
     /// Fails if the basic window is zero or longer than the series.
     pub fn build(collection: &SeriesCollection, basic_window: usize) -> Result<Self> {
+        let series_len = collection.series_len();
+        if basic_window == 0 || basic_window > series_len {
+            return Err(Error::InvalidBasicWindow {
+                window: basic_window,
+                series_len,
+            });
+        }
+        let windowing = BasicWindowing::new(basic_window)?;
+        let ns = windowing.complete_windows(series_len);
+        let n = collection.len();
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        let b = basic_window;
+
+        let series: Vec<SeriesSketch> = collection
+            .iter_with_ids()
+            .map(|(id, s)| SeriesSketch::build(id, s.values(), windowing))
+            .collect();
+
+        // Per window: z-normalize one window of every series into the n × B
+        // structure-of-arrays scratch (row i is series i, contiguous), then
+        // compute all of the window's pair correlations at once, written
+        // window-major (flat[w·P + p]) so the kernel streams contiguous
+        // memory. The scratch is O(n·B), reused across windows — only one
+        // window block is ever live, never a normalized copy of the whole
+        // dataset.
+        let mut z = vec![0.0f64; n * b];
+        let mut flat = vec![0.0f64; ns * n_pairs];
+        for w in 0..ns {
+            let span = windowing.window_span(w);
+            for (i, s) in collection.iter_with_ids() {
+                normalize_into(
+                    span.slice(s.values()),
+                    &series[i].windows[w],
+                    &mut z[i * b..(i + 1) * b],
+                );
+            }
+            tiled_pair_corrs_into(&z, n, b, &mut flat[w * n_pairs..(w + 1) * n_pairs]);
+        }
+        drop(z);
+
+        // Pair-major vectors via a cache-blocked gather; the window-major
+        // flat table is kept as-is for the query kernel.
+        let rows = gather_pair_rows(&flat, n_pairs, ns);
+        let mut pairs = Vec::with_capacity(n_pairs);
+        for ((i, j), corrs) in collection.pairs().zip(rows) {
+            pairs.push(PairSketch { a: i, b: j, corrs });
+        }
+
+        Ok(Self {
+            basic_window,
+            n_series: n,
+            series,
+            pairs,
+            window_corrs: flat,
+        })
+    }
+
+    /// The scalar reference sketch: identical shapes and statistics to
+    /// [`SketchSet::build`], with every pair correlation computed by the
+    /// reference centered-cross-product pass ([`pair_corr_from_stats`]) over
+    /// the raw window slices.
+    ///
+    /// This path is the arithmetic yardstick the tiled kernel is tested
+    /// against (≤ `1e-10` absolute per correlation); it is kept for that
+    /// role, not for speed.
+    pub fn build_reference(collection: &SeriesCollection, basic_window: usize) -> Result<Self> {
         let series_len = collection.series_len();
         if basic_window == 0 || basic_window > series_len {
             return Err(Error::InvalidBasicWindow {
@@ -138,17 +299,21 @@ impl SketchSet {
             pairs.push(PairSketch { a: i, b: j, corrs });
         }
 
+        let ns = series.first().map_or(0, |s| s.windows.len());
+        let window_corrs = scatter_pair_rows(&pairs, ns);
         Ok(Self {
             basic_window,
             n_series: n,
             series,
             pairs,
+            window_corrs,
         })
     }
 
     /// Construct a sketch set from already-computed parts. Used by the
     /// storage layer when re-hydrating sketches from disk and by the parallel
-    /// sketcher when merging partition outputs.
+    /// sketcher when merging partition outputs. The window-major correlation
+    /// table is rebuilt from the pair-major parts.
     pub fn from_parts(
         basic_window: usize,
         n_series: usize,
@@ -170,11 +335,25 @@ impl SketchSet {
                 available: format!("{} series / {} pairs", series.len(), pairs.len()),
             });
         }
+        let ns = series.first().map_or(0, |s| s.windows.len());
+        if let Some(bad) = pairs.iter().find(|p| p.corrs.len() != ns) {
+            return Err(Error::SketchMismatch {
+                requested: format!("{ns} windows per pair"),
+                available: format!(
+                    "{} windows for pair ({}, {})",
+                    bad.corrs.len(),
+                    bad.a,
+                    bad.b
+                ),
+            });
+        }
+        let window_corrs = scatter_pair_rows(&pairs, ns);
         Ok(Self {
             basic_window,
             n_series,
             series,
             pairs,
+            window_corrs,
         })
     }
 
@@ -248,10 +427,30 @@ impl SketchSet {
         for (sketch, stats) in self.series.iter_mut().zip(series_stats) {
             sketch.push_window(stats);
         }
+        // The packed order of `pair_corrs` is exactly one new window-major
+        // row, so the flat table grows by a contiguous append.
+        self.window_corrs.extend_from_slice(&pair_corrs);
         for (sketch, c) in self.pairs.iter_mut().zip(pair_corrs) {
             sketch.corrs.push(c);
         }
         Ok(())
+    }
+
+    /// Zero-copy window-major view of the pair correlations over the basic
+    /// windows in `full` — the table [`crate::plan::QueryPlan::block_kernel`]
+    /// streams. Row `k` of the view is `c_{full.start+k}` of every pair in
+    /// packed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `full` exceeds the sketched window range.
+    pub fn window_corrs_view(&self, full: std::ops::Range<usize>) -> crate::plan::CorrView<'_> {
+        let n_pairs = self.n_series * self.n_series.saturating_sub(1) / 2;
+        crate::plan::CorrView::new(
+            &self.window_corrs[full.start * n_pairs..full.end * n_pairs],
+            n_pairs,
+            full.len(),
+        )
     }
 
     /// Number of floats stored by the sketch — the paper's space-overhead
@@ -335,6 +534,53 @@ mod tests {
         assert_eq!(ab, ba);
         assert!(sketch.pair_sketch(1, 1).is_err());
         assert!(sketch.pair_sketch(0, 5).is_err());
+    }
+
+    #[test]
+    fn tiled_build_matches_reference_path() {
+        let rows: Vec<Vec<f64>> = (0..7)
+            .map(|s| {
+                (0..95)
+                    .map(|i| {
+                        ((i as f64 * 0.31 + s as f64).sin() * 3.0)
+                            + ((i * 7 + s * 13) % 17) as f64 * 0.25
+                    })
+                    .collect()
+            })
+            .collect();
+        let c = SeriesCollection::from_rows(rows).unwrap();
+        for b in [4usize, 13, 31] {
+            let tiled = SketchSet::build(&c, b).unwrap();
+            let reference = SketchSet::build_reference(&c, b).unwrap();
+            // Per-series statistics share the same code path: identical.
+            assert_eq!(tiled.series, reference.series);
+            for (t, r) in tiled.pairs.iter().zip(&reference.pairs) {
+                assert_eq!((t.a, t.b), (r.a, r.b));
+                for (ct, cr) in t.corrs.iter().zip(&r.corrs) {
+                    assert!(
+                        (ct - cr).abs() <= 1e-10,
+                        "pair ({},{}) B={b}: {ct} vs {cr}",
+                        t.a,
+                        t.b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_build_keeps_constant_window_convention() {
+        // Series 0 is constant: every correlation involving it is 0.0 in both
+        // the tiled and the reference sketch.
+        let c = SeriesCollection::from_rows(vec![
+            vec![3.0; 24],
+            (0..24).map(|i| (i as f64 * 0.4).sin()).collect(),
+        ])
+        .unwrap();
+        let tiled = SketchSet::build(&c, 6).unwrap();
+        let reference = SketchSet::build_reference(&c, 6).unwrap();
+        assert_eq!(tiled.pair_sketch(0, 1).unwrap().corrs, vec![0.0; 4]);
+        assert_eq!(tiled, reference);
     }
 
     #[test]

@@ -144,6 +144,104 @@ pub fn radix2_fft(x: &[f64]) -> Vec<Complex> {
     buf
 }
 
+/// A reusable transform plan: the iterative radix-2 FFT with its
+/// bit-reversal permutation and per-stage twiddle factors precomputed once
+/// per window size, falling back to the naive `O(B²)` DFT for non-power-of-
+/// two sizes.
+///
+/// The sketching paths transform *every basic window of every series* at the
+/// same length `B`, so the planner amortizes the table setup across the
+/// whole sweep and replaces the sequential `w ← w·w_len` twiddle recurrence
+/// of [`radix2_fft`] with table lookups. For power-of-two `B` this turns the
+/// comparator's per-window cost from `O(B²)` into `O(B log B)`; otherwise
+/// the plan degenerates to [`naive_dft`] so behaviour (and the paper's cost
+/// model) is unchanged. Agreement with [`naive_dft`] is unit-tested at both
+/// parities.
+#[derive(Debug, Clone)]
+pub struct DftPlanner {
+    size: usize,
+    /// Bit-reversal permutation of `0..size`; empty when the plan falls back
+    /// to the naive transform.
+    bitrev: Vec<usize>,
+    /// `twiddles[s][off] = e^{-2πi·off/len}` for stage `len = 2^(s+1)`.
+    twiddles: Vec<Vec<Complex>>,
+}
+
+impl DftPlanner {
+    /// Plan transforms of length `size`.
+    pub fn new(size: usize) -> Self {
+        if !size.is_power_of_two() || size < 2 {
+            return Self {
+                size,
+                bitrev: Vec::new(),
+                twiddles: Vec::new(),
+            };
+        }
+        let bits = size.trailing_zeros();
+        let bitrev = (0..size)
+            .map(|i| ((i as u32).reverse_bits() >> (32 - bits)) as usize)
+            .collect();
+        let mut twiddles = Vec::with_capacity(bits as usize);
+        let mut len = 2;
+        while len <= size {
+            let angle = -2.0 * std::f64::consts::PI / len as f64;
+            twiddles.push(
+                (0..len / 2)
+                    .map(|off| Complex::from_angle(angle * off as f64))
+                    .collect(),
+            );
+            len <<= 1;
+        }
+        Self {
+            size,
+            bitrev,
+            twiddles,
+        }
+    }
+
+    /// The window size this plan was built for.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True when the plan runs the radix-2 FFT (power-of-two size); false
+    /// when it falls back to the naive transform.
+    pub fn uses_fft(&self) -> bool {
+        !self.bitrev.is_empty()
+    }
+
+    /// Transform one window. Inputs of a different length than the planned
+    /// size (or a non-power-of-two plan) take the fallback path
+    /// ([`radix2_fft`], which itself degrades to [`naive_dft`]).
+    pub fn transform(&self, x: &[f64]) -> Vec<Complex> {
+        if x.len() != self.size || !self.uses_fft() {
+            return radix2_fft(x);
+        }
+        let k = self.size;
+        let mut buf: Vec<Complex> = (0..k)
+            .map(|i| Complex::new(x[self.bitrev[i]], 0.0))
+            .collect();
+        let mut len = 2;
+        let mut stage = 0;
+        while len <= k {
+            let tw = &self.twiddles[stage];
+            for start in (0..k).step_by(len) {
+                for (off, &w) in tw.iter().enumerate() {
+                    let a = buf[start + off];
+                    let b = buf[start + off + len / 2] * w;
+                    buf[start + off] = a + b;
+                    buf[start + off + len / 2] = a - b;
+                }
+            }
+            len <<= 1;
+            stage += 1;
+        }
+        let scale = 1.0 / (k as f64).sqrt();
+        buf.iter_mut().for_each(|c| *c = c.scale(scale));
+        buf
+    }
+}
+
 /// Euclidean distance between the first `n` coefficients of two DFT
 /// coefficient vectors — the paper's `Dist_n(X̂, Ŷ)`.
 ///
@@ -255,6 +353,67 @@ mod tests {
     fn empty_input_yields_empty_output() {
         assert!(naive_dft(&[]).is_empty());
         assert!(radix2_fft(&[]).is_empty());
+        assert!(DftPlanner::new(0).transform(&[]).is_empty());
+    }
+
+    #[test]
+    fn planner_matches_naive_dft_on_power_of_two() {
+        for k in [2usize, 8, 32, 128] {
+            let plan = DftPlanner::new(k);
+            assert!(plan.uses_fft());
+            assert_eq!(plan.size(), k);
+            let x: Vec<f64> = (0..k)
+                .map(|i| (i as f64 * 0.37).sin() * 2.0 + 0.1 * i as f64)
+                .collect();
+            let fast = plan.transform(&x);
+            let reference = naive_dft(&x);
+            for (u, v) in fast.iter().zip(&reference) {
+                assert!(
+                    (u.re - v.re).abs() < 1e-9 && (u.im - v.im).abs() < 1e-9,
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planner_falls_back_to_naive_on_other_sizes() {
+        for k in [1usize, 3, 12, 50] {
+            let plan = DftPlanner::new(k);
+            assert!(!plan.uses_fft());
+            let x: Vec<f64> = (0..k).map(|i| i as f64 * 0.5 - 1.0).collect();
+            let fast = plan.transform(&x);
+            let reference = naive_dft(&x);
+            for (u, v) in fast.iter().zip(&reference) {
+                assert!((u.re - v.re).abs() < 1e-9 && (u.im - v.im).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_handles_mismatched_input_length() {
+        let plan = DftPlanner::new(16);
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let fast = plan.transform(&x); // falls back to the unplanned path
+        let reference = naive_dft(&x);
+        for (u, v) in fast.iter().zip(&reference) {
+            assert!((u.re - v.re).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_planner_equals_naive(
+            x in proptest::collection::vec(-100.0f64..100.0, 1..130),
+        ) {
+            let plan = DftPlanner::new(x.len());
+            let a = naive_dft(&x);
+            let b = plan.transform(&x);
+            for (u, v) in a.iter().zip(&b) {
+                prop_assert!((u.re - v.re).abs() < 1e-6);
+                prop_assert!((u.im - v.im).abs() < 1e-6);
+            }
+        }
     }
 
     proptest! {

@@ -1,10 +1,19 @@
 //! The parallel sketch / query engine (paper §3.4).
 //!
 //! Both phases follow the same shape: the unordered pairs are partitioned
-//! across computation workers ([`crate::partition::partition_pairs`]); during
-//! sketching the workers stream [`WriteBatch`]es to the single database
-//! worker, and during querying they read sketch batches back from the store
-//! and emit sub-matrices that are merged into the final correlation matrix.
+//! across computation workers ([`crate::partition::partition_pairs`]) that
+//! run on the engine's reusable [`WorkerPool`] (no per-call thread spawning);
+//! during sketching the workers stream [`WriteBatch`]es to the single
+//! database worker, and during querying they read sketch batches back from
+//! the store and write correlations straight into their disjoint slices of
+//! the packed result matrix.
+//!
+//! Both hot loops are tiled batch kernels over window-major data: the sketch
+//! phase z-normalizes every basic window once and evaluates each pair-window
+//! correlation as a dot product over contiguous rows
+//! ([`tsubasa_core::stats::normalized_dot_corr`]), and the exact query phase
+//! transposes each read batch into a window-major correlation table and
+//! sweeps it with [`QueryPlan::block_kernel`].
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -12,18 +21,21 @@ use std::time::{Duration, Instant};
 
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::CorrelationMatrix;
-use tsubasa_core::plan::QueryPlan;
-use tsubasa_core::stats::{pair_corr_from_stats, WindowStats};
+use tsubasa_core::plan::{row_segments, QueryPlan, TransposedCorrs};
+use tsubasa_core::sketch::pair_index;
+use tsubasa_core::stats::{normalize_into, normalized_dot_corr, WindowStats};
 use tsubasa_core::window::BasicWindowing;
+use tsubasa_core::Job;
 use tsubasa_core::SeriesCollection;
 use tsubasa_dft::approx::{query_correlation, ApproxWindow};
-use tsubasa_dft::dft::{coefficient_distance, naive_dft, Complex};
+use tsubasa_dft::dft::{coefficient_distance, DftPlanner};
 use tsubasa_dft::normalize::normalize_unit_with_stats;
 use tsubasa_storage::{
     BatchWriter, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout, WriteBatch,
 };
 
 use crate::partition::partition_pairs;
+use crate::pool::WorkerPool;
 use crate::timing::{QueryReport, SketchReport};
 
 /// Which sketch the computation workers produce.
@@ -69,27 +81,42 @@ impl Default for ParallelConfig {
             .unwrap_or(1);
         Self {
             workers,
-            batch_pairs: 256,
+            batch_pairs: tsubasa_storage::default_batch_pairs(),
             sketch_method: SketchMethod::Exact,
         }
     }
 }
 
 /// The parallel, disk-based TSUBASA engine.
-#[derive(Debug, Clone, Copy)]
+///
+/// The engine owns a reusable [`WorkerPool`] sized to its configured worker
+/// count: every [`ParallelEngine::sketch_to_store`] and
+/// [`ParallelEngine::query_from_store`] call runs its computation workers on
+/// those long-lived threads, so back-to-back phases (and repeated queries)
+/// pay thread startup once per engine instead of once per call.
+#[derive(Debug)]
 pub struct ParallelEngine {
     config: ParallelConfig,
+    pool: WorkerPool,
 }
 
 impl ParallelEngine {
-    /// Create an engine with the given configuration.
+    /// Create an engine with the given configuration, spawning its worker
+    /// pool.
     pub fn new(config: ParallelConfig) -> Self {
-        Self { config }
+        let pool = WorkerPool::new(config.workers.max(1));
+        Self { config, pool }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> ParallelConfig {
         self.config
+    }
+
+    /// The engine's reusable worker pool (shareable with the in-memory
+    /// sweeps via [`tsubasa_core::runner::JobRunner`]).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// The store layout required to hold the sketch of `collection` at the
@@ -133,23 +160,37 @@ impl ParallelEngine {
 
         let writer = BatchWriter::spawn(store, self.config.batch_pairs.max(1));
         let mut compute_time = Duration::ZERO;
+        let bw = basic_window;
+        let exact = matches!(self.config.sketch_method, SketchMethod::Exact);
 
-        // Per-series pass: window statistics (and, for the DFT comparator,
-        // the coefficients of every normalized window). The statistics are
-        // shared read-only with the pair workers below.
+        // Per-series pass: window statistics, the window-major z-normalized
+        // copy of the data for the exact tiled kernel, and (for the DFT
+        // comparator) the coefficients of every normalized window. All of it
+        // is shared read-only with the pair workers below.
         let per_series_start = Instant::now();
-        let mut series_stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
-        let mut series_coeffs: Vec<Vec<Vec<Complex>>> = Vec::new();
+        let mut series_coeffs: Vec<Vec<Vec<tsubasa_dft::dft::Complex>>> = Vec::new();
+        // z[(w·n + i)·B ..] is basic window `w` of series `i`, z-scored; a
+        // pair's window correlation is then one dot product over two
+        // contiguous rows instead of a centered cross-product over raw data.
+        let mut z = vec![0.0f64; if exact { ns * n * bw } else { 0 }];
+        let planner = DftPlanner::new(bw);
         for (id, series) in collection.iter_with_ids() {
             let values = series.values();
             let stats: Vec<WindowStats> = (0..ns)
                 .map(|w| WindowStats::from_values(windowing.window_span(w).slice(values)))
                 .collect();
+            if exact {
+                for (w, st) in stats.iter().enumerate() {
+                    let span = windowing.window_span(w);
+                    let row = &mut z[(w * n + id) * bw..(w * n + id + 1) * bw];
+                    normalize_into(span.slice(values), st, row);
+                }
+            }
             if let SketchMethod::Dft { coefficients: _ } = self.config.sketch_method {
                 let coeffs = (0..ns)
                     .map(|w| {
                         let span = windowing.window_span(w);
-                        naive_dft(&normalize_unit_with_stats(span.slice(values), &stats[w]))
+                        planner.transform(&normalize_unit_with_stats(span.slice(values), &stats[w]))
                     })
                     .collect();
                 series_coeffs.push(coeffs);
@@ -167,101 +208,87 @@ impl ParallelEngine {
                     pairs: vec![],
                 })
                 .map_err(|_| Error::Storage("database worker hung up".into()))?;
-            series_stats.push(stats);
         }
         compute_time += per_series_start.elapsed();
 
-        // Pair pass: partitioned across computation workers.
+        // Pair pass: partitioned across the pool's computation workers.
         let partitions = partition_pairs(n, self.config.workers.max(1));
         let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
         let batch_pairs = self.config.batch_pairs.max(1);
         let method = self.config.sketch_method;
-        let series_stats = &series_stats;
+        let z_ref = &z;
         let series_coeffs = &series_coeffs;
 
-        let worker_times = crossbeam::thread::scope(|scope| -> Result<Vec<Duration>> {
-            let mut handles = Vec::new();
-            for part in &partitions {
-                if part.is_empty() {
-                    continue;
-                }
+        let live: Vec<_> = partitions.iter().filter(|p| !p.is_empty()).collect();
+        let mut outcomes: Vec<Result<Duration>> =
+            (0..live.len()).map(|_| Ok(Duration::ZERO)).collect();
+        let jobs: Vec<Job<'_>> = live
+            .iter()
+            .zip(outcomes.iter_mut())
+            .map(|(part, outcome)| {
                 let sender = writer.sender();
-                handles.push(scope.spawn(move |_| -> Result<Duration> {
-                    let mut busy = Duration::ZERO;
-                    let mut batch = WriteBatch::default();
-                    for &(a, b) in &part.pairs {
-                        let start = Instant::now();
-                        let xs = collection.get(a)?.values();
-                        let ys = collection.get(b)?.values();
-                        // `w` is the window id carried into every emitted
-                        // record, not just an index into `series_coeffs`
-                        // (which is empty in `SketchMethod::Exact` mode).
-                        #[allow(clippy::needless_range_loop)]
-                        for w in 0..ns {
-                            let record = match method {
-                                SketchMethod::Exact => {
-                                    // The per-series statistics were computed
-                                    // once up front; only the centered
-                                    // cross-product remains per pair.
-                                    let span = windowing.window_span(w);
-                                    let c = pair_corr_from_stats(
-                                        span.slice(xs),
-                                        span.slice(ys),
-                                        &series_stats[a][w],
-                                        &series_stats[b][w],
-                                    );
-                                    PairWindowRecord {
-                                        a: a as u32,
-                                        b: b as u32,
-                                        window: w as u32,
-                                        corr: c,
-                                        dft_dist: f64::NAN,
+                let part = *part;
+                Box::new(move || {
+                    *outcome = (|| -> Result<Duration> {
+                        let mut busy = Duration::ZERO;
+                        let mut batch = WriteBatch::default();
+                        for &(a, b) in &part.pairs {
+                            let start = Instant::now();
+                            for w in 0..ns {
+                                let record = match method {
+                                    SketchMethod::Exact => {
+                                        // Tiled kernel: both rows of the pair
+                                        // are contiguous z-scored slices of
+                                        // the shared window-major buffer.
+                                        let za = &z_ref[(w * n + a) * bw..(w * n + a + 1) * bw];
+                                        let zb = &z_ref[(w * n + b) * bw..(w * n + b + 1) * bw];
+                                        PairWindowRecord {
+                                            a: a as u32,
+                                            b: b as u32,
+                                            window: w as u32,
+                                            corr: normalized_dot_corr(za, zb),
+                                            dft_dist: f64::NAN,
+                                        }
                                     }
-                                }
-                                SketchMethod::Dft { coefficients } => {
-                                    let d = coefficient_distance(
-                                        &series_coeffs[a][w],
-                                        &series_coeffs[b][w],
-                                        coefficients,
-                                    );
-                                    PairWindowRecord {
-                                        a: a as u32,
-                                        b: b as u32,
-                                        window: w as u32,
-                                        corr: f64::NAN,
-                                        dft_dist: d,
+                                    SketchMethod::Dft { coefficients } => {
+                                        let d = coefficient_distance(
+                                            &series_coeffs[a][w],
+                                            &series_coeffs[b][w],
+                                            coefficients,
+                                        );
+                                        PairWindowRecord {
+                                            a: a as u32,
+                                            b: b as u32,
+                                            window: w as u32,
+                                            corr: f64::NAN,
+                                            dft_dist: d,
+                                        }
                                     }
-                                }
-                            };
-                            batch.pairs.push(record);
+                                };
+                                batch.pairs.push(record);
+                            }
+                            busy += start.elapsed();
+                            if batch.pairs.len() >= batch_pairs * ns {
+                                let full = std::mem::take(&mut batch);
+                                sender.send(full).map_err(|_| {
+                                    Error::Storage("database worker hung up".into())
+                                })?;
+                            }
                         }
-                        busy += start.elapsed();
-                        if batch.pairs.len() >= batch_pairs * ns {
-                            let full = std::mem::take(&mut batch);
+                        if !batch.is_empty() {
                             sender
-                                .send(full)
+                                .send(batch)
                                 .map_err(|_| Error::Storage("database worker hung up".into()))?;
                         }
-                    }
-                    if !batch.is_empty() {
-                        sender
-                            .send(batch)
-                            .map_err(|_| Error::Storage("database worker hung up".into()))?;
-                    }
-                    Ok(busy)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .map_err(|_| Error::Storage("sketch worker panicked".into()))?
-                })
-                .collect()
-        })
-        .map_err(|_| Error::Storage("sketch scope panicked".into()))??;
-
-        compute_time += worker_times.iter().sum::<Duration>();
+                        Ok(busy)
+                    })();
+                }) as Job<'_>
+            })
+            .collect();
+        self.pool.run_jobs(jobs);
+        for outcome in outcomes {
+            compute_time += outcome?;
+        }
         let writer_stats = writer.finish()?;
 
         Ok(SketchReport {
@@ -326,80 +353,98 @@ impl ParallelEngine {
         let plan_ref = plan.as_ref();
         let store_ref = &store;
         let windows_ref = &windows;
+        let batch_pairs = self.config.batch_pairs.max(1);
 
+        #[derive(Default)]
         struct WorkerOut {
             read: Duration,
             compute: Duration,
         }
 
-        let outputs = crossbeam::thread::scope(|scope| -> Result<Vec<WorkerOut>> {
-            let mut handles = Vec::new();
-            for (part, slice) in partitions.iter().zip(slices) {
-                if part.is_empty() {
-                    continue;
-                }
-                let batch_pairs = self.config.batch_pairs.max(1);
-                handles.push(scope.spawn(move |_| -> Result<WorkerOut> {
-                    let mut out = WorkerOut {
-                        read: Duration::ZERO,
-                        compute: Duration::ZERO,
-                    };
-                    let mut cursor = 0;
-                    // Per-worker scratch for the pair's per-window
-                    // correlations: cleared and refilled, never reallocated.
-                    let mut corr_scratch: Vec<f64> = Vec::new();
-                    // Pairs are read from the store in batches: consecutive
-                    // pairs of a partition are contiguous on disk, so the
-                    // store can serve a batch with a single ranged read.
-                    for chunk in part.pairs.chunks(batch_pairs) {
-                        let t0 = Instant::now();
-                        let batch = store_ref.read_pairs(chunk, windows_ref.clone())?;
-                        out.read += t0.elapsed();
+        let live: Vec<(&crate::partition::PairPartition, &mut [f64])> = partitions
+            .iter()
+            .zip(slices)
+            .filter(|(part, _)| !part.is_empty())
+            .collect();
+        let mut outcomes: Vec<Result<WorkerOut>> =
+            (0..live.len()).map(|_| Ok(WorkerOut::default())).collect();
+        let jobs: Vec<Job<'_>> = live
+            .into_iter()
+            .zip(outcomes.iter_mut())
+            .map(|((part, slice), outcome)| {
+                Box::new(move || {
+                    *outcome = (|| -> Result<WorkerOut> {
+                        let mut out = WorkerOut::default();
+                        let mut cursor = 0;
+                        // Pairs are read from the store in batches:
+                        // consecutive pairs of a partition are contiguous on
+                        // disk, so the store can serve a batch with a single
+                        // ranged read.
+                        for chunk in part.pairs.chunks(batch_pairs) {
+                            let t0 = Instant::now();
+                            let batch = store_ref.read_pairs(chunk, windows_ref.clone())?;
+                            out.read += t0.elapsed();
 
-                        let t1 = Instant::now();
-                        for (&(a, b), records) in chunk.iter().zip(&batch) {
-                            let corr = match method {
+                            let t1 = Instant::now();
+                            match method {
                                 QueryMethod::Exact => {
                                     let plan = plan_ref.expect("plan is built for exact queries");
-                                    corr_scratch.clear();
-                                    corr_scratch.extend(records.iter().map(|r| r.corr));
-                                    plan.pair_kernel(a, b, &corr_scratch, None)
+                                    // Transpose the batch window-major once,
+                                    // then sweep it tile by tile with the
+                                    // batch kernel: the inner loops stream
+                                    // contiguous memory for every pair of the
+                                    // chunk instead of striding per-pair
+                                    // record rows.
+                                    let w = windows_ref.len();
+                                    let corrs_t =
+                                        TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
+                                            batch[p][k].corr
+                                        });
+                                    let (a0, b0) = chunk[0];
+                                    let start = pair_index(a0, b0, n);
+                                    let mut offset = 0;
+                                    for (i, j0, len) in row_segments(start, chunk.len(), n) {
+                                        plan.block_kernel(
+                                            i,
+                                            j0,
+                                            corrs_t.view(),
+                                            offset,
+                                            &mut slice[cursor..cursor + len],
+                                        );
+                                        offset += len;
+                                        cursor += len;
+                                    }
                                 }
                                 QueryMethod::Approximate => {
-                                    let parts: Vec<ApproxWindow> = records
-                                        .iter()
-                                        .enumerate()
-                                        .map(|(k, r)| ApproxWindow {
-                                            x: series_stats[a][k],
-                                            y: series_stats[b][k],
-                                            dist: r.dft_dist,
-                                        })
-                                        .collect();
-                                    query_correlation(&parts)
+                                    for (&(a, b), records) in chunk.iter().zip(&batch) {
+                                        let parts: Vec<ApproxWindow> = records
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(k, r)| ApproxWindow {
+                                                x: series_stats[a][k],
+                                                y: series_stats[b][k],
+                                                dist: r.dft_dist,
+                                            })
+                                            .collect();
+                                        slice[cursor] = query_correlation(&parts);
+                                        cursor += 1;
+                                    }
                                 }
-                            };
-                            slice[cursor] = corr;
-                            cursor += 1;
+                            }
+                            out.compute += t1.elapsed();
                         }
-                        out.compute += t1.elapsed();
-                    }
-                    Ok(out)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .map_err(|_| Error::Storage("query worker panicked".into()))?
-                })
-                .collect()
-        })
-        .map_err(|_| Error::Storage("query scope panicked".into()))??;
+                        Ok(out)
+                    })();
+                }) as Job<'_>
+            })
+            .collect();
+        self.pool.run_jobs(jobs);
 
         let matrix = CorrelationMatrix::from_upper_triangle(n, values);
         let mut read_time = series_read_time;
         let mut compute_time = Duration::ZERO;
-        for out in outputs {
+        for outcome in outcomes {
+            let out = outcome?;
             read_time += out.read;
             compute_time += out.compute;
         }
@@ -545,6 +590,28 @@ mod tests {
         }
         assert!(matrices[0].max_abs_diff(&matrices[1]) < 1e-12);
         assert!(matrices[1].max_abs_diff(&matrices[2]) < 1e-12);
+    }
+
+    #[test]
+    fn engine_pool_is_reused_across_repeated_queries() {
+        let c = small_collection();
+        let b = 100;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(3, SketchMethod::Exact);
+        assert_eq!(eng.pool().size(), 3);
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        // Repeated queries run on the same pool threads and agree exactly.
+        let (first, _) = eng
+            .query_from_store(store.clone(), 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+        for _ in 0..3 {
+            let (again, report) = eng
+                .query_from_store(store.clone(), 0..layout.n_windows, QueryMethod::Exact)
+                .unwrap();
+            assert_eq!(first, again);
+            assert_eq!(report.workers, 3);
+        }
     }
 
     #[test]

@@ -22,8 +22,10 @@
 
 pub mod engine;
 pub mod partition;
+pub mod pool;
 pub mod timing;
 
 pub use engine::{ParallelConfig, ParallelEngine, QueryMethod, SketchMethod};
 pub use partition::{partition_pairs, PairPartition};
+pub use pool::WorkerPool;
 pub use timing::{QueryReport, SketchReport};

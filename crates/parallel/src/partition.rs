@@ -7,6 +7,7 @@
 //! load balancing every partition receives (almost) the same number of pairs.
 
 use tsubasa_core::plan::even_sizes;
+use tsubasa_core::sketch::unpack_pair_index;
 use tsubasa_core::SeriesId;
 
 /// One partition: a contiguous run of unordered pairs in row-major order.
@@ -33,20 +34,29 @@ impl PairPartition {
 
 /// Split the `n(n−1)/2` unordered pairs of `n` series into `parts` partitions
 /// of (nearly) equal size, preserving row-major order inside each partition
-/// so that consecutive pairs share their first series.
+/// so that consecutive pairs share their first series. Each partition is a
+/// contiguous run of the packed upper triangle — the property the carve-and-
+/// write result assembly and the block-kernel row tiles rely on — generated
+/// directly from its packed start index rather than by slicing a
+/// materialized list of every pair.
 pub fn partition_pairs(n: usize, parts: usize) -> Vec<PairPartition> {
     let total = n * n.saturating_sub(1) / 2;
-    let mut all = Vec::with_capacity(total);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            all.push((i, j));
-        }
-    }
     let sizes = even_sizes(total, parts);
     let mut out = Vec::with_capacity(sizes.len());
     let mut cursor = 0;
     for (id, size) in sizes.into_iter().enumerate() {
-        let pairs = all[cursor..cursor + size].to_vec();
+        let mut pairs = Vec::with_capacity(size);
+        if size > 0 {
+            let (mut i, mut j) = unpack_pair_index(cursor, n);
+            for _ in 0..size {
+                pairs.push((i, j));
+                j += 1;
+                if j == n {
+                    i += 1;
+                    j = i + 1;
+                }
+            }
+        }
         cursor += size;
         out.push(PairPartition { id, pairs });
     }

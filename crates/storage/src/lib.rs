@@ -31,4 +31,4 @@ pub use disk::DiskSketchStore;
 pub use memory::MemorySketchStore;
 pub use record::{PairWindowRecord, SeriesWindowRecord};
 pub use store::{SketchStore, StoreLayout};
-pub use writer::{BatchWriter, WriteBatch};
+pub use writer::{default_batch_pairs, BatchWriter, WriteBatch, WriterStats};

@@ -6,6 +6,17 @@
 //! division of workers into computation workers and one database worker, and
 //! it lets the Figure 6a experiment report the write time separately from the
 //! sketch-computation time.
+//!
+//! The writer is *double-buffered*: the bounded channel is the fill buffer
+//! the computation workers append to, and on every wake-up the writer swaps
+//! out everything queued so far, coalesces it into one combined batch, and
+//! issues a single `write_series` / `write_pairs` call per swap. Each store
+//! write acquires the store's internal lock once per *swap* instead of once
+//! per producer batch, which is what kept the disk engine write-paced at
+//! larger series counts. The swap size is bounded by
+//! [`BatchWriter::spawn_with_coalescing`]'s limit; the default comes from
+//! the `TSUBASA_DB_BATCH` environment variable (see
+//! [`default_batch_pairs`]).
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,11 +50,28 @@ impl WriteBatch {
     }
 }
 
+/// The default number of pairs per write batch / ranged read: the
+/// `TSUBASA_DB_BATCH` environment variable when set to a positive integer,
+/// otherwise 256. The parallel engine's `ParallelConfig::default` and the
+/// writer's coalescing limit both derive from this, so the knob tunes the
+/// whole write path from the environment.
+pub fn default_batch_pairs() -> usize {
+    std::env::var("TSUBASA_DB_BATCH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(256)
+}
+
 /// Statistics reported by the writer thread when it finishes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WriterStats {
-    /// Number of batches drained from the channel.
+    /// Number of producer batches drained from the channel.
     pub batches: usize,
+    /// Number of buffer swaps, i.e. coalesced store write calls. At most
+    /// [`WriterStats::batches`]; lower when the writer found several queued
+    /// batches per wake-up.
+    pub swaps: usize,
     /// Total number of records written.
     pub records: usize,
     /// Wall-clock time spent inside store write calls (the paper's
@@ -58,24 +86,53 @@ pub struct BatchWriter {
 }
 
 impl BatchWriter {
-    /// Spawn the writer thread on top of a shared store. `queue_depth` bounds
-    /// the channel so computation workers back off instead of buffering the
-    /// whole sketch in memory.
+    /// Spawn the writer thread on top of a shared store with the default
+    /// coalescing limit ([`default_batch_pairs`] records per swap per record
+    /// kind). `queue_depth` bounds the channel so computation workers back
+    /// off instead of buffering the whole sketch in memory.
     pub fn spawn(store: Arc<dyn SketchStore>, queue_depth: usize) -> Self {
+        Self::spawn_with_coalescing(store, queue_depth, default_batch_pairs())
+    }
+
+    /// [`BatchWriter::spawn`] with an explicit coalescing limit: on every
+    /// wake-up the writer swaps out queued batches until it holds at least
+    /// `coalesce_records` records (or the queue is momentarily empty) and
+    /// writes them with one store call per record kind.
+    pub fn spawn_with_coalescing(
+        store: Arc<dyn SketchStore>,
+        queue_depth: usize,
+        coalesce_records: usize,
+    ) -> Self {
         let (tx, rx) = bounded::<WriteBatch>(queue_depth.max(1));
+        let coalesce = coalesce_records.max(1);
         let handle = std::thread::spawn(move || -> Result<WriterStats> {
             let mut stats = WriterStats::default();
-            for batch in rx.iter() {
-                let start = Instant::now();
-                if !batch.series.is_empty() {
-                    store.write_series(&batch.series)?;
+            // Swap-and-write loop: block for the first batch, then drain
+            // whatever else the computation workers queued meanwhile into
+            // one combined buffer before touching the store.
+            while let Ok(first) = rx.recv() {
+                let mut buffer = first;
+                stats.batches += 1;
+                while buffer.len() < coalesce {
+                    match rx.try_recv() {
+                        Ok(mut next) => {
+                            stats.batches += 1;
+                            buffer.series.append(&mut next.series);
+                            buffer.pairs.append(&mut next.pairs);
+                        }
+                        Err(_) => break,
+                    }
                 }
-                if !batch.pairs.is_empty() {
-                    store.write_pairs(&batch.pairs)?;
+                let start = Instant::now();
+                if !buffer.series.is_empty() {
+                    store.write_series(&buffer.series)?;
+                }
+                if !buffer.pairs.is_empty() {
+                    store.write_pairs(&buffer.pairs)?;
                 }
                 stats.write_time += start.elapsed();
-                stats.batches += 1;
-                stats.records += batch.len();
+                stats.swaps += 1;
+                stats.records += buffer.len();
             }
             let start = Instant::now();
             store.flush()?;

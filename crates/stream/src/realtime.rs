@@ -16,6 +16,7 @@
 use tsubasa_core::error::Result;
 use tsubasa_core::incremental::SlidingNetwork;
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use tsubasa_core::runner::{JobRunner, SerialRunner};
 use tsubasa_core::{SeriesCollection, SketchSet};
 use tsubasa_dft::sketch::{DftSketchSet, Transform};
 use tsubasa_dft::SlidingApproxNetwork;
@@ -90,12 +91,22 @@ impl RealTimeNetwork {
     /// leftovers stay buffered. Returns the number of network updates applied
     /// by this call.
     pub fn ingest(&mut self, updates: &[Vec<f64>]) -> Result<usize> {
+        self.ingest_in(&SerialRunner, updates)
+    }
+
+    /// [`RealTimeNetwork::ingest`] with the exact engine's per-pair Lemma 2
+    /// sweep fanned out over `runner`. Hand the same reusable worker pool
+    /// (`tsubasa_parallel::WorkerPool`) to every call so continuous
+    /// re-evaluations stop paying thread startup per arriving basic window;
+    /// the result is identical to the serial path for any worker count. The
+    /// approximate updater has no parallel sweep and ignores the runner.
+    pub fn ingest_in(&mut self, runner: &dyn JobRunner, updates: &[Vec<f64>]) -> Result<usize> {
         let new_points = updates.first().map(|u| u.len()).unwrap_or(0);
         let chunks = self.buffer.push(updates)?;
         let applied = chunks.len();
         for chunk in chunks {
             match &mut self.updater {
-                Updater::Exact(net) => net.ingest(&chunk)?,
+                Updater::Exact(net) => net.ingest_in(runner, &chunk)?,
                 Updater::Approx(net) => net.ingest(&chunk)?,
             }
         }
@@ -229,6 +240,33 @@ mod tests {
             diff < 1e-6,
             "full-coefficient approximation drifted by {diff}"
         );
+    }
+
+    #[test]
+    fn parallel_ingest_matches_serial_ingest_exactly() {
+        use tsubasa_core::runner::ScopedRunner;
+        let total = 520;
+        let hist_len = 300;
+        let b = 20;
+        let full = data(total);
+        let historical = full.truncate_length(hist_len).unwrap();
+        let mut serial =
+            RealTimeNetwork::new(&historical, b, 160, 0.7, UpdateEngine::Exact).unwrap();
+        let mut pooled =
+            RealTimeNetwork::new(&historical, b, 160, 0.7, UpdateEngine::Exact).unwrap();
+        let runner = ScopedRunner::new(4);
+        let mut now = hist_len;
+        while now + 13 <= total {
+            let updates: Vec<Vec<f64>> = full
+                .iter()
+                .map(|s| s.values()[now..now + 13].to_vec())
+                .collect();
+            serial.ingest(&updates).unwrap();
+            pooled.ingest_in(&runner, &updates).unwrap();
+            now += 13;
+            assert_eq!(serial.correlation_matrix(), pooled.correlation_matrix());
+        }
+        assert!(serial.updates_applied() > 5);
     }
 
     #[test]

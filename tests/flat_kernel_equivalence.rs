@@ -1,11 +1,19 @@
-//! Equality guard for the flat all-pairs kernel (PR 2 tentpole).
+//! Equality guard for the flat all-pairs kernel (PR 2 tentpole, amended by
+//! the PR 4 tiled kernels).
 //!
-//! The `QueryPlan` kernel and the multi-threaded sweep must match the
-//! reference per-pair path (`exact::pair_correlation`:
-//! `gather_contributions` → `combine`) **bit for bit** — not merely within a
-//! tolerance — across aligned and unaligned query windows. Any divergence
-//! means the plan's precomputed tables no longer mirror the Lemma 1
-//! arithmetic operation-for-operation.
+//! The scalar `QueryPlan` kernel must match the reference per-pair path
+//! (`exact::pair_correlation`: `gather_contributions` → `combine`) **bit for
+//! bit** across aligned and unaligned query windows: any divergence means
+//! the plan's precomputed tables no longer mirror the Lemma 1 arithmetic
+//! operation-for-operation.
+//!
+//! The matrix sweeps (`correlation_matrix`, `correlation_matrix_parallel`,
+//! `correlation_matrix_aligned`) run the *tiled* batch kernel, which
+//! normalizes per element and accumulates in a different order — their
+//! contract is agreement within `1e-10` absolute (see
+//! `tiled_kernel_agreement.rs` for the dedicated suites), while serial and
+//! parallel sweeps must still agree with *each other* exactly for any worker
+//! count.
 
 use proptest::prelude::*;
 use tsubasa_core::plan::QueryPlan;
@@ -36,11 +44,13 @@ fn collection(seed: u64, n: usize, len: usize) -> SeriesCollection {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The flat kernel, the serial matrix sweep, and the parallel matrix
-    /// sweep all equal the reference per-pair path bit-for-bit on random
-    /// (generally unaligned) query windows.
+    /// The scalar flat kernel equals the reference per-pair path bit-for-bit
+    /// on random (generally unaligned) query windows; the tiled matrix
+    /// sweeps stay within the 1e-10 tolerance contract of that same
+    /// reference, and serial vs parallel sweeps agree exactly for any worker
+    /// count.
     #[test]
-    fn prop_flat_kernel_and_parallel_sweep_match_reference_bitwise(
+    fn prop_flat_kernel_and_parallel_sweep_match_reference(
         seed in 0u64..10_000,
         n in 2usize..6,
         series_len in 60usize..220,
@@ -64,16 +74,16 @@ proptest! {
             let reference = exact::pair_correlation(&c, &sketch, query, i, j).unwrap();
             let kernel = plan.pair_correlation(&c, &sketch, i, j).unwrap();
             prop_assert_eq!(kernel.to_bits(), reference.to_bits());
-            prop_assert_eq!(serial.get(i, j).to_bits(), reference.to_bits());
-            prop_assert_eq!(parallel.get(i, j).to_bits(), reference.to_bits());
+            prop_assert!((serial.get(i, j) - reference).abs() <= 1e-10);
+            prop_assert_eq!(serial.get(i, j).to_bits(), parallel.get(i, j).to_bits());
         }
     }
 
-    /// Aligned windows take the sketch-only path (no raw data); it must be
-    /// bit-identical to the reference aligned helper, for both the kernel
-    /// and the aligned matrix sweep.
+    /// Aligned windows take the sketch-only path (no raw data); the scalar
+    /// kernel must be bit-identical to the reference aligned helper, the
+    /// tiled aligned sweep within tolerance of it.
     #[test]
-    fn prop_aligned_kernel_matches_reference_bitwise(
+    fn prop_aligned_kernel_matches_reference(
         seed in 0u64..10_000,
         n in 2usize..6,
         basic in 5usize..30,
@@ -93,7 +103,7 @@ proptest! {
             let reference = exact::pair_correlation_aligned(&sketch, range.clone(), i, j).unwrap();
             let kernel = plan.pair_correlation_aligned(&sketch, i, j).unwrap();
             prop_assert_eq!(kernel.to_bits(), reference.to_bits());
-            prop_assert_eq!(matrix.get(i, j).to_bits(), reference.to_bits());
+            prop_assert!((matrix.get(i, j) - reference).abs() <= 1e-10);
         }
     }
 }
