@@ -10,12 +10,12 @@
 //! positives, never false negatives); the edge count converges to the exact
 //! count and D_p climbs to 1.0 only when (nearly) all coefficients are used.
 
-use tsubasa_bench::{scaled, time, Table};
+use tsubasa_bench::{millis, scaled, time, Table};
 use tsubasa_core::prelude::*;
 use tsubasa_data::prelude::*;
-use tsubasa_dft::approx::{approximate_network, ApproxStrategy};
+use tsubasa_dft::approx::{approximate_correlation_matrix_reference, ApproxStrategy};
 use tsubasa_dft::sketch::{DftSketchSet, Transform};
-use tsubasa_network::NetworkComparison;
+use tsubasa_network::ApproxNetworkBuilder;
 
 /// Climate networks are built on *anomaly* series (departure from the usual
 /// behaviour, paper §1). Remove the diurnal climatology and a 30-day moving
@@ -85,15 +85,42 @@ fn main() {
         "similarity D_p",
         "false pos",
         "false neg",
+        "precision",
+        "recall",
+        "tiled query ms",
+        "scalar query ms",
+        "x",
     ]);
     let mut json_rows = Vec::new();
 
     for coefficients in [50usize, 100, 150, 200] {
         let sketch = DftSketchSet::build(&collection, basic_window, coefficients, Transform::Naive)
             .expect("dft sketch");
-        let approx_net =
-            approximate_network(&sketch, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
-        let cmp = NetworkComparison::compare(&exact_net, &approx_net);
+        let builder = ApproxNetworkBuilder::from_sketch(sketch);
+        // Tiled batched path (ApproxPlan + Equation 4 pruning) vs the scalar
+        // per-pair reference recombination — the same-binary speedup the
+        // pr5_approx_kernels harness isolates, here at the Figure 5a shape.
+        // Best-of-3: single-shot sub-ms timings swing ~2× on a busy box.
+        let approx_net = builder.network(0..n_windows, theta).unwrap();
+        let t_tiled = (0..3)
+            .map(|_| time(|| builder.network(0..n_windows, theta).unwrap()).1)
+            .min()
+            .unwrap();
+        let t_scalar = (0..3)
+            .map(|_| {
+                time(|| {
+                    approximate_correlation_matrix_reference(
+                        builder.sketch(),
+                        0..n_windows,
+                        ApproxStrategy::Equation5,
+                    )
+                    .unwrap()
+                })
+                .1
+            })
+            .min()
+            .unwrap();
+        let cmp = tsubasa_network::NetworkComparison::compare(&exact_net, &approx_net);
         table.row(vec![
             coefficients.to_string(),
             cmp.candidate_edges.to_string(),
@@ -101,6 +128,11 @@ fn main() {
             format!("{:.4}", cmp.similarity_ratio),
             cmp.false_positives.to_string(),
             cmp.false_negatives.to_string(),
+            format!("{:.4}", cmp.precision()),
+            format!("{:.4}", cmp.recall()),
+            format!("{:.3}", millis(t_tiled)),
+            format!("{:.3}", millis(t_scalar)),
+            format!("{:.2}", millis(t_scalar) / millis(t_tiled)),
         ]);
         json_rows.push(serde_json::json!({
             "coefficients": coefficients,
@@ -109,6 +141,11 @@ fn main() {
             "similarity_ratio": cmp.similarity_ratio,
             "false_positives": cmp.false_positives,
             "false_negatives": cmp.false_negatives,
+            "precision": cmp.precision(),
+            "recall": cmp.recall(),
+            "approx_query_tiled_ms": millis(t_tiled),
+            "approx_query_scalar_ms": millis(t_scalar),
+            "approx_query_speedup": millis(t_scalar) / millis(t_tiled),
         }));
     }
 

@@ -1,0 +1,120 @@
+//! Approximate-path kernel microbenchmark: the tiled DFT sketch and the
+//! batched `ApproxPlan` query sweep against their scalar reference paths,
+//! same process, same data, repeated runs — the approximate sibling of
+//! `pr4_kernels`.
+//!
+//! * sketch: `DftSketchSet::build` (coefficient-major structure-of-arrays
+//!   rows + tiled difference-square sweep) vs
+//!   `DftSketchSet::build_reference` (per-pair `coefficient_distance` over
+//!   per-series coefficient vectors). Run with `Transform::Fft` so the
+//!   transform itself does not drown the distance sweep under `O(B²)` naive
+//!   DFT cost (the paths share the transform arithmetic either way).
+//! * query: `ApproxPlan::build` + `correlation_matrix` (tiled Equation 5
+//!   over the window-major estimate table) vs
+//!   `approximate_correlation_matrix_reference` (the pre-plan scalar
+//!   per-pair gather/recombine loop), full coefficients.
+//!
+//! Results land in `target/bench-results/pr5_approx_kernels.json`.
+
+use tsubasa_bench::{fmt_ms, millis, scaled, time, Table};
+use tsubasa_data::prelude::*;
+use tsubasa_dft::approx::{approximate_correlation_matrix_reference, ApproxStrategy};
+use tsubasa_dft::plan::ApproxPlan;
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..reps)
+        .map(|_| millis(time(&mut f).1))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let stations = scaled(100, 24);
+    let points = scaled(8_760, 2_000).max(2_000);
+    let reps = 5;
+    println!(
+        "PR5 approx kernel micro: {stations} stations x {points} points | full coefficients | best of {reps}"
+    );
+
+    let collection = generate_ncea_like(&NceaLikeConfig {
+        stations,
+        points,
+        ..NceaLikeConfig::default()
+    })
+    .expect("generate dataset");
+
+    let mut table = Table::new(&[
+        "B",
+        "sketch tiled",
+        "sketch scalar",
+        "x",
+        "query tiled",
+        "query scalar",
+        "x",
+    ]);
+    let mut json_rows = Vec::new();
+
+    // Power-of-two windows so `Transform::Fft` actually runs the planned FFT
+    // — at non-power-of-two sizes the fallback naive `O(B²)` transform
+    // drowns the distance sweep and both sketch paths time the same.
+    for basic_window in [64usize, 128, 256] {
+        // Sketch: both paths pay the same per-window transform; the contrast
+        // is the all-pairs distance pass.
+        let sketch_tiled = best_of(3, || {
+            DftSketchSet::build(&collection, basic_window, basic_window, Transform::Fft).unwrap()
+        });
+        let sketch_scalar = best_of(3, || {
+            DftSketchSet::build_reference(&collection, basic_window, basic_window, Transform::Fft)
+                .unwrap()
+        });
+
+        let sketch =
+            DftSketchSet::build(&collection, basic_window, basic_window, Transform::Fft).unwrap();
+        let windows = 0..sketch.window_count();
+
+        let query_tiled = best_of(reps, || {
+            ApproxPlan::build(&sketch, windows.clone())
+                .unwrap()
+                .correlation_matrix()
+        });
+        let query_scalar = best_of(reps, || {
+            approximate_correlation_matrix_reference(
+                &sketch,
+                windows.clone(),
+                ApproxStrategy::Equation5,
+            )
+            .unwrap()
+        });
+
+        table.row(vec![
+            basic_window.to_string(),
+            fmt_ms(sketch_tiled),
+            fmt_ms(sketch_scalar),
+            format!("{:.2}", sketch_scalar / sketch_tiled),
+            fmt_ms(query_tiled),
+            fmt_ms(query_scalar),
+            format!("{:.2}", query_scalar / query_tiled),
+        ]);
+        json_rows.push(serde_json::json!({
+            "basic_window": basic_window,
+            "coefficients": basic_window,
+            "sketch_tiled_ms": sketch_tiled,
+            "sketch_scalar_ms": sketch_scalar,
+            "sketch_speedup": sketch_scalar / sketch_tiled,
+            "query_tiled_ms": query_tiled,
+            "query_scalar_ms": query_scalar,
+            "query_speedup": query_scalar / query_tiled,
+        }));
+    }
+
+    table.print("PR5 approximate kernels vs scalar reference (best-of runs)");
+    tsubasa_bench::write_json(
+        "pr5_approx_kernels",
+        &serde_json::json!({
+            "stations": stations,
+            "points": points,
+            "reps": reps,
+            "rows": json_rows,
+        }),
+    );
+}

@@ -149,8 +149,10 @@ pub struct SketchSet {
 const LAYOUT_TILE: usize = 64;
 
 /// Cache-blocked gather of a window-major flat table (`flat[w·P + p]`) into
-/// per-pair vectors (`out[p][w]`).
-fn gather_pair_rows(flat: &[f64], n_pairs: usize, ns: usize) -> Vec<Vec<f64>> {
+/// per-pair vectors (`out[p][w]`). Shared by every sketch that keeps its
+/// per-pair values in both layouts (this crate's correlations, the DFT
+/// comparator's distances).
+pub fn gather_pair_rows(flat: &[f64], n_pairs: usize, ns: usize) -> Vec<Vec<f64>> {
     debug_assert_eq!(flat.len(), n_pairs * ns);
     let mut out: Vec<Vec<f64>> = (0..n_pairs).map(|_| vec![0.0f64; ns]).collect();
     for p0 in (0..n_pairs).step_by(LAYOUT_TILE) {
@@ -165,22 +167,32 @@ fn gather_pair_rows(flat: &[f64], n_pairs: usize, ns: usize) -> Vec<Vec<f64>> {
     out
 }
 
-/// Cache-blocked scatter of per-pair vectors into a window-major flat table
-/// — the inverse of [`gather_pair_rows`], used when a sketch is assembled
-/// from pair-major parts (store rehydration, partition merges).
-fn scatter_pair_rows(pairs: &[PairSketch], ns: usize) -> Vec<f64> {
-    let n_pairs = pairs.len();
+/// Cache-blocked scatter of pair-major values into a window-major flat table
+/// — the inverse of [`gather_pair_rows`], generalized over an accessor
+/// `f(p, w)` so callers with different pair-major containers share the one
+/// blocking scheme. Used when a sketch is assembled from pair-major parts
+/// (store rehydration, partition merges, the scalar reference builders).
+pub fn scatter_pair_rows_with(
+    n_pairs: usize,
+    ns: usize,
+    mut f: impl FnMut(usize, usize) -> f64,
+) -> Vec<f64> {
     let mut flat = vec![0.0f64; n_pairs * ns];
     for p0 in (0..n_pairs).step_by(LAYOUT_TILE) {
         let p1 = (p0 + LAYOUT_TILE).min(n_pairs);
         for w in 0..ns {
             let row = &mut flat[w * n_pairs..(w + 1) * n_pairs];
-            for p in p0..p1 {
-                row[p] = pairs[p].corrs[w];
+            for (slot, p) in row[p0..p1].iter_mut().zip(p0..p1) {
+                *slot = f(p, w);
             }
         }
     }
     flat
+}
+
+/// [`scatter_pair_rows_with`] over [`PairSketch`] vectors.
+fn scatter_pair_rows(pairs: &[PairSketch], ns: usize) -> Vec<f64> {
+    scatter_pair_rows_with(pairs.len(), ns, |p, w| pairs[p].corrs[w])
 }
 
 impl SketchSet {

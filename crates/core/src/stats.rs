@@ -372,6 +372,121 @@ fn dot_1x4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4
     ]
 }
 
+/// Squared-difference sum with eight independent accumulator lanes — the
+/// distance sibling of [`dot_unrolled`]. Every term is non-negative, so
+/// reordering the accumulation across lanes never cancels; agreement with a
+/// serial left-to-right sum is at the last-ulp level.
+#[inline]
+fn dist_sq_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let octs = a.len() / 8 * 8;
+    let mut acc = [0.0f64; 8];
+    for (ca, cb) in a[..octs].chunks_exact(8).zip(b[..octs].chunks_exact(8)) {
+        for lane in 0..8 {
+            let d = ca[lane] - cb[lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[octs..].iter().zip(&b[octs..]) {
+        let d = x - y;
+        tail += d * d;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// One row against a tile of four rows: four squared Euclidean distances
+/// sharing every load of `a` — the distance sibling of [`dot_1x4`], used by
+/// the DFT comparator's coefficient-distance sweep.
+#[inline]
+fn dist_sq_1x4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    let len = a.len();
+    let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
+    let pairs = len / 2 * 2;
+    let mut acc = [[0.0f64; 2]; 4];
+    let mut t = 0;
+    while t < pairs {
+        let a0 = a[t];
+        let a1 = a[t + 1];
+        let d00 = a0 - b0[t];
+        let d01 = a1 - b0[t + 1];
+        acc[0][0] += d00 * d00;
+        acc[0][1] += d01 * d01;
+        let d10 = a0 - b1[t];
+        let d11 = a1 - b1[t + 1];
+        acc[1][0] += d10 * d10;
+        acc[1][1] += d11 * d11;
+        let d20 = a0 - b2[t];
+        let d21 = a1 - b2[t + 1];
+        acc[2][0] += d20 * d20;
+        acc[2][1] += d21 * d21;
+        let d30 = a0 - b3[t];
+        let d31 = a1 - b3[t + 1];
+        acc[3][0] += d30 * d30;
+        acc[3][1] += d31 * d31;
+        t += 2;
+    }
+    if pairs < len {
+        let a0 = a[pairs];
+        let d0 = a0 - b0[pairs];
+        let d1 = a0 - b1[pairs];
+        let d2 = a0 - b2[pairs];
+        let d3 = a0 - b3[pairs];
+        acc[0][0] += d0 * d0;
+        acc[1][0] += d1 * d1;
+        acc[2][0] += d2 * d2;
+        acc[3][0] += d3 * d3;
+    }
+    [
+        acc[0][0] + acc[0][1],
+        acc[1][0] + acc[1][1],
+        acc[2][0] + acc[2][1],
+        acc[3][0] + acc[3][1],
+    ]
+}
+
+/// All-pairs squared Euclidean distances from a block of contiguous rows: the
+/// distance-flavoured generalization of [`tiled_pair_corrs_into`], used by the
+/// DFT comparator's coefficient-distance sweep.
+///
+/// `rows` holds `n` rows of `len` values each, contiguous per row
+/// (`rows[i·len .. (i+1)·len]` is row `i`); `out` receives the `n(n−1)/2`
+/// squared distances `‖r_i − r_j‖²` in packed upper-triangle order
+/// ([`crate::sketch::pair_index`]). The sweep walks row `i` against 1×4 tiles
+/// of later rows (same shape as the `Z·Zᵀ` sweep) so `r_i` stays cache-hot
+/// while the tile rows stream past.
+///
+/// Unlike the correlation kernel there is no per-element normalization or
+/// clamping, and every accumulated term is non-negative, so lane reordering
+/// cannot cancel: agreement with a serial difference-square sum is at the
+/// last-ulp level (the ≤ `1e-10` contract of the tiled suites holds with a
+/// wide margin).
+pub fn tiled_pair_dist_sq_into(rows: &[f64], n: usize, len: usize, out: &mut [f64]) {
+    debug_assert_eq!(rows.len(), n * len);
+    debug_assert_eq!(out.len(), n * n.saturating_sub(1) / 2);
+    if len == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let row = |r: usize| &rows[r * len..(r + 1) * len];
+    let mut p = 0;
+    for i in 0..n {
+        let ri = row(i);
+        let mut j = i + 1;
+        while j + 4 <= n {
+            let d = dist_sq_1x4(ri, row(j), row(j + 1), row(j + 2), row(j + 3));
+            out[p..p + 4].copy_from_slice(&d);
+            p += 4;
+            j += 4;
+        }
+        while j < n {
+            out[p] = dist_sq_unrolled(ri, row(j));
+            p += 1;
+            j += 1;
+        }
+    }
+}
+
 /// All-pairs window correlations from a block of normalized series rows: the
 /// tiled `Z·Zᵀ` kernel of the batch sketching path.
 ///
@@ -570,6 +685,44 @@ mod tests {
                 p += 1;
             }
         }
+    }
+
+    #[test]
+    fn tiled_pair_dist_sq_agrees_with_scalar_reference() {
+        // n = 7 exercises the 1×4 tile and the remainder path; odd row
+        // length exercises the odd-element tail of both kernels.
+        let n = 7;
+        let len = 23;
+        let rows: Vec<f64> = (0..n * len)
+            .map(|t| ((t * 13 + 5) % 19) as f64 * 0.31 - (t as f64 * 0.17).cos())
+            .collect();
+        let mut out = vec![0.0f64; n * (n - 1) / 2];
+        tiled_pair_dist_sq_into(&rows, n, len, &mut out);
+        let mut p = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let reference: f64 = rows[i * len..(i + 1) * len]
+                    .iter()
+                    .zip(&rows[j * len..(j + 1) * len])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                assert!(
+                    (out[p] - reference).abs() <= 1e-12 * reference.max(1.0),
+                    "pair ({i},{j}): {} vs {reference}",
+                    out[p]
+                );
+                p += 1;
+            }
+        }
+        // Identical rows have exactly zero distance (no cancellation noise).
+        let two = [1.5, -2.25, 3.0, 1.5, -2.25, 3.0];
+        let mut d = vec![9.0f64; 1];
+        tiled_pair_dist_sq_into(&two, 2, 3, &mut d);
+        assert_eq!(d, vec![0.0]);
+        // Zero-length rows keep the 0.0 convention.
+        let mut empty_out = vec![9.0f64; 1];
+        tiled_pair_dist_sq_into(&[], 2, 0, &mut empty_out);
+        assert_eq!(empty_out, vec![0.0]);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
 use tsubasa_core::stats::{clamp_corr, WindowStats};
 
+use crate::plan::ApproxPlan;
 use crate::sketch::DftSketchSet;
 
 /// Equation 3: correlation of two unit-normalized windows from their
@@ -56,10 +57,17 @@ pub struct ApproxWindow {
 /// Implemented by substituting the per-window correlation estimate
 /// `c_j ≈ 1 − d_j²/2` into the Lemma 1 recombination, which is algebraically
 /// identical to the paper's Equation 5 and numerically more stable.
-pub fn query_correlation(parts: &[ApproxWindow]) -> f64 {
+///
+/// Fails with [`Error::DegenerateWindow`] when the recombined window covers
+/// no points at all or has zero variance in either series (a constant
+/// series) — Pearson correlation is undefined there, the same contract as
+/// the exact path's [`tsubasa_core::exact::combine`]. Callers that want the
+/// classic "constant ⇒ 0.0" convention map the error explicitly, as
+/// [`approximate_pair_correlation`] does.
+pub fn query_correlation(parts: &[ApproxWindow]) -> Result<f64> {
     let total: f64 = parts.iter().map(|p| p.x.len as f64).sum();
     if total == 0.0 {
-        return 0.0;
+        return Err(Error::DegenerateWindow { points: 0 });
     }
     let mean_x = parts.iter().map(|p| p.x.len as f64 * p.x.mean).sum::<f64>() / total;
     let mean_y = parts.iter().map(|p| p.y.len as f64 * p.y.mean).sum::<f64>() / total;
@@ -76,24 +84,44 @@ pub fn query_correlation(parts: &[ApproxWindow]) -> f64 {
         den_y += b * (p.y.std * p.y.std + dy * dy);
     }
     if den_x <= 0.0 || den_y <= 0.0 {
-        return 0.0;
+        return Err(Error::DegenerateWindow {
+            points: total as usize,
+        });
     }
-    clamp_corr(num / (den_x.sqrt() * den_y.sqrt()))
+    Ok(clamp_corr(num / (den_x.sqrt() * den_y.sqrt())))
 }
 
 /// Equation 5 expressed as a distance (`Dist_n(X̂, Ŷ)` of the whole query
-/// window): `Dist² = 2(1 − corr)`.
-pub fn query_distance(parts: &[ApproxWindow]) -> f64 {
-    distance_from_corr(query_correlation(parts))
+/// window): `Dist² = 2(1 − corr)`. Propagates
+/// [`Error::DegenerateWindow`] from [`query_correlation`].
+pub fn query_distance(parts: &[ApproxWindow]) -> Result<f64> {
+    Ok(distance_from_corr(query_correlation(parts)?))
 }
 
 /// The StatStream heuristic: the query-window correlation is the average of
 /// the per-window correlation estimates `1 − d_j²/2`.
-pub fn statstream_average_correlation(dists: &[f64]) -> f64 {
+///
+/// Fails with [`Error::DegenerateWindow`] when no windows are supplied —
+/// there is nothing to average, matching the error convention of
+/// [`query_correlation`].
+pub fn statstream_average_correlation(dists: &[f64]) -> Result<f64> {
     if dists.is_empty() {
-        return 0.0;
+        return Err(Error::DegenerateWindow { points: 0 });
     }
-    clamp_corr(dists.iter().map(|&d| 1.0 - d * d / 2.0).sum::<f64>() / dists.len() as f64)
+    Ok(clamp_corr(
+        dists.iter().map(|&d| 1.0 - d * d / 2.0).sum::<f64>() / dists.len() as f64,
+    ))
+}
+
+/// Map the [`Error::DegenerateWindow`] produced by an empty or
+/// constant-series window to the `0.0` correlation convention of
+/// [`tsubasa_core::stats::pearson`], passing every other error through —
+/// the approximate twin of the exact path's explicit mapping.
+fn degenerate_to_zero(r: Result<f64>) -> Result<f64> {
+    match r {
+        Err(Error::DegenerateWindow { .. }) => Ok(0.0),
+        other => other,
+    }
 }
 
 /// Which recombination the approximate matrix / network construction uses.
@@ -126,6 +154,14 @@ fn gather_parts(
 
 /// Approximate correlation of one pair over an aligned range of basic
 /// windows.
+///
+/// This is the *reference* per-pair path: it materializes the pair's
+/// [`ApproxWindow`] contributions and recombines them scalar-ly; the
+/// all-pairs entry points share an [`ApproxPlan`] instead and agree with
+/// this path within `1e-10` absolute. A degenerate (empty or
+/// constant-series) window maps [`Error::DegenerateWindow`] to the classic
+/// `0.0` convention, exactly as the exact path's
+/// [`tsubasa_core::exact::pair_correlation`] does.
 pub fn approximate_pair_correlation(
     sketch: &DftSketchSet,
     windows: std::ops::Range<usize>,
@@ -145,11 +181,11 @@ pub fn approximate_pair_correlation(
     match strategy {
         ApproxStrategy::Equation5 => {
             let parts = gather_parts(sketch, windows, i, j)?;
-            Ok(query_correlation(&parts))
+            degenerate_to_zero(query_correlation(&parts))
         }
         ApproxStrategy::StatStreamAverage => {
             let dists = sketch.pair_distances(i, j)?;
-            Ok(statstream_average_correlation(
+            degenerate_to_zero(statstream_average_correlation(
                 &dists[windows.start..windows.end],
             ))
         }
@@ -157,12 +193,44 @@ pub fn approximate_pair_correlation(
 }
 
 /// Approximate all-pair correlation matrix over an aligned range of basic
-/// windows.
+/// windows, evaluated through a shared [`ApproxPlan`] (per-series
+/// recombination tables built once, cache-blocked tiled sweep over the
+/// window-major correlation-estimate table).
 pub fn approximate_correlation_matrix(
     sketch: &DftSketchSet,
     windows: std::ops::Range<usize>,
     strategy: ApproxStrategy,
 ) -> Result<CorrelationMatrix> {
+    let plan = ApproxPlan::build(sketch, windows)?;
+    match strategy {
+        ApproxStrategy::Equation5 => Ok(plan.correlation_matrix()),
+        ApproxStrategy::StatStreamAverage => {
+            let n = plan.series_count();
+            let mut values = vec![0.0f64; n * n.saturating_sub(1) / 2];
+            plan.statstream_correlations_into(&mut values);
+            Ok(CorrelationMatrix::from_upper_triangle(n, values))
+        }
+    }
+}
+
+/// The scalar reference all-pairs matrix: [`approximate_pair_correlation`]
+/// looped pair by pair — exactly the pre-plan evaluation path. Kept as the
+/// arithmetic yardstick for the `approx_plan_agreement` property suite and
+/// the `pr5_approx_kernels` speedup measurement, not for speed.
+pub fn approximate_correlation_matrix_reference(
+    sketch: &DftSketchSet,
+    windows: std::ops::Range<usize>,
+    strategy: ApproxStrategy,
+) -> Result<CorrelationMatrix> {
+    // Validate up front so empty/out-of-range windows error for every
+    // series count, exactly like the plan-based path (the pair loop below
+    // would never reach the per-pair validation when there are no pairs).
+    if windows.end > sketch.window_count() || windows.is_empty() {
+        return Err(Error::SketchMismatch {
+            requested: format!("basic windows {windows:?}"),
+            available: format!("{} sketched windows", sketch.window_count()),
+        });
+    }
     let n = sketch.series_count();
     let mut m = CorrelationMatrix::identity(n);
     for i in 0..n {
@@ -181,6 +249,10 @@ pub fn approximate_correlation_matrix(
 /// their estimated query-window distance is within the Equation 4 pruning
 /// radius for θ — a superset of the exact network (false positives possible,
 /// false negatives not, assuming distances are not over-estimated).
+///
+/// The Equation 5 strategy delegates to [`ApproxPlan::network`] (tiled
+/// sweep + pruning radius); the StatStream strategy thresholds the averaged
+/// estimates by the same radius.
 pub fn approximate_network(
     sketch: &DftSketchSet,
     windows: std::ops::Range<usize>,
@@ -190,17 +262,25 @@ pub fn approximate_network(
     if !(-1.0..=1.0).contains(&theta) {
         return Err(Error::InvalidThreshold(theta));
     }
-    let radius = pruning_radius(theta);
-    let n = sketch.series_count();
-    let mut net = AdjacencyMatrix::empty(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let corr = approximate_pair_correlation(sketch, windows.clone(), i, j, strategy)?;
-            let dist = distance_from_corr(corr);
-            net.set_edge(i, j, dist <= radius);
+    let plan = ApproxPlan::build(sketch, windows)?;
+    match strategy {
+        ApproxStrategy::Equation5 => plan.network(theta),
+        ApproxStrategy::StatStreamAverage => {
+            let radius = pruning_radius(theta);
+            let n = plan.series_count();
+            let mut values = vec![0.0f64; n * n.saturating_sub(1) / 2];
+            plan.statstream_correlations_into(&mut values);
+            let mut net = AdjacencyMatrix::empty(n);
+            let mut p = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    net.set_edge(i, j, distance_from_corr(values[p]) <= radius);
+                    p += 1;
+                }
+            }
+            Ok(net)
         }
     }
-    Ok(net)
 }
 
 #[cfg(test)]
@@ -315,6 +395,19 @@ mod tests {
         let sk = DftSketchSet::build(&c, 25, 25, Transform::Naive).unwrap();
         assert!(approximate_network(&sk, 0..4, 1.5, ApproxStrategy::Equation5).is_err());
         assert!(approximate_pair_correlation(&sk, 0..9, 0, 1, ApproxStrategy::Equation5).is_err());
+        // Empty and out-of-range windows error identically on the plan-based
+        // and the scalar reference matrix paths.
+        for windows in [2..2usize, 0..9] {
+            for f in [
+                approximate_correlation_matrix,
+                approximate_correlation_matrix_reference,
+            ] {
+                assert!(matches!(
+                    f(&sk, windows.clone(), ApproxStrategy::Equation5).unwrap_err(),
+                    Error::SketchMismatch { .. }
+                ));
+            }
+        }
         assert_eq!(
             approximate_pair_correlation(&sk, 0..4, 2, 2, ApproxStrategy::Equation5).unwrap(),
             1.0
@@ -323,11 +416,89 @@ mod tests {
 
     #[test]
     fn statstream_average_helper_behaviour() {
-        assert_eq!(statstream_average_correlation(&[]), 0.0);
+        // No windows to average → a typed degenerate error, not a silent 0.0.
+        assert!(matches!(
+            statstream_average_correlation(&[]).unwrap_err(),
+            Error::DegenerateWindow { points: 0 }
+        ));
         // distances 0 → corr 1 for every window → average 1.
-        assert_eq!(statstream_average_correlation(&[0.0, 0.0]), 1.0);
+        assert_eq!(statstream_average_correlation(&[0.0, 0.0]).unwrap(), 1.0);
         // distance √2 → corr 0.
         let d = 2f64.sqrt();
-        assert!((statstream_average_correlation(&[d, d]) - 0.0).abs() < 1e-12);
+        assert!((statstream_average_correlation(&[d, d]).unwrap() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_correlation_rejects_degenerate_windows() {
+        // No windows at all → points: 0, the exact path's `combine(&[])`
+        // convention.
+        assert!(matches!(
+            query_correlation(&[]).unwrap_err(),
+            Error::DegenerateWindow { points: 0 }
+        ));
+        // A constant series has zero variance across every window: the
+        // denominator vanishes and the correlation is undefined — a typed
+        // error carrying the covered point count, not a silent 0.0.
+        let constant = WindowStats::from_values(&[5.0; 30]);
+        let live = WindowStats::from_values(&(0..30).map(|i| i as f64).collect::<Vec<_>>());
+        let parts = [
+            ApproxWindow {
+                x: constant,
+                y: live,
+                dist: 0.3,
+            },
+            ApproxWindow {
+                x: constant,
+                y: live,
+                dist: 0.1,
+            },
+        ];
+        assert!(matches!(
+            query_correlation(&parts).unwrap_err(),
+            Error::DegenerateWindow { points: 60 }
+        ));
+        assert!(query_distance(&parts).is_err());
+    }
+
+    #[test]
+    fn degenerate_pairs_map_to_zero_at_the_call_sites() {
+        // A constant series through the public pair/matrix paths keeps the
+        // paper's 0.0 convention — mapped explicitly from the typed error,
+        // exactly as `exact::pair_correlation` does.
+        let mut rows = vec![vec![7.0; 100]];
+        rows.push((0..100).map(|i| (i as f64 * 0.2).sin()).collect());
+        let c = SeriesCollection::from_rows(rows).unwrap();
+        let sk = DftSketchSet::build(&c, 25, 25, Transform::Naive).unwrap();
+        assert_eq!(
+            approximate_pair_correlation(&sk, 0..4, 0, 1, ApproxStrategy::Equation5).unwrap(),
+            0.0
+        );
+        let m = approximate_correlation_matrix(&sk, 0..4, ApproxStrategy::Equation5).unwrap();
+        assert_eq!(m.get(0, 1), 0.0);
+        // The StatStream average cannot detect a constant series from the
+        // distances alone (a zero-vector window sits at distance 1 from any
+        // unit vector → estimate 0.5 per window); only the Equation 5
+        // denominator carries that information. Its degenerate case is the
+        // empty window range, covered above.
+        assert!(
+            approximate_pair_correlation(&sk, 0..4, 0, 1, ApproxStrategy::StatStreamAverage)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn plan_and_reference_matrices_agree() {
+        let c = collection(5, 200);
+        let sk = DftSketchSet::build(&c, 25, 10, Transform::Naive).unwrap();
+        for strategy in [ApproxStrategy::Equation5, ApproxStrategy::StatStreamAverage] {
+            let tiled = approximate_correlation_matrix(&sk, 1..7, strategy).unwrap();
+            let reference = approximate_correlation_matrix_reference(&sk, 1..7, strategy).unwrap();
+            assert!(
+                tiled.max_abs_diff(&reference) <= 1e-10,
+                "{strategy:?}: {}",
+                tiled.max_abs_diff(&reference)
+            );
+        }
     }
 }

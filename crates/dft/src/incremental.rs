@@ -8,9 +8,19 @@
 //! 1. normalizes the window of every series and computes its DFT coefficients
 //!    (the `O(B²)` step that makes this updater slower than TSUBASA's —
 //!    exactly the effect Figure 5d measures),
-//! 2. computes the pairwise coefficient distance `d_{ns+1}` for every pair,
+//! 2. computes all pairwise coefficient distances `d_{ns+1}` of the arriving
+//!    window as one tiled difference-square sweep over a coefficient-major
+//!    structure-of-arrays block
+//!    ([`tsubasa_core::stats::tiled_pair_dist_sq_into`], the same kernel the
+//!    batch sketcher uses),
 //! 3. folds `c_{ns+1} ≈ 1 − d_{ns+1}²/2` into the sliding recombination using
-//!    the Lemma 2 update, which is the algebraic content of Equation 6.
+//!    the Lemma 2 update — the algebraic content of Equation 6 — applied to
+//!    every pair from a flat snapshot of per-series state, optionally fanned
+//!    out over a [`JobRunner`] ([`SlidingApproxNetwork::ingest_in`]).
+//!
+//! Initialization goes through the batched [`ApproxPlan`] sweep instead of
+//! per-pair contribution gathering, mirroring the exact updater's plan-based
+//! bootstrap.
 
 use std::collections::VecDeque;
 
@@ -18,13 +28,16 @@ use tsubasa_core::error::{Error, Result};
 use tsubasa_core::exact::WindowContribution;
 use tsubasa_core::incremental::{lemma2_update, SlidingSeriesState};
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use tsubasa_core::plan::{carve_for_workers, row_segments};
+use tsubasa_core::runner::{Job, JobRunner, SerialRunner};
 use tsubasa_core::sketch::pair_index;
-use tsubasa_core::stats::WindowStats;
+use tsubasa_core::stats::{tiled_pair_dist_sq_into, WindowStats};
 
-use crate::approx::{corr_from_distance, query_correlation, ApproxWindow};
-use crate::dft::{coefficient_distance, naive_dft, Complex};
+use crate::approx::corr_from_distance;
+use crate::dft::DftPlanner;
 use crate::normalize::normalize_unit_with_stats;
-use crate::sketch::DftSketchSet;
+use crate::plan::ApproxPlan;
+use crate::sketch::{flatten_coeffs_into, DftSketchSet};
 
 /// Incrementally maintained approximate all-pair correlation matrix over a
 /// sliding real-time query window.
@@ -39,12 +52,20 @@ pub struct SlidingApproxNetwork {
     pair_windows: VecDeque<Vec<f64>>,
     /// Current packed per-pair approximate correlations.
     corrs: Vec<f64>,
+    /// Reusable transform plan for the arriving windows (radix-2 FFT for
+    /// power-of-two basic windows, naive fallback otherwise).
+    planner: DftPlanner,
 }
 
 impl SlidingApproxNetwork {
     /// Build the initial state from a [`DftSketchSet`]: the query window
     /// covers the most recent `query_len` sketched points (`query_len` must
     /// be a positive multiple of the basic window).
+    ///
+    /// The initial correlations are evaluated through one shared
+    /// [`ApproxPlan`] (batched Equation 5) rather than per-pair contribution
+    /// vectors, and the per-window distance rows are contiguous copies of the
+    /// sketch's window-major table.
     pub fn initialize(sketch: &DftSketchSet, query_len: usize) -> Result<Self> {
         let b = sketch.basic_window();
         if query_len == 0 || !query_len.is_multiple_of(b) {
@@ -75,33 +96,16 @@ impl SlidingApproxNetwork {
             })
             .collect::<Result<_>>()?;
 
+        // Each stored window's packed per-pair distances are one contiguous
+        // row of the sketch's window-major table.
         let mut pair_windows = VecDeque::with_capacity(ns);
         for w in first..available {
-            let mut per_pair = Vec::with_capacity(n * (n - 1) / 2);
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    per_pair.push(sketch.pair_distances(i, j)?[w]);
-                }
-            }
-            pair_windows.push_back(per_pair);
+            pair_windows.push_back(sketch.window_dists_view(w..w + 1).window_row(0).to_vec());
         }
 
-        let mut corrs = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let sx = base.series_sketch(i)?;
-                let sy = base.series_sketch(j)?;
-                let dists = sketch.pair_distances(i, j)?;
-                let parts: Vec<ApproxWindow> = (first..available)
-                    .map(|w| ApproxWindow {
-                        x: sx.window(w),
-                        y: sy.window(w),
-                        dist: dists[w],
-                    })
-                    .collect();
-                corrs.push(query_correlation(&parts));
-            }
-        }
+        let plan = ApproxPlan::build(sketch, first..available)?;
+        let mut corrs = vec![0.0f64; n * n.saturating_sub(1) / 2];
+        plan.correlations_into(0, &mut corrs);
 
         Ok(Self {
             basic_window: b,
@@ -110,6 +114,7 @@ impl SlidingApproxNetwork {
             series,
             pair_windows,
             corrs,
+            planner: DftPlanner::new(b),
         })
     }
 
@@ -126,7 +131,21 @@ impl SlidingApproxNetwork {
     /// Slide forward by one basic window given the newly arrived chunk
     /// (`chunk[i]` holds the `B` new points of series `i`). This is the
     /// Equation 6 update: the only new DFT work is for the arriving window.
+    /// Runs inline on the calling thread; [`SlidingApproxNetwork::ingest_in`]
+    /// is the same update fanned out over a [`JobRunner`].
     pub fn ingest(&mut self, chunk: &[Vec<f64>]) -> Result<()> {
+        self.ingest_in(&SerialRunner, chunk)
+    }
+
+    /// [`SlidingApproxNetwork::ingest`] with the per-pair Equation 6 sweep
+    /// split into disjoint contiguous slices of the packed correlation
+    /// triangle, one per worker of `runner` — the same shape as the exact
+    /// updater's [`tsubasa_core::incremental::SlidingNetwork::ingest_in`].
+    /// Hand the same reusable pool (`tsubasa_parallel::WorkerPool`) to every
+    /// call so repeated slides stop paying thread startup; the result is
+    /// identical to the serial path for any worker count (each pair reads
+    /// only shared snapshots and its own slot).
+    pub fn ingest_in(&mut self, runner: &dyn JobRunner, chunk: &[Vec<f64>]) -> Result<()> {
         if chunk.len() != self.n {
             return Err(Error::UnalignedSeries {
                 expected: self.n,
@@ -142,60 +161,99 @@ impl SlidingApproxNetwork {
                 });
             }
         }
+        let n = self.n;
 
-        // Per-series statistics and DFT coefficients of the arriving window.
+        // Per-series statistics of the arriving window, plus its DFT
+        // coefficients flattened into a coefficient-major structure-of-arrays
+        // block (one contiguous row per series)...
         let arriving_stats: Vec<WindowStats> =
             chunk.iter().map(|p| WindowStats::from_values(p)).collect();
-        let coeffs: Vec<Vec<Complex>> = chunk
+        let row_len = 2 * self.coefficients;
+        let mut rows = vec![0.0f64; n * row_len];
+        for (i, (points, stats)) in chunk.iter().zip(&arriving_stats).enumerate() {
+            let coeffs = self
+                .planner
+                .transform(&normalize_unit_with_stats(points, stats));
+            flatten_coeffs_into(
+                &coeffs,
+                self.coefficients,
+                &mut rows[i * row_len..(i + 1) * row_len],
+            );
+        }
+        // ...so all of the window's pair distances come from one tiled
+        // difference-square sweep instead of a per-pair coefficient loop.
+        let mut sq = vec![0.0f64; self.corrs.len()];
+        tiled_pair_dist_sq_into(&rows, n, row_len, &mut sq);
+        drop(rows);
+        let arriving_dists: Vec<f64> = sq.iter().map(|&s| s.max(0.0).sqrt()).collect();
+        drop(sq);
+
+        // Snapshot the per-series sliding state into flat arrays once (the
+        // precompute-then-sweep shape of the plan kernels) instead of
+        // re-reading deque fronts and aggregates `n − 1` times per series
+        // inside the pair loop.
+        let fronts: Vec<WindowStats> = self
+            .series
             .iter()
-            .zip(&arriving_stats)
-            .map(|(p, s)| naive_dft(&normalize_unit_with_stats(p, s)))
+            .map(|s| s.front().expect("non-empty"))
             .collect();
+        let totals: Vec<f64> = self.series.iter().map(|s| s.total_len() as f64).collect();
+        let means: Vec<f64> = self.series.iter().map(|s| s.mean()).collect();
+        let stds: Vec<f64> = self.series.iter().map(|s| s.std()).collect();
 
-        // Pairwise coefficient distances of the arriving window.
-        let mut arriving_dists = Vec::with_capacity(self.corrs.len());
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                arriving_dists.push(coefficient_distance(
-                    &coeffs[i],
-                    &coeffs[j],
-                    self.coefficients,
-                ));
-            }
-        }
-
-        let evicted_dists = self.pair_windows.front().expect("non-empty window").clone();
-        let mut idx = 0;
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                let evicted = WindowContribution {
-                    x: self.series[i].front().expect("non-empty"),
-                    y: self.series[j].front().expect("non-empty"),
-                    corr: corr_from_distance(evicted_dists[idx]),
-                };
-                let arriving = WindowContribution {
-                    x: arriving_stats[i],
-                    y: arriving_stats[j],
-                    corr: corr_from_distance(arriving_dists[idx]),
-                };
-                self.corrs[idx] = lemma2_update(
-                    self.series[i].total_len() as f64,
-                    self.series[i].mean(),
-                    self.series[j].mean(),
-                    self.series[i].std(),
-                    self.series[j].std(),
-                    self.corrs[idx],
-                    &evicted,
-                    &arriving,
-                );
-                idx += 1;
-            }
-        }
+        // Apply Equation 6 (Lemma 2 over distance-derived correlations) to
+        // every pair before mutating any per-series state, one disjoint
+        // contiguous slice of the packed triangle per worker.
+        let evicted_dists = self.pair_windows.pop_front().expect("non-empty window");
+        let total = self.corrs.len();
+        let workers = runner.worker_count().max(1).min(total.max(1));
+        let evicted_ref = &evicted_dists;
+        let fronts_ref = &fronts;
+        let totals_ref = &totals;
+        let means_ref = &means;
+        let stds_ref = &stds;
+        let arriving_ref = &arriving_stats;
+        let arriving_dists_ref = &arriving_dists;
+        let jobs: Vec<Job<'_>> = carve_for_workers(&mut self.corrs, workers)
+            .into_iter()
+            .map(|(start, slice)| {
+                Box::new(move || {
+                    let mut cursor = 0;
+                    for (i, j0, len) in row_segments(start, slice.len(), n) {
+                        for p in 0..len {
+                            let j = j0 + p;
+                            let idx = start + cursor;
+                            let evicted = WindowContribution {
+                                x: fronts_ref[i],
+                                y: fronts_ref[j],
+                                corr: corr_from_distance(evicted_ref[idx]),
+                            };
+                            let arriving = WindowContribution {
+                                x: arriving_ref[i],
+                                y: arriving_ref[j],
+                                corr: corr_from_distance(arriving_dists_ref[idx]),
+                            };
+                            slice[cursor] = lemma2_update(
+                                totals_ref[i],
+                                means_ref[i],
+                                means_ref[j],
+                                stds_ref[i],
+                                stds_ref[j],
+                                slice[cursor],
+                                &evicted,
+                                &arriving,
+                            );
+                            cursor += 1;
+                        }
+                    }
+                }) as Job<'_>
+            })
+            .collect();
+        runner.run(jobs);
 
         for (state, stats) in self.series.iter_mut().zip(&arriving_stats) {
             state.slide(*stats);
         }
-        self.pair_windows.pop_front();
         self.pair_windows.push_back(arriving_dists);
         Ok(())
     }
@@ -314,6 +372,37 @@ mod tests {
         for (_, _, c) in sliding.correlation_matrix().iter_pairs() {
             assert!((-1.0..=1.0).contains(&c));
         }
+    }
+
+    #[test]
+    fn ingest_in_is_identical_across_worker_counts() {
+        use tsubasa_core::runner::ScopedRunner;
+        let n = 5;
+        let b = 15;
+        let total = 330;
+        let hist = 180;
+        let data = full_data(n, total);
+        let c =
+            SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        let serial = SlidingApproxNetwork::initialize(&sk, 90).unwrap();
+        let mut nets = [serial.clone(), serial.clone(), serial];
+        let runners: Vec<ScopedRunner> = [1usize, 3, 8]
+            .iter()
+            .map(|&w| ScopedRunner::new(w))
+            .collect();
+        let mut now = hist;
+        while now + b <= total {
+            let chunk: Vec<Vec<f64>> = data.iter().map(|s| s[now..now + b].to_vec()).collect();
+            for (net, runner) in nets.iter_mut().zip(&runners) {
+                net.ingest_in(runner, &chunk).unwrap();
+            }
+            now += b;
+            let m0 = nets[0].correlation_matrix();
+            assert_eq!(m0, nets[1].correlation_matrix());
+            assert_eq!(m0, nets[2].correlation_matrix());
+        }
+        assert!(now > hist + 5 * b);
     }
 
     #[test]

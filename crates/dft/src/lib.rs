@@ -15,6 +15,12 @@
 //! For real-time data the query-window distance is updated incrementally
 //! (Equation 6): only the arriving basic window needs new DFT coefficients.
 //!
+//! All-pairs queries go through the batched [`plan::ApproxPlan`] layer (the
+//! approximate sibling of `tsubasa_core::plan::QueryPlan`): per-series
+//! recombination tables shared across pairs, a window-major table of
+//! `1 − d²/2` estimates swept by the tiled batch kernel, and Equation 4
+//! pruning for thresholded networks.
+//!
 //! The approximation becomes exact when all `B` coefficients are used —
 //! the property the paper's Figure 5a verifies and that the tests in this
 //! crate assert.
@@ -27,13 +33,16 @@ pub mod approx;
 pub mod dft;
 pub mod incremental;
 pub mod normalize;
+pub mod plan;
 pub mod sketch;
 
 pub use approx::{
-    approximate_correlation_matrix, approximate_network, corr_from_distance, distance_from_corr,
-    pruning_radius, query_distance, statstream_average_correlation,
+    approximate_correlation_matrix, approximate_correlation_matrix_reference, approximate_network,
+    corr_from_distance, distance_from_corr, pruning_radius, query_distance,
+    statstream_average_correlation,
 };
 pub use dft::{naive_dft, radix2_fft, Complex};
 pub use incremental::SlidingApproxNetwork;
 pub use normalize::normalize_unit;
+pub use plan::ApproxPlan;
 pub use sketch::DftSketchSet;

@@ -1,0 +1,398 @@
+//! The precomputed all-pairs evaluation plan of the *approximate* query path
+//! — the DFT-comparator sibling of [`tsubasa_core::plan::QueryPlan`].
+//!
+//! The scalar approximate path ([`crate::approx::approximate_pair_correlation`])
+//! re-derives, for every one of the `N(N−1)/2` pairs, the per-series half of
+//! the Equation 5 recombination (length-weighted query mean, mean offsets δ,
+//! the denominator `Σ_j B_j (σ² + δ²)`) and allocates a scratch `Vec` of
+//! [`crate::approx::ApproxWindow`] contributions per pair. [`ApproxPlan`]
+//! factors that waste out, exactly as `QueryPlan` did for the exact path:
+//!
+//! * the **per-series window-stat tables** (σ/mean/len, δ offsets, means and
+//!   denominators) are computed once per query window — they are literally a
+//!   [`QueryPlan`] built from the base sketch's window statistics, so the
+//!   flat layouts, the window-major σ/δ transposes and the batch
+//!   [`QueryPlan::block_kernel`] are reused wholesale;
+//! * the per-pair **correlation estimates** `ĉ_k = 1 − d_k²/2` (Equation 3
+//!   applied to the sketched DFT coefficient distances) are materialized once
+//!   into a window-major table ([`tsubasa_core::plan::TransposedCorrs`]),
+//!   mapped straight from the sketch's window-major distance table
+//!   ([`crate::sketch::DftSketchSet::window_dists_view`]);
+//! * every pair is then evaluated by the same cache-blocked tiled sweep as
+//!   the exact matrix paths — Equation 5 and Lemma 1 share their
+//!   recombination algebra, only the per-window correlation source differs.
+//!
+//! The scalar per-pair path survives as the arithmetic yardstick; the tiled
+//! sweep reorders floating-point accumulation, so agreement is the workspace's
+//! usual **≤ 1e-10 absolute tolerance contract**, pinned over 256 random
+//! configurations by `tests/approx_plan_agreement.rs`.
+//!
+//! # Equation 4 pruning
+//!
+//! [`ApproxPlan::network`] builds the thresholded approximate network of
+//! Algorithm 4: a pair is an edge when its recombined query-window distance
+//! is within the Equation 4 pruning radius `radius(θ) = √(2(1−θ))`. Because
+//! partial-coefficient distances never over-estimate (`d̂_j ≤ d_j`), the
+//! estimated per-window correlations — and with them the recombined
+//! query-window correlation — never under-estimate, so the in-radius pair set
+//! is a **superset of the exact network**: false positives possible, false
+//! negatives not. [`ApproxPlan::candidate_pairs`] exposes that in-radius set
+//! directly for callers that want to pay exact verification only for the
+//! surviving candidates.
+
+use std::ops::Range;
+
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use tsubasa_core::plan::{carve_for_workers, row_segments, QueryPlan, TransposedCorrs};
+use tsubasa_core::runner::{Job, JobRunner};
+use tsubasa_core::sketch::pair_index;
+use tsubasa_core::stats::{clamp_corr, WindowStats};
+use tsubasa_core::SeriesId;
+
+use crate::approx::{distance_from_corr, pruning_radius};
+use crate::sketch::DftSketchSet;
+
+/// The approximate all-pairs evaluation plan: per-series recombination
+/// tables shared by every pair plus a window-major table of per-pair
+/// correlation estimates, built **once per query window** from a
+/// [`DftSketchSet`]. See the [module docs](self) for the layout story.
+///
+/// # Example
+///
+/// ```
+/// use tsubasa_core::SeriesCollection;
+/// use tsubasa_dft::plan::ApproxPlan;
+/// use tsubasa_dft::sketch::{DftSketchSet, Transform};
+///
+/// let collection = SeriesCollection::from_rows(vec![
+///     vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0],
+///     vec![2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 8.0, 7.0],
+///     vec![9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 1.0],
+/// ])
+/// .unwrap();
+/// // All 4 coefficients kept → the approximation is exact (Equation 3).
+/// let sketch = DftSketchSet::build(&collection, 4, 4, Transform::Naive).unwrap();
+/// let plan = ApproxPlan::build(&sketch, 0..2).unwrap();
+/// let matrix = plan.correlation_matrix();
+/// assert!(matrix.get(0, 2) < -0.9); // anti-correlated pair
+/// let network = plan.network(0.8).unwrap();
+/// assert!(network.has_edge(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApproxPlan {
+    /// Number of series covered.
+    n: usize,
+    /// The range of sketched basic windows the plan covers.
+    windows: Range<usize>,
+    /// The per-series half of the Equation 5 recombination — the same flat
+    /// tables (and batch kernel) as the exact path's query plan.
+    plan: QueryPlan,
+    /// Window-major per-pair correlation estimates `ĉ_k = 1 − d_k²/2`.
+    corrs: TransposedCorrs,
+    /// The recombined packed correlation triangle, swept once on first use —
+    /// it is threshold-independent, so probing several θ through one plan
+    /// ([`ApproxPlan::network`], [`ApproxPlan::candidate_pairs`],
+    /// [`ApproxPlan::correlation_matrix`]) pays the tiled sweep once.
+    packed: std::sync::OnceLock<Vec<f64>>,
+}
+
+impl ApproxPlan {
+    /// Build the plan for an aligned range of sketched basic windows: the
+    /// per-series statistic tables come from the base sketch, the per-pair
+    /// correlation estimates from the comparator's window-major distance
+    /// table. No raw data is needed.
+    pub fn build(sketch: &DftSketchSet, windows: Range<usize>) -> Result<Self> {
+        if windows.end > sketch.window_count() || windows.is_empty() {
+            return Err(Error::SketchMismatch {
+                requested: format!("basic windows {windows:?}"),
+                available: format!("{} sketched windows", sketch.window_count()),
+            });
+        }
+        let n = sketch.series_count();
+        let base = sketch.base();
+        let mut stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let sk = base.series_sketch(i)?;
+            stats.push(windows.clone().map(|w| sk.window(w)).collect());
+        }
+        let plan = QueryPlan::from_window_stats(&stats)?;
+
+        // Equation 3 applied to every pair-window distance, written straight
+        // into the window-major layout the batch kernel streams. Matches the
+        // scalar recombination's `c_j = 1 − d_j²/2` exactly (no clamping —
+        // unit-normalized windows keep `d ≤ 2`, so `c ≥ −1` already).
+        let dists = sketch.window_dists_view(windows.clone());
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        let corrs = TransposedCorrs::from_fn(n_pairs, windows.len(), |p, k| {
+            let d = dists.window_row(k)[p];
+            1.0 - d * d / 2.0
+        });
+        Ok(Self {
+            n,
+            windows,
+            plan,
+            corrs,
+            packed: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Number of series covered by the plan.
+    pub fn series_count(&self) -> usize {
+        self.n
+    }
+
+    /// The range of sketched basic windows the plan covers.
+    pub fn windows(&self) -> Range<usize> {
+        self.windows.clone()
+    }
+
+    /// The shared per-series recombination tables (the exact path's plan
+    /// type, reused verbatim).
+    pub fn query_plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// True when series `i` is constant over the query window, i.e. every
+    /// pair involving it is degenerate and evaluates to the explicit `0.0`
+    /// convention.
+    pub fn is_degenerate(&self, i: SeriesId) -> bool {
+        self.plan.is_degenerate(i)
+    }
+
+    /// Evaluate the contiguous packed-triangle run `start..start + out.len()`
+    /// of Equation 5 correlations through the batch kernel, one same-row tile
+    /// at a time — the unit of work of both the serial and the parallel
+    /// sweeps (a chunk boundary never changes any pair's arithmetic).
+    pub fn correlations_into(&self, start: usize, out: &mut [f64]) {
+        let corrs = self.corrs.view();
+        let mut cursor = 0;
+        for (i, j0, len) in row_segments(start, out.len(), self.n) {
+            self.plan.block_kernel(
+                i,
+                j0,
+                corrs,
+                pair_index(i, j0, self.n),
+                &mut out[cursor..cursor + len],
+            );
+            cursor += len;
+        }
+    }
+
+    /// The recombined packed correlation triangle, computed by the tiled
+    /// sweep on first use and cached (the values do not depend on any
+    /// threshold).
+    fn packed_correlations(&self) -> &[f64] {
+        self.packed.get_or_init(|| {
+            let mut values = vec![0.0f64; self.pair_count()];
+            self.correlations_into(0, &mut values);
+            values
+        })
+    }
+
+    /// The approximate all-pairs correlation matrix (Equation 5 recombined
+    /// through the tiled batch kernel). Degenerate (constant-series) pairs
+    /// hold `0.0`, the explicit mapping of [`Error::DegenerateWindow`]
+    /// shared with the exact matrix paths.
+    pub fn correlation_matrix(&self) -> CorrelationMatrix {
+        CorrelationMatrix::from_upper_triangle(self.n, self.packed_correlations().to_vec())
+    }
+
+    /// [`ApproxPlan::correlation_matrix`] with the packed triangle split into
+    /// disjoint contiguous slices evaluated on `runner`'s workers. Identical
+    /// to the serial sweep for any worker count.
+    pub fn correlation_matrix_in(&self, runner: &dyn JobRunner) -> CorrelationMatrix {
+        let total = self.pair_count();
+        let workers = runner.worker_count().max(1).min(total.max(1));
+        if workers <= 1 || total == 0 || self.packed.get().is_some() {
+            return self.correlation_matrix();
+        }
+        let mut values = vec![0.0f64; total];
+        let jobs: Vec<Job<'_>> = carve_for_workers(&mut values, workers)
+            .into_iter()
+            .map(|(start, chunk)| Box::new(move || self.correlations_into(start, chunk)) as Job<'_>)
+            .collect();
+        runner.run(jobs);
+        // Chunk boundaries never change any pair's arithmetic, so the
+        // parallel sweep may seed the shared cache: serial and parallel
+        // entries stay exactly equal either way.
+        let values = self.packed.get_or_init(|| values);
+        CorrelationMatrix::from_upper_triangle(self.n, values.clone())
+    }
+
+    /// The StatStream-average recombination over the same window-major
+    /// estimate table: `out[p] = clamp(Σ_k ĉ_k / w)`. Kept for the Figure 5a
+    /// comparison of the two strategies; agreement with the scalar
+    /// [`crate::approx::statstream_average_correlation`] is within the tiled
+    /// tolerance contract.
+    pub fn statstream_correlations_into(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.pair_count());
+        out.fill(0.0);
+        let w = self.windows.len();
+        for k in 0..w {
+            let row = self.corrs.view().window_row(k);
+            for (slot, &c) in out.iter_mut().zip(row) {
+                *slot += c;
+            }
+        }
+        let inv = 1.0 / w as f64;
+        for slot in out.iter_mut() {
+            *slot = clamp_corr(*slot * inv);
+        }
+    }
+
+    /// Algorithm 4: the thresholded approximate network under Equation 4
+    /// pruning. Every pair's query-window distance is recombined by the tiled
+    /// Equation 5 sweep, and only pairs within the pruning radius
+    /// `√(2(1−θ))` become edges — a superset of the exact network (false
+    /// positives possible, false negatives not, as long as coefficient
+    /// distances are not over-estimated; see the [module docs](self)).
+    pub fn network(&self, theta: f64) -> Result<AdjacencyMatrix> {
+        let mut net = AdjacencyMatrix::empty(self.n);
+        for (i, j) in self.candidate_pairs(theta)? {
+            net.set_edge(i, j, true);
+        }
+        Ok(net)
+    }
+
+    /// The Equation 4 candidate set: the pairs whose recombined query-window
+    /// distance is within the pruning radius for `theta` — exactly the edges
+    /// of [`ApproxPlan::network`], as an explicit pair list. Downstream
+    /// callers that need the *exact* network pay full Lemma 1 verification
+    /// only for these survivors instead of all `N(N−1)/2` pairs. The
+    /// underlying correlations are threshold-independent and cached, so
+    /// probing several θ sweeps once.
+    pub fn candidate_pairs(&self, theta: f64) -> Result<Vec<(SeriesId, SeriesId)>> {
+        if !(-1.0..=1.0).contains(&theta) {
+            return Err(Error::InvalidThreshold(theta));
+        }
+        let radius = pruning_radius(theta);
+        let values = self.packed_correlations();
+        let mut out = Vec::new();
+        let mut p = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if distance_from_corr(values[p]) <= radius {
+                    out.push((i, j));
+                }
+                p += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    fn pair_count(&self) -> usize {
+        self.n * self.n.saturating_sub(1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approximate_pair_correlation, ApproxStrategy};
+    use crate::sketch::Transform;
+    use tsubasa_core::runner::ScopedRunner;
+    use tsubasa_core::{baseline, QueryWindow, SeriesCollection};
+
+    fn collection(n: usize, len: usize) -> SeriesCollection {
+        SeriesCollection::from_rows(
+            (0..n)
+                .map(|s| {
+                    (0..len)
+                        .map(|i| {
+                            (i as f64 * 0.07 + s as f64).sin() * 1.3
+                                + ((i * (s + 2) + 3) % 19) as f64 * 0.06
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_matrix_matches_scalar_reference_path() {
+        let c = collection(6, 180);
+        let sk = DftSketchSet::build(&c, 20, 9, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 1..8).unwrap();
+        let m = plan.correlation_matrix();
+        for (i, j) in c.pairs() {
+            let reference =
+                approximate_pair_correlation(&sk, 1..8, i, j, ApproxStrategy::Equation5).unwrap();
+            assert!(
+                (m.get(i, j) - reference).abs() <= 1e-10,
+                "pair ({i},{j}): {} vs {reference}",
+                m.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn full_coefficients_recover_the_exact_matrix() {
+        let c = collection(5, 200);
+        let b = 25;
+        let sk = DftSketchSet::build(&c, b, b, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 0..8).unwrap();
+        let query = QueryWindow::new(199, 200).unwrap();
+        let exact = baseline::correlation_matrix(&c, query).unwrap();
+        assert!(plan.correlation_matrix().max_abs_diff(&exact) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_to_serial() {
+        let c = collection(7, 240);
+        let sk = DftSketchSet::build(&c, 24, 12, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 0..10).unwrap();
+        let serial = plan.correlation_matrix();
+        for workers in [1usize, 3, 8] {
+            let runner = ScopedRunner::new(workers);
+            assert_eq!(serial, plan.correlation_matrix_in(&runner), "{workers}");
+        }
+    }
+
+    #[test]
+    fn network_edges_are_the_candidate_pairs() {
+        let c = collection(6, 240);
+        let sk = DftSketchSet::build(&c, 40, 6, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 0..6).unwrap();
+        let theta = 0.6;
+        let net = plan.network(theta).unwrap();
+        let candidates = plan.candidate_pairs(theta).unwrap();
+        assert_eq!(net.edge_count(), candidates.len());
+        for (i, j) in candidates {
+            assert!(net.has_edge(i, j));
+        }
+        assert!(plan.network(1.5).is_err());
+        assert!(plan.candidate_pairs(-2.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_series_yield_zero_rows() {
+        let mut rows = vec![vec![7.0; 80]];
+        rows.extend((1..4).map(|s| {
+            (0..80)
+                .map(|i| (i as f64 * 0.21 + s as f64).cos())
+                .collect::<Vec<f64>>()
+        }));
+        let c = SeriesCollection::from_rows(rows).unwrap();
+        let sk = DftSketchSet::build(&c, 16, 16, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 0..5).unwrap();
+        assert!(plan.is_degenerate(0));
+        let m = plan.correlation_matrix();
+        for j in 1..4 {
+            assert_eq!(m.get(0, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn build_validates_the_window_range() {
+        let c = collection(3, 100);
+        let sk = DftSketchSet::build(&c, 20, 20, Transform::Naive).unwrap();
+        assert!(ApproxPlan::build(&sk, 0..9).is_err());
+        assert!(ApproxPlan::build(&sk, 2..2).is_err());
+        let plan = ApproxPlan::build(&sk, 0..5).unwrap();
+        assert_eq!(plan.series_count(), 3);
+        assert_eq!(plan.windows(), 0..5);
+        assert!(!plan.query_plan().is_degenerate(0));
+    }
+}

@@ -5,10 +5,29 @@
 //! basic window, the Euclidean distance of the first `n` DFT coefficients of
 //! the two normalized windows (`d_j`). The number of coefficients is fixed at
 //! sketch time; using all `B` coefficients makes the comparator exact.
+//!
+//! # The tiled distance sweep
+//!
+//! [`DftSketchSet::build`] evaluates the `N(N−1)/2` pair distances of each
+//! window as a batch kernel over a **coefficient-major structure-of-arrays
+//! layout**: the first `n` complex coefficients of every series' normalized
+//! window are flattened into one contiguous real row of `2n` values
+//! (`[re₀, im₀, re₁, im₁, …]`), after which every pair's squared coefficient
+//! distance is a cache-blocked difference-square sweep over contiguous rows
+//! ([`tsubasa_core::stats::tiled_pair_dist_sq_into`], the distance sibling of
+//! the exact sketch's `Z·Zᵀ` kernel). Distances are kept in **both** layouts:
+//! the pair-major per-pair vectors (the [`DftSketchSet::pair_distances`] API)
+//! and a window-major flat table the approximate query plan streams
+//! ([`DftSketchSet::window_dists_view`], zero-copy). The scalar per-pair path
+//! survives as [`DftSketchSet::build_reference`]; every accumulated term of
+//! the tiled sweep is non-negative, so the two agree far inside the `1e-10`
+//! tolerance contract pinned by `tests/approx_plan_agreement.rs`.
 
 use serde::{Deserialize, Serialize};
 use tsubasa_core::error::{Error, Result};
-use tsubasa_core::sketch::pair_index;
+use tsubasa_core::plan::CorrView;
+use tsubasa_core::sketch::{gather_pair_rows, pair_index, scatter_pair_rows_with};
+use tsubasa_core::stats::tiled_pair_dist_sq_into;
 use tsubasa_core::{SeriesCollection, SketchSet};
 
 use crate::dft::{coefficient_distance, naive_dft, Complex, DftPlanner};
@@ -27,7 +46,8 @@ pub enum Transform {
 }
 
 /// The comparator's sketch: the core statistics plus per-pair per-window DFT
-/// coefficient distances.
+/// coefficient distances, kept in both pair-major and window-major layouts
+/// (see the [module docs](self) for the tiled sweep that produces them).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DftSketchSet {
     base: SketchSet,
@@ -35,6 +55,23 @@ pub struct DftSketchSet {
     coefficients: usize,
     /// Packed per-pair vectors of per-window distances `d_j`.
     pair_distances: Vec<Vec<f64>>,
+    /// Window-major copy of all pair distances (`ns × P`, row `w` holds `d_w`
+    /// of every pair in packed order) — the table
+    /// [`crate::plan::ApproxPlan`] streams. Maintained alongside
+    /// `pair_distances` by both constructors, mirroring the dual layout of
+    /// [`SketchSet`]'s pair correlations.
+    window_dists: Vec<f64>,
+}
+
+/// Flatten the first `n_coeff` complex coefficients into a contiguous real
+/// row (`[re₀, im₀, re₁, im₁, …]`). The Euclidean distance of two such rows
+/// equals the complex coefficient distance: `|X_k − Y_k|² = Δre² + Δim²`.
+pub(crate) fn flatten_coeffs_into(coeffs: &[Complex], n_coeff: usize, row: &mut [f64]) {
+    debug_assert_eq!(row.len(), 2 * n_coeff);
+    for (k, c) in coeffs.iter().take(n_coeff).enumerate() {
+        row[2 * k] = c.re;
+        row[2 * k + 1] = c.im;
+    }
 }
 
 impl DftSketchSet {
@@ -44,7 +81,70 @@ impl DftSketchSet {
     ///
     /// `coefficients` is the `n` of `Dist_n`; it is clamped to the basic
     /// window size.
+    ///
+    /// Per window, the first `n` coefficients of every series are flattened
+    /// into a coefficient-major structure-of-arrays block and all pair
+    /// distances of the window are evaluated as one tiled difference-square
+    /// sweep ([`tiled_pair_dist_sq_into`]); the coefficients themselves are
+    /// transient (one window block is live at a time), matching the paper's
+    /// space analysis. [`DftSketchSet::build_reference`] keeps the scalar
+    /// per-pair path as the arithmetic yardstick.
     pub fn build(
+        collection: &SeriesCollection,
+        basic_window: usize,
+        coefficients: usize,
+        transform: Transform,
+    ) -> Result<Self> {
+        let base = SketchSet::build(collection, basic_window)?;
+        let n_coeff = coefficients.clamp(1, basic_window);
+        let ns = base.window_count();
+        let n = collection.len();
+        let n_pairs = n * n.saturating_sub(1) / 2;
+
+        let planner = DftPlanner::new(basic_window);
+        let row_len = 2 * n_coeff;
+        // Coefficient-major scratch: row `i` holds series `i`'s flattened
+        // coefficients of the current window, contiguous. Reused per window.
+        let mut rows = vec![0.0f64; n * row_len];
+        let mut sq = vec![0.0f64; n_pairs];
+        let mut window_dists = vec![0.0f64; ns * n_pairs];
+        for w in 0..ns {
+            let span = base.windowing().window_span(w);
+            for (id, series) in collection.iter_with_ids() {
+                let stats = base.series_sketch(id)?.window(w);
+                let normalized = normalize_unit_with_stats(span.slice(series.values()), &stats);
+                let c = match transform {
+                    Transform::Naive => naive_dft(&normalized),
+                    Transform::Fft => planner.transform(&normalized),
+                };
+                flatten_coeffs_into(&c, n_coeff, &mut rows[id * row_len..(id + 1) * row_len]);
+            }
+            tiled_pair_dist_sq_into(&rows, n, row_len, &mut sq);
+            for (slot, &s) in window_dists[w * n_pairs..(w + 1) * n_pairs]
+                .iter_mut()
+                .zip(&sq)
+            {
+                *slot = s.max(0.0).sqrt();
+            }
+        }
+
+        let pair_distances = gather_pair_rows(&window_dists, n_pairs, ns);
+        Ok(Self {
+            base,
+            coefficients: n_coeff,
+            pair_distances,
+            window_dists,
+        })
+    }
+
+    /// The scalar reference sketch: identical shapes to
+    /// [`DftSketchSet::build`], with every pair-window distance computed by
+    /// the per-pair [`coefficient_distance`] pass over per-series coefficient
+    /// vectors. This path is the arithmetic yardstick the tiled sweep is
+    /// tested against (`tests/approx_plan_agreement.rs`); it is kept for that
+    /// role and for the `pr5_approx_kernels` speedup measurement, not for
+    /// speed.
+    pub fn build_reference(
         collection: &SeriesCollection,
         basic_window: usize,
         coefficients: usize,
@@ -56,8 +156,6 @@ impl DftSketchSet {
         let n = collection.len();
 
         // DFT coefficients of every normalized basic window of every series.
-        // Stored transiently: only the pairwise distances are kept, matching
-        // the paper's space analysis.
         let mut coeffs: Vec<Vec<Vec<Complex>>> = Vec::with_capacity(n);
         let planner = DftPlanner::new(basic_window);
         for (id, series) in collection.iter_with_ids() {
@@ -76,18 +174,21 @@ impl DftSketchSet {
             coeffs.push(per_window);
         }
 
-        let mut pair_distances = Vec::with_capacity(n * (n - 1) / 2);
+        let mut pair_distances = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for (i, j) in collection.pairs() {
-            let dists = (0..ns)
+            let dists: Vec<f64> = (0..ns)
                 .map(|w| coefficient_distance(&coeffs[i][w], &coeffs[j][w], n_coeff))
                 .collect();
             pair_distances.push(dists);
         }
 
+        let window_dists =
+            scatter_pair_rows_with(pair_distances.len(), ns, |p, w| pair_distances[p][w]);
         Ok(Self {
             base,
             coefficients: n_coeff,
             pair_distances,
+            window_dists,
         })
     }
 
@@ -124,6 +225,25 @@ impl DftSketchSet {
         }
         let (a, b) = if i < j { (i, j) } else { (j, i) };
         Ok(&self.pair_distances[pair_index(a, b, n)])
+    }
+
+    /// Zero-copy window-major view of the pair distances over the basic
+    /// windows in `windows` — the table [`crate::plan::ApproxPlan`] maps into
+    /// per-window correlation estimates. Row `k` of the view is
+    /// `d_{windows.start+k}` of every pair in packed order. ([`CorrView`] is
+    /// a layout type, not a semantic one: here its rows hold distances.)
+    ///
+    /// # Panics
+    ///
+    /// Panics when `windows` exceeds the sketched window range.
+    pub fn window_dists_view(&self, windows: std::ops::Range<usize>) -> CorrView<'_> {
+        let n = self.series_count();
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        CorrView::new(
+            &self.window_dists[windows.start * n_pairs..windows.end * n_pairs],
+            n_pairs,
+            windows.len(),
+        )
     }
 
     /// Number of floats stored (core statistics plus distances) — used for
@@ -223,6 +343,39 @@ mod tests {
             let db = b.pair_distances(i, j).unwrap();
             for (x, y) in da.iter().zip(db) {
                 assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_build_matches_reference_path() {
+        let c = collection(7, 130);
+        for (b, n_coeff) in [(13usize, 13usize), (20, 7), (32, 32)] {
+            let tiled = DftSketchSet::build(&c, b, n_coeff, Transform::Naive).unwrap();
+            let reference =
+                DftSketchSet::build_reference(&c, b, n_coeff, Transform::Naive).unwrap();
+            assert_eq!(tiled.base(), reference.base());
+            for (i, j) in c.pairs() {
+                let dt = tiled.pair_distances(i, j).unwrap();
+                let dr = reference.pair_distances(i, j).unwrap();
+                for (a, b) in dt.iter().zip(dr) {
+                    assert!((a - b).abs() <= 1e-12, "pair ({i},{j}): {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_dists_view_mirrors_pair_distances() {
+        let c = collection(4, 120);
+        let sk = DftSketchSet::build(&c, 20, 10, Transform::Naive).unwrap();
+        let view = sk.window_dists_view(1..5);
+        assert_eq!(view.pair_count(), 6);
+        assert_eq!(view.window_count(), 4);
+        for (p, (i, j)) in c.pairs().enumerate() {
+            let dists = sk.pair_distances(i, j).unwrap();
+            for k in 0..4 {
+                assert_eq!(view.window_row(k)[p], dists[1 + k]);
             }
         }
     }

@@ -27,7 +27,6 @@ use tsubasa_core::stats::{normalize_into, normalized_dot_corr, WindowStats};
 use tsubasa_core::window::BasicWindowing;
 use tsubasa_core::Job;
 use tsubasa_core::SeriesCollection;
-use tsubasa_dft::approx::{query_correlation, ApproxWindow};
 use tsubasa_dft::dft::{coefficient_distance, DftPlanner};
 use tsubasa_dft::normalize::normalize_unit_with_stats;
 use tsubasa_storage::{
@@ -329,12 +328,15 @@ impl ParallelEngine {
         }
         let series_read_time = read_start.elapsed();
 
-        // Precompute the per-series half of the Lemma 1 recombination once
-        // for all pairs (exact queries only; the DFT path recombines
-        // distances instead).
-        let plan = match method {
-            QueryMethod::Exact if n >= 2 => Some(QueryPlan::from_window_stats(&series_stats)?),
-            _ => None,
+        // Precompute the per-series half of the recombination once for all
+        // pairs. Lemma 1 and Equation 5 share their recombination algebra
+        // (only the per-window correlation source differs: sketched Pearson
+        // correlations vs `1 − d²/2` estimates from stored DFT distances),
+        // so both query methods evaluate through the same plan batch kernel.
+        let plan = if n >= 2 {
+            Some(QueryPlan::from_window_stats(&series_stats)?)
+        } else {
+            None
         };
 
         let partitions = partition_pairs(n, self.config.workers.max(1));
@@ -349,7 +351,6 @@ impl ParallelEngine {
             partitions.iter().map(|p| p.len()),
         );
 
-        let series_stats = &series_stats;
         let plan_ref = plan.as_ref();
         let store_ref = &store;
         let windows_ref = &windows;
@@ -386,50 +387,43 @@ impl ParallelEngine {
                             out.read += t0.elapsed();
 
                             let t1 = Instant::now();
-                            match method {
+                            // Transpose the batch window-major once, then
+                            // sweep it tile by tile with the plan's batch
+                            // kernel: the inner loops stream contiguous
+                            // memory for every pair of the chunk instead of
+                            // striding per-pair record rows. The exact path
+                            // reads stored Pearson correlations; the
+                            // approximate path maps stored DFT distances to
+                            // Equation 3 estimates `1 − d²/2` — the rest of
+                            // the recombination is shared.
+                            let plan = plan_ref.expect("plan is built for n >= 2 queries");
+                            let w = windows_ref.len();
+                            let corrs_t = match method {
                                 QueryMethod::Exact => {
-                                    let plan = plan_ref.expect("plan is built for exact queries");
-                                    // Transpose the batch window-major once,
-                                    // then sweep it tile by tile with the
-                                    // batch kernel: the inner loops stream
-                                    // contiguous memory for every pair of the
-                                    // chunk instead of striding per-pair
-                                    // record rows.
-                                    let w = windows_ref.len();
-                                    let corrs_t =
-                                        TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
-                                            batch[p][k].corr
-                                        });
-                                    let (a0, b0) = chunk[0];
-                                    let start = pair_index(a0, b0, n);
-                                    let mut offset = 0;
-                                    for (i, j0, len) in row_segments(start, chunk.len(), n) {
-                                        plan.block_kernel(
-                                            i,
-                                            j0,
-                                            corrs_t.view(),
-                                            offset,
-                                            &mut slice[cursor..cursor + len],
-                                        );
-                                        offset += len;
-                                        cursor += len;
-                                    }
+                                    TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
+                                        batch[p][k].corr
+                                    })
                                 }
                                 QueryMethod::Approximate => {
-                                    for (&(a, b), records) in chunk.iter().zip(&batch) {
-                                        let parts: Vec<ApproxWindow> = records
-                                            .iter()
-                                            .enumerate()
-                                            .map(|(k, r)| ApproxWindow {
-                                                x: series_stats[a][k],
-                                                y: series_stats[b][k],
-                                                dist: r.dft_dist,
-                                            })
-                                            .collect();
-                                        slice[cursor] = query_correlation(&parts);
-                                        cursor += 1;
-                                    }
+                                    TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
+                                        let d = batch[p][k].dft_dist;
+                                        1.0 - d * d / 2.0
+                                    })
                                 }
+                            };
+                            let (a0, b0) = chunk[0];
+                            let start = pair_index(a0, b0, n);
+                            let mut offset = 0;
+                            for (i, j0, len) in row_segments(start, chunk.len(), n) {
+                                plan.block_kernel(
+                                    i,
+                                    j0,
+                                    corrs_t.view(),
+                                    offset,
+                                    &mut slice[cursor..cursor + len],
+                                );
+                                offset += len;
+                                cursor += len;
                             }
                             out.compute += t1.elapsed();
                         }

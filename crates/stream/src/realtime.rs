@@ -94,12 +94,16 @@ impl RealTimeNetwork {
         self.ingest_in(&SerialRunner, updates)
     }
 
-    /// [`RealTimeNetwork::ingest`] with the exact engine's per-pair Lemma 2
-    /// sweep fanned out over `runner`. Hand the same reusable worker pool
+    /// [`RealTimeNetwork::ingest`] with the per-pair update sweep (Lemma 2
+    /// for the exact engine, Equation 6 for the approximate one) fanned out
+    /// over `runner`. Hand the same reusable worker pool
     /// (`tsubasa_parallel::WorkerPool`) to every call so continuous
     /// re-evaluations stop paying thread startup per arriving basic window;
-    /// the result is identical to the serial path for any worker count. The
-    /// approximate updater has no parallel sweep and ignores the runner.
+    /// the result is identical to the serial path for any worker count.
+    ///
+    /// One `push` may complete several basic windows at once (e.g. after a
+    /// burst of buffered observations): every released chunk is applied,
+    /// oldest first, and counts as one applied update.
     pub fn ingest_in(&mut self, runner: &dyn JobRunner, updates: &[Vec<f64>]) -> Result<usize> {
         let new_points = updates.first().map(|u| u.len()).unwrap_or(0);
         let chunks = self.buffer.push(updates)?;
@@ -107,7 +111,7 @@ impl RealTimeNetwork {
         for chunk in chunks {
             match &mut self.updater {
                 Updater::Exact(net) => net.ingest_in(runner, &chunk)?,
-                Updater::Approx(net) => net.ingest(&chunk)?,
+                Updater::Approx(net) => net.ingest_in(runner, &chunk)?,
             }
         }
         self.observed += new_points;
@@ -264,6 +268,90 @@ mod tests {
             serial.ingest(&updates).unwrap();
             pooled.ingest_in(&runner, &updates).unwrap();
             now += 13;
+            assert_eq!(serial.correlation_matrix(), pooled.correlation_matrix());
+        }
+        assert!(serial.updates_applied() > 5);
+    }
+
+    #[test]
+    fn one_push_releasing_many_chunks_applies_them_oldest_first() {
+        // A burst delivery: one `ingest` call carries several basic windows'
+        // worth of points, so `StreamBuffer::push` releases multiple complete
+        // chunks at once. They must be applied oldest first and every chunk
+        // must be accounted for in `updates_applied`/`observed_points` — for
+        // both update engines. The drip-fed twin (one basic window per call)
+        // pins the ordering: any reordering or dropped chunk diverges.
+        let total = 560;
+        let hist_len = 300;
+        let b = 20;
+        let query_len = 160;
+        let full = data(total);
+        let historical = full.truncate_length(hist_len).unwrap();
+        let engines = [
+            UpdateEngine::Exact,
+            UpdateEngine::Approximate { coefficients: b },
+        ];
+        for engine in engines {
+            let mut burst = RealTimeNetwork::new(&historical, b, query_len, 0.7, engine).unwrap();
+            let mut drip = RealTimeNetwork::new(&historical, b, query_len, 0.7, engine).unwrap();
+
+            // 13 points buffered, then a burst of 54 more: 67 buffered
+            // points at B = 20, so the push releases exactly 3 complete
+            // basic windows and leaves 7 pending.
+            let cut = hist_len + 13;
+            let first: Vec<Vec<f64>> = full
+                .iter()
+                .map(|s| s.values()[hist_len..cut].to_vec())
+                .collect();
+            assert_eq!(burst.ingest(&first).unwrap(), 0);
+            let burst_end = cut + 54;
+            let second: Vec<Vec<f64>> = full
+                .iter()
+                .map(|s| s.values()[cut..burst_end].to_vec())
+                .collect();
+            assert_eq!(burst.ingest(&second).unwrap(), 3);
+            assert_eq!(burst.updates_applied(), 3);
+            assert_eq!(burst.observed_points(), burst_end);
+            assert_eq!(burst.pending_points(), burst_end - hist_len - 3 * b);
+
+            // The drip twin sees the same points one basic window at a time.
+            for k in 0..3 {
+                let lo = hist_len + k * b;
+                let chunk: Vec<Vec<f64>> = full
+                    .iter()
+                    .map(|s| s.values()[lo..lo + b].to_vec())
+                    .collect();
+                assert_eq!(drip.ingest(&chunk).unwrap(), 1);
+            }
+            assert_eq!(
+                burst.correlation_matrix(),
+                drip.correlation_matrix(),
+                "engine {engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_parallel_ingest_matches_serial_ingest() {
+        use tsubasa_core::runner::ScopedRunner;
+        let total = 500;
+        let hist_len = 300;
+        let b = 20;
+        let full = data(total);
+        let historical = full.truncate_length(hist_len).unwrap();
+        let engine = UpdateEngine::Approximate { coefficients: b };
+        let mut serial = RealTimeNetwork::new(&historical, b, 160, 0.7, engine).unwrap();
+        let mut pooled = RealTimeNetwork::new(&historical, b, 160, 0.7, engine).unwrap();
+        let runner = ScopedRunner::new(4);
+        let mut now = hist_len;
+        while now + b <= total {
+            let updates: Vec<Vec<f64>> = full
+                .iter()
+                .map(|s| s.values()[now..now + b].to_vec())
+                .collect();
+            serial.ingest(&updates).unwrap();
+            pooled.ingest_in(&runner, &updates).unwrap();
+            now += b;
             assert_eq!(serial.correlation_matrix(), pooled.correlation_matrix());
         }
         assert!(serial.updates_applied() > 5);

@@ -33,8 +33,8 @@ pub use tsubasa_stream as stream;
 pub mod prelude {
     pub use tsubasa_core::prelude::*;
     pub use tsubasa_data::prelude::*;
-    pub use tsubasa_dft::{DftSketchSet, SlidingApproxNetwork};
-    pub use tsubasa_network::ClimateNetwork;
+    pub use tsubasa_dft::{ApproxPlan, DftSketchSet, SlidingApproxNetwork};
+    pub use tsubasa_network::{ApproxNetworkBuilder, ClimateNetwork, NetworkComparison};
     pub use tsubasa_parallel::{ParallelConfig, ParallelEngine};
     pub use tsubasa_storage::{DiskSketchStore, MemorySketchStore, SketchStore};
     pub use tsubasa_stream::{RealTimeNetwork, StreamBuffer};
