@@ -70,7 +70,7 @@ fn main() {
     let n_windows = builder.sketch().window_count();
     let query = QueryWindow::new(n_windows * basic_window - 1, n_windows * basic_window).unwrap();
     let (exact_matrix, exact_time) = time(|| builder.correlation_matrix(query).unwrap());
-    let exact_net = exact_matrix.threshold(theta);
+    let exact_net = exact_matrix.threshold(theta).unwrap();
     println!(
         "exact network: {} edges over {} pairs (query time {:?})",
         exact_net.edge_count(),

@@ -1,0 +1,287 @@
+//! Figure 6b (streamed variant) — memory envelope of the tile-at-a-time
+//! sweep vs the dense all-pairs matrix.
+//!
+//! The dense query path materialises the `N(N-1)/2 × windows` correlation
+//! table, so its footprint grows quadratically with the number of series
+//! and eventually trips the `TSUBASA_DENSE_LIMIT_BYTES` budget guard. The
+//! streamed path ([`ZnormSweep`] + [`EdgeSink`]/[`TopKSink`]) keeps the
+//! z-normalised window table — O(N·L) — plus one tile buffer, so it keeps
+//! scaling past the dense ceiling.
+//!
+//! This bench pins three facts with a counting global allocator:
+//!
+//! * at small N the streamed network/top-k agree exactly with the dense
+//!   reference (spot check, the full guarantee lives in
+//!   `tests/streamed_agreement.rs`);
+//! * past the ceiling the dense path fails fast with `Error::TooLarge`
+//!   while the streamed path completes, with sweep-phase peak allocation
+//!   bounded by O(tile), orders of magnitude below the dense requirement;
+//! * the per-tile upper bounds (Equation 4 rearranged for correlations)
+//!   skip real work: the pruned threshold sweep discards whole tiles yet
+//!   produces the identical edge set.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use tsubasa_bench::{fmt_ms, millis, scaled, Table};
+use tsubasa_core::sweep::{EdgeSink, StatsSink, TopKSink};
+use tsubasa_core::{exact, SeriesCollection, SketchSet, ZnormSweep};
+use tsubasa_data::prelude::*;
+
+/// Counting wrapper around the system allocator: tracks live bytes and the
+/// high-water mark so each phase's peak extra allocation can be measured.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn bump(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            bump(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                bump(new_size - layout.size());
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[allow(unsafe_code)]
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Start a fresh measurement window: returns the live baseline and resets
+/// the peak to it. `peak_extra(baseline)` afterwards is the phase's
+/// high-water mark above that baseline.
+fn reset_peak() -> usize {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
+
+fn peak_extra(baseline: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+}
+
+fn fmt_bytes(b: u128) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    }
+}
+
+/// Three-quarters Berkeley-like grid cells (smooth, regionally correlated —
+/// variance dominated by between-window structure) plus one quarter
+/// white-noise series (variance almost entirely within-window). The mix
+/// makes the per-pair correlation bound informative: smooth-vs-noise pairs
+/// have provably low correlation, so the pruned sweeps can discard whole
+/// tiles without looking at them.
+fn mixed_collection(n: usize, points: usize) -> SeriesCollection {
+    let grid_cells = (n * 3 / 4).max(2);
+    let noise_cells = n - grid_cells;
+    let grid = generate_berkeley_like(&BerkeleyLikeConfig {
+        cells: grid_cells,
+        points,
+        ..BerkeleyLikeConfig::default()
+    })
+    .expect("generate dataset");
+    let mut rows: Vec<Vec<f64>> = grid.iter().map(|s| s.values().to_vec()).collect();
+    for s in 0..noise_cells {
+        let mut state = (s as u64 + 1).wrapping_mul(6364136223846793005);
+        rows.push(
+            (0..points)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+                })
+                .collect(),
+        );
+    }
+    SeriesCollection::from_rows(rows).expect("mixed collection")
+}
+
+fn main() {
+    let basic_window = 120;
+    let points = 960;
+    let windows = points / basic_window;
+    let theta = 0.7;
+    let k = 50;
+    let tile_pairs = 1024usize;
+    let sweep: Vec<usize> = [600usize, 1_600, 4_000]
+        .iter()
+        .map(|&n| scaled(n, 24))
+        .collect();
+
+    // Budget sized so the largest sweep point always exceeds it (even under
+    // TSUBASA_BENCH_SCALE) while the smallest stays comfortably below —
+    // the bench demonstrates both sides of the ceiling at any scale.
+    let largest = *sweep.last().unwrap();
+    let largest_pairs = largest * (largest - 1) / 2;
+    let dense_limit = ((largest_pairs * windows * 8) as u64 / 4).max(64 << 10);
+    std::env::set_var("TSUBASA_DENSE_LIMIT_BYTES", dense_limit.to_string());
+
+    println!(
+        "Figure 6b (streamed): tile-at-a-time sweep vs dense matrix | B={basic_window} | \
+         query window {points} | theta={theta} | k={k} | dense budget {}",
+        fmt_bytes(dense_limit as u128)
+    );
+
+    // --- Agreement spot check at the smallest N --------------------------
+    let n0 = sweep[0];
+    let c0 = mixed_collection(n0, points);
+    let zs0 = ZnormSweep::build(&c0, basic_window, 0..windows).unwrap();
+    let streamed_net = zs0.network_streamed(theta).unwrap();
+    let sketch0 = SketchSet::build(&c0, basic_window).unwrap();
+    let dense0 = exact::correlation_matrix_aligned(&sketch0, 0..windows).unwrap();
+    let agree = streamed_net.to_adjacency() == dense0.threshold(theta).unwrap();
+    assert!(agree, "streamed network must equal the dense threshold");
+    println!(
+        "agreement @ N={n0}: streamed == dense ({} edges)",
+        streamed_net.edge_count()
+    );
+
+    let mut table = Table::new(&[
+        "series",
+        "dense need",
+        "dense",
+        "state",
+        "sweep peak",
+        "net wall",
+        "edges",
+        "pruned skip",
+        "top-k wall",
+        "top-k skip",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for &n in &sweep {
+        let collection = mixed_collection(n, points);
+        let pairs = n * (n - 1) / 2;
+        let dense_need = (pairs as u128) * (windows as u128) * 8;
+
+        // Dense attempt: budget-guarded before any allocation.
+        let base = reset_peak();
+        let dense_outcome = SketchSet::build(&collection, basic_window)
+            .and_then(|s| exact::correlation_matrix_aligned(&s, 0..windows));
+        let dense_peak = peak_extra(base);
+        let (dense_label, dense_err) = match &dense_outcome {
+            Ok(_) => (fmt_bytes(dense_peak as u128), None),
+            Err(e) => ("TooLarge".to_string(), Some(e.to_string())),
+        };
+        drop(dense_outcome);
+
+        // Streamed state: the O(N·L) z-normalised table, built once.
+        let base = reset_peak();
+        let zs = ZnormSweep::build(&collection, basic_window, 0..windows).unwrap();
+        let state_bytes = peak_extra(base);
+
+        // Pure sweep working set: StatsSink keeps O(1) output, so the peak
+        // extra allocation during this pass is the tile machinery alone.
+        let base = reset_peak();
+        let mut stats = StatsSink::new();
+        zs.sweep_into(false, tile_pairs, &mut stats);
+        let sweep_peak = peak_extra(base);
+        assert_eq!(stats.count(), pairs);
+
+        // Threshold network (output scales with the edge count — that is
+        // the result, not the algorithm's working set).
+        let t = Instant::now();
+        let net = zs.network_streamed(theta).unwrap();
+        let net_wall = t.elapsed();
+
+        // Pruned threshold sweep: identical edges, whole tiles skipped.
+        let mut pruned = EdgeSink::new(theta);
+        zs.sweep_into(true, tile_pairs, &mut pruned);
+        let skipped = pruned.skipped_pairs();
+        let pruned_edges = pruned.finish(n);
+        assert_eq!(
+            pruned_edges.edge_count(),
+            net.edge_count(),
+            "pruning must not change the edge set"
+        );
+
+        let t = Instant::now();
+        let mut top_sink = TopKSink::new(k);
+        zs.sweep_into(true, tile_pairs, &mut top_sink);
+        let top_skipped = top_sink.skipped_pairs();
+        let top = top_sink.finish();
+        let top_wall = t.elapsed();
+        assert_eq!(top.edges.len(), k.min(pairs));
+
+        table.row(vec![
+            n.to_string(),
+            fmt_bytes(dense_need),
+            dense_label.clone(),
+            fmt_bytes(state_bytes as u128),
+            fmt_bytes(sweep_peak as u128),
+            fmt_ms(millis(net_wall)),
+            net.edge_count().to_string(),
+            format!("{skipped}/{pairs}"),
+            fmt_ms(millis(top_wall)),
+            format!("{top_skipped}/{pairs}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "series": n,
+            "pairs": pairs,
+            "dense_required_bytes": dense_need as u64,
+            "dense_ok": dense_err.is_none(),
+            "dense_error": dense_err.clone().unwrap_or_default(),
+            "dense_peak_bytes": dense_peak,
+            "znorm_state_bytes": state_bytes,
+            "streamed_sweep_peak_bytes": sweep_peak,
+            "network_wall_ms": millis(net_wall),
+            "edges": net.edge_count(),
+            "nan_pairs": net.nan_pair_count(),
+            "pruned_skipped_pairs": skipped,
+            "top_k_skipped_pairs": top_skipped,
+            "top_k_wall_ms": millis(top_wall),
+        }));
+    }
+
+    table.print("Figure 6b (streamed): memory envelope vs number of series");
+    println!(
+        "dense requirement grows quadratically (TooLarge past the budget); the streamed \
+         state is O(N*L), the sweep working set O(tile) and flat across N."
+    );
+    tsubasa_bench::write_json(
+        "fig6b_streamed",
+        &serde_json::json!({
+            "basic_window": basic_window,
+            "query_window": points,
+            "theta": theta,
+            "k": k,
+            "tile_pairs": tile_pairs,
+            "dense_limit_bytes": dense_limit,
+            "agreement_checked_at": n0,
+            "rows": json_rows,
+        }),
+    );
+}

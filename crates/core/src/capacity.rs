@@ -48,6 +48,41 @@ impl SketchPlan {
     }
 }
 
+/// Default budget for dense all-pairs buffers: 32 GiB.
+pub const DEFAULT_DENSE_LIMIT_BYTES: u64 = 32 << 30;
+
+/// The in-effect dense-buffer budget: `TSUBASA_DENSE_LIMIT_BYTES` when set
+/// (`0` disables the check entirely), else
+/// [`DEFAULT_DENSE_LIMIT_BYTES`].
+pub fn dense_limit_bytes() -> Option<u64> {
+    match std::env::var("TSUBASA_DENSE_LIMIT_BYTES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(0) => None,
+        Some(limit) => Some(limit),
+        None => Some(DEFAULT_DENSE_LIMIT_BYTES),
+    }
+}
+
+/// Check that a dense buffer of `pairs × windows` f64 values fits the
+/// configured budget, erroring with [`Error::TooLarge`] (which points at the
+/// streamed sweep API) instead of letting the allocator abort the process.
+/// The product saturates in u128, so adversarially large requests fail
+/// cleanly rather than overflowing.
+pub fn check_dense_budget(pairs: usize, windows: usize) -> Result<()> {
+    let Some(limit) = dense_limit_bytes() else {
+        return Ok(());
+    };
+    let bytes = (pairs as u128)
+        .saturating_mul(windows as u128)
+        .saturating_mul(std::mem::size_of::<f64>() as u128);
+    if bytes > limit as u128 {
+        return Err(Error::TooLarge { bytes, limit });
+    }
+    Ok(())
+}
+
 /// The largest basic-window size is bounded below by the space budget: the
 /// sketch of `n_series` series of length `series_len` fits in `budget_bytes`
 /// only if `B` is at least this value. Returns an error when even `B =
@@ -95,6 +130,20 @@ mod tests {
     use super::*;
     use crate::sketch::SketchSet;
     use crate::timeseries::SeriesCollection;
+
+    #[test]
+    fn dense_budget_check_flags_oversized_requests() {
+        // Within any sane default budget.
+        assert!(check_dense_budget(1_000, 10).is_ok());
+        // u128 arithmetic: usize::MAX² pairs × windows must not panic.
+        let huge = check_dense_budget(usize::MAX, usize::MAX);
+        match huge {
+            Err(Error::TooLarge { bytes, limit }) => {
+                assert!(bytes > limit as u128);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
 
     #[test]
     fn stored_floats_matches_actual_sketch() {

@@ -118,7 +118,7 @@ impl HistoricalBuilder {
         if !(-1.0..=1.0).contains(&theta) {
             return Err(Error::InvalidThreshold(theta));
         }
-        Ok(self.correlation_matrix(query)?.threshold(theta))
+        self.correlation_matrix(query)?.threshold(theta)
     }
 
     /// Bootstrap the real-time incremental engine on the most recent
@@ -167,7 +167,11 @@ mod tests {
         let b = builder();
         let query = QueryWindow::new(159, 120).unwrap();
         let net = b.network(query).unwrap();
-        let expected = b.correlation_matrix(query).unwrap().threshold(0.75);
+        let expected = b
+            .correlation_matrix(query)
+            .unwrap()
+            .threshold(0.75)
+            .unwrap();
         assert_eq!(net, expected);
     }
 

@@ -68,6 +68,27 @@ pub enum Error {
         /// Number of raw points covered by the degenerate query window.
         points: usize,
     },
+    /// Thresholding (or ranking) ran into NaN correlations. NaN legitimately
+    /// appears in matrices assembled from store records whose sketch method
+    /// does not match the query method; treating those entries as "no edge"
+    /// silently produced a plausible-looking but wrong network. The strict
+    /// API surfaces them instead; the `*_lenient` variants skip and count
+    /// them for callers that opt in.
+    NanCorrelations {
+        /// Number of pairs whose correlation was NaN.
+        pairs: usize,
+    },
+    /// A dense all-pairs buffer would exceed the configured memory budget
+    /// (`TSUBASA_DENSE_LIMIT_BYTES`, default 32 GiB). The streamed sweep API
+    /// (`network_streamed` / `top_k`) covers the same queries in O(tile)
+    /// memory.
+    TooLarge {
+        /// Bytes the dense buffer would require (u128: the product can
+        /// overflow u64 for adversarial inputs).
+        bytes: u128,
+        /// The configured limit in bytes.
+        limit: u64,
+    },
     /// Catch-all for storage-layer and I/O failures surfaced through the core
     /// API (the storage crate wraps `std::io::Error` into this).
     Storage(String),
@@ -121,6 +142,17 @@ impl fmt::Display for Error {
                 f,
                 "ingested chunk of {found} points, but the basic window size is {expected}"
             ),
+            Error::NanCorrelations { pairs } => write!(
+                f,
+                "{pairs} pair correlation(s) are NaN (missing or method-mismatched sketch \
+                 records); use the *_lenient thresholding variants to skip and count them"
+            ),
+            Error::TooLarge { bytes, limit } => write!(
+                f,
+                "dense correlation buffer would need {bytes} bytes, over the {limit}-byte \
+                 budget (TSUBASA_DENSE_LIMIT_BYTES); use the streamed API \
+                 (network_streamed / top_k) instead"
+            ),
             Error::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
@@ -170,5 +202,23 @@ mod tests {
     #[test]
     fn threshold_error_mentions_range() {
         assert!(Error::InvalidThreshold(1.5).to_string().contains("[-1, 1]"));
+    }
+
+    #[test]
+    fn nan_correlations_error_counts_pairs() {
+        let msg = Error::NanCorrelations { pairs: 7 }.to_string();
+        assert!(msg.contains("7 pair"));
+        assert!(msg.contains("lenient"));
+    }
+
+    #[test]
+    fn too_large_error_points_at_streamed_api() {
+        let msg = Error::TooLarge {
+            bytes: 1 << 40,
+            limit: 1 << 30,
+        }
+        .to_string();
+        assert!(msg.contains("network_streamed"));
+        assert!(msg.contains("TSUBASA_DENSE_LIMIT_BYTES"));
     }
 }

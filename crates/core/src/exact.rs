@@ -33,12 +33,16 @@
 //! suite pins this) rather than bit-for-bit; the scalar plan kernel
 //! ([`QueryPlan::pair_kernel`]) remains bit-identical to [`pair_correlation`].
 
+use crate::capacity::check_dense_budget;
 use crate::error::{Error, Result};
 use crate::matrix::CorrelationMatrix;
 use crate::plan::{row_segments, CorrView, QueryPlan};
 use crate::runner::{Job, JobRunner, ScopedRunner};
 use crate::sketch::{pair_index, SketchSet};
 use crate::stats::{clamp_corr, WindowStats};
+use crate::sweep::{
+    sweep_run, CorrelationBounds, EdgeList, EdgeSink, TopK, TopKSink, DEFAULT_TILE_PAIRS,
+};
 use crate::timeseries::{SeriesCollection, SeriesId};
 use crate::window::QueryWindow;
 
@@ -274,6 +278,7 @@ pub fn correlation_matrix(
     if n < 2 {
         return Ok(CorrelationMatrix::identity(n));
     }
+    check_dense_budget(n * (n - 1) / 2, 1)?;
     let corrs_t = sketch.window_corrs_view(plan.full_windows());
     let mut values = vec![0.0f64; n * (n - 1) / 2];
     sweep_packed_run(&plan, corrs_t, 0, &mut values);
@@ -292,10 +297,105 @@ pub fn correlation_matrix_aligned(
     if n < 2 {
         return Ok(CorrelationMatrix::identity(n));
     }
+    check_dense_budget(n * (n - 1) / 2, 1)?;
     let corrs_t = sketch.window_corrs_view(plan.full_windows());
     let mut values = vec![0.0f64; n * (n - 1) / 2];
     sweep_packed_run(&plan, corrs_t, 0, &mut values);
     Ok(CorrelationMatrix::from_upper_triangle(n, values))
+}
+
+/// The thresholded network (`c > θ`, the semantics of
+/// [`CorrelationMatrix::threshold`]) computed through the streaming sweep:
+/// the packed triangle is never materialized; each
+/// [`QueryPlan::block_kernel`] tile is thresholded and discarded. The edge
+/// set equals `correlation_matrix(..)?.threshold(theta)` exactly — same
+/// kernel, same values, tile boundaries don't change any pair's arithmetic —
+/// at `O(tile + edges)` memory. Every pair is observed (no pruning), so NaN
+/// accounting is exhaustive.
+pub fn network_streamed(
+    collection: &SeriesCollection,
+    sketch: &SketchSet,
+    query: QueryWindow,
+    theta: f64,
+) -> Result<EdgeList> {
+    if !(-1.0..=1.0).contains(&theta) {
+        return Err(Error::InvalidThreshold(theta));
+    }
+    let plan = QueryPlan::build(collection, sketch, query)?;
+    let mut sink = EdgeSink::new(theta);
+    streamed_sweep(sketch, &plan, None, &mut sink);
+    Ok(sink.finish(collection.len()))
+}
+
+/// [`network_streamed`] for an aligned range of basic windows (sketch-only,
+/// no raw data touched).
+pub fn network_streamed_aligned(
+    sketch: &SketchSet,
+    windows: std::ops::Range<usize>,
+    theta: f64,
+) -> Result<EdgeList> {
+    if !(-1.0..=1.0).contains(&theta) {
+        return Err(Error::InvalidThreshold(theta));
+    }
+    let plan = QueryPlan::build_aligned(sketch, windows)?;
+    let mut sink = EdgeSink::new(theta);
+    streamed_sweep(sketch, &plan, None, &mut sink);
+    Ok(sink.finish(sketch.series_count()))
+}
+
+/// The `k` strongest edges of the query window, streamed: a k-bounded heap
+/// replaces the dense triangle, and tiles whose Equation-4 upper bound
+/// cannot beat the current k-th strength are skipped before any kernel work.
+/// Ranking is total ([`f64::total_cmp`], ties by ascending pair index) and
+/// equals the sorted dense matrix's top k.
+pub fn top_k(
+    collection: &SeriesCollection,
+    sketch: &SketchSet,
+    query: QueryWindow,
+    k: usize,
+) -> Result<TopK> {
+    let plan = QueryPlan::build(collection, sketch, query)?;
+    let bounds = CorrelationBounds::from_plan(&plan);
+    let mut sink = TopKSink::new(k);
+    streamed_sweep(sketch, &plan, Some(&bounds), &mut sink);
+    Ok(sink.finish())
+}
+
+/// [`top_k`] for an aligned range of basic windows (sketch-only).
+pub fn top_k_aligned(
+    sketch: &SketchSet,
+    windows: std::ops::Range<usize>,
+    k: usize,
+) -> Result<TopK> {
+    let plan = QueryPlan::build_aligned(sketch, windows)?;
+    let bounds = CorrelationBounds::from_plan(&plan);
+    let mut sink = TopKSink::new(k);
+    streamed_sweep(sketch, &plan, Some(&bounds), &mut sink);
+    Ok(sink.finish())
+}
+
+/// Shared body of the streamed entry points: borrow the sketch's
+/// window-major table for the plan's full windows and sweep all pairs into
+/// the sink.
+fn streamed_sweep(
+    sketch: &SketchSet,
+    plan: &QueryPlan,
+    bounds: Option<&CorrelationBounds>,
+    sink: &mut dyn crate::sweep::TileSink,
+) {
+    let n = plan.series_count();
+    if n < 2 {
+        return;
+    }
+    let corrs_t = sketch.window_corrs_view(plan.full_windows());
+    sweep_run(
+        plan,
+        &corrs_t,
+        bounds,
+        0..n * (n - 1) / 2,
+        DEFAULT_TILE_PAIRS,
+        sink,
+    );
 }
 
 /// Evaluate the contiguous packed-triangle run `start..start + out.len()`
@@ -357,6 +457,7 @@ pub fn correlation_matrix_parallel_in(
     if workers <= 1 || total == 0 {
         return correlation_matrix(collection, sketch, query);
     }
+    check_dense_budget(total, 1)?;
     let plan = QueryPlan::build(collection, sketch, query)?;
     let corrs_t = sketch.window_corrs_view(plan.full_windows());
     let mut values = vec![0.0f64; total];
@@ -609,6 +710,58 @@ mod tests {
         let sketch = SketchSet::build(&c, 10).unwrap();
         let query = QueryWindow::new(59, 40).unwrap();
         assert_eq!(pair_correlation(&c, &sketch, query, 0, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn network_streamed_matches_dense_threshold() {
+        let c = test_collection(7, 200);
+        let sketch = SketchSet::build(&c, 25).unwrap();
+        // Unaligned window so head/tail tiles are exercised.
+        let query = QueryWindow::new(187, 150).unwrap();
+        let dense = correlation_matrix(&c, &sketch, query).unwrap();
+        for theta in [-0.4, 0.0, 0.35, 0.9] {
+            let streamed = network_streamed(&c, &sketch, query, theta).unwrap();
+            let reference = dense.threshold(theta).unwrap();
+            assert_eq!(streamed.to_adjacency(), reference, "theta={theta}");
+            assert_eq!(streamed.nan_pair_count(), 0);
+        }
+        assert!(matches!(
+            network_streamed(&c, &sketch, query, 1.5),
+            Err(Error::InvalidThreshold(_))
+        ));
+    }
+
+    #[test]
+    fn network_streamed_aligned_matches_dense() {
+        let c = test_collection(6, 180);
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let dense = correlation_matrix_aligned(&sketch, 1..8).unwrap();
+        let streamed = network_streamed_aligned(&sketch, 1..8, 0.25).unwrap();
+        assert_eq!(streamed.to_adjacency(), dense.threshold(0.25).unwrap());
+    }
+
+    #[test]
+    fn top_k_matches_sorted_dense_matrix() {
+        let c = test_collection(6, 200);
+        let sketch = SketchSet::build(&c, 25).unwrap();
+        let query = QueryWindow::new(191, 160).unwrap();
+        let dense = correlation_matrix(&c, &sketch, query).unwrap();
+        let n = c.len();
+        let mut all: Vec<(usize, usize, f64)> = dense.iter_pairs().collect();
+        all.sort_by(|a, b| {
+            b.2.total_cmp(&a.2)
+                .then_with(|| pair_index(a.0, a.1, n).cmp(&pair_index(b.0, b.1, n)))
+        });
+        for k in [0, 1, 4, 15, 50] {
+            let top = top_k(&c, &sketch, query, k).unwrap();
+            assert_eq!(top.edges.len(), k.min(all.len()), "k={k}");
+            for (got, want) in top.edges.iter().zip(&all) {
+                assert_eq!((got.i, got.j), (want.0, want.1), "k={k}");
+                assert_eq!(got.corr, want.2, "k={k}");
+            }
+        }
+        let aligned = top_k_aligned(&sketch, 0..8, 3).unwrap();
+        assert_eq!(aligned.edges.len(), 3);
     }
 
     proptest! {

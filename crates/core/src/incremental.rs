@@ -527,9 +527,11 @@ impl SlidingNetwork {
         CorrelationMatrix::from_upper_triangle(self.n, self.corrs.clone())
     }
 
-    /// Snapshot of the current climate network at threshold `theta`.
+    /// Snapshot of the current climate network at threshold `theta`. The
+    /// sliding recombination clamps every correlation, so no NaN can appear
+    /// here; the lenient thresholding keeps this path infallible.
     pub fn network(&self, theta: f64) -> AdjacencyMatrix {
-        self.correlation_matrix().threshold(theta)
+        self.correlation_matrix().threshold_lenient(theta)
     }
 }
 

@@ -244,7 +244,7 @@ mod tests {
     fn inference_reproduces_direct_thresholding() {
         let truth = toy_matrix();
         let theta = 0.8;
-        let expected = truth.threshold_abs(theta);
+        let expected = truth.threshold_abs(theta).unwrap();
         let outcome =
             infer_threshold_matrix(4, theta, &[0, 1, 2, 3], |i, j| truth.get(i, j)).unwrap();
         assert_eq!(outcome.matrix, expected);
@@ -255,7 +255,7 @@ mod tests {
     fn inference_with_good_anchor_saves_work() {
         let truth = toy_matrix();
         let outcome = infer_threshold_matrix(4, 0.8, &[0], |i, j| truth.get(i, j)).unwrap();
-        assert_eq!(outcome.matrix, truth.threshold_abs(0.8));
+        assert_eq!(outcome.matrix, truth.threshold_abs(0.8).unwrap());
         assert!(
             outcome.inferred_pairs > 0,
             "anchor 0 should decide some cells"
@@ -267,7 +267,7 @@ mod tests {
     fn inference_with_no_anchor_computes_everything() {
         let truth = toy_matrix();
         let outcome = infer_threshold_matrix(4, 0.8, &[], |i, j| truth.get(i, j)).unwrap();
-        assert_eq!(outcome.matrix, truth.threshold_abs(0.8));
+        assert_eq!(outcome.matrix, truth.threshold_abs(0.8).unwrap());
         assert_eq!(outcome.computed_pairs, 6);
         assert_eq!(outcome.inferred_pairs, 0);
         assert_eq!(outcome.inferred_fraction(), 0.0);
@@ -347,7 +347,7 @@ mod tests {
                 }
             }
             let outcome = infer_threshold_matrix(5, theta, &[anchor], |i, j| m.get(i, j)).unwrap();
-            prop_assert_eq!(outcome.matrix, m.threshold_abs(theta));
+            prop_assert_eq!(outcome.matrix, m.threshold_abs(theta).unwrap());
         }
     }
 }

@@ -54,7 +54,7 @@
 //! // Exact correlation matrix on the full range, then threshold at 0.9.
 //! let window = QueryWindow::new(7, 8).unwrap();
 //! let matrix = exact::correlation_matrix(&collection, &sketch, window).unwrap();
-//! let network = matrix.threshold(0.9);
+//! let network = matrix.threshold(0.9).unwrap();
 //!
 //! assert_eq!(network.edge_count(), 1); // series 0 and 1 move together
 //! assert!(matrix.get(0, 2) < -0.99);   // series 2 is anti-correlated
@@ -76,6 +76,7 @@ pub mod plan;
 pub mod runner;
 pub mod sketch;
 pub mod stats;
+pub mod sweep;
 pub mod timeseries;
 pub mod window;
 
@@ -85,6 +86,7 @@ pub use plan::QueryPlan;
 pub use runner::{Job, JobRunner, ScopedRunner, SerialRunner};
 pub use sketch::{PairSketch, SeriesSketch, SketchSet};
 pub use stats::WindowStats;
+pub use sweep::{EdgeList, EdgeSink, RankedEdge, StatsSink, TileSink, TopK, TopKSink, ZnormSweep};
 pub use timeseries::{GeoLocation, SeriesCollection, SeriesId, TimeSeries};
 pub use window::{BasicWindowing, QueryWindow, WindowSegmentation, WindowSpan};
 
@@ -102,6 +104,9 @@ pub mod prelude {
     pub use crate::plan::QueryPlan;
     pub use crate::sketch::{PairSketch, SeriesSketch, SketchSet};
     pub use crate::stats::{pearson, WindowStats};
+    pub use crate::sweep::{
+        EdgeList, EdgeSink, RankedEdge, StatsSink, TileSink, TopK, TopKSink, ZnormSweep,
+    };
     pub use crate::timeseries::{GeoLocation, SeriesCollection, SeriesId, TimeSeries};
     pub use crate::window::{BasicWindowing, QueryWindow, WindowSegmentation, WindowSpan};
 }

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{Error, Result};
 use crate::sketch::pair_index;
 
 /// A symmetric all-pair Pearson correlation matrix with an implicit unit
@@ -78,20 +79,70 @@ impl CorrelationMatrix {
     /// an edge between `i` and `j` iff `corr(i,j) > θ` (the paper thresholds
     /// on positive correlation; use [`CorrelationMatrix::threshold_abs`] for
     /// |corr| thresholding).
-    pub fn threshold(&self, theta: f64) -> AdjacencyMatrix {
-        AdjacencyMatrix {
-            n: self.n,
-            edges: self.values.iter().map(|&c| c > theta).collect(),
+    ///
+    /// Errors with [`Error::NanCorrelations`] if any entry is NaN — NaN
+    /// appears in matrices assembled from store records whose sketch method
+    /// does not match the query method, and treating it as "no edge" would
+    /// silently yield a plausible-looking but wrong network. Callers that
+    /// accept missing pairs use [`CorrelationMatrix::threshold_lenient`].
+    pub fn threshold(&self, theta: f64) -> Result<AdjacencyMatrix> {
+        let net = self.apply_threshold(theta, false);
+        if net.nan_pairs > 0 {
+            return Err(Error::NanCorrelations {
+                pairs: net.nan_pairs,
+            });
         }
+        Ok(net)
     }
 
     /// Threshold on the absolute correlation: edge iff `|corr(i,j)| > θ`.
     /// Climate-network studies that treat strong anti-correlation as
-    /// information flow use this variant.
-    pub fn threshold_abs(&self, theta: f64) -> AdjacencyMatrix {
+    /// information flow use this variant. Same NaN policy as
+    /// [`CorrelationMatrix::threshold`].
+    pub fn threshold_abs(&self, theta: f64) -> Result<AdjacencyMatrix> {
+        let net = self.apply_threshold(theta, true);
+        if net.nan_pairs > 0 {
+            return Err(Error::NanCorrelations {
+                pairs: net.nan_pairs,
+            });
+        }
+        Ok(net)
+    }
+
+    /// Lenient variant of [`CorrelationMatrix::threshold`]: NaN entries get
+    /// no edge, and their count is recorded on the result
+    /// ([`AdjacencyMatrix::nan_pair_count`]) so the caller can audit how many
+    /// pairs were skipped.
+    pub fn threshold_lenient(&self, theta: f64) -> AdjacencyMatrix {
+        self.apply_threshold(theta, false)
+    }
+
+    /// Lenient variant of [`CorrelationMatrix::threshold_abs`]; see
+    /// [`CorrelationMatrix::threshold_lenient`].
+    pub fn threshold_abs_lenient(&self, theta: f64) -> AdjacencyMatrix {
+        self.apply_threshold(theta, true)
+    }
+
+    fn apply_threshold(&self, theta: f64, abs: bool) -> AdjacencyMatrix {
+        let mut nan_pairs = 0usize;
+        let edges = self
+            .values
+            .iter()
+            .map(|&c| {
+                if c.is_nan() {
+                    nan_pairs += 1;
+                    false
+                } else if abs {
+                    c.abs() > theta
+                } else {
+                    c > theta
+                }
+            })
+            .collect();
         AdjacencyMatrix {
             n: self.n,
-            edges: self.values.iter().map(|&c| c.abs() > theta).collect(),
+            edges,
+            nan_pairs,
         }
     }
 
@@ -133,11 +184,25 @@ impl CorrelationMatrix {
 /// The boolean climate-network matrix obtained by thresholding a
 /// [`CorrelationMatrix`]: `edges[pair] == true` means the two locations are
 /// connected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdjacencyMatrix {
     n: usize,
     edges: Vec<bool>,
+    /// Pairs whose correlation was NaN when this network was thresholded
+    /// leniently (always 0 for the strict constructors). Excluded from
+    /// equality: two networks with the same topology compare equal.
+    nan_pairs: usize,
 }
+
+/// Equality is over the topology (node count + edge set) only; the NaN audit
+/// count is metadata and deliberately ignored.
+impl PartialEq for AdjacencyMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges
+    }
+}
+
+impl Eq for AdjacencyMatrix {}
 
 impl AdjacencyMatrix {
     /// An edge-less network over `n` nodes.
@@ -145,13 +210,45 @@ impl AdjacencyMatrix {
         Self {
             n,
             edges: vec![false; n * n.saturating_sub(1) / 2],
+            nan_pairs: 0,
         }
     }
 
     /// Build from the packed strict upper triangle.
     pub fn from_upper_triangle(n: usize, edges: Vec<bool>) -> Self {
         assert_eq!(edges.len(), n * n.saturating_sub(1) / 2);
-        Self { n, edges }
+        Self {
+            n,
+            edges,
+            nan_pairs: 0,
+        }
+    }
+
+    /// Build from an iterator of `(i, j)` node pairs (order-insensitive,
+    /// self-loops rejected by the same assertion as
+    /// [`AdjacencyMatrix::set_edge`]). This is how streamed edge lists become
+    /// networks without a dense correlation matrix in between.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut net = Self::empty(n);
+        for (i, j) in edges {
+            net.set_edge(i, j, true);
+        }
+        net
+    }
+
+    /// Number of pairs whose correlation was NaN when this network was built
+    /// by a lenient thresholding pass (0 for strict/explicit constructors).
+    pub fn nan_pair_count(&self) -> usize {
+        self.nan_pairs
+    }
+
+    /// Record the number of NaN correlations skipped while building this
+    /// network (used by streamed sinks, which observe NaN tile by tile).
+    pub fn set_nan_pair_count(&mut self, count: usize) {
+        self.nan_pairs = count;
     }
 
     /// Number of nodes.
@@ -264,15 +361,53 @@ mod tests {
         m.set(0, 1, 0.9);
         m.set(0, 2, -0.95);
         m.set(1, 2, 0.5);
-        let net = m.threshold(0.75);
+        let net = m.threshold(0.75).unwrap();
         assert!(net.has_edge(0, 1));
         assert!(!net.has_edge(0, 2));
         assert!(!net.has_edge(1, 2));
         assert_eq!(net.edge_count(), 1);
+        assert_eq!(net.nan_pair_count(), 0);
 
-        let net_abs = m.threshold_abs(0.75);
+        let net_abs = m.threshold_abs(0.75).unwrap();
         assert!(net_abs.has_edge(0, 2));
         assert_eq!(net_abs.edge_count(), 2);
+    }
+
+    #[test]
+    fn strict_threshold_rejects_nan() {
+        let mut m = CorrelationMatrix::identity(3);
+        m.set(0, 1, 0.9);
+        m.set(0, 2, f64::NAN);
+        m.set(1, 2, f64::NAN);
+        assert_eq!(m.threshold(0.5), Err(Error::NanCorrelations { pairs: 2 }));
+        assert_eq!(
+            m.threshold_abs(0.5),
+            Err(Error::NanCorrelations { pairs: 2 })
+        );
+    }
+
+    #[test]
+    fn lenient_threshold_counts_nan_and_skips() {
+        let mut m = CorrelationMatrix::identity(3);
+        m.set(0, 1, 0.9);
+        m.set(0, 2, f64::NAN);
+        m.set(1, 2, 0.1);
+        let net = m.threshold_lenient(0.5);
+        assert!(net.has_edge(0, 1));
+        assert!(!net.has_edge(0, 2));
+        assert_eq!(net.edge_count(), 1);
+        assert_eq!(net.nan_pair_count(), 1);
+        let net_abs = m.threshold_abs_lenient(0.5);
+        assert_eq!(net_abs.nan_pair_count(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_nan_audit_count() {
+        let a = AdjacencyMatrix::from_edges(3, [(0, 1)]);
+        let mut b = AdjacencyMatrix::from_edges(3, [(1, 0)]);
+        b.set_nan_pair_count(2);
+        assert_eq!(a, b);
+        assert_eq!(b.nan_pair_count(), 2);
     }
 
     #[test]
@@ -325,7 +460,7 @@ mod tests {
     fn empty_and_single_node_matrices() {
         let m = CorrelationMatrix::identity(1);
         assert_eq!(m.get(0, 0), 1.0);
-        assert_eq!(m.threshold(0.5).edge_count(), 0);
+        assert_eq!(m.threshold(0.5).unwrap().edge_count(), 0);
         let e = AdjacencyMatrix::empty(0);
         assert!(e.is_empty());
         assert_eq!(e.density(), 0.0);

@@ -329,6 +329,38 @@ impl QueryPlan {
         self.dens[i] <= 0.0
     }
 
+    /// Per-series Cauchy–Schwarz split of the Lemma 1 numerator: for series
+    /// `i`, `s_i = √(Σ_k B_k σ_ik² / den_i)` and
+    /// `t_i = √(Σ_k B_k δ_ik² / den_i)` (so `s_i² + t_i² = 1`). Because every
+    /// per-window correlation is ≤ 1,
+    /// `corr(i,j) ≤ s_i s_j + t_i t_j` — the per-tile upper bound behind the
+    /// streamed sweep's Equation 4 pruning (see [`crate::sweep`]). Degenerate
+    /// series get `(0, 0)`, matching their `corr = 0` convention.
+    pub(crate) fn bound_components(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut s = Vec::with_capacity(self.n);
+        let mut t = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let den = self.dens[i];
+            if den <= 0.0 {
+                s.push(0.0);
+                t.push(0.0);
+                continue;
+            }
+            let mut ss = 0.0;
+            let mut tt = 0.0;
+            for k in 0..self.w {
+                let b = self.lens[k];
+                let sd = self.stds[i * self.w + k];
+                let dl = self.deltas[i * self.w + k];
+                ss += b * sd * sd;
+                tt += b * dl * dl;
+            }
+            s.push((ss / den).sqrt());
+            t.push((tt / den).sqrt());
+        }
+        (s, t)
+    }
+
     /// The allocation-free all-pairs kernel: correlation of series `i` and
     /// `j` given the pair's per-window correlations for the plan's *full*
     /// windows (`full_corrs.len() == full_windows().len()`) and, for

@@ -222,6 +222,7 @@ impl SketchSet {
         let ns = windowing.complete_windows(series_len);
         let n = collection.len();
         let n_pairs = n * n.saturating_sub(1) / 2;
+        crate::capacity::check_dense_budget(n_pairs, ns)?;
         let b = basic_window;
 
         let series: Vec<SeriesSketch> = collection

@@ -1,0 +1,1014 @@
+//! The streaming tile-at-a-time sweep layer: produce [`QueryPlan::block_kernel`]
+//! tiles, hand them to a consumer, discard them — never materializing the
+//! `N(N−1)/2` pair triangle.
+//!
+//! Every dense query path (matrix construction, thresholding, ranking)
+//! allocates the full packed triangle: ~50 GB of `f64` per window layer at
+//! `N = 100 000`. The paper's national-scale scenarios (§4.3) need the
+//! *answers* — the thresholded network, the strongest edges, aggregates —
+//! not the triangle itself. This module inverts the control flow:
+//!
+//! * a [`CorrProvider`] serves per-window correlations for one tile of pairs
+//!   at a time (zero-copy from a window-major table when one exists,
+//!   recomputed on the fly by [`ZnormSweep`] when not);
+//! * [`sweep_run`] drives [`QueryPlan::block_kernel`] over same-row tiles of
+//!   at most `tile_len` pairs and hands each finished tile to a
+//!   [`TileSink`];
+//! * the sinks fold tiles into bounded state: [`EdgeSink`] keeps only the
+//!   pairs above a threshold, [`TopKSink`] a k-bounded heap of the strongest
+//!   edges, [`StatsSink`] running aggregates.
+//!
+//! Working memory is `O(tile)` — two scratch buffers of `tile_len` (times
+//! `w` for providers without a resident table) — independent of `N`.
+//!
+//! # Tile pruning (Equation 4)
+//!
+//! [`CorrelationBounds`] precomputes, per series, the Cauchy–Schwarz split
+//! `s_i = √(Σ_k B_k σ_ik² / den_i)`, `t_i = √(Σ_k B_k δ_ik² / den_i)` of the
+//! Lemma 1 denominator. Since every per-window correlation is clamped to
+//! `≤ 1`, `corr(i, j) ≤ s_i s_j + t_i t_j` — an `O(1)`-per-pair sound upper
+//! bound. When the driver is given bounds and the sink reports a tile's
+//! bound as skippable ([`TileSink::tile_skippable`]), the whole tile is
+//! dropped without evaluating a single kernel — the tile-granular analogue
+//! of the paper's Equation 4 pruning radius `√(2(1−θ))` (a bound `b < θ`
+//! is exactly a distance `√(2(1−b))` outside the radius).
+//!
+//! # NaN policy
+//!
+//! Sinks never silently drop NaN correlations: each NaN is counted and the
+//! count is surfaced on the result ([`EdgeList::nan_pair_count`],
+//! [`TopK::nan_pairs`]) — the same lenient-with-audit rule as
+//! [`CorrelationMatrix::threshold_lenient`]. Plan-based sweeps cannot
+//! produce NaN (the kernel clamps), but [`sweep_matrix`] streams existing
+//! matrices — including NaN-bearing ones assembled from store records —
+//! through the same sinks.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::Range;
+
+use crate::error::{Error, Result};
+use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use crate::plan::{row_segments, CorrView, QueryPlan};
+use crate::sketch::pair_index;
+use crate::stats::{normalize_into, normalized_dot_corr, WindowStats};
+use crate::timeseries::SeriesCollection;
+use crate::window::BasicWindowing;
+
+/// Default tile size of the streaming sweeps: large enough to amortize the
+/// per-tile dispatch, small enough that two scratch buffers stay deep in
+/// cache.
+pub const DEFAULT_TILE_PAIRS: usize = 1024;
+
+/// Safety pad added to every upper bound: the bound and the kernel reorder
+/// floating-point accumulation differently, so the analytic inequality holds
+/// only up to rounding. `1e-9` is ten times the workspace's `1e-10` kernel
+/// tolerance contract.
+const BOUND_PAD: f64 = 1e-9;
+
+/// A consumer of finished correlation tiles. `consume` receives the
+/// correlations of the contiguous same-row pair tile
+/// `(i, j0), …, (i, j0 + corrs.len() − 1)` (packed index of the first pair
+/// in `pair0`); the buffer is reused, so implementations must copy out what
+/// they keep.
+pub trait TileSink {
+    /// Fold one finished tile into the sink's state.
+    fn consume(&mut self, i: usize, j0: usize, pair0: usize, corrs: &[f64]);
+
+    /// Whether a tile whose correlations are all `≤ upper_bound` can be
+    /// dropped without being evaluated. Default: never (sinks that need to
+    /// observe every pair keep it that way).
+    fn tile_skippable(&self, upper_bound: f64) -> bool {
+        let _ = upper_bound;
+        false
+    }
+
+    /// Notification that the driver dropped the tile
+    /// `(i, j0), …, (i, j0 + len − 1)` after [`TileSink::tile_skippable`]
+    /// approved it.
+    fn tile_skipped(&mut self, i: usize, j0: usize, len: usize) {
+        let _ = (i, j0, len);
+    }
+}
+
+/// Per-series upper-bound components for tile pruning: for any pair,
+/// `corr(i, j) ≤ s_i s_j + t_i t_j` (see the [module docs](self) for the
+/// derivation). Built once per query plan in `O(N · w)`; each tile bound is
+/// then `O(tile)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationBounds {
+    s: Vec<f64>,
+    t: Vec<f64>,
+}
+
+impl CorrelationBounds {
+    /// Precompute the bound components from a query plan (exact or the
+    /// shared plan inside an approximate plan).
+    pub fn from_plan(plan: &QueryPlan) -> Self {
+        let (s, t) = plan.bound_components();
+        Self { s, t }
+    }
+
+    /// Sound (padded) upper bound on `corr(i, j)`.
+    pub fn pair_bound(&self, i: usize, j: usize) -> f64 {
+        self.s[i] * self.s[j] + self.t[i] * self.t[j] + BOUND_PAD
+    }
+
+    /// Sound (padded) upper bound over the tile `(i, j0 .. j0 + len)`.
+    pub fn tile_bound(&self, i: usize, j0: usize, len: usize) -> f64 {
+        let (si, ti) = (self.s[i], self.t[i]);
+        let mut best = f64::NEG_INFINITY;
+        for p in 0..len {
+            let v = si * self.s[j0 + p] + ti * self.t[j0 + p];
+            if v > best {
+                best = v;
+            }
+        }
+        best + BOUND_PAD
+    }
+}
+
+/// A source of per-window pair correlations for the plan's *full* windows,
+/// served tile by tile.
+pub trait CorrProvider {
+    /// Number of windows served per pair — must equal the driving plan's
+    /// [`QueryPlan::full_windows`]`.len()`.
+    fn window_count(&self) -> usize;
+
+    /// A resident window-major table covering **all** packed pairs, if one
+    /// exists. When this returns `Some`, the driver streams it zero-copy and
+    /// never calls [`CorrProvider::fill_tile`].
+    fn full_view(&self) -> Option<CorrView<'_>> {
+        None
+    }
+
+    /// Fill `out` (window-major, `window_count() × np` where
+    /// `np = out.len() / window_count()`) with the per-window correlations of
+    /// the tile `(i, j0), …, (i, j0 + np − 1)`.
+    fn fill_tile(&self, i: usize, j0: usize, out: &mut [f64]);
+}
+
+impl CorrProvider for CorrView<'_> {
+    fn window_count(&self) -> usize {
+        CorrView::window_count(self)
+    }
+
+    fn full_view(&self) -> Option<CorrView<'_>> {
+        Some(*self)
+    }
+
+    fn fill_tile(&self, _i: usize, _j0: usize, _out: &mut [f64]) {
+        unreachable!("full-view providers are streamed zero-copy")
+    }
+}
+
+/// Drive [`QueryPlan::block_kernel`] over the contiguous packed-triangle run
+/// `run`, in same-row tiles of at most `tile_len` pairs, feeding each
+/// finished tile to `sink` and discarding it. With `bounds`, tiles the sink
+/// reports skippable are dropped before any kernel work (Equation 4 tile
+/// pruning).
+///
+/// Working memory: one `tile_len` output buffer, plus a
+/// `window_count × tile_len` scratch buffer for providers without a resident
+/// table — independent of the series count.
+pub fn sweep_run(
+    plan: &QueryPlan,
+    provider: &dyn CorrProvider,
+    bounds: Option<&CorrelationBounds>,
+    run: Range<usize>,
+    tile_len: usize,
+    sink: &mut dyn TileSink,
+) {
+    let n = plan.series_count();
+    let w = plan.full_windows().len();
+    assert_eq!(
+        provider.window_count(),
+        w,
+        "provider must cover the plan's full windows"
+    );
+    let tile_len = tile_len.max(1);
+    let full = provider.full_view();
+    let mut out = vec![0.0f64; tile_len];
+    let mut scratch = if full.is_some() {
+        Vec::new()
+    } else {
+        vec![0.0f64; w * tile_len]
+    };
+
+    for (i, j0, len) in row_segments(run.start, run.len(), n) {
+        let mut off = 0;
+        while off < len {
+            let np = (len - off).min(tile_len);
+            let j = j0 + off;
+            off += np;
+            if let Some(b) = bounds {
+                if sink.tile_skippable(b.tile_bound(i, j, np)) {
+                    sink.tile_skipped(i, j, np);
+                    continue;
+                }
+            }
+            let pair0 = pair_index(i, j, n);
+            match full {
+                Some(view) => plan.block_kernel(i, j, view, pair0, &mut out[..np]),
+                None => {
+                    provider.fill_tile(i, j, &mut scratch[..w * np]);
+                    let view = CorrView::new(&scratch[..w * np], np, w);
+                    plan.block_kernel(i, j, view, 0, &mut out[..np]);
+                }
+            }
+            sink.consume(i, j, pair0, &out[..np]);
+        }
+    }
+}
+
+/// Stream an existing dense [`CorrelationMatrix`] through a sink, tile by
+/// tile — the bridge that lets matrices assembled elsewhere (including
+/// NaN-bearing ones re-hydrated from store records) reuse the streamed
+/// consumers and their NaN accounting.
+pub fn sweep_matrix(matrix: &CorrelationMatrix, tile_len: usize, sink: &mut dyn TileSink) {
+    let n = matrix.len();
+    let values = matrix.upper_triangle();
+    let tile_len = tile_len.max(1);
+    let mut cursor = 0;
+    for (i, j0, len) in row_segments(0, values.len(), n) {
+        let mut off = 0;
+        while off < len {
+            let np = (len - off).min(tile_len);
+            sink.consume(
+                i,
+                j0 + off,
+                cursor + off,
+                &values[cursor + off..cursor + off + np],
+            );
+            off += np;
+        }
+        cursor += len;
+    }
+}
+
+/// How [`EdgeSink`] compares a correlation against its threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeRule {
+    /// `c > θ` — the dense [`CorrelationMatrix::threshold`] semantics.
+    Greater,
+    /// `c ≥ θ` — the approximate path's in-radius semantics
+    /// (`√(2(1−c)) ≤ √(2(1−θ))`).
+    AtLeast,
+    /// `|c| > θ` — the dense [`CorrelationMatrix::threshold_abs`] semantics.
+    AbsGreater,
+}
+
+/// Threshold sink: keeps only the `(i, j)` pairs whose correlation passes
+/// the threshold, counts NaN pairs, and drops whole tiles whose upper bound
+/// cannot pass.
+#[derive(Debug, Clone)]
+pub struct EdgeSink {
+    theta: f64,
+    rule: EdgeRule,
+    edges: Vec<(usize, usize)>,
+    nan_pairs: usize,
+    skipped_pairs: usize,
+}
+
+impl EdgeSink {
+    /// Strict-greater sink (`c > θ`), matching
+    /// [`CorrelationMatrix::threshold`].
+    pub fn new(theta: f64) -> Self {
+        Self::with_rule(theta, EdgeRule::Greater)
+    }
+
+    /// At-least sink (`c ≥ θ`), matching the approximate path's pruning
+    /// radius (`distance ≤ √(2(1−θ))`).
+    pub fn new_inclusive(theta: f64) -> Self {
+        Self::with_rule(theta, EdgeRule::AtLeast)
+    }
+
+    /// Absolute-value sink (`|c| > θ`), matching
+    /// [`CorrelationMatrix::threshold_abs`].
+    pub fn new_abs(theta: f64) -> Self {
+        Self::with_rule(theta, EdgeRule::AbsGreater)
+    }
+
+    fn with_rule(theta: f64, rule: EdgeRule) -> Self {
+        Self {
+            theta,
+            rule,
+            edges: Vec::new(),
+            nan_pairs: 0,
+            skipped_pairs: 0,
+        }
+    }
+
+    /// Pairs dropped by tile pruning without being evaluated.
+    pub fn skipped_pairs(&self) -> usize {
+        self.skipped_pairs
+    }
+
+    /// Finish the sweep: the accumulated edge list over `n` nodes.
+    pub fn finish(self, n: usize) -> EdgeList {
+        EdgeList {
+            n,
+            edges: self.edges,
+            nan_pairs: self.nan_pairs,
+        }
+    }
+}
+
+impl TileSink for EdgeSink {
+    fn consume(&mut self, i: usize, j0: usize, _pair0: usize, corrs: &[f64]) {
+        for (p, &c) in corrs.iter().enumerate() {
+            if c.is_nan() {
+                self.nan_pairs += 1;
+                continue;
+            }
+            let hit = match self.rule {
+                EdgeRule::Greater => c > self.theta,
+                EdgeRule::AtLeast => c >= self.theta,
+                EdgeRule::AbsGreater => c.abs() > self.theta,
+            };
+            if hit {
+                self.edges.push((i, j0 + p));
+            }
+        }
+    }
+
+    fn tile_skippable(&self, upper_bound: f64) -> bool {
+        // `|corr| ≤ s_i s_j + t_i t_j` too (every |c_k| ≤ 1), so the same
+        // bound is sound for the absolute rule.
+        match self.rule {
+            EdgeRule::Greater | EdgeRule::AbsGreater => upper_bound <= self.theta,
+            EdgeRule::AtLeast => upper_bound < self.theta,
+        }
+    }
+
+    fn tile_skipped(&mut self, _i: usize, _j0: usize, len: usize) {
+        self.skipped_pairs += len;
+    }
+}
+
+/// The streamed counterpart of an [`AdjacencyMatrix`]: the edges that passed
+/// a threshold sweep, with the NaN audit count, at `O(edges)` memory instead
+/// of `O(N²)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    nan_pairs: usize,
+}
+
+impl EdgeList {
+    /// Assemble an edge list from parts (used by the parallel engine's
+    /// per-partition merge).
+    pub fn from_parts(n: usize, edges: Vec<(usize, usize)>, nan_pairs: usize) -> Self {
+        Self {
+            n,
+            edges,
+            nan_pairs,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `(i, j)` node pairs that are connected, `i < j`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Pairs whose correlation was NaN during the sweep (skipped, not
+    /// edges) — the lenient-thresholding audit count.
+    pub fn nan_pair_count(&self) -> usize {
+        self.nan_pairs
+    }
+
+    /// Add externally observed NaN pairs to the audit count (the disk
+    /// engine counts method-mismatched store records before recombination).
+    pub fn add_nan_pairs(&mut self, extra: usize) {
+        self.nan_pairs += extra;
+    }
+
+    /// Append another partition's edges (parallel merge). Panics when the
+    /// node counts disagree.
+    pub fn absorb(&mut self, other: EdgeList) {
+        assert_eq!(self.n, other.n, "edge lists cover different node counts");
+        self.edges.extend(other.edges);
+        self.nan_pairs += other.nan_pairs;
+    }
+
+    /// Materialize the dense boolean matrix (only sensible for small `N`;
+    /// the point of the edge list is not to need this).
+    pub fn to_adjacency(&self) -> AdjacencyMatrix {
+        let mut net = AdjacencyMatrix::from_edges(self.n, self.edges.iter().copied());
+        net.set_nan_pair_count(self.nan_pairs);
+        net
+    }
+}
+
+/// One ranked edge of a [`TopK`] result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedEdge {
+    /// First node (`i < j`).
+    pub i: usize,
+    /// Second node.
+    pub j: usize,
+    /// The pair's correlation.
+    pub corr: f64,
+}
+
+/// Heap entry: strength order is descending correlation under
+/// [`f64::total_cmp`], ties broken by ascending packed pair index (so the
+/// ordering is total and NaN can never panic a sort — NaN is filtered and
+/// counted before entries are built).
+#[derive(Debug, Clone, Copy)]
+struct HeapEdge {
+    corr: f64,
+    pair: usize,
+    i: usize,
+    j: usize,
+}
+
+impl Ord for HeapEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.corr
+            .total_cmp(&other.corr)
+            .then_with(|| other.pair.cmp(&self.pair))
+    }
+}
+
+impl PartialOrd for HeapEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for HeapEdge {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEdge {}
+
+/// Top-k sink: a k-bounded min-heap of the strongest edges. NaN
+/// correlations are excluded from ranking and counted. With bounds, tiles
+/// whose upper bound cannot beat the current k-th strongest edge are
+/// dropped.
+#[derive(Debug, Clone)]
+pub struct TopKSink {
+    k: usize,
+    heap: BinaryHeap<Reverse<HeapEdge>>,
+    nan_pairs: usize,
+    skipped_pairs: usize,
+}
+
+impl TopKSink {
+    /// A sink keeping the `k` strongest edges.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1 << 20)),
+            nan_pairs: 0,
+            skipped_pairs: 0,
+        }
+    }
+
+    /// Pairs dropped by tile pruning without being evaluated.
+    pub fn skipped_pairs(&self) -> usize {
+        self.skipped_pairs
+    }
+
+    /// Merge another sink's kept edges (parallel per-partition merge): the
+    /// result is the global top-k of both sinks' observed pairs.
+    pub fn absorb(&mut self, other: TopKSink) {
+        self.nan_pairs += other.nan_pairs;
+        self.skipped_pairs += other.skipped_pairs;
+        for Reverse(e) in other.heap {
+            self.push(e);
+        }
+    }
+
+    fn push(&mut self, e: HeapEdge) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(e));
+        } else if let Some(weakest) = self.heap.peek() {
+            if e > weakest.0 {
+                self.heap.pop();
+                self.heap.push(Reverse(e));
+            }
+        }
+    }
+
+    /// Finish the sweep: edges sorted strongest first (descending
+    /// [`f64::total_cmp`] on the correlation, ties by ascending pair index).
+    pub fn finish(self) -> TopK {
+        let mut entries: Vec<HeapEdge> = self.heap.into_iter().map(|Reverse(e)| e).collect();
+        entries.sort_by(|a, b| b.cmp(a));
+        TopK {
+            edges: entries
+                .into_iter()
+                .map(|e| RankedEdge {
+                    i: e.i,
+                    j: e.j,
+                    corr: e.corr,
+                })
+                .collect(),
+            nan_pairs: self.nan_pairs,
+        }
+    }
+}
+
+impl TileSink for TopKSink {
+    fn consume(&mut self, i: usize, j0: usize, pair0: usize, corrs: &[f64]) {
+        for (p, &c) in corrs.iter().enumerate() {
+            if c.is_nan() {
+                self.nan_pairs += 1;
+                continue;
+            }
+            self.push(HeapEdge {
+                corr: c,
+                pair: pair0 + p,
+                i,
+                j: j0 + p,
+            });
+        }
+    }
+
+    fn tile_skippable(&self, upper_bound: f64) -> bool {
+        if self.k == 0 {
+            return true;
+        }
+        match self.heap.peek() {
+            // Strict: a tile at exactly the k-th strength could still win a
+            // pair-index tie, so only strictly weaker tiles are dropped.
+            Some(weakest) if self.heap.len() == self.k => upper_bound < weakest.0.corr,
+            _ => false,
+        }
+    }
+
+    fn tile_skipped(&mut self, _i: usize, _j0: usize, len: usize) {
+        self.skipped_pairs += len;
+    }
+}
+
+/// The result of a top-k sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    /// The k strongest edges, strongest first.
+    pub edges: Vec<RankedEdge>,
+    /// Pairs whose correlation was NaN (excluded from ranking).
+    pub nan_pairs: usize,
+}
+
+/// Aggregate sink: running count / sum / min / max over every observed
+/// correlation, with NaN and pruning audit counts — network statistics
+/// without any per-pair storage at all.
+#[derive(Debug, Clone)]
+pub struct StatsSink {
+    count: usize,
+    nan_pairs: usize,
+    skipped_pairs: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StatsSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsSink {
+    /// An empty aggregate sink.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            nan_pairs: 0,
+            skipped_pairs: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Number of (non-NaN) correlations observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Mean of the observed correlations (0.0 when none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observed correlation (`+∞` when none).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observed correlation (`−∞` when none).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// NaN correlations observed (excluded from the aggregates).
+    pub fn nan_pair_count(&self) -> usize {
+        self.nan_pairs
+    }
+
+    /// Pairs dropped by tile pruning.
+    pub fn skipped_pairs(&self) -> usize {
+        self.skipped_pairs
+    }
+}
+
+impl TileSink for StatsSink {
+    fn consume(&mut self, _i: usize, _j0: usize, _pair0: usize, corrs: &[f64]) {
+        for &c in corrs {
+            if c.is_nan() {
+                self.nan_pairs += 1;
+                continue;
+            }
+            self.count += 1;
+            self.sum += c;
+            if c < self.min {
+                self.min = c;
+            }
+            if c > self.max {
+                self.max = c;
+            }
+        }
+    }
+
+    fn tile_skipped(&mut self, _i: usize, _j0: usize, len: usize) {
+        self.skipped_pairs += len;
+    }
+}
+
+/// A sketch-free, triangle-free exact streaming path: z-normalize every
+/// basic window of every series once (`O(N · L)` memory — the size of the
+/// data itself) and serve each tile's per-window correlations as dot
+/// products over contiguous rows. This is the provider that scales past the
+/// point where even *building* a [`crate::sketch::SketchSet`] would
+/// materialize the pair triangle.
+#[derive(Debug, Clone)]
+pub struct ZnormSweep {
+    n: usize,
+    w: usize,
+    bw: usize,
+    /// `z[(k·n + i)·bw ..]` is window `k` of series `i`, z-scored.
+    z: Vec<f64>,
+    plan: QueryPlan,
+    bounds: CorrelationBounds,
+}
+
+impl ZnormSweep {
+    /// Build the provider for an aligned range of basic windows, computing
+    /// per-window statistics and z-scores straight from the raw data.
+    pub fn build(
+        collection: &SeriesCollection,
+        basic_window: usize,
+        windows: Range<usize>,
+    ) -> Result<Self> {
+        let windowing = BasicWindowing::new(basic_window)?;
+        let complete = windowing.complete_windows(collection.series_len());
+        if windows.is_empty() || windows.end > complete {
+            return Err(Error::SketchMismatch {
+                requested: format!("basic windows {windows:?}"),
+                available: format!("{complete} complete windows"),
+            });
+        }
+        let n = collection.len();
+        let w = windows.len();
+        let mut z = vec![0.0f64; n * w * basic_window];
+        let mut stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
+        for (i, series) in collection.iter_with_ids() {
+            let values = series.values();
+            let mut row = Vec::with_capacity(w);
+            for (kk, k) in windows.clone().enumerate() {
+                let span = windowing.window_span(k);
+                let st = WindowStats::from_values(span.slice(values));
+                let slot = &mut z[(kk * n + i) * basic_window..(kk * n + i + 1) * basic_window];
+                normalize_into(span.slice(values), &st, slot);
+                row.push(st);
+            }
+            stats.push(row);
+        }
+        let plan = QueryPlan::from_window_stats(&stats)?;
+        let bounds = CorrelationBounds::from_plan(&plan);
+        Ok(Self {
+            n,
+            w,
+            bw: basic_window,
+            z,
+            plan,
+            bounds,
+        })
+    }
+
+    /// Number of series covered.
+    pub fn series_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of basic windows covered.
+    pub fn window_count(&self) -> usize {
+        self.w
+    }
+
+    /// The shared per-series recombination plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The precomputed tile-pruning bounds.
+    pub fn bounds(&self) -> &CorrelationBounds {
+        &self.bounds
+    }
+
+    /// Number of unordered pairs.
+    pub fn pair_count(&self) -> usize {
+        self.n * self.n.saturating_sub(1) / 2
+    }
+
+    /// Run a sweep over all pairs into `sink`, with optional tile pruning.
+    pub fn sweep_into(&self, prune: bool, tile_len: usize, sink: &mut dyn TileSink) {
+        let bounds = prune.then_some(&self.bounds);
+        sweep_run(
+            &self.plan,
+            self,
+            bounds,
+            0..self.pair_count(),
+            tile_len,
+            sink,
+        );
+    }
+
+    /// The thresholded network (`c > θ`, the dense
+    /// [`CorrelationMatrix::threshold`] semantics) as a streamed edge list.
+    /// Every pair is observed — no pruning — so the edge set equals the
+    /// dense path's exactly.
+    pub fn network_streamed(&self, theta: f64) -> Result<EdgeList> {
+        if !(-1.0..=1.0).contains(&theta) {
+            return Err(Error::InvalidThreshold(theta));
+        }
+        let mut sink = EdgeSink::new(theta);
+        self.sweep_into(false, DEFAULT_TILE_PAIRS, &mut sink);
+        Ok(sink.finish(self.n))
+    }
+
+    /// The `k` strongest edges, with tile pruning against the running k-th
+    /// strength.
+    pub fn top_k(&self, k: usize) -> TopK {
+        let mut sink = TopKSink::new(k);
+        self.sweep_into(true, DEFAULT_TILE_PAIRS, &mut sink);
+        sink.finish()
+    }
+}
+
+impl CorrProvider for ZnormSweep {
+    fn window_count(&self) -> usize {
+        self.w
+    }
+
+    fn fill_tile(&self, i: usize, j0: usize, out: &mut [f64]) {
+        let np = out.len() / self.w;
+        for kk in 0..self.w {
+            let base = kk * self.n;
+            let zi = &self.z[(base + i) * self.bw..(base + i + 1) * self.bw];
+            let row = &mut out[kk * np..(kk + 1) * np];
+            for (p, slot) in row.iter_mut().enumerate() {
+                let j = j0 + p;
+                let zj = &self.z[(base + j) * self.bw..(base + j + 1) * self.bw];
+                *slot = normalized_dot_corr(zi, zj);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::sketch::SketchSet;
+
+    fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+                (i as f64 * 0.17).sin() * 2.0 + noise
+            })
+            .collect()
+    }
+
+    fn test_collection(n: usize, len: usize) -> SeriesCollection {
+        SeriesCollection::from_rows((0..n).map(|s| lcg_series(s as u64 + 1, len)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn edge_sink_counts_nan_and_applies_rules() {
+        let mut strict = EdgeSink::new(0.5);
+        strict.consume(0, 1, 0, &[0.9, f64::NAN, 0.5, 0.2]);
+        let list = strict.finish(5);
+        assert_eq!(list.edges(), &[(0, 1)]);
+        assert_eq!(list.nan_pair_count(), 1);
+
+        let mut incl = EdgeSink::new_inclusive(0.5);
+        incl.consume(0, 1, 0, &[0.9, f64::NAN, 0.5, 0.2]);
+        assert_eq!(incl.finish(5).edges(), &[(0, 1), (0, 3)]);
+
+        let mut abs = EdgeSink::new_abs(0.5);
+        abs.consume(0, 1, 0, &[-0.9, f64::NAN, 0.5, 0.2]);
+        assert_eq!(abs.finish(5).edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn edge_sink_skippability_respects_rule_boundaries() {
+        let strict = EdgeSink::new(0.5);
+        assert!(strict.tile_skippable(0.5)); // c > 0.5 impossible when ub == 0.5
+        assert!(!strict.tile_skippable(0.6));
+        let incl = EdgeSink::new_inclusive(0.5);
+        assert!(!incl.tile_skippable(0.5)); // c == 0.5 is an edge
+        assert!(incl.tile_skippable(0.4999));
+    }
+
+    #[test]
+    fn top_k_orders_by_total_cmp_and_pair_index() {
+        let mut sink = TopKSink::new(3);
+        // Pairs 0..5 of a 4-node triangle; includes a NaN and a tie.
+        sink.consume(0, 1, 0, &[0.5, f64::NAN, 0.9]);
+        sink.consume(1, 2, 3, &[0.9, -0.3, 0.7]);
+        let top = sink.finish();
+        assert_eq!(top.nan_pairs, 1);
+        // Tie at 0.9 between pair 2 (0,3) and pair 3 (1,2): lower pair wins.
+        assert_eq!(top.edges.len(), 3);
+        assert_eq!((top.edges[0].i, top.edges[0].j), (0, 3));
+        assert_eq!((top.edges[1].i, top.edges[1].j), (1, 2));
+        assert!((top.edges[2].corr - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn top_k_absorb_merges_partitions() {
+        let mut a = TopKSink::new(2);
+        a.consume(0, 1, 0, &[0.1, 0.8]);
+        let mut b = TopKSink::new(2);
+        b.consume(2, 3, 7, &[0.9, f64::NAN]);
+        a.absorb(b);
+        let top = a.finish();
+        assert_eq!(top.nan_pairs, 1);
+        assert_eq!(top.edges.len(), 2);
+        assert!((top.edges[0].corr - 0.9).abs() < 1e-15);
+        assert!((top.edges[1].corr - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn top_k_zero_keeps_nothing_and_skips_everything() {
+        let mut sink = TopKSink::new(0);
+        sink.consume(0, 1, 0, &[0.9]);
+        assert!(sink.tile_skippable(1.0));
+        assert!(sink.finish().edges.is_empty());
+    }
+
+    #[test]
+    fn stats_sink_aggregates_and_counts() {
+        let mut sink = StatsSink::new();
+        sink.consume(0, 1, 0, &[0.5, f64::NAN, -0.25]);
+        sink.tile_skipped(1, 2, 10);
+        assert_eq!(sink.count(), 2);
+        assert_eq!(sink.nan_pair_count(), 1);
+        assert_eq!(sink.skipped_pairs(), 10);
+        assert!((sink.mean() - 0.125).abs() < 1e-15);
+        assert_eq!(sink.min(), -0.25);
+        assert_eq!(sink.max(), 0.5);
+    }
+
+    #[test]
+    fn sweep_matrix_matches_lenient_threshold() {
+        let mut m = CorrelationMatrix::identity(4);
+        m.set(0, 1, 0.9);
+        m.set(0, 2, f64::NAN);
+        m.set(1, 3, 0.7);
+        m.set(2, 3, -0.8);
+        for tile in [1, 2, 64] {
+            let mut sink = EdgeSink::new(0.6);
+            sweep_matrix(&m, tile, &mut sink);
+            let streamed = sink.finish(4).to_adjacency();
+            let dense = m.threshold_lenient(0.6);
+            assert_eq!(streamed, dense, "tile={tile}");
+            assert_eq!(streamed.nan_pair_count(), dense.nan_pair_count());
+        }
+    }
+
+    #[test]
+    fn znorm_sweep_network_matches_dense_threshold() {
+        let c = test_collection(8, 160);
+        let b = 20;
+        let sweep = ZnormSweep::build(&c, b, 0..8).unwrap();
+        let sketch = SketchSet::build(&c, b).unwrap();
+        let dense = exact::correlation_matrix_aligned(&sketch, 0..8).unwrap();
+        for theta in [-0.5, 0.0, 0.3, 0.9] {
+            let streamed = sweep.network_streamed(theta).unwrap();
+            let reference = dense.threshold(theta).unwrap();
+            assert_eq!(streamed.to_adjacency(), reference, "theta={theta}");
+        }
+        assert!(sweep.network_streamed(1.5).is_err());
+    }
+
+    #[test]
+    fn znorm_sweep_top_k_matches_sorted_dense() {
+        let c = test_collection(7, 120);
+        let b = 15;
+        let sweep = ZnormSweep::build(&c, b, 0..8).unwrap();
+        let sketch = SketchSet::build(&c, b).unwrap();
+        let dense = exact::correlation_matrix_aligned(&sketch, 0..8).unwrap();
+        let mut all: Vec<(usize, usize, f64)> = dense.iter_pairs().collect();
+        all.sort_by(|a, b| {
+            b.2.total_cmp(&a.2)
+                .then_with(|| pair_index(a.0, a.1, 7).cmp(&pair_index(b.0, b.1, 7)))
+        });
+        for k in [0, 1, 5, 21, 100] {
+            let top = sweep.top_k(k);
+            assert_eq!(top.edges.len(), k.min(all.len()), "k={k}");
+            for (got, want) in top.edges.iter().zip(&all) {
+                assert_eq!((got.i, got.j), (want.0, want.1), "k={k}");
+                assert!((got.corr - want.2).abs() <= 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_dominate_every_pair_correlation() {
+        let c = test_collection(6, 180);
+        let sweep = ZnormSweep::build(&c, 30, 0..6).unwrap();
+        let sketch = SketchSet::build(&c, 30).unwrap();
+        let dense = exact::correlation_matrix_aligned(&sketch, 0..6).unwrap();
+        let bounds = sweep.bounds();
+        for (i, j, corr) in dense.iter_pairs() {
+            assert!(
+                corr <= bounds.pair_bound(i, j),
+                "pair ({i},{j}): {corr} > {}",
+                bounds.pair_bound(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_sweep_agrees_with_unpruned_threshold() {
+        let c = test_collection(9, 200);
+        let sweep = ZnormSweep::build(&c, 25, 0..8).unwrap();
+        let theta = 0.4;
+        let mut pruned = EdgeSink::new(theta);
+        sweep.sweep_into(true, 4, &mut pruned);
+        let skipped = pruned.skipped_pairs();
+        let pruned = pruned.finish(9);
+        let unpruned = sweep.network_streamed(theta).unwrap();
+        assert_eq!(pruned.edges(), unpruned.edges());
+        // Audit counts stay consistent: observed + skipped = all pairs.
+        assert!(skipped <= sweep.pair_count());
+    }
+
+    #[test]
+    fn znorm_sweep_validates_inputs() {
+        let c = test_collection(3, 100);
+        assert!(ZnormSweep::build(&c, 20, 0..9).is_err());
+        assert!(ZnormSweep::build(&c, 20, 2..2).is_err());
+        let sweep = ZnormSweep::build(&c, 20, 0..5).unwrap();
+        assert_eq!(sweep.series_count(), 3);
+        assert_eq!(sweep.window_count(), 5);
+        assert_eq!(sweep.pair_count(), 3);
+    }
+
+    #[test]
+    fn edge_list_parts_and_absorb() {
+        let mut a = EdgeList::from_parts(5, vec![(0, 1)], 1);
+        let b = EdgeList::from_parts(5, vec![(2, 4)], 2);
+        a.absorb(b);
+        a.add_nan_pairs(1);
+        assert_eq!(a.edge_count(), 2);
+        assert_eq!(a.nan_pair_count(), 4);
+        assert_eq!(a.node_count(), 5);
+        let adj = a.to_adjacency();
+        assert!(adj.has_edge(0, 1));
+        assert!(adj.has_edge(4, 2));
+        assert_eq!(adj.nan_pair_count(), 4);
+    }
+}

@@ -206,7 +206,7 @@ mod tests {
                 )
             })
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let near: f64 = pairs.iter().take(5).map(|p| p.1).sum::<f64>() / 5.0;
         let far: f64 = pairs.iter().rev().take(5).map(|p| p.1).sum::<f64>() / 5.0;
         assert!(

@@ -372,7 +372,8 @@ mod tests {
         let query = QueryWindow::new(239, 240).unwrap();
         let exact_net = baseline::correlation_matrix(&c, query)
             .unwrap()
-            .threshold(theta);
+            .threshold(theta)
+            .unwrap();
         // Few coefficients → under-estimated distances → superset of edges.
         let sk = DftSketchSet::build(&c, b, 4, Transform::Naive).unwrap();
         let approx_net = approximate_network(&sk, 0..6, theta, ApproxStrategy::Equation5).unwrap();

@@ -273,8 +273,10 @@ impl SlidingApproxNetwork {
     }
 
     /// Snapshot of the approximate climate network at threshold `theta`.
+    /// The sliding recombination clamps every correlation, so no NaN can
+    /// appear here; the lenient thresholding keeps this path infallible.
     pub fn network(&self, theta: f64) -> AdjacencyMatrix {
-        self.correlation_matrix().threshold(theta)
+        self.correlation_matrix().threshold_lenient(theta)
     }
 }
 

@@ -42,12 +42,16 @@
 
 use std::ops::Range;
 
+use tsubasa_core::capacity::check_dense_budget;
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
 use tsubasa_core::plan::{carve_for_workers, row_segments, QueryPlan, TransposedCorrs};
 use tsubasa_core::runner::{Job, JobRunner};
 use tsubasa_core::sketch::pair_index;
 use tsubasa_core::stats::{clamp_corr, WindowStats};
+use tsubasa_core::sweep::{
+    sweep_run, CorrelationBounds, EdgeList, TileSink, TopK, TopKSink, DEFAULT_TILE_PAIRS,
+};
 use tsubasa_core::SeriesId;
 
 use crate::approx::{distance_from_corr, pruning_radius};
@@ -124,6 +128,7 @@ impl ApproxPlan {
         // unit-normalized windows keep `d ≤ 2`, so `c ≥ −1` already).
         let dists = sketch.window_dists_view(windows.clone());
         let n_pairs = n * n.saturating_sub(1) / 2;
+        check_dense_budget(n_pairs, windows.len())?;
         let corrs = TransposedCorrs::from_fn(n_pairs, windows.len(), |p, k| {
             let d = dists.window_row(k)[p];
             1.0 - d * d / 2.0
@@ -284,6 +289,114 @@ impl ApproxPlan {
     fn pair_count(&self) -> usize {
         self.n * self.n.saturating_sub(1) / 2
     }
+
+    /// Run a streaming sweep over all pairs into `sink`: each batch-kernel
+    /// tile is recombined, consumed, and discarded — the packed triangle
+    /// cache behind [`ApproxPlan::correlation_matrix`] is never touched.
+    /// With `prune`, tiles the sink reports skippable under the Equation 4
+    /// per-tile upper bound are dropped before any kernel work.
+    pub fn sweep_streamed(&self, prune: bool, tile_len: usize, sink: &mut dyn TileSink) {
+        let bounds = prune.then(|| CorrelationBounds::from_plan(&self.plan));
+        let view = self.corrs.view();
+        sweep_run(
+            &self.plan,
+            &view,
+            bounds.as_ref(),
+            0..self.pair_count(),
+            tile_len,
+            sink,
+        );
+    }
+
+    /// [`ApproxPlan::network`] through the streaming sweep: the same
+    /// Equation 4 in-radius edge set (`distance ≤ √(2(1−θ))`, applied to the
+    /// identical batch-kernel outputs), but tile by tile with whole tiles
+    /// skipped when their per-tile correlation upper bound falls outside the
+    /// pruning radius — and no `N(N−1)/2` result buffer.
+    pub fn network_streamed(&self, theta: f64) -> Result<EdgeList> {
+        let mut sink = RadiusEdgeSink::new(theta)?;
+        self.sweep_streamed(true, DEFAULT_TILE_PAIRS, &mut sink);
+        Ok(sink.finish(self.n))
+    }
+
+    /// The `k` strongest approximate edges, streamed: a k-bounded heap
+    /// ranked by [`f64::total_cmp`] (ties by ascending pair index), with
+    /// tiles skipped once their Equation 4 upper bound cannot beat the
+    /// current k-th strength. Equals the sorted dense
+    /// [`ApproxPlan::correlation_matrix`] top k.
+    pub fn top_k(&self, k: usize) -> TopK {
+        let mut sink = TopKSink::new(k);
+        self.sweep_streamed(true, DEFAULT_TILE_PAIRS, &mut sink);
+        sink.finish()
+    }
+}
+
+/// The approximate path's threshold sink: a pair is an edge when its
+/// recombined correlation lies within the Equation 4 pruning radius —
+/// `distance_from_corr(c) ≤ √(2(1−θ))`, the *identical* predicate (same
+/// `sqrt` roundings) as the dense [`ApproxPlan::candidate_pairs`], so the
+/// streamed edge set matches the dense one exactly. NaN correlations are
+/// counted, never silently dropped.
+#[derive(Debug, Clone)]
+pub struct RadiusEdgeSink {
+    radius: f64,
+    edges: Vec<(usize, usize)>,
+    nan_pairs: usize,
+    skipped_pairs: usize,
+}
+
+impl RadiusEdgeSink {
+    /// A sink thresholding at `theta` (validated to `[-1, 1]`).
+    pub fn new(theta: f64) -> Result<Self> {
+        if !(-1.0..=1.0).contains(&theta) {
+            return Err(Error::InvalidThreshold(theta));
+        }
+        Ok(Self {
+            radius: pruning_radius(theta),
+            edges: Vec::new(),
+            nan_pairs: 0,
+            skipped_pairs: 0,
+        })
+    }
+
+    /// Pairs dropped by Equation 4 tile pruning without being evaluated.
+    pub fn skipped_pairs(&self) -> usize {
+        self.skipped_pairs
+    }
+
+    /// Finish the sweep: the accumulated edge list over `n` nodes.
+    pub fn finish(self, n: usize) -> EdgeList {
+        EdgeList::from_parts(n, self.edges, self.nan_pairs)
+    }
+}
+
+impl TileSink for RadiusEdgeSink {
+    fn consume(&mut self, i: usize, j0: usize, _pair0: usize, corrs: &[f64]) {
+        for (p, &c) in corrs.iter().enumerate() {
+            if c.is_nan() {
+                self.nan_pairs += 1;
+                continue;
+            }
+            if distance_from_corr(c) <= self.radius {
+                self.edges.push((i, j0 + p));
+            }
+        }
+    }
+
+    fn tile_skippable(&self, upper_bound: f64) -> bool {
+        // `distance_from_corr` is monotone non-increasing, so every
+        // correlation under the bound maps to a distance at least
+        // `distance_from_corr(upper_bound)`: strictly outside the radius
+        // means no pair in the tile can be an edge. A padded bound above 1
+        // clamps to distance 0, which is never skippable — conservative, not
+        // wrong. The θ comparison would be equivalent in exact arithmetic;
+        // the distance framing keeps both sides on the same sqrt roundings.
+        distance_from_corr(upper_bound) > self.radius
+    }
+
+    fn tile_skipped(&mut self, _i: usize, _j0: usize, len: usize) {
+        self.skipped_pairs += len;
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +494,57 @@ mod tests {
         let m = plan.correlation_matrix();
         for j in 1..4 {
             assert_eq!(m.get(0, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn network_streamed_matches_dense_network() {
+        let c = collection(7, 240);
+        let sk = DftSketchSet::build(&c, 24, 12, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 0..10).unwrap();
+        for theta in [-0.3, 0.0, 0.55, 0.9] {
+            let streamed = plan.network_streamed(theta).unwrap();
+            let dense = plan.network(theta).unwrap();
+            assert_eq!(streamed.to_adjacency(), dense, "theta={theta}");
+            assert_eq!(streamed.nan_pair_count(), 0);
+        }
+        assert!(plan.network_streamed(1.5).is_err());
+    }
+
+    #[test]
+    fn streamed_pruning_skips_tiles_without_changing_edges() {
+        let c = collection(8, 240);
+        let sk = DftSketchSet::build(&c, 40, 8, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 0..6).unwrap();
+        let theta = 0.95;
+        let mut pruned = RadiusEdgeSink::new(theta).unwrap();
+        plan.sweep_streamed(true, 2, &mut pruned);
+        let skipped = pruned.skipped_pairs();
+        let pruned = pruned.finish(8);
+        let mut full = RadiusEdgeSink::new(theta).unwrap();
+        plan.sweep_streamed(false, 2, &mut full);
+        assert_eq!(pruned.edges(), full.finish(8).edges());
+        assert!(skipped <= 28);
+    }
+
+    #[test]
+    fn streamed_top_k_matches_sorted_dense() {
+        let c = collection(6, 200);
+        let sk = DftSketchSet::build(&c, 25, 10, Transform::Naive).unwrap();
+        let plan = ApproxPlan::build(&sk, 0..8).unwrap();
+        let dense = plan.correlation_matrix();
+        let mut all: Vec<(usize, usize, f64)> = dense.iter_pairs().collect();
+        all.sort_by(|a, b| {
+            b.2.total_cmp(&a.2)
+                .then_with(|| pair_index(a.0, a.1, 6).cmp(&pair_index(b.0, b.1, 6)))
+        });
+        for k in [0, 1, 5, 15, 40] {
+            let top = plan.top_k(k);
+            assert_eq!(top.edges.len(), k.min(all.len()), "k={k}");
+            for (got, want) in top.edges.iter().zip(&all) {
+                assert_eq!((got.i, got.j), (want.0, want.1), "k={k}");
+                assert_eq!(got.corr, want.2, "k={k}");
+            }
         }
     }
 

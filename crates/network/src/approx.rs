@@ -127,7 +127,7 @@ pub fn exact_vs_approx(
     let exact_sketch = tsubasa_core::SketchSet::build(collection, basic_window)?;
     let windows = windows.unwrap_or(0..exact_sketch.window_count());
     let exact_net =
-        exact::correlation_matrix_aligned(&exact_sketch, windows.clone())?.threshold(theta);
+        exact::correlation_matrix_aligned(&exact_sketch, windows.clone())?.threshold(theta)?;
     let builder =
         ApproxNetworkBuilder::new(collection, basic_window, coefficients, Transform::Naive)?;
     builder.compare_with(&exact_net, windows, theta)
@@ -165,7 +165,8 @@ mod tests {
             let exact_sketch = tsubasa_core::SketchSet::build(&c, b).unwrap();
             let exact_net = exact::correlation_matrix_aligned(&exact_sketch, 0..6)
                 .unwrap()
-                .threshold(theta);
+                .threshold(theta)
+                .unwrap();
             builder.compare_with(&exact_net, 0..6, theta).unwrap()
         };
         assert!(cmp.has_no_false_negatives());

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
+use tsubasa_core::sweep::EdgeList;
 use tsubasa_core::{GeoLocation, SeriesCollection};
 
 /// A climate network: the thresholded adjacency matrix plus the geographic
@@ -33,7 +34,33 @@ impl ClimateNetwork {
             return Err(Error::InvalidThreshold(threshold));
         }
         Ok(Self {
-            adjacency: matrix.threshold(threshold),
+            adjacency: matrix.threshold(threshold)?,
+            names: collection.iter().map(|s| s.name.clone()).collect(),
+            locations: collection.iter().map(|s| s.location).collect(),
+            threshold,
+        })
+    }
+
+    /// Build a network from a streamed-sweep [`EdgeList`]
+    /// (`network_streamed` / the parallel engine's store-backed sweep) —
+    /// the dense correlation matrix never has to exist. The edge list's NaN
+    /// audit count is carried onto the adjacency matrix.
+    pub fn from_edge_list(
+        collection: &SeriesCollection,
+        edges: &EdgeList,
+        threshold: f64,
+    ) -> Result<Self> {
+        if edges.node_count() != collection.len() {
+            return Err(Error::SketchMismatch {
+                requested: format!("{} nodes", collection.len()),
+                available: format!("{} edge-list nodes", edges.node_count()),
+            });
+        }
+        if !(-1.0..=1.0).contains(&threshold) {
+            return Err(Error::InvalidThreshold(threshold));
+        }
+        Ok(Self {
+            adjacency: edges.to_adjacency(),
             names: collection.iter().map(|s| s.name.clone()).collect(),
             locations: collection.iter().map(|s| s.location).collect(),
             threshold,
@@ -167,6 +194,22 @@ mod tests {
         assert!(ClimateNetwork::from_matrix(&c, &matrix(), 1.5).is_err());
         let adj = AdjacencyMatrix::empty(2);
         assert!(ClimateNetwork::from_adjacency(&c, adj, 0.5).is_err());
+    }
+
+    #[test]
+    fn from_edge_list_matches_from_matrix() {
+        let c = collection();
+        let m = matrix();
+        let dense = ClimateNetwork::from_matrix(&c, &m, 0.9).unwrap();
+        let mut sink = tsubasa_core::sweep::EdgeSink::new(0.9);
+        tsubasa_core::sweep::sweep_matrix(&m, 16, &mut sink);
+        let streamed = ClimateNetwork::from_edge_list(&c, &sink.finish(3), 0.9).unwrap();
+        assert_eq!(streamed, dense);
+        // Validation still applies.
+        let empty = EdgeList::from_parts(2, vec![], 0);
+        assert!(ClimateNetwork::from_edge_list(&c, &empty, 0.9).is_err());
+        let ok = EdgeList::from_parts(3, vec![(0, 1)], 0);
+        assert!(ClimateNetwork::from_edge_list(&c, &ok, 1.5).is_err());
     }
 
     #[test]

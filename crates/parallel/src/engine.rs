@@ -19,11 +19,13 @@ use std::ops::Range;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use tsubasa_core::capacity::check_dense_budget;
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::CorrelationMatrix;
 use tsubasa_core::plan::{row_segments, QueryPlan, TransposedCorrs};
 use tsubasa_core::sketch::pair_index;
 use tsubasa_core::stats::{normalize_into, normalized_dot_corr, WindowStats};
+use tsubasa_core::sweep::{CorrelationBounds, EdgeList, EdgeSink, TileSink, TopK, TopKSink};
 use tsubasa_core::window::BasicWindowing;
 use tsubasa_core::Job;
 use tsubasa_core::SeriesCollection;
@@ -345,6 +347,7 @@ impl ParallelEngine {
         // The flat packed upper triangle, carved into one disjoint
         // contiguous slice per partition (partitions are contiguous in
         // row-major pair order).
+        check_dense_budget(n * n.saturating_sub(1) / 2, 1)?;
         let mut values = vec![0.0f64; n * n.saturating_sub(1) / 2];
         let slices = tsubasa_core::plan::carve_packed_slices(
             &mut values,
@@ -453,6 +456,274 @@ impl ParallelEngine {
                 wall_time: wall_start.elapsed(),
             },
         ))
+    }
+
+    /// The thresholded network (`c > θ`, matching
+    /// `query_from_store(..)?.0.threshold(theta)` exactly) computed without
+    /// ever materializing the packed correlation triangle: each partition
+    /// worker streams its store batches through a per-worker [`EdgeSink`]
+    /// and the per-partition edge lists are concatenated (partitions are
+    /// contiguous in row-major pair order, so the merge is a plain append).
+    ///
+    /// On the [`QueryMethod::Approximate`] path, whole read chunks are
+    /// skipped *before* the store is touched when their Equation 4 per-tile
+    /// correlation upper bound cannot reach θ — the paper's pruning radius
+    /// applied at I/O granularity. The exact path observes every pair, so
+    /// its NaN audit (method-mismatched store records, counted per pair and
+    /// exposed through [`EdgeList::nan_pair_count`]) is exhaustive; skipped
+    /// approximate chunks are never read and therefore not audited.
+    pub fn network_from_store(
+        &self,
+        store: Arc<dyn SketchStore>,
+        windows: Range<usize>,
+        method: QueryMethod,
+        theta: f64,
+    ) -> Result<(EdgeList, QueryReport)> {
+        if !(-1.0..=1.0).contains(&theta) {
+            return Err(Error::InvalidThreshold(theta));
+        }
+        let make = |_: &QueryPlan| EdgeSink::new(theta);
+        let prune = matches!(method, QueryMethod::Approximate);
+        let (sinks, n, report) = self.streamed_query(store, windows, method, prune, make)?;
+        let mut edges = EdgeList::from_parts(n, Vec::new(), 0);
+        for sink in sinks {
+            edges.absorb(sink.finish(n));
+        }
+        Ok((edges, report))
+    }
+
+    /// The `k` strongest edges of the query window, streamed from the store
+    /// with a per-worker bounded heap ([`TopKSink`]) merged across
+    /// partitions. Read chunks whose Equation 4 upper bound cannot beat the
+    /// worker's current k-th strength are skipped before the store is
+    /// touched (both query methods — the bound holds for exact and
+    /// approximate recombination alike). Ranking is total
+    /// ([`f64::total_cmp`], ties by ascending pair index) and equals the
+    /// sorted dense matrix's top k; store records with NaN windows rank as
+    /// the kernel's `0.0` convention and are counted in
+    /// [`TopK::nan_pairs`] as audit metadata.
+    pub fn top_k_from_store(
+        &self,
+        store: Arc<dyn SketchStore>,
+        windows: Range<usize>,
+        method: QueryMethod,
+        k: usize,
+    ) -> Result<(TopK, QueryReport)> {
+        let make = |_: &QueryPlan| TopKSink::new(k);
+        let (sinks, _, report) = self.streamed_query(store, windows, method, true, make)?;
+        let mut merged = TopKSink::new(k);
+        for sink in sinks {
+            merged.absorb(sink);
+        }
+        Ok((merged.finish(), report))
+    }
+
+    /// Shared body of the streamed store-backed queries: read the per-series
+    /// statistics once, build the shared plan (and, when `prune` is set, the
+    /// Equation 4 bound components), then fan the partitions out on the
+    /// worker pool — every worker drives its own sink over its own store
+    /// batches, with per-chunk working memory only. Returns the per-partition
+    /// sinks (in row-major partition order) for the caller to merge.
+    ///
+    /// Workers scan each batch's raw records for NaN fields (the sign of a
+    /// method-mismatched store, which the recombination kernel silently maps
+    /// to `0.0`) and report the affected pair count through
+    /// [`TileSink::consume`]'s NaN accounting — see `audit_nan_records`.
+    fn streamed_query<S, F>(
+        &self,
+        store: Arc<dyn SketchStore>,
+        windows: Range<usize>,
+        method: QueryMethod,
+        prune: bool,
+        make_sink: F,
+    ) -> Result<(Vec<S>, usize, QueryReport)>
+    where
+        S: TileSink + Send,
+        F: Fn(&QueryPlan) -> S,
+    {
+        let wall_start = Instant::now();
+        let layout = store.layout();
+        layout.check_windows(&windows)?;
+        let n = layout.n_series;
+
+        let read_start = Instant::now();
+        let mut series_stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
+        for s in 0..n {
+            series_stats.push(store.read_series(s, windows.clone())?);
+        }
+        let series_read_time = read_start.elapsed();
+
+        if n < 2 {
+            return Ok((
+                Vec::new(),
+                n,
+                QueryReport {
+                    workers: self.config.workers.max(1),
+                    pairs: 0,
+                    read_time: series_read_time,
+                    compute_time: Duration::ZERO,
+                    wall_time: wall_start.elapsed(),
+                },
+            ));
+        }
+        let plan = QueryPlan::from_window_stats(&series_stats)?;
+        let bounds = prune.then(|| CorrelationBounds::from_plan(&plan));
+
+        let partitions = partition_pairs(n, self.config.workers.max(1));
+        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
+        let batch_pairs = self.config.batch_pairs.max(1);
+
+        let plan_ref = &plan;
+        let bounds_ref = bounds.as_ref();
+        let store_ref = &store;
+        let windows_ref = &windows;
+
+        let live: Vec<&crate::partition::PairPartition> =
+            partitions.iter().filter(|p| !p.is_empty()).collect();
+        let mut sinks: Vec<S> = live.iter().map(|_| make_sink(&plan)).collect();
+        let mut outcomes: Vec<Result<StreamedOut>> = (0..live.len())
+            .map(|_| Ok(StreamedOut::default()))
+            .collect();
+        let jobs: Vec<Job<'_>> = live
+            .iter()
+            .zip(sinks.iter_mut().zip(outcomes.iter_mut()))
+            .map(|(part, (sink, outcome))| {
+                let part = *part;
+                Box::new(move || {
+                    *outcome = stream_partition(
+                        store_ref,
+                        plan_ref,
+                        bounds_ref,
+                        method,
+                        n,
+                        windows_ref,
+                        batch_pairs,
+                        &part.pairs,
+                        sink,
+                    );
+                }) as Job<'_>
+            })
+            .collect();
+        self.pool.run_jobs(jobs);
+
+        let mut read_time = series_read_time;
+        let mut compute_time = Duration::ZERO;
+        for outcome in outcomes {
+            let out = outcome?;
+            read_time += out.read;
+            compute_time += out.compute;
+        }
+
+        Ok((
+            sinks,
+            n,
+            QueryReport {
+                workers: self.config.workers.max(1),
+                pairs: pair_count,
+                read_time,
+                compute_time,
+                wall_time: wall_start.elapsed(),
+            },
+        ))
+    }
+}
+
+/// Per-worker timing of one streamed partition sweep.
+#[derive(Default)]
+struct StreamedOut {
+    read: Duration,
+    compute: Duration,
+}
+
+/// One worker's streamed sweep: read the partition's pairs from the store in
+/// contiguous chunks, recombine each chunk tile by tile with the shared
+/// plan's batch kernel, and feed the tiles to the worker's sink. Working
+/// memory is one chunk's records plus one `batch_pairs`-sized output tile —
+/// never the partition's (let alone the triangle's) full size.
+#[allow(clippy::too_many_arguments)]
+fn stream_partition(
+    store: &Arc<dyn SketchStore>,
+    plan: &QueryPlan,
+    bounds: Option<&CorrelationBounds>,
+    method: QueryMethod,
+    n: usize,
+    windows: &Range<usize>,
+    batch_pairs: usize,
+    pairs: &[(usize, usize)],
+    sink: &mut dyn TileSink,
+) -> Result<StreamedOut> {
+    let mut out = StreamedOut::default();
+    let w = windows.len();
+    let mut tile = vec![0.0f64; batch_pairs];
+    for chunk in pairs.chunks(batch_pairs) {
+        let (a0, b0) = chunk[0];
+        let start = pair_index(a0, b0, n);
+
+        // Equation 4 chunk pruning: when every row tile of the chunk is
+        // skippable under its correlation upper bound, the store read is
+        // skipped entirely — the bound needs only the already-read
+        // per-series statistics.
+        if let Some(b) = bounds {
+            let skippable = row_segments(start, chunk.len(), n)
+                .into_iter()
+                .all(|(i, j0, len)| sink.tile_skippable(b.tile_bound(i, j0, len)));
+            if skippable {
+                for (i, j0, len) in row_segments(start, chunk.len(), n) {
+                    sink.tile_skipped(i, j0, len);
+                }
+                continue;
+            }
+        }
+
+        let t0 = Instant::now();
+        let batch = store.read_pairs(chunk, windows.clone())?;
+        out.read += t0.elapsed();
+
+        let t1 = Instant::now();
+        // Audit: the recombination kernel clamps NaN window values to the
+        // 0.0 convention, so a method-mismatched record would silently
+        // produce a plausible-looking correlation. Count the affected pairs
+        // through the sink's NaN accounting (a one-slot NaN "tile" per
+        // affected pair) before recombining.
+        audit_nan_records(&batch, chunk, method, n, sink);
+        let corrs_t = match method {
+            QueryMethod::Exact => TransposedCorrs::from_fn(chunk.len(), w, |p, k| batch[p][k].corr),
+            QueryMethod::Approximate => TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
+                let d = batch[p][k].dft_dist;
+                1.0 - d * d / 2.0
+            }),
+        };
+        let mut offset = 0;
+        for (i, j0, len) in row_segments(start, chunk.len(), n) {
+            plan.block_kernel(i, j0, corrs_t.view(), offset, &mut tile[..len]);
+            sink.consume(i, j0, pair_index(i, j0, n), &tile[..len]);
+            offset += len;
+        }
+        out.compute += t1.elapsed();
+    }
+    Ok(out)
+}
+
+/// Count the pairs of a read batch whose records carry NaN in the field the
+/// query method recombines (stored `corr` for exact queries, `dft_dist` for
+/// approximate ones) — the signature of a store sketched with the *other*
+/// method. Each affected pair is reported to the sink as a one-slot NaN
+/// tile, which the sinks count (never rank or threshold).
+fn audit_nan_records(
+    batch: &[Vec<PairWindowRecord>],
+    chunk: &[(usize, usize)],
+    method: QueryMethod,
+    n: usize,
+    sink: &mut dyn TileSink,
+) {
+    for (records, &(a, b)) in batch.iter().zip(chunk) {
+        let has_nan = records.iter().any(|r| match method {
+            QueryMethod::Exact => r.corr.is_nan(),
+            QueryMethod::Approximate => r.dft_dist.is_nan(),
+        });
+        if has_nan {
+            sink.consume(a, b, pair_index(a, b, n), &[f64::NAN]);
+        }
     }
 }
 
@@ -606,6 +877,123 @@ mod tests {
             assert_eq!(first, again);
             assert_eq!(report.workers, 3);
         }
+    }
+
+    #[test]
+    fn network_from_store_matches_dense_threshold() {
+        let c = small_collection();
+        let b = 50;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(3, SketchMethod::Exact);
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        let (dense, _) = eng
+            .query_from_store(store.clone(), 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+        for theta in [-0.2, 0.0, 0.4, 0.85] {
+            let (streamed, report) = eng
+                .network_from_store(
+                    store.clone(),
+                    0..layout.n_windows,
+                    QueryMethod::Exact,
+                    theta,
+                )
+                .unwrap();
+            assert_eq!(report.pairs, c.pair_count());
+            assert_eq!(
+                streamed.to_adjacency(),
+                dense.threshold(theta).unwrap(),
+                "theta={theta}"
+            );
+            assert_eq!(streamed.nan_pair_count(), 0);
+        }
+        assert!(eng
+            .network_from_store(store, 0..layout.n_windows, QueryMethod::Exact, 1.5)
+            .is_err());
+    }
+
+    #[test]
+    fn approximate_network_from_store_matches_dense_and_prunes_reads() {
+        let c = small_collection();
+        let b = 60;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(2, SketchMethod::Dft { coefficients: 10 });
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        let (dense, _) = eng
+            .query_from_store(store.clone(), 0..layout.n_windows, QueryMethod::Approximate)
+            .unwrap();
+        for theta in [0.0, 0.5, 0.99] {
+            let (streamed, _) = eng
+                .network_from_store(
+                    store.clone(),
+                    0..layout.n_windows,
+                    QueryMethod::Approximate,
+                    theta,
+                )
+                .unwrap();
+            // Chunk pruning may skip reads, never edges: the edge set equals
+            // the dense strict threshold exactly.
+            assert_eq!(
+                streamed.to_adjacency(),
+                dense.threshold(theta).unwrap(),
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_from_store_matches_sorted_dense() {
+        let c = small_collection();
+        let b = 50;
+        let n = c.len();
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(4, SketchMethod::Exact);
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        let (dense, _) = eng
+            .query_from_store(store.clone(), 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+        let mut all: Vec<(usize, usize, f64)> = dense.iter_pairs().collect();
+        all.sort_by(|x, y| {
+            y.2.total_cmp(&x.2)
+                .then_with(|| pair_index(x.0, x.1, n).cmp(&pair_index(y.0, y.1, n)))
+        });
+        for k in [0, 1, 7, 45, 100] {
+            let (top, _) = eng
+                .top_k_from_store(store.clone(), 0..layout.n_windows, QueryMethod::Exact, k)
+                .unwrap();
+            assert_eq!(top.edges.len(), k.min(all.len()), "k={k}");
+            for (got, want) in top.edges.iter().zip(&all) {
+                assert_eq!((got.i, got.j), (want.0, want.1), "k={k}");
+                assert_eq!(got.corr, want.2, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn method_mismatched_store_is_audited_not_silent() {
+        // Sketch with the DFT method, query with Exact: every stored `corr`
+        // field is NaN, the kernel clamps them to 0.0 (so the edge set is the
+        // degenerate empty/full one), and the streamed path reports every
+        // pair in the NaN audit instead of silently producing a
+        // plausible-looking network.
+        let c = small_collection();
+        let b = 60;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(2, SketchMethod::Dft { coefficients: 10 });
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+        let (streamed, _) = eng
+            .network_from_store(store.clone(), 0..layout.n_windows, QueryMethod::Exact, 0.5)
+            .unwrap();
+        assert_eq!(streamed.nan_pair_count(), c.pair_count());
+        assert_eq!(streamed.edge_count(), 0);
+        // The matched method on the same store is clean.
+        let (ok, _) = eng
+            .network_from_store(store, 0..layout.n_windows, QueryMethod::Approximate, 0.5)
+            .unwrap();
+        assert_eq!(ok.nan_pair_count(), 0);
     }
 
     #[test]

@@ -142,14 +142,16 @@ impl RealTimeNetwork {
         }
     }
 
-    /// The current climate network at the configured threshold.
+    /// The current climate network at the configured threshold. The sliding
+    /// updaters clamp every correlation, so no NaN can appear here; the
+    /// lenient thresholding keeps this path infallible.
     pub fn network(&self) -> AdjacencyMatrix {
-        self.correlation_matrix().threshold(self.threshold)
+        self.correlation_matrix().threshold_lenient(self.threshold)
     }
 
     /// The current climate network at an ad-hoc threshold.
     pub fn network_with_threshold(&self, theta: f64) -> AdjacencyMatrix {
-        self.correlation_matrix().threshold(theta)
+        self.correlation_matrix().threshold_lenient(theta)
     }
 }
 
@@ -204,8 +206,11 @@ mod tests {
         let expected = baseline::correlation_matrix(&truncated, query).unwrap();
         let diff = rt.correlation_matrix().max_abs_diff(&expected);
         assert!(diff < 1e-7, "drift {diff}");
-        assert_eq!(rt.network(), expected.threshold(0.7));
-        assert_eq!(rt.network_with_threshold(0.9), expected.threshold(0.9));
+        assert_eq!(rt.network(), expected.threshold(0.7).unwrap());
+        assert_eq!(
+            rt.network_with_threshold(0.9),
+            expected.threshold(0.9).unwrap()
+        );
     }
 
     #[test]

@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ApproxStrategy::Equation5,
             )?;
             let approx_time = t.elapsed();
-            let exact_net = exact_matrix.threshold(theta);
+            let exact_net = exact_matrix.threshold(theta)?;
             let cmp = NetworkComparison::compare(&exact_net, &approx_net);
             println!(
                 "  DFT approx    {approx_time:>10?}   edges {} vs exact {}   D_p {:.4}   false pos {}",

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "query:  db read {:?} (sum) | matrix calc {:?} (sum) | wall {:?}",
         qreport.read_time, qreport.compute_time, qreport.wall_time
     );
-    let network = matrix.threshold(0.75);
+    let network = matrix.threshold(0.75)?;
     println!(
         "network @ 0.75: {} edges over {} cells",
         network.edge_count(),

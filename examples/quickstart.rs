@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Re-threshold the same matrix for free (no recomputation).
     for theta in [0.6, 0.8, 0.9] {
-        let net = matrix.threshold(theta);
+        let net = matrix.threshold(theta)?;
         println!("  theta={theta:.1}: {} edges", net.edge_count());
     }
 

@@ -35,7 +35,11 @@ fn figure_5a_shape_holds_at_test_scale() {
         HistoricalBuilder::new(collection.clone(), NetworkConfig::new(b, theta).unwrap()).unwrap();
     let n_windows = builder.sketch().window_count();
     let query = QueryWindow::new(n_windows * b - 1, n_windows * b).unwrap();
-    let exact_net = builder.correlation_matrix(query).unwrap().threshold(theta);
+    let exact_net = builder
+        .correlation_matrix(query)
+        .unwrap()
+        .threshold(theta)
+        .unwrap();
 
     let mut previous_false_positives = usize::MAX;
     let mut previous_similarity = -1.0;

@@ -145,7 +145,8 @@ proptest! {
         let exact_sketch = SketchSet::build(&c, basic).unwrap();
         let exact_net = exact::correlation_matrix_aligned(&exact_sketch, 0..ns)
             .unwrap()
-            .threshold(theta);
+            .threshold(theta)
+            .unwrap();
 
         let cmp = NetworkComparison::compare(&exact_net, &approx_net);
         prop_assert!(

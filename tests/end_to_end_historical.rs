@@ -63,7 +63,7 @@ fn dft_with_all_coefficients_reproduces_exact_network() {
         approximate_correlation_matrix(&dft, 0..n_windows, ApproxStrategy::Equation5).unwrap();
     assert!(exact.max_abs_diff(&approx) < 1e-9);
 
-    let exact_net = exact.threshold(theta);
+    let exact_net = exact.threshold(theta).unwrap();
     let approx_net =
         approximate_network(&dft, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
     assert_eq!(
@@ -83,7 +83,11 @@ fn dft_with_few_coefficients_overestimates_edges_but_never_misses() {
 
     let n_windows = builder.sketch().window_count();
     let query = QueryWindow::new(n_windows * b - 1, n_windows * b).unwrap();
-    let exact_net = builder.correlation_matrix(query).unwrap().threshold(theta);
+    let exact_net = builder
+        .correlation_matrix(query)
+        .unwrap()
+        .threshold(theta)
+        .unwrap();
     let approx_net =
         approximate_network(&few, 0..n_windows, theta, ApproxStrategy::Equation5).unwrap();
 
@@ -111,7 +115,7 @@ fn inference_pruning_reproduces_thresholded_matrix_with_less_work() {
     let n = collection.len();
     let outcome =
         inference::infer_threshold_matrix(n, 0.6, &[0, 1], |i, j| matrix.get(i, j)).unwrap();
-    assert_eq!(outcome.matrix, matrix.threshold_abs(0.6));
+    assert_eq!(outcome.matrix, matrix.threshold_abs(0.6).unwrap());
     assert_eq!(
         outcome.computed_pairs + outcome.inferred_pairs,
         n * (n - 1) / 2
