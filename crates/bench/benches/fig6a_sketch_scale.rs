@@ -58,6 +58,7 @@ fn main() {
                 workers,
                 batch_pairs: tsubasa_storage::default_batch_pairs(),
                 sketch_method: method,
+                audit_pruned_chunks: false,
             });
             let report = engine
                 .sketch_to_store(&collection, basic_window, store.clone())

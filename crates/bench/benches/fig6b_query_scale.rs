@@ -58,6 +58,7 @@ fn main() {
                 workers,
                 batch_pairs: 128,
                 sketch_method,
+                audit_pruned_chunks: false,
             });
             engine
                 .sketch_to_store(&collection, basic_window, store.clone())

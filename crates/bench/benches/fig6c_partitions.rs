@@ -44,6 +44,7 @@ fn main() {
             workers: partitions,
             batch_pairs: 128,
             sketch_method: SketchMethod::Exact,
+            audit_pruned_chunks: false,
         });
         let sketch_report = engine
             .sketch_to_store(&collection, basic_window, store.clone())

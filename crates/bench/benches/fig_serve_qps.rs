@@ -1,0 +1,215 @@
+//! Serve-path throughput — sustained concurrent queries per second while
+//! ingestion keeps publishing epochs.
+//!
+//! The serving story of the paper's system is continuous: the sketch grows
+//! one basic window at a time and analysts query the latest snapshot
+//! concurrently. This bench runs the real TCP stack end to end — an
+//! [`EpochIngest`] publishing dual-method epochs on a fixed cadence, a
+//! `tsubasa-serve` server sweeping on a worker pool, and a handful of
+//! closed-loop client threads issuing a repeated-window mix of network and
+//! top-k queries — and reports:
+//!
+//! * sustained queries/sec over the whole run (ingest never pauses);
+//! * plan-cache hit/miss/eviction counters: the repeated-window workload
+//!   must hit more than it misses (each new epoch costs one miss per
+//!   distinct (windows, method) key, then every repeat hits);
+//! * a final spot check that a served response equals the serial library
+//!   answer for the epoch it echoes.
+//!
+//! Evidence lands in `target/bench-results/fig_serve_qps.json`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tsubasa_bench::{millis, scaled, workers, Table};
+use tsubasa_core::{exact, SeriesCollection};
+use tsubasa_dft::sketch::Transform;
+use tsubasa_parallel::WorkerPool;
+use tsubasa_serve::{server, EpochIngest, EpochStore, Method, PlanCache, QueryEngine, ServeClient};
+
+const BASIC: usize = 32;
+const INITIAL_WINDOWS: usize = 10;
+const READER_THREADS: usize = 4;
+const INGEST_INTERVAL: Duration = Duration::from_millis(15);
+
+fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+            (i as f64 * 0.11 + seed as f64 * 0.7).sin() * 1.3 + noise * 0.5
+        })
+        .collect()
+}
+
+fn main() {
+    let n = scaled(48, 8);
+    let epochs_to_publish = scaled(40, 4);
+    let pool = workers();
+
+    let historical = SeriesCollection::from_rows(
+        (0..n)
+            .map(|s| lcg_series(s as u64 + 11, INITIAL_WINDOWS * BASIC))
+            .collect(),
+    )
+    .unwrap();
+
+    let store = Arc::new(EpochStore::new(epochs_to_publish + 2));
+    let (mut ingest, _) = EpochIngest::dual(
+        Arc::clone(&store),
+        &historical,
+        BASIC,
+        BASIC,
+        Transform::Naive,
+    )
+    .unwrap();
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&store),
+        Arc::new(PlanCache::new(64)),
+        Arc::new(WorkerPool::new(pool)),
+    ));
+    let handle = server::start(engine, "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr();
+
+    // Closed-loop readers: a repeated-window mix (trailing 0 = everything,
+    // trailing 4) over both methods and both query kinds, so each epoch has
+    // four distinct plan keys that every later repeat hits.
+    let stop = Arc::new(AtomicBool::new(false));
+    let responses = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..READER_THREADS)
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            let responses = Arc::clone(&responses);
+            thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let method = if i % 2 == 0 {
+                        Method::Exact
+                    } else {
+                        Method::Approximate
+                    };
+                    let last_windows = if i % 4 < 2 { 0 } else { 4 };
+                    if i % 8 < 4 {
+                        client.network(method, last_windows, 0.6).unwrap();
+                    } else {
+                        client.top_k(method, last_windows, 16).unwrap();
+                    }
+                    responses.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Ingest at a fixed cadence: one basic window per interval, one epoch
+    // per completed window, while the readers hammer the server.
+    let started = Instant::now();
+    for step in 0..epochs_to_publish {
+        let chunk: Vec<Vec<f64>> = (0..n)
+            .map(|s| lcg_series((step * n + s) as u64 ^ 0x5eed, BASIC))
+            .collect();
+        let published = ingest.ingest(&chunk).unwrap();
+        assert_eq!(published.len(), 1);
+        thread::sleep(INGEST_INTERVAL);
+    }
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    let elapsed = started.elapsed();
+
+    // Spot check: a served answer equals the serial answer for its epoch.
+    let mut client = ServeClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let got = client.network(Method::Exact, 0, 0.6).unwrap();
+    let epoch = store.get(got.epoch).expect("epoch retained");
+    let serial =
+        exact::network_streamed_aligned(epoch.exact().unwrap(), 0..epoch.window_count(), 0.6)
+            .unwrap();
+    assert_eq!(
+        got.edges,
+        serial
+            .edges()
+            .iter()
+            .map(|&(i, j)| (i as u32, j as u32))
+            .collect::<Vec<_>>(),
+        "served network must equal the serial answer for its epoch"
+    );
+
+    let stats = client.stats().unwrap();
+    drop(client);
+    handle.shutdown();
+
+    let total = responses.load(Ordering::Relaxed);
+    let qps = total as f64 / elapsed.as_secs_f64();
+    assert!(
+        stats.cache_hits > stats.cache_misses,
+        "repeated-window workload must hit the plan cache more than it misses \
+         (hits {}, misses {})",
+        stats.cache_hits,
+        stats.cache_misses
+    );
+
+    let mut table = Table::new(&[
+        "series",
+        "pairs",
+        "epochs",
+        "workers",
+        "readers",
+        "wall",
+        "responses",
+        "qps",
+        "cache hit/miss",
+    ]);
+    table.row(vec![
+        n.to_string(),
+        (n * (n - 1) / 2).to_string(),
+        stats.published.to_string(),
+        pool.to_string(),
+        READER_THREADS.to_string(),
+        format!("{:.0} ms", millis(elapsed)),
+        total.to_string(),
+        format!("{qps:.0}"),
+        format!("{}/{}", stats.cache_hits, stats.cache_misses),
+    ]);
+    table.print("Serve throughput: concurrent queries/sec under live ingest");
+    println!(
+        "every epoch publication costs one plan build per distinct (windows, method) key; \
+         all repeats answer from the cache without blocking ingest."
+    );
+
+    tsubasa_bench::write_json(
+        "fig_serve_qps",
+        &serde_json::json!({
+            "series": n,
+            "pairs": n * (n - 1) / 2,
+            "basic_window": BASIC,
+            "initial_windows": INITIAL_WINDOWS,
+            "epochs_published": stats.published,
+            "ingest_interval_ms": INGEST_INTERVAL.as_millis() as u64,
+            "pool_workers": pool,
+            "reader_threads": READER_THREADS,
+            "wall_ms": millis(elapsed),
+            "responses": total,
+            "qps": qps,
+            "server_requests": stats.requests,
+            "server_errors": stats.errors,
+            "connections": stats.connections,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_evictions": stats.cache_evictions,
+            "hits_exceed_misses": stats.cache_hits > stats.cache_misses,
+        }),
+    );
+}

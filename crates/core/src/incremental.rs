@@ -121,6 +121,14 @@ impl SlidingSeriesState {
     pub fn window_count(&self) -> usize {
         self.windows.len()
     }
+
+    /// Statistics of every basic window currently inside the query window,
+    /// oldest first. Snapshot paths ([`SlidingNetwork::snapshot_sketch`])
+    /// use this to rebuild a [`SeriesSketch`](crate::sketch::SeriesSketch)
+    /// from the live sliding state.
+    pub fn window_stats(&self) -> impl Iterator<Item = WindowStats> + '_ {
+        self.windows.iter().copied()
+    }
 }
 
 /// The pure Lemma 2 update: correlation of the slid window from the previous
@@ -532,6 +540,45 @@ impl SlidingNetwork {
     /// here; the lenient thresholding keeps this path infallible.
     pub fn network(&self, theta: f64) -> AdjacencyMatrix {
         self.correlation_matrix().threshold_lenient(theta)
+    }
+
+    /// Freeze the sliding state into an immutable [`SketchSet`] covering
+    /// exactly the basic windows currently inside the query window (oldest
+    /// first, re-indexed from 0). The snapshot shares no storage with the
+    /// live network, so an epoch-publication layer can hand it out behind an
+    /// `Arc` while ingestion keeps sliding. Queries planned against the
+    /// snapshot are bit-identical to planning against the original sketch
+    /// over the same windows: per-window statistics and correlations are
+    /// copied, never recomputed.
+    pub fn snapshot_sketch(&self) -> Result<SketchSet> {
+        let ns = self.pair_windows.len();
+        let n_pairs = self.corrs.len();
+        let series: Vec<crate::sketch::SeriesSketch> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(id, state)| crate::sketch::SeriesSketch {
+                series: id,
+                windows: state.window_stats().collect(),
+            })
+            .collect();
+        // `pair_windows` is already window-major (one packed row per basic
+        // window, oldest first); flatten it and gather into the pair-major
+        // vectors `SketchSet::from_parts` expects.
+        let mut flat = Vec::with_capacity(ns * n_pairs);
+        for row in &self.pair_windows {
+            flat.extend_from_slice(row);
+        }
+        let per_pair = crate::sketch::gather_pair_rows(&flat, n_pairs, ns);
+        let pairs: Vec<crate::sketch::PairSketch> = per_pair
+            .into_iter()
+            .enumerate()
+            .map(|(p, corrs)| {
+                let (a, b) = crate::sketch::unpack_pair_index(p, self.n);
+                crate::sketch::PairSketch { a, b, corrs }
+            })
+            .collect();
+        SketchSet::from_parts(self.basic_window, self.n, series, pairs)
     }
 }
 

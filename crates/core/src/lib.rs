@@ -82,7 +82,7 @@ pub mod window;
 
 pub use error::{Error, Result};
 pub use matrix::{AdjacencyMatrix, CorrelationMatrix};
-pub use plan::QueryPlan;
+pub use plan::{PlanKey, PlanMethod, QueryPlan};
 pub use runner::{Job, JobRunner, ScopedRunner, SerialRunner};
 pub use sketch::{PairSketch, SeriesSketch, SketchSet};
 pub use stats::WindowStats;
@@ -101,7 +101,7 @@ pub mod prelude {
     pub use crate::incremental::{SlidingNetwork, SlidingPair};
     pub use crate::inference;
     pub use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
-    pub use crate::plan::QueryPlan;
+    pub use crate::plan::{PlanKey, PlanMethod, QueryPlan};
     pub use crate::sketch::{PairSketch, SeriesSketch, SketchSet};
     pub use crate::stats::{pearson, WindowStats};
     pub use crate::sweep::{

@@ -758,6 +758,68 @@ pub fn carve_for_workers(values: &mut [f64], workers: usize) -> Vec<(usize, &mut
         .collect()
 }
 
+/// Which recombination a cached plan evaluates: the exact Lemma 1 kernel
+/// ([`QueryPlan`]) or the approximate Equation 5 kernel (`ApproxPlan` in
+/// `tsubasa-dft`). Part of [`PlanKey`], the cache identity of a built plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PlanMethod {
+    /// Exact Lemma 1 recombination over per-window Pearson correlations.
+    Exact,
+    /// Approximate Equation 5 recombination over DFT coefficient distances.
+    Approximate,
+}
+
+/// The cache identity of a built per-query plan: which immutable sketch
+/// snapshot it was built against (the *epoch*), which aligned basic-window
+/// range it covers, and which recombination method it evaluates.
+///
+/// Plans are pure functions of these three coordinates — a plan built twice
+/// from the same epoch's sketch over the same windows is bit-identical — so a
+/// `(PlanKey → plan)` cache can serve repeated query windows without paying
+/// the `O(n·ns)` table build, as long as epochs are published immutably
+/// (append-only snapshots, never edited in place). `tsubasa-serve`'s plan
+/// cache keys on exactly this type; it lives here so any caching layer
+/// agrees on the identity of a plan.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use tsubasa_core::plan::{PlanKey, PlanMethod};
+///
+/// let key = PlanKey::new(3, 2..8, PlanMethod::Exact);
+/// let mut cache: HashMap<PlanKey, &str> = HashMap::new();
+/// cache.insert(key, "a built plan");
+/// assert_eq!(cache.get(&PlanKey::new(3, 2..8, PlanMethod::Exact)), Some(&"a built plan"));
+/// assert_eq!(cache.get(&PlanKey::new(4, 2..8, PlanMethod::Exact)), None); // other epoch
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanKey {
+    /// Id of the immutable sketch snapshot (epoch) the plan reads.
+    pub epoch: u64,
+    /// Start of the aligned basic-window range the plan covers.
+    pub window_start: usize,
+    /// End (exclusive) of the aligned basic-window range.
+    pub window_end: usize,
+    /// Which recombination the plan evaluates.
+    pub method: PlanMethod,
+}
+
+impl PlanKey {
+    /// Key for a plan over `windows` of epoch `epoch` using `method`.
+    pub fn new(epoch: u64, windows: Range<usize>, method: PlanMethod) -> Self {
+        Self {
+            epoch,
+            window_start: windows.start,
+            window_end: windows.end,
+            method,
+        }
+    }
+
+    /// The aligned basic-window range this key covers.
+    pub fn windows(&self) -> Range<usize> {
+        self.window_start..self.window_end
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

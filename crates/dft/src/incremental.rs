@@ -30,8 +30,9 @@ use tsubasa_core::incremental::{lemma2_update, SlidingSeriesState};
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
 use tsubasa_core::plan::{carve_for_workers, row_segments};
 use tsubasa_core::runner::{Job, JobRunner, SerialRunner};
-use tsubasa_core::sketch::pair_index;
+use tsubasa_core::sketch::{pair_index, unpack_pair_index, PairSketch, SeriesSketch};
 use tsubasa_core::stats::{tiled_pair_dist_sq_into, WindowStats};
+use tsubasa_core::SketchSet;
 
 use crate::approx::corr_from_distance;
 use crate::dft::DftPlanner;
@@ -126,6 +127,11 @@ impl SlidingApproxNetwork {
     /// The chunk size expected by [`SlidingApproxNetwork::ingest`].
     pub fn basic_window(&self) -> usize {
         self.basic_window
+    }
+
+    /// Number of basic windows in the sliding query window.
+    pub fn window_count(&self) -> usize {
+        self.pair_windows.len()
     }
 
     /// Slide forward by one basic window given the newly arrived chunk
@@ -277,6 +283,49 @@ impl SlidingApproxNetwork {
     /// appear here; the lenient thresholding keeps this path infallible.
     pub fn network(&self, theta: f64) -> AdjacencyMatrix {
         self.correlation_matrix().threshold_lenient(theta)
+    }
+
+    /// Freeze the sliding state into an immutable [`DftSketchSet`] covering
+    /// exactly the basic windows currently inside the query window (oldest
+    /// first, re-indexed from 0), for epoch publication: the snapshot shares
+    /// no storage with the live network, so readers can plan against it
+    /// behind an `Arc` while ingestion keeps sliding.
+    ///
+    /// The approximate updater maintains per-window coefficient *distances*,
+    /// not the exact per-window pair correlations of the underlying
+    /// [`SketchSet`] — so the base sketch's pair correlations are filled with
+    /// NaN, the repo-wide marker for method-mismatched sketch data. The
+    /// snapshot supports every [`ApproxPlan`] path bit-identically to a
+    /// built sketch; exact (Lemma 1) queries against its base are answerable
+    /// only through the NaN-auditing sinks and will report every pair.
+    pub fn snapshot_sketch(&self) -> Result<DftSketchSet> {
+        let ns = self.pair_windows.len();
+        let n_pairs = self.corrs.len();
+        let series: Vec<SeriesSketch> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(id, state)| SeriesSketch {
+                series: id,
+                windows: state.window_stats().collect(),
+            })
+            .collect();
+        let pairs: Vec<PairSketch> = (0..n_pairs)
+            .map(|p| {
+                let (a, b) = unpack_pair_index(p, self.n);
+                PairSketch {
+                    a,
+                    b,
+                    corrs: vec![f64::NAN; ns],
+                }
+            })
+            .collect();
+        let base = SketchSet::from_parts(self.basic_window, self.n, series, pairs)?;
+        let mut window_dists = Vec::with_capacity(ns * n_pairs);
+        for row in &self.pair_windows {
+            window_dists.extend_from_slice(row);
+        }
+        DftSketchSet::from_parts(base, self.coefficients, window_dists)
     }
 }
 

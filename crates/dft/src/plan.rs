@@ -286,8 +286,38 @@ impl ApproxPlan {
         Ok(out)
     }
 
-    fn pair_count(&self) -> usize {
+    /// Number of packed pairs (`N(N−1)/2`) the plan covers — the length of
+    /// the packed correlation triangle, and the exclusive upper bound of the
+    /// runs accepted by [`ApproxPlan::sweep_run`].
+    pub fn pair_count(&self) -> usize {
         self.n * self.n.saturating_sub(1) / 2
+    }
+
+    /// The Equation 4 per-tile pruning bounds of this plan's per-series
+    /// tables. Build once and share across the [`ApproxPlan::sweep_run`]
+    /// calls of a partitioned sweep — the bounds depend only on the plan.
+    pub fn tile_bounds(&self) -> CorrelationBounds {
+        CorrelationBounds::from_plan(&self.plan)
+    }
+
+    /// Run the streaming sweep over one contiguous run of the packed pair
+    /// triangle into `sink` — the restriction of
+    /// [`ApproxPlan::sweep_streamed`] to `run`, and the unit of work of a
+    /// partitioned parallel sweep (a run boundary never changes any pair's
+    /// arithmetic, exactly like the exact path's
+    /// [`tsubasa_core::sweep::sweep_run`], which this wraps). Pass
+    /// `Some(bounds)` (from [`ApproxPlan::tile_bounds`]) to drop tiles the
+    /// sink reports skippable under the Equation 4 per-tile upper bound
+    /// before any kernel work.
+    pub fn sweep_run(
+        &self,
+        bounds: Option<&CorrelationBounds>,
+        run: Range<usize>,
+        tile_len: usize,
+        sink: &mut dyn TileSink,
+    ) {
+        let view = self.corrs.view();
+        sweep_run(&self.plan, &view, bounds, run, tile_len, sink);
     }
 
     /// Run a streaming sweep over all pairs into `sink`: each batch-kernel
@@ -296,16 +326,8 @@ impl ApproxPlan {
     /// With `prune`, tiles the sink reports skippable under the Equation 4
     /// per-tile upper bound are dropped before any kernel work.
     pub fn sweep_streamed(&self, prune: bool, tile_len: usize, sink: &mut dyn TileSink) {
-        let bounds = prune.then(|| CorrelationBounds::from_plan(&self.plan));
-        let view = self.corrs.view();
-        sweep_run(
-            &self.plan,
-            &view,
-            bounds.as_ref(),
-            0..self.pair_count(),
-            tile_len,
-            sink,
-        );
+        let bounds = prune.then(|| self.tile_bounds());
+        self.sweep_run(bounds.as_ref(), 0..self.pair_count(), tile_len, sink);
     }
 
     /// [`ApproxPlan::network`] through the streaming sweep: the same

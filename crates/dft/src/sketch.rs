@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::plan::CorrView;
 use tsubasa_core::sketch::{gather_pair_rows, pair_index, scatter_pair_rows_with};
-use tsubasa_core::stats::tiled_pair_dist_sq_into;
+use tsubasa_core::stats::{
+    normalize_into, tiled_pair_corrs_into, tiled_pair_dist_sq_into, WindowStats,
+};
 use tsubasa_core::{SeriesCollection, SketchSet};
 
 use crate::dft::{coefficient_distance, naive_dft, Complex, DftPlanner};
@@ -190,6 +192,112 @@ impl DftSketchSet {
             pair_distances,
             window_dists,
         })
+    }
+
+    /// Construct a comparator sketch from already-computed parts: the core
+    /// statistics sketch plus a window-major flat table of pair distances
+    /// (`window_dists[w·P + p]`, same packed pair order as `base`). The
+    /// pair-major layout is rebuilt from the flat table. Used by snapshot
+    /// paths that maintain distances incrementally
+    /// (`SlidingApproxNetwork::snapshot_sketch`) and by any epoch-publication
+    /// layer that freezes a growing comparator sketch.
+    pub fn from_parts(
+        base: SketchSet,
+        coefficients: usize,
+        window_dists: Vec<f64>,
+    ) -> Result<Self> {
+        let n = base.series_count();
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        let ns = base.window_count();
+        if window_dists.len() != ns * n_pairs {
+            return Err(Error::SketchMismatch {
+                requested: format!(
+                    "{} pair distances ({ns} windows × {n_pairs} pairs)",
+                    ns * n_pairs
+                ),
+                available: format!("{} pair distances", window_dists.len()),
+            });
+        }
+        let n_coeff = coefficients.clamp(1, base.basic_window());
+        let pair_distances = gather_pair_rows(&window_dists, n_pairs, ns);
+        Ok(Self {
+            base,
+            coefficients: n_coeff,
+            pair_distances,
+            window_dists,
+        })
+    }
+
+    /// Append the sketch of one newly completed basic window from its raw
+    /// points (`chunk[i]` holds the `B` new values of series `i`): per-series
+    /// statistics, per-pair correlations (both into the core `base` sketch,
+    /// through the same tiled `Z·Zᵀ` kernel as [`SketchSet::push_window`]'s
+    /// callers), and per-pair DFT coefficient distances in both layouts.
+    /// This is the real-time ingestion path of the comparator; arithmetic is
+    /// identical to rebuilding with [`DftSketchSet::build`] over the extended
+    /// data, so a grown sketch stays bit-equal to a rebuilt one.
+    pub fn push_window(&mut self, chunk: &[Vec<f64>], transform: Transform) -> Result<()> {
+        let n = self.series_count();
+        let b = self.basic_window();
+        if chunk.len() != n {
+            return Err(Error::UnalignedSeries {
+                expected: n,
+                found: chunk.len(),
+                index: 0,
+            });
+        }
+        for points in chunk {
+            if points.len() != b {
+                return Err(Error::ChunkSizeMismatch {
+                    expected: b,
+                    found: points.len(),
+                });
+            }
+        }
+        let n_pairs = n * n.saturating_sub(1) / 2;
+
+        let stats: Vec<WindowStats> = chunk
+            .iter()
+            .map(|points| WindowStats::from_values(points))
+            .collect();
+
+        // Exact half: z-normalize the chunk once and batch all pair
+        // correlations of the arriving window.
+        let mut z = vec![0.0f64; n * b];
+        for (i, points) in chunk.iter().enumerate() {
+            normalize_into(points, &stats[i], &mut z[i * b..(i + 1) * b]);
+        }
+        let mut pair_corrs = vec![0.0f64; n_pairs];
+        tiled_pair_corrs_into(&z, n, b, &mut pair_corrs);
+        drop(z);
+
+        // Comparator half: unit-normalized DFT coefficients, flattened
+        // coefficient-major, then one tiled difference-square sweep.
+        let planner = DftPlanner::new(b);
+        let row_len = 2 * self.coefficients;
+        let mut rows = vec![0.0f64; n * row_len];
+        for (i, points) in chunk.iter().enumerate() {
+            let normalized = normalize_unit_with_stats(points, &stats[i]);
+            let c = match transform {
+                Transform::Naive => naive_dft(&normalized),
+                Transform::Fft => planner.transform(&normalized),
+            };
+            flatten_coeffs_into(
+                &c,
+                self.coefficients,
+                &mut rows[i * row_len..(i + 1) * row_len],
+            );
+        }
+        let mut sq = vec![0.0f64; n_pairs];
+        tiled_pair_dist_sq_into(&rows, n, row_len, &mut sq);
+        let dists: Vec<f64> = sq.iter().map(|&s| s.max(0.0).sqrt()).collect();
+
+        self.base.push_window(stats, pair_corrs)?;
+        self.window_dists.extend_from_slice(&dists);
+        for (per_pair, d) in self.pair_distances.iter_mut().zip(dists) {
+            per_pair.push(d);
+        }
+        Ok(())
     }
 
     /// The underlying statistics sketch.

@@ -73,6 +73,14 @@ pub struct ParallelConfig {
     pub batch_pairs: usize,
     /// What the sketch phase computes.
     pub sketch_method: SketchMethod,
+    /// Audit chunks skipped by Equation 4 pruning for NaN records. Pruning
+    /// decides from per-series statistics alone, so a method-mismatched
+    /// record (NaN in the recombined field) hiding in a skippable chunk is
+    /// never read and its pair goes uncounted. With this set, skipped chunks
+    /// are still read and NaN-audited — the tiles stay skipped (no
+    /// recombination work), only the accounting becomes exhaustive, at the
+    /// cost of the store reads pruning would have saved.
+    pub audit_pruned_chunks: bool,
 }
 
 impl Default for ParallelConfig {
@@ -84,6 +92,7 @@ impl Default for ParallelConfig {
             workers,
             batch_pairs: tsubasa_storage::default_batch_pairs(),
             sketch_method: SketchMethod::Exact,
+            audit_pruned_chunks: false,
         }
     }
 }
@@ -572,6 +581,7 @@ impl ParallelEngine {
         let partitions = partition_pairs(n, self.config.workers.max(1));
         let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
         let batch_pairs = self.config.batch_pairs.max(1);
+        let audit_pruned = self.config.audit_pruned_chunks;
 
         let plan_ref = &plan;
         let bounds_ref = bounds.as_ref();
@@ -598,6 +608,7 @@ impl ParallelEngine {
                         n,
                         windows_ref,
                         batch_pairs,
+                        audit_pruned,
                         &part.pairs,
                         sink,
                     );
@@ -649,6 +660,7 @@ fn stream_partition(
     n: usize,
     windows: &Range<usize>,
     batch_pairs: usize,
+    audit_pruned: bool,
     pairs: &[(usize, usize)],
     sink: &mut dyn TileSink,
 ) -> Result<StreamedOut> {
@@ -668,6 +680,16 @@ fn stream_partition(
                 .into_iter()
                 .all(|(i, j0, len)| sink.tile_skippable(b.tile_bound(i, j0, len)));
             if skippable {
+                // Opt-in exhaustive accounting: pruning decides from series
+                // statistics alone, so NaN records in a skipped chunk would
+                // otherwise go uncounted. Read and audit, but keep the tiles
+                // skipped — no recombination happens either way.
+                if audit_pruned {
+                    let t0 = Instant::now();
+                    let batch = store.read_pairs(chunk, windows.clone())?;
+                    out.read += t0.elapsed();
+                    audit_nan_records(&batch, chunk, method, n, sink);
+                }
                 for (i, j0, len) in row_segments(start, chunk.len(), n) {
                     sink.tile_skipped(i, j0, len);
                 }
@@ -752,6 +774,7 @@ mod tests {
             workers,
             batch_pairs: 8,
             sketch_method: method,
+            audit_pruned_chunks: false,
         })
     }
 
@@ -994,6 +1017,78 @@ mod tests {
             .network_from_store(store, 0..layout.n_windows, QueryMethod::Approximate, 0.5)
             .unwrap();
         assert_eq!(ok.nan_pair_count(), 0);
+    }
+
+    #[test]
+    fn pruned_chunk_nan_audit_is_opt_in() {
+        // Two groups: series 0–1 put all their variance *within* windows
+        // (zero-mean oscillation, `s ≈ 1, t ≈ 0`), series 2–3 put it
+        // *between* windows (staircase, `s ≈ 0, t ≈ 1`). A cross-group pair
+        // then has Equation 4 bound `s_i s_j + t_i t_j ≈ 0`, so its chunk is
+        // pruned before the store is read — and a NaN planted there is
+        // invisible to the default audit.
+        let len = 120;
+        let b = 20;
+        let c = SeriesCollection::from_rows(
+            (0..4usize)
+                .map(|s| {
+                    (0..len)
+                        .map(|i| {
+                            if s < 2 {
+                                (i as f64 * 0.9 + s as f64 * 0.3).sin()
+                            } else {
+                                (i / b) as f64 * 10.0 + ((i * (s + 7)) % 5) as f64 * 1e-3
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = ParallelEngine::new(ParallelConfig {
+            workers: 2,
+            batch_pairs: 1, // isolate every pair in its own chunk
+            sketch_method: SketchMethod::Dft { coefficients: 10 },
+            audit_pruned_chunks: false,
+        });
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+
+        // Plant NaN in the recombined field of cross-group pair (0, 3).
+        let poison: Vec<PairWindowRecord> = (0..layout.n_windows)
+            .map(|w| PairWindowRecord {
+                a: 0,
+                b: 3,
+                window: w as u32,
+                corr: f64::NAN,
+                dft_dist: f64::NAN,
+            })
+            .collect();
+        store.write_pairs(&poison).unwrap();
+
+        let (silent, _) = eng
+            .network_from_store(
+                store.clone(),
+                0..layout.n_windows,
+                QueryMethod::Approximate,
+                0.5,
+            )
+            .unwrap();
+        // The poisoned chunk was pruned before being read: the NaN goes
+        // uncounted by default.
+        assert_eq!(silent.nan_pair_count(), 0);
+
+        let auditor = ParallelEngine::new(ParallelConfig {
+            audit_pruned_chunks: true,
+            ..eng.config()
+        });
+        let (audited, _) = auditor
+            .network_from_store(store, 0..layout.n_windows, QueryMethod::Approximate, 0.5)
+            .unwrap();
+        assert_eq!(audited.nan_pair_count(), 1);
+        // The audit changes accounting only, never the edge set.
+        assert_eq!(audited.edges(), silent.edges());
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! A small blocking client for the serve protocol, used by the examples,
+//! benchmarks, and test harnesses.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, ErrorCode, Method, ProtoError,
+    Request, Response, StatsReply, MAX_RESPONSE_FRAME,
+};
+
+/// Failures observed by a client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing broke.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind for the
+    /// request (protocol violation).
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::UnexpectedResponse => write!(f, "response kind does not match request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// A network response, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReply {
+    /// Epoch the server answered from.
+    pub epoch: u64,
+    /// Node (series) count of that epoch.
+    pub nodes: u32,
+    /// NaN-audited pair count.
+    pub nan_pairs: u64,
+    /// Edge endpoints, ascending pair order.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// A top-k response, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKReply {
+    /// Epoch the server answered from.
+    pub epoch: u64,
+    /// NaN-audited pair count.
+    pub nan_pairs: u64,
+    /// `(i, j, corr)` strongest first; correlations are bit-exact.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+/// A blocking connection to a serve instance: one in-flight request at a
+/// time, responses matched by order.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Bound how long a single response read may block (`None` blocks until
+    /// the server answers or closes).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Send one request and read its response frame.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        loop {
+            match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
+                Some(payload) => return Ok(decode_response(&payload)?),
+                None => continue, // read timeout configured by the caller
+            }
+        }
+    }
+
+    /// Query the thresholded network.
+    pub fn network(
+        &mut self,
+        method: Method,
+        last_windows: u32,
+        theta: f64,
+    ) -> Result<NetworkReply, ClientError> {
+        match self.request(&Request::Network {
+            method,
+            last_windows,
+            theta,
+        })? {
+            Response::Network {
+                epoch,
+                nodes,
+                nan_pairs,
+                edges,
+            } => Ok(NetworkReply {
+                epoch,
+                nodes,
+                nan_pairs,
+                edges,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Query the k strongest pairs.
+    pub fn top_k(
+        &mut self,
+        method: Method,
+        last_windows: u32,
+        k: u32,
+    ) -> Result<TopKReply, ClientError> {
+        match self.request(&Request::TopK {
+            method,
+            last_windows,
+            k,
+        })? {
+            Response::TopK {
+                epoch,
+                nan_pairs,
+                edges,
+            } => Ok(TopKReply {
+                epoch,
+                nan_pairs,
+                edges,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetch the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PlanCache;
+    use crate::epoch::EpochStore;
+    use crate::query::QueryEngine;
+    use crate::server;
+    use std::sync::Arc;
+    use tsubasa_core::exact;
+    use tsubasa_core::SeriesCollection;
+    use tsubasa_core::SketchSet;
+    use tsubasa_parallel::WorkerPool;
+
+    fn loopback() -> (server::ServerHandle, SketchSet) {
+        let c = SeriesCollection::from_rows(
+            (0..5)
+                .map(|s| {
+                    (0..100)
+                        .map(|i| {
+                            (i as f64 * 0.09 + s as f64 * 0.5).sin() + (i % (s + 2)) as f64 * 0.1
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let sketch = SketchSet::build(&c, 20).unwrap();
+        let store = Arc::new(EpochStore::new(4));
+        store.publish(Some(sketch.clone()), None).unwrap();
+        let engine = Arc::new(QueryEngine::new(
+            store,
+            Arc::new(PlanCache::new(8)),
+            Arc::new(WorkerPool::new(2)),
+        ));
+        let handle = server::start(engine, "127.0.0.1:0").unwrap();
+        (handle, sketch)
+    }
+
+    #[test]
+    fn loopback_round_trip_matches_serial() {
+        let (handle, sketch) = loopback();
+        let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+        let net = client.network(Method::Exact, 0, 0.3).unwrap();
+        assert_eq!(net.epoch, 1);
+        let serial =
+            exact::network_streamed_aligned(&sketch, 0..sketch.window_count(), 0.3).unwrap();
+        let expected: Vec<(u32, u32)> = serial
+            .edges()
+            .iter()
+            .map(|&(i, j)| (i as u32, j as u32))
+            .collect();
+        assert_eq!(net.edges, expected);
+        assert_eq!(net.nodes as usize, serial.node_count());
+
+        let top = client.top_k(Method::Exact, 0, 4).unwrap();
+        let serial = exact::top_k_aligned(&sketch, 0..sketch.window_count(), 4).unwrap();
+        assert_eq!(top.edges.len(), serial.edges.len());
+        for (got, want) in top.edges.iter().zip(&serial.edges) {
+            assert_eq!(
+                (got.0 as usize, got.1 as usize, got.2.to_bits()),
+                (want.i, want.j, want.corr.to_bits())
+            );
+        }
+
+        // A second identical query hits the plan cache.
+        client.network(Method::Exact, 0, 0.3).unwrap();
+        let stats = client.stats().unwrap();
+        assert!(stats.cache_hits >= 1, "repeat query must hit the cache");
+        assert_eq!(stats.epoch, 1);
+        assert!(stats.requests >= 4);
+
+        // Typed server-side errors keep the connection usable.
+        match client.network(Method::Exact, 0, 2.0) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Query),
+            other => panic!("expected a Query error, got {other:?}"),
+        }
+        match client.network(Method::Approximate, 0, 0.3) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Unavailable),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        assert!(client.stats().is_ok(), "connection survives typed errors");
+
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,363 @@
+//! Epoch publication: immutable sketch snapshots behind atomic `Arc` swaps.
+//!
+//! A query server must answer from a *consistent* view of the sketches while
+//! ingestion keeps appending basic windows. The discipline here is
+//! append-only publication: every completed basic window freezes the sketch
+//! state into an immutable snapshot — an **epoch** — published into an
+//! [`EpochStore`] by swapping an `Arc`. Readers clone the `Arc` (no data
+//! copy, no lock held across a query) and compute against that snapshot for
+//! as long as they like; writers never mutate a published epoch, they only
+//! publish the next one. Epoch ids are assigned 1, 2, 3, … in publication
+//! order, so a response tagged with an epoch id can be re-checked against
+//! exactly the snapshot that produced it.
+//!
+//! [`EpochIngest`] is the producing side: a [`StreamBuffer`] accumulates raw
+//! observations, and each released basic-window chunk is folded into a
+//! growing sketch ([`SketchSet::push_window`] /
+//! [`DftSketchSet::push_window`]) whose clone becomes the next epoch.
+//! Networks that maintain sliding state instead
+//! ([`tsubasa_stream::RealTimeNetwork`]) publish through their
+//! `publish_epoch()` hook and [`EpochStore::publish_sketches`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::stats::{normalize_into, tiled_pair_corrs_into, WindowStats};
+use tsubasa_core::{SeriesCollection, SketchSet};
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+use tsubasa_stream::{EpochSketches, StreamBuffer};
+
+/// One immutable published snapshot: the sketches covering every basic
+/// window completed up to its publication, identified by a 1-based id.
+///
+/// An epoch may carry an exact [`SketchSet`], a [`DftSketchSet`], or both —
+/// queries for a method the epoch does not carry fail with a typed error
+/// instead of silently degrading.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    id: u64,
+    exact: Option<Arc<SketchSet>>,
+    approx: Option<Arc<DftSketchSet>>,
+}
+
+impl Epoch {
+    /// The 1-based publication id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The exact sketch snapshot, when this epoch carries one.
+    pub fn exact(&self) -> Option<&Arc<SketchSet>> {
+        self.exact.as_ref()
+    }
+
+    /// The DFT comparator snapshot, when this epoch carries one.
+    pub fn approx(&self) -> Option<&Arc<DftSketchSet>> {
+        self.approx.as_ref()
+    }
+
+    /// Number of series covered.
+    pub fn series_count(&self) -> usize {
+        match (&self.exact, &self.approx) {
+            (Some(s), _) => s.series_count(),
+            (None, Some(a)) => a.series_count(),
+            (None, None) => 0,
+        }
+    }
+
+    /// Number of basic windows the snapshot covers.
+    pub fn window_count(&self) -> usize {
+        match (&self.exact, &self.approx) {
+            (Some(s), _) => s.window_count(),
+            (None, Some(a)) => a.window_count(),
+            (None, None) => 0,
+        }
+    }
+}
+
+/// The published-epoch store: the latest epoch behind an `Arc` swap plus a
+/// bounded history of recent epochs, retained by id so in-flight responses
+/// can be re-checked against the snapshot that produced them.
+///
+/// Readers ([`EpochStore::latest`], [`EpochStore::get`]) take a read lock
+/// only long enough to clone an `Arc`; publication takes the write lock only
+/// for the swap. No lock is ever held while a query computes.
+#[derive(Debug)]
+pub struct EpochStore {
+    latest: RwLock<Option<Arc<Epoch>>>,
+    recent: Mutex<VecDeque<Arc<Epoch>>>,
+    capacity: usize,
+    published: AtomicU64,
+}
+
+impl EpochStore {
+    /// A store retaining the most recent `capacity` epochs (clamped to at
+    /// least 1 — the latest epoch is always retained).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            latest: RwLock::new(None),
+            recent: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish the next epoch from its sketch snapshots. At least one method
+    /// must be present. Returns the published epoch (already retained).
+    pub fn publish(
+        &self,
+        exact: Option<SketchSet>,
+        approx: Option<DftSketchSet>,
+    ) -> Result<Arc<Epoch>> {
+        if exact.is_none() && approx.is_none() {
+            return Err(Error::EmptyInput("an epoch needs at least one sketch"));
+        }
+        let id = self.published.fetch_add(1, Ordering::SeqCst) + 1;
+        let epoch = Arc::new(Epoch {
+            id,
+            exact: exact.map(Arc::new),
+            approx: approx.map(Arc::new),
+        });
+        {
+            let mut recent = self.recent.lock().expect("epoch store poisoned");
+            recent.push_back(Arc::clone(&epoch));
+            while recent.len() > self.capacity {
+                recent.pop_front();
+            }
+        }
+        *self.latest.write().expect("epoch store poisoned") = Some(Arc::clone(&epoch));
+        Ok(epoch)
+    }
+
+    /// Publish a [`tsubasa_stream::RealTimeNetwork::publish_epoch`] payload.
+    pub fn publish_sketches(&self, sketches: EpochSketches) -> Result<Arc<Epoch>> {
+        self.publish(sketches.exact, sketches.approx)
+    }
+
+    /// The most recently published epoch, if any.
+    pub fn latest(&self) -> Option<Arc<Epoch>> {
+        self.latest.read().expect("epoch store poisoned").clone()
+    }
+
+    /// A retained epoch by id. `None` when the id was never published or has
+    /// rolled out of the retention window.
+    pub fn get(&self, id: u64) -> Option<Arc<Epoch>> {
+        let recent = self.recent.lock().expect("epoch store poisoned");
+        recent.iter().find(|e| e.id == id).cloned()
+    }
+
+    /// Total number of epochs published so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::SeqCst)
+    }
+
+    /// The oldest epoch id still retained, if any. Epochs below this have
+    /// rolled out; plan caches keyed by epoch id can invalidate below it.
+    pub fn oldest_retained(&self) -> Option<u64> {
+        let recent = self.recent.lock().expect("epoch store poisoned");
+        recent.front().map(|e| e.id)
+    }
+}
+
+enum IngestSketch {
+    Exact(SketchSet),
+    Dual {
+        sketch: DftSketchSet,
+        transform: Transform,
+    },
+}
+
+/// The producing side of epoch publication: buffer raw observations, fold
+/// each completed basic window into a growing sketch, and publish one epoch
+/// per completed window.
+///
+/// Two flavors:
+///
+/// * [`EpochIngest::exact`] grows a plain [`SketchSet`]; epochs answer exact
+///   (Lemma 1) queries.
+/// * [`EpochIngest::dual`] grows a [`DftSketchSet`], whose
+///   [`push_window`](DftSketchSet::push_window) maintains the exact base
+///   correlations alongside the coefficient distances — so every epoch
+///   carries **both** sketches and answers both query methods.
+pub struct EpochIngest {
+    store: Arc<EpochStore>,
+    buffer: StreamBuffer,
+    sketch: IngestSketch,
+}
+
+impl EpochIngest {
+    /// Bootstrap exact-only ingestion from historical data and publish the
+    /// first epoch covering it.
+    pub fn exact(
+        store: Arc<EpochStore>,
+        historical: &SeriesCollection,
+        basic_window: usize,
+    ) -> Result<(Self, Arc<Epoch>)> {
+        let sketch = SketchSet::build(historical, basic_window)?;
+        let first = store.publish(Some(sketch.clone()), None)?;
+        Ok((
+            Self {
+                store,
+                buffer: StreamBuffer::new(historical.len(), basic_window)?,
+                sketch: IngestSketch::Exact(sketch),
+            },
+            first,
+        ))
+    }
+
+    /// Bootstrap dual-method ingestion (exact base + DFT comparator) from
+    /// historical data and publish the first epoch covering it.
+    pub fn dual(
+        store: Arc<EpochStore>,
+        historical: &SeriesCollection,
+        basic_window: usize,
+        coefficients: usize,
+        transform: Transform,
+    ) -> Result<(Self, Arc<Epoch>)> {
+        let sketch = DftSketchSet::build(historical, basic_window, coefficients, transform)?;
+        let first = store.publish(Some(sketch.base().clone()), Some(sketch.clone()))?;
+        Ok((
+            Self {
+                store,
+                buffer: StreamBuffer::new(historical.len(), basic_window)?,
+                sketch: IngestSketch::Dual { sketch, transform },
+            },
+            first,
+        ))
+    }
+
+    /// The store this ingest publishes into.
+    pub fn store(&self) -> &Arc<EpochStore> {
+        &self.store
+    }
+
+    /// Feed newly observed points (`updates[i]` are the new points of series
+    /// `i`, any length). Every completed basic window extends the sketch and
+    /// publishes one epoch; leftovers stay buffered. Returns the epochs
+    /// published by this call, oldest first.
+    pub fn ingest(&mut self, updates: &[Vec<f64>]) -> Result<Vec<Arc<Epoch>>> {
+        let chunks = self.buffer.push(updates)?;
+        let mut published = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            match &mut self.sketch {
+                IngestSketch::Exact(sketch) => {
+                    let (stats, corrs) = exact_window_parts(&chunk);
+                    sketch.push_window(stats, corrs)?;
+                    published.push(self.store.publish(Some(sketch.clone()), None)?);
+                }
+                IngestSketch::Dual { sketch, transform } => {
+                    sketch.push_window(&chunk, *transform)?;
+                    published.push(
+                        self.store
+                            .publish(Some(sketch.base().clone()), Some(sketch.clone()))?,
+                    );
+                }
+            }
+        }
+        Ok(published)
+    }
+}
+
+/// Sketch one completed basic window: per-series statistics plus the packed
+/// per-pair correlations, through the same z-normalize-then-`Z·Zᵀ` tiled
+/// kernel as [`SketchSet::build`] — a window grown here is bit-identical to
+/// the same window in a from-scratch sketch.
+fn exact_window_parts(chunk: &[Vec<f64>]) -> (Vec<WindowStats>, Vec<f64>) {
+    let n = chunk.len();
+    let b = chunk.first().map(|p| p.len()).unwrap_or(0);
+    let stats: Vec<WindowStats> = chunk
+        .iter()
+        .map(|points| WindowStats::from_values(points))
+        .collect();
+    let mut z = vec![0.0f64; n * b];
+    for (i, points) in chunk.iter().enumerate() {
+        normalize_into(points, &stats[i], &mut z[i * b..(i + 1) * b]);
+    }
+    let mut corrs = vec![0.0f64; n * n.saturating_sub(1) / 2];
+    tiled_pair_corrs_into(&z, n, b, &mut corrs);
+    (stats, corrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection(n: usize, len: usize) -> SeriesCollection {
+        SeriesCollection::from_rows(
+            (0..n)
+                .map(|s| {
+                    (0..len)
+                        .map(|i| {
+                            (i as f64 * 0.13 + s as f64).sin() + ((i * (s + 3)) % 7) as f64 * 0.1
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn store_publishes_sequential_ids_and_retains_by_capacity() {
+        let c = collection(3, 60);
+        let store = EpochStore::new(2);
+        assert!(store.latest().is_none());
+        assert!(store.publish(None, None).is_err());
+        for expect in 1..=4u64 {
+            let sk = SketchSet::build(&c, 20).unwrap();
+            let e = store.publish(Some(sk), None).unwrap();
+            assert_eq!(e.id(), expect);
+            assert_eq!(store.latest().unwrap().id(), expect);
+        }
+        assert_eq!(store.published(), 4);
+        assert_eq!(store.oldest_retained(), Some(3));
+        assert!(store.get(2).is_none());
+        assert_eq!(store.get(4).unwrap().id(), 4);
+    }
+
+    #[test]
+    fn exact_ingest_grows_windows_and_matches_rebuild() {
+        let full = collection(4, 100);
+        let historical = full.truncate_length(60).unwrap();
+        let store = Arc::new(EpochStore::new(8));
+        let (mut ingest, first) = EpochIngest::exact(Arc::clone(&store), &historical, 20).unwrap();
+        assert_eq!(first.id(), 1);
+        assert_eq!(first.window_count(), 3);
+
+        // Stream the remaining 40 points in two uneven pushes.
+        let push = |lo: usize, hi: usize| -> Vec<Vec<f64>> {
+            full.iter().map(|s| s.values()[lo..hi].to_vec()).collect()
+        };
+        assert!(ingest.ingest(&push(60, 73)).unwrap().is_empty());
+        let published = ingest.ingest(&push(73, 100)).unwrap();
+        assert_eq!(published.len(), 2);
+        assert_eq!(published[1].id(), 3);
+        assert_eq!(published[1].window_count(), 5);
+
+        // The grown sketch is bit-identical to a from-scratch build.
+        let rebuilt = SketchSet::build(&full, 20).unwrap();
+        assert_eq!(published[1].exact().unwrap().as_ref(), &rebuilt);
+    }
+
+    #[test]
+    fn dual_ingest_publishes_both_methods() {
+        let full = collection(3, 80);
+        let historical = full.truncate_length(40).unwrap();
+        let store = Arc::new(EpochStore::new(8));
+        let (mut ingest, first) =
+            EpochIngest::dual(Arc::clone(&store), &historical, 20, 20, Transform::Naive).unwrap();
+        assert!(first.exact().is_some() && first.approx().is_some());
+
+        let push: Vec<Vec<f64>> = full.iter().map(|s| s.values()[40..80].to_vec()).collect();
+        let published = ingest.ingest(&push).unwrap();
+        assert_eq!(published.len(), 2);
+        let last = &published[1];
+        assert_eq!(last.window_count(), 4);
+
+        let rebuilt = DftSketchSet::build(&full, 20, 20, Transform::Naive).unwrap();
+        assert_eq!(last.approx().unwrap().as_ref(), &rebuilt);
+        assert_eq!(last.exact().unwrap().as_ref(), rebuilt.base());
+    }
+}

@@ -1,0 +1,726 @@
+//! Wire protocol for the query server: length-prefixed binary frames.
+//!
+//! Every message is one frame: a little-endian `u32` byte length followed by
+//! that many payload bytes. The first payload byte is the opcode; the rest
+//! is a fixed-layout body (all integers little-endian, `f64` carried as raw
+//! IEEE-754 bits via [`f64::to_bits`] so correlation thresholds and edge
+//! weights round-trip **bit-exactly**).
+//!
+//! | opcode | direction | body |
+//! |--------|-----------|------|
+//! | `0x01` | request   | network: method `u8`, last_windows `u32`, theta bits `u64` |
+//! | `0x02` | request   | top-k: method `u8`, last_windows `u32`, k `u32` |
+//! | `0x03` | request   | stats: empty |
+//! | `0x81` | response  | network: epoch `u64`, nodes `u32`, nan `u64`, count `u32`, `(u32,u32)`×count |
+//! | `0x82` | response  | top-k: epoch `u64`, nan `u64`, count `u32`, `(u32,u32,u64)`×count |
+//! | `0x83` | response  | stats: ten `u64`/`u32` counters, see [`StatsReply`] |
+//! | `0xEE` | response  | error: code `u8`, message length `u32`, UTF-8 bytes |
+//!
+//! Decoding is strict: a body shorter or longer than its layout demands is a
+//! [`ProtoError::BadPayload`], never a panic or a silent truncation — the
+//! `serve_faults` suite drives this with generated malformed frames.
+
+use std::io::{self, Read, Write};
+
+/// Largest frame a server accepts from a client. Requests are tiny; anything
+/// bigger is a garbage or hostile length prefix.
+pub const MAX_REQUEST_FRAME: u32 = 4096;
+
+/// Largest frame a client accepts from a server. Edge lists over dense
+/// networks can be large, but bounded: 1 GiB is far beyond any n this
+/// reproduction handles.
+pub const MAX_RESPONSE_FRAME: u32 = 1 << 30;
+
+/// Consecutive mid-frame read timeouts tolerated before the peer is declared
+/// stalled. With the ~25 ms poll interval used by the server this is a
+/// multi-second budget — generous for a loopback test harness, finite for a
+/// wedged peer.
+pub const MID_FRAME_STALL_BUDGET: u32 = 400;
+
+const OP_NETWORK: u8 = 0x01;
+const OP_TOP_K: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_NETWORK_REPLY: u8 = 0x81;
+const OP_TOP_K_REPLY: u8 = 0x82;
+const OP_STATS_REPLY: u8 = 0x83;
+const OP_ERROR: u8 = 0xEE;
+
+/// Which sketch method a request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Lemma 1 exact recombination.
+    Exact,
+    /// Equation 5 DFT-sketch approximation.
+    Approximate,
+}
+
+impl Method {
+    fn to_wire(self) -> u8 {
+        match self {
+            Method::Exact => 0,
+            Method::Approximate => 1,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(Method::Exact),
+            1 => Ok(Method::Approximate),
+            other => Err(ProtoError::BadPayload(format!(
+                "unknown method byte 0x{other:02x}"
+            ))),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Build the θ-thresholded correlation network over the trailing
+    /// `last_windows` basic windows (`0` = all available windows).
+    Network {
+        /// Exact or approximate path.
+        method: Method,
+        /// Trailing window count; `0` selects every available window.
+        last_windows: u32,
+        /// Correlation threshold θ.
+        theta: f64,
+    },
+    /// Report the k most correlated pairs over the trailing windows.
+    TopK {
+        /// Exact or approximate path.
+        method: Method,
+        /// Trailing window count; `0` selects every available window.
+        last_windows: u32,
+        /// Number of edges requested.
+        k: u32,
+    },
+    /// Fetch server/cache/epoch counters.
+    Stats,
+}
+
+/// Body of a stats response: a point-in-time counter snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Latest published epoch id (0 when none yet).
+    pub epoch: u64,
+    /// Total epochs ever published.
+    pub published: u64,
+    /// Series count of the latest epoch.
+    pub series: u32,
+    /// Window count of the latest epoch.
+    pub windows: u32,
+    /// Requests served (including ones answered with an error frame).
+    pub requests: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Plan-cache evictions.
+    pub cache_evictions: u64,
+}
+
+/// Error codes carried by `0xEE` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame decoded but its body was malformed.
+    Malformed,
+    /// The request opcode is not known to this server.
+    UnknownOpcode,
+    /// The query itself was rejected (bad θ, window out of range, …).
+    Query,
+    /// The server has no published epoch (or method) to answer from.
+    Unavailable,
+    /// Unexpected internal failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::UnknownOpcode => 2,
+            ErrorCode::Query => 3,
+            ErrorCode::Unavailable => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::UnknownOpcode),
+            3 => Ok(ErrorCode::Query),
+            4 => Ok(ErrorCode::Unavailable),
+            5 => Ok(ErrorCode::Internal),
+            other => Err(ProtoError::BadPayload(format!(
+                "unknown error code 0x{other:02x}"
+            ))),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Network query result: the edge list above θ.
+    Network {
+        /// Epoch the answer was computed against.
+        epoch: u64,
+        /// Node (series) count of that epoch.
+        nodes: u32,
+        /// Pairs whose correlation was NaN (audited, not dropped).
+        nan_pairs: u64,
+        /// Edge endpoints `(i, j)` with `i < j`, ascending pair order.
+        edges: Vec<(u32, u32)>,
+    },
+    /// Top-k query result: ranked edges, strongest first.
+    TopK {
+        /// Epoch the answer was computed against.
+        epoch: u64,
+        /// Pairs whose correlation was NaN (audited, not dropped).
+        nan_pairs: u64,
+        /// `(i, j, corr)` sorted by descending correlation.
+        edges: Vec<(u32, u32, f64)>,
+    },
+    /// Stats snapshot.
+    Stats(StatsReply),
+    /// Typed failure; the connection stays open unless the transport itself
+    /// broke.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Protocol-level failures.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The peer closed the connection at a clean frame boundary.
+    Closed,
+    /// The peer closed mid-frame: bytes promised by the length prefix never
+    /// arrived.
+    Truncated,
+    /// The length prefix exceeds the negotiated maximum.
+    Oversized {
+        /// Length the prefix claimed.
+        len: u32,
+        /// Maximum this side accepts.
+        max: u32,
+    },
+    /// The peer stopped sending mid-frame for longer than the stall budget.
+    Stalled,
+    /// The frame's opcode byte is not recognised.
+    UnknownOpcode(u8),
+    /// The frame's body does not match its opcode's layout.
+    BadPayload(String),
+    /// Underlying transport error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Truncated => write!(f, "frame truncated by peer"),
+            ProtoError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            ProtoError::Stalled => write!(f, "peer stalled mid-frame"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            ProtoError::BadPayload(msg) => write!(f, "malformed payload: {msg}"),
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame transport
+// ---------------------------------------------------------------------------
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read exactly `buf.len()` bytes, tolerating up to [`MID_FRAME_STALL_BUDGET`]
+/// consecutive read timeouts. `started` reports whether any frame byte had
+/// already been consumed (distinguishes clean close from truncation).
+fn read_exact_patient(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    mut started: bool,
+) -> Result<(), ProtoError> {
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if started || filled > 0 {
+                    ProtoError::Truncated
+                } else {
+                    ProtoError::Closed
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                started = true;
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls >= MID_FRAME_STALL_BUDGET {
+                    return Err(ProtoError::Stalled);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame's payload. Returns `Ok(None)` when the connection is idle:
+/// the *first* byte of the length prefix timed out, meaning no frame has
+/// started — callers use this to poll a shutdown flag between frames. Once
+/// any byte has arrived the frame must complete: EOF becomes
+/// [`ProtoError::Truncated`] and a stall beyond the budget becomes
+/// [`ProtoError::Stalled`].
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut prefix = [0u8; 4];
+    // First byte: an idle timeout is not an error.
+    loop {
+        match r.read(&mut prefix[..1]) {
+            Ok(0) => return Err(ProtoError::Closed),
+            Ok(_) => break,
+            Err(e) if is_timeout(&e) => return Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    read_exact_patient(r, &mut prefix[1..], true)?;
+    let len = u32::from_le_bytes(prefix);
+    if len > max_len {
+        return Err(ProtoError::Oversized { len, max: max_len });
+    }
+    if len == 0 {
+        return Err(ProtoError::BadPayload("empty frame".to_string()));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_patient(r, &mut payload, true)?;
+    Ok(Some(payload))
+}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Network {
+            method,
+            last_windows,
+            theta,
+        } => {
+            let mut out = Vec::with_capacity(14);
+            out.push(OP_NETWORK);
+            out.push(method.to_wire());
+            put_u32(&mut out, *last_windows);
+            put_u64(&mut out, theta.to_bits());
+            out
+        }
+        Request::TopK {
+            method,
+            last_windows,
+            k,
+        } => {
+            let mut out = Vec::with_capacity(10);
+            out.push(OP_TOP_K);
+            out.push(method.to_wire());
+            put_u32(&mut out, *last_windows);
+            put_u32(&mut out, *k);
+            out
+        }
+        Request::Stats => vec![OP_STATS],
+    }
+}
+
+/// Encode a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Network {
+            epoch,
+            nodes,
+            nan_pairs,
+            edges,
+        } => {
+            let mut out = Vec::with_capacity(25 + edges.len() * 8);
+            out.push(OP_NETWORK_REPLY);
+            put_u64(&mut out, *epoch);
+            put_u32(&mut out, *nodes);
+            put_u64(&mut out, *nan_pairs);
+            put_u32(&mut out, edges.len() as u32);
+            for &(i, j) in edges {
+                put_u32(&mut out, i);
+                put_u32(&mut out, j);
+            }
+            out
+        }
+        Response::TopK {
+            epoch,
+            nan_pairs,
+            edges,
+        } => {
+            let mut out = Vec::with_capacity(21 + edges.len() * 16);
+            out.push(OP_TOP_K_REPLY);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *nan_pairs);
+            put_u32(&mut out, edges.len() as u32);
+            for &(i, j, corr) in edges {
+                put_u32(&mut out, i);
+                put_u32(&mut out, j);
+                put_u64(&mut out, corr.to_bits());
+            }
+            out
+        }
+        Response::Stats(s) => {
+            let mut out = Vec::with_capacity(73);
+            out.push(OP_STATS_REPLY);
+            put_u64(&mut out, s.epoch);
+            put_u64(&mut out, s.published);
+            put_u32(&mut out, s.series);
+            put_u32(&mut out, s.windows);
+            put_u64(&mut out, s.requests);
+            put_u64(&mut out, s.errors);
+            put_u64(&mut out, s.connections);
+            put_u64(&mut out, s.cache_hits);
+            put_u64(&mut out, s.cache_misses);
+            put_u64(&mut out, s.cache_evictions);
+            out
+        }
+        Response::Error { code, message } => {
+            let bytes = message.as_bytes();
+            let mut out = Vec::with_capacity(6 + bytes.len());
+            out.push(OP_ERROR);
+            out.push(code.to_wire());
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload decoding
+// ---------------------------------------------------------------------------
+
+/// Strict cursor over a frame body: every read is bounds-checked and the
+/// caller asserts full consumption, so malformed input surfaces as a typed
+/// error instead of a panic or an accepted-but-garbled request.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                ProtoError::BadPayload(format!(
+                    "body ends at byte {} but layout needs {} more",
+                    self.buf.len(),
+                    self.pos + n - self.buf.len()
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::BadPayload(format!(
+                "{} trailing bytes after body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Decode a request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let req = match op {
+        OP_NETWORK => Request::Network {
+            method: Method::from_wire(c.u8()?)?,
+            last_windows: c.u32()?,
+            theta: f64::from_bits(c.u64()?),
+        },
+        OP_TOP_K => Request::TopK {
+            method: Method::from_wire(c.u8()?)?,
+            last_windows: c.u32()?,
+            k: c.u32()?,
+        },
+        OP_STATS => Request::Stats,
+        other => return Err(ProtoError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decode a response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let resp = match op {
+        OP_NETWORK_REPLY => {
+            let epoch = c.u64()?;
+            let nodes = c.u32()?;
+            let nan_pairs = c.u64()?;
+            let count = c.u32()? as usize;
+            let mut edges = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                edges.push((c.u32()?, c.u32()?));
+            }
+            Response::Network {
+                epoch,
+                nodes,
+                nan_pairs,
+                edges,
+            }
+        }
+        OP_TOP_K_REPLY => {
+            let epoch = c.u64()?;
+            let nan_pairs = c.u64()?;
+            let count = c.u32()? as usize;
+            let mut edges = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                edges.push((c.u32()?, c.u32()?, f64::from_bits(c.u64()?)));
+            }
+            Response::TopK {
+                epoch,
+                nan_pairs,
+                edges,
+            }
+        }
+        OP_STATS_REPLY => Response::Stats(StatsReply {
+            epoch: c.u64()?,
+            published: c.u64()?,
+            series: c.u32()?,
+            windows: c.u32()?,
+            requests: c.u64()?,
+            errors: c.u64()?,
+            connections: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            cache_evictions: c.u64()?,
+        }),
+        OP_ERROR => {
+            let code = ErrorCode::from_wire(c.u8()?)?;
+            let len = c.u32()? as usize;
+            let bytes = c.take(len)?;
+            let message = String::from_utf8(bytes.to_vec())
+                .map_err(|_| ProtoError::BadPayload("error message is not UTF-8".to_string()))?;
+            Response::Error { code, message }
+        }
+        other => return Err(ProtoError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Network {
+                method: Method::Exact,
+                last_windows: 0,
+                theta: 0.7,
+            },
+            Request::Network {
+                method: Method::Approximate,
+                last_windows: 12,
+                theta: -0.25,
+            },
+            Request::TopK {
+                method: Method::Exact,
+                last_windows: 3,
+                k: 10,
+            },
+            Request::Stats,
+        ];
+        for req in &reqs {
+            let payload = encode_request(req);
+            assert_eq!(&decode_request(&payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exact() {
+        let resps = [
+            Response::Network {
+                epoch: 7,
+                nodes: 5,
+                nan_pairs: 2,
+                edges: vec![(0, 1), (2, 4)],
+            },
+            Response::TopK {
+                epoch: 9,
+                nan_pairs: 0,
+                edges: vec![(1, 3, 0.9999999999999999), (0, 2, -0.5)],
+            },
+            Response::Stats(StatsReply {
+                epoch: 3,
+                published: 3,
+                series: 8,
+                windows: 6,
+                requests: 100,
+                errors: 1,
+                connections: 4,
+                cache_hits: 40,
+                cache_misses: 6,
+                cache_evictions: 2,
+            }),
+            Response::Error {
+                code: ErrorCode::Query,
+                message: "theta out of range".to_string(),
+            },
+        ];
+        for resp in &resps {
+            let payload = encode_response(resp);
+            assert_eq!(&decode_response(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors() {
+        // Truncated network request body.
+        assert!(matches!(
+            decode_request(&[OP_NETWORK, 0, 1, 2]),
+            Err(ProtoError::BadPayload(_))
+        ));
+        // Trailing garbage after a stats request.
+        assert!(matches!(
+            decode_request(&[OP_STATS, 0xFF]),
+            Err(ProtoError::BadPayload(_))
+        ));
+        // Unknown opcode.
+        assert!(matches!(
+            decode_request(&[0x42]),
+            Err(ProtoError::UnknownOpcode(0x42))
+        ));
+        // Bad method byte.
+        let mut bad = encode_request(&Request::TopK {
+            method: Method::Exact,
+            last_windows: 1,
+            k: 1,
+        });
+        bad[1] = 9;
+        assert!(matches!(
+            decode_request(&bad),
+            Err(ProtoError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_flags_truncation_and_oversize() {
+        use std::io::Cursor as IoCursor;
+
+        // Clean close at a frame boundary.
+        let mut empty = IoCursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            read_frame(&mut empty, MAX_REQUEST_FRAME),
+            Err(ProtoError::Closed)
+        ));
+
+        // EOF mid-prefix.
+        let mut cut = IoCursor::new(vec![3u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cut, MAX_REQUEST_FRAME),
+            Err(ProtoError::Truncated)
+        ));
+
+        // EOF mid-body.
+        let mut body_cut = IoCursor::new(vec![5u8, 0, 0, 0, 1, 2]);
+        assert!(matches!(
+            read_frame(&mut body_cut, MAX_REQUEST_FRAME),
+            Err(ProtoError::Truncated)
+        ));
+
+        // Hostile length prefix.
+        let mut huge = IoCursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut huge, MAX_REQUEST_FRAME),
+            Err(ProtoError::Oversized { .. })
+        ));
+
+        // A well-formed frame round-trips.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[OP_STATS]).unwrap();
+        let mut ok = IoCursor::new(wire);
+        assert_eq!(
+            read_frame(&mut ok, MAX_REQUEST_FRAME).unwrap().unwrap(),
+            vec![OP_STATS]
+        );
+    }
+}

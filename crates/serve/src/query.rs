@@ -1,0 +1,493 @@
+//! Query evaluation against a published epoch: plan-cache lookup, then a
+//! partitioned streaming sweep fanned out over a [`WorkerPool`].
+//!
+//! Every result is **bit-identical** to the serial library call against the
+//! same epoch's sketch:
+//!
+//! * exact network ≡ [`tsubasa_core::exact::network_streamed_aligned`] — no
+//!   pruning, strict `c > θ` rule, exhaustive NaN audit;
+//! * exact top-k ≡ [`tsubasa_core::exact::top_k_aligned`] — Equation 4
+//!   tile pruning, total [`f64::total_cmp`] ranking;
+//! * approximate network ≡ [`ApproxPlan::network_streamed`] — Equation 4
+//!   radius predicate with tile pruning;
+//! * approximate top-k ≡ [`ApproxPlan::top_k`].
+//!
+//! The equivalence rests on the PR 6 invariant (tile and run boundaries
+//! never change any pair's arithmetic) plus ordered merging: runs are
+//! contiguous ascending pair ranges, so absorbing per-run edge lists in run
+//! order reproduces the serial emission order, and the top-k heap merge is
+//! order-insensitive by construction. The `serve_concurrency` suite pins
+//! this bit-for-bit across worker counts.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use tsubasa_core::error::Error;
+use tsubasa_core::plan::{even_sizes, PlanKey, PlanMethod};
+use tsubasa_core::runner::Job;
+use tsubasa_core::sweep::{
+    sweep_run, CorrelationBounds, EdgeList, EdgeSink, TopK, TopKSink, DEFAULT_TILE_PAIRS,
+};
+use tsubasa_core::{QueryPlan, SketchSet};
+use tsubasa_dft::plan::RadiusEdgeSink;
+use tsubasa_dft::sketch::DftSketchSet;
+use tsubasa_dft::ApproxPlan;
+use tsubasa_parallel::WorkerPool;
+use tsubasa_stream::EpochSketches;
+
+use crate::cache::{CachedPlan, PlanCache};
+use crate::epoch::{Epoch, EpochStore};
+
+/// Failures answering a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The server cannot answer yet: no epoch published, or the epoch does
+    /// not carry the requested method's sketch.
+    Unavailable(String),
+    /// The query parameters were rejected (bad θ, window out of range, …).
+    Rejected(Error),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            QueryError::Rejected(e) => write!(f, "rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<Error> for QueryError {
+    fn from(e: Error) -> Self {
+        QueryError::Rejected(e)
+    }
+}
+
+/// Resolve a trailing-window request against an epoch covering `available`
+/// basic windows. `0` selects every available window; a request for more
+/// windows than exist is rejected, never silently clamped.
+pub fn resolve_windows(available: usize, last_windows: u32) -> Result<Range<usize>, QueryError> {
+    if available == 0 {
+        return Err(QueryError::Unavailable(
+            "epoch has no completed basic windows".to_string(),
+        ));
+    }
+    let lw = last_windows as usize;
+    if lw == 0 {
+        return Ok(0..available);
+    }
+    if lw > available {
+        return Err(QueryError::Rejected(Error::SketchMismatch {
+            requested: format!("trailing {lw} basic windows"),
+            available: format!("{available} basic windows"),
+        }));
+    }
+    Ok(available - lw..available)
+}
+
+/// Contiguous ascending pair runs of near-equal size, one per worker.
+fn partition_runs(pair_count: usize, parts: usize) -> Vec<Range<usize>> {
+    let mut start = 0usize;
+    even_sizes(pair_count, parts)
+        .into_iter()
+        .filter(|&s| s > 0)
+        .map(|s| {
+            let run = start..start + s;
+            start += s;
+            run
+        })
+        .collect()
+}
+
+/// The serving-side query engine: answers network / top-k requests from the
+/// latest published epoch, reusing built plans through a [`PlanCache`] and
+/// fanning the sweep over a shared [`WorkerPool`].
+///
+/// All methods take `&self`; the engine is shared across connection threads
+/// behind an `Arc`.
+#[derive(Debug)]
+pub struct QueryEngine {
+    store: Arc<EpochStore>,
+    cache: Arc<PlanCache>,
+    pool: Arc<WorkerPool>,
+}
+
+impl QueryEngine {
+    /// An engine answering from `store`, caching plans in `cache`, sweeping
+    /// on `pool`.
+    pub fn new(store: Arc<EpochStore>, cache: Arc<PlanCache>, pool: Arc<WorkerPool>) -> Self {
+        Self { store, cache, pool }
+    }
+
+    /// The epoch store answered from.
+    pub fn store(&self) -> &Arc<EpochStore> {
+        &self.store
+    }
+
+    /// The plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The worker pool sweeps fan out over.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Publish the next epoch and drop cached plans for epochs that rolled
+    /// out of retention.
+    pub fn publish(&self, sketches: EpochSketches) -> tsubasa_core::error::Result<Arc<Epoch>> {
+        let epoch = self.store.publish_sketches(sketches)?;
+        if let Some(oldest) = self.store.oldest_retained() {
+            self.cache.invalidate_below(oldest);
+        }
+        Ok(epoch)
+    }
+
+    fn latest(&self) -> Result<Arc<Epoch>, QueryError> {
+        self.store
+            .latest()
+            .ok_or_else(|| QueryError::Unavailable("no epoch published yet".to_string()))
+    }
+
+    /// Thresholded network over the trailing windows of the latest epoch.
+    /// Returns the answering epoch's id alongside the edge list.
+    pub fn network(
+        &self,
+        method: PlanMethod,
+        last_windows: u32,
+        theta: f64,
+    ) -> Result<(u64, EdgeList), QueryError> {
+        let epoch = self.latest()?;
+        let edges = self.network_on(&epoch, method, last_windows, theta)?;
+        Ok((epoch.id(), edges))
+    }
+
+    /// Top-k strongest pairs over the trailing windows of the latest epoch.
+    /// Returns the answering epoch's id alongside the ranked edges.
+    pub fn top_k(
+        &self,
+        method: PlanMethod,
+        last_windows: u32,
+        k: u32,
+    ) -> Result<(u64, TopK), QueryError> {
+        let epoch = self.latest()?;
+        let ranked = self.top_k_on(&epoch, method, last_windows, k)?;
+        Ok((epoch.id(), ranked))
+    }
+
+    /// [`QueryEngine::network`] against a specific epoch (used by tests to
+    /// re-check a response against the snapshot that produced it).
+    pub fn network_on(
+        &self,
+        epoch: &Epoch,
+        method: PlanMethod,
+        last_windows: u32,
+        theta: f64,
+    ) -> Result<EdgeList, QueryError> {
+        if !(-1.0..=1.0).contains(&theta) {
+            return Err(QueryError::Rejected(Error::InvalidThreshold(theta)));
+        }
+        let windows = resolve_windows(epoch.window_count(), last_windows)?;
+        match method {
+            PlanMethod::Exact => {
+                let sketch = require_exact(epoch)?;
+                let n = sketch.series_count();
+                if n < 2 {
+                    return Ok(EdgeSink::new(theta).finish(n));
+                }
+                let (plan, _bounds) = self.exact_plan(epoch.id(), sketch, windows)?;
+                let view = sketch.window_corrs_view(plan.full_windows());
+                let runs = partition_runs(n * (n - 1) / 2, self.pool.size());
+                let mut sinks: Vec<EdgeSink> = runs.iter().map(|_| EdgeSink::new(theta)).collect();
+                let plan_ref: &QueryPlan = &plan;
+                let jobs: Vec<Job<'_>> = runs
+                    .into_iter()
+                    .zip(sinks.iter_mut())
+                    .map(|(run, sink)| {
+                        // Exact network: no pruning, mirroring the serial
+                        // streamed path's exhaustive NaN audit.
+                        Box::new(move || {
+                            sweep_run(plan_ref, &view, None, run, DEFAULT_TILE_PAIRS, sink);
+                        }) as Job<'_>
+                    })
+                    .collect();
+                self.pool.run_jobs(jobs);
+                Ok(merge_edges(sinks.into_iter().map(|s| s.finish(n))))
+            }
+            PlanMethod::Approximate => {
+                let sketch = require_approx(epoch)?;
+                let n = sketch.series_count();
+                if n < 2 {
+                    return Ok(RadiusEdgeSink::new(theta)?.finish(n));
+                }
+                let (plan, bounds) = self.approx_plan(epoch.id(), sketch, windows)?;
+                let runs = partition_runs(plan.pair_count(), self.pool.size());
+                let mut sinks = runs
+                    .iter()
+                    .map(|_| RadiusEdgeSink::new(theta))
+                    .collect::<tsubasa_core::error::Result<Vec<_>>>()?;
+                let plan_ref: &ApproxPlan = &plan;
+                let bounds_ref: &CorrelationBounds = &bounds;
+                let jobs: Vec<Job<'_>> = runs
+                    .into_iter()
+                    .zip(sinks.iter_mut())
+                    .map(|(run, sink)| {
+                        Box::new(move || {
+                            plan_ref.sweep_run(Some(bounds_ref), run, DEFAULT_TILE_PAIRS, sink);
+                        }) as Job<'_>
+                    })
+                    .collect();
+                self.pool.run_jobs(jobs);
+                Ok(merge_edges(sinks.into_iter().map(|s| s.finish(n))))
+            }
+        }
+    }
+
+    /// [`QueryEngine::top_k`] against a specific epoch.
+    pub fn top_k_on(
+        &self,
+        epoch: &Epoch,
+        method: PlanMethod,
+        last_windows: u32,
+        k: u32,
+    ) -> Result<TopK, QueryError> {
+        let k = k as usize;
+        let windows = resolve_windows(epoch.window_count(), last_windows)?;
+        match method {
+            PlanMethod::Exact => {
+                let sketch = require_exact(epoch)?;
+                let n = sketch.series_count();
+                if n < 2 {
+                    return Ok(TopKSink::new(k).finish());
+                }
+                let (plan, bounds) = self.exact_plan(epoch.id(), sketch, windows)?;
+                let view = sketch.window_corrs_view(plan.full_windows());
+                let runs = partition_runs(n * (n - 1) / 2, self.pool.size());
+                let mut sinks: Vec<TopKSink> = runs.iter().map(|_| TopKSink::new(k)).collect();
+                let plan_ref: &QueryPlan = &plan;
+                let bounds_ref: &CorrelationBounds = &bounds;
+                let jobs: Vec<Job<'_>> = runs
+                    .into_iter()
+                    .zip(sinks.iter_mut())
+                    .map(|(run, sink)| {
+                        Box::new(move || {
+                            sweep_run(
+                                plan_ref,
+                                &view,
+                                Some(bounds_ref),
+                                run,
+                                DEFAULT_TILE_PAIRS,
+                                sink,
+                            );
+                        }) as Job<'_>
+                    })
+                    .collect();
+                self.pool.run_jobs(jobs);
+                Ok(merge_top_k(k, sinks))
+            }
+            PlanMethod::Approximate => {
+                let sketch = require_approx(epoch)?;
+                let n = sketch.series_count();
+                if n < 2 {
+                    return Ok(TopKSink::new(k).finish());
+                }
+                let (plan, bounds) = self.approx_plan(epoch.id(), sketch, windows)?;
+                let runs = partition_runs(plan.pair_count(), self.pool.size());
+                let mut sinks: Vec<TopKSink> = runs.iter().map(|_| TopKSink::new(k)).collect();
+                let plan_ref: &ApproxPlan = &plan;
+                let bounds_ref: &CorrelationBounds = &bounds;
+                let jobs: Vec<Job<'_>> = runs
+                    .into_iter()
+                    .zip(sinks.iter_mut())
+                    .map(|(run, sink)| {
+                        Box::new(move || {
+                            plan_ref.sweep_run(Some(bounds_ref), run, DEFAULT_TILE_PAIRS, sink);
+                        }) as Job<'_>
+                    })
+                    .collect();
+                self.pool.run_jobs(jobs);
+                Ok(merge_top_k(k, sinks))
+            }
+        }
+    }
+
+    fn exact_plan(
+        &self,
+        epoch_id: u64,
+        sketch: &SketchSet,
+        windows: Range<usize>,
+    ) -> Result<(Arc<QueryPlan>, Arc<CorrelationBounds>), QueryError> {
+        let key = PlanKey::new(epoch_id, windows.clone(), PlanMethod::Exact);
+        let cached = self.cache.get_or_build(key, || {
+            let plan = QueryPlan::build_aligned(sketch, windows.clone())?;
+            let bounds = CorrelationBounds::from_plan(&plan);
+            Ok(CachedPlan::Exact {
+                plan: Arc::new(plan),
+                bounds: Arc::new(bounds),
+            })
+        })?;
+        match cached {
+            CachedPlan::Exact { plan, bounds } => Ok((plan, bounds)),
+            // Impossible: the key encodes the method.
+            CachedPlan::Approx { .. } => Err(QueryError::Rejected(Error::Storage(
+                "plan cache returned a mismatched method".to_string(),
+            ))),
+        }
+    }
+
+    fn approx_plan(
+        &self,
+        epoch_id: u64,
+        sketch: &DftSketchSet,
+        windows: Range<usize>,
+    ) -> Result<(Arc<ApproxPlan>, Arc<CorrelationBounds>), QueryError> {
+        let key = PlanKey::new(epoch_id, windows.clone(), PlanMethod::Approximate);
+        let cached = self.cache.get_or_build(key, || {
+            let plan = ApproxPlan::build(sketch, windows.clone())?;
+            let bounds = plan.tile_bounds();
+            Ok(CachedPlan::Approx {
+                plan: Arc::new(plan),
+                bounds: Arc::new(bounds),
+            })
+        })?;
+        match cached {
+            CachedPlan::Approx { plan, bounds } => Ok((plan, bounds)),
+            CachedPlan::Exact { .. } => Err(QueryError::Rejected(Error::Storage(
+                "plan cache returned a mismatched method".to_string(),
+            ))),
+        }
+    }
+}
+
+fn require_exact(epoch: &Epoch) -> Result<&SketchSet, QueryError> {
+    epoch
+        .exact()
+        .map(|a| a.as_ref())
+        .ok_or_else(|| QueryError::Unavailable("epoch carries no exact sketch".to_string()))
+}
+
+fn require_approx(epoch: &Epoch) -> Result<&DftSketchSet, QueryError> {
+    epoch
+        .approx()
+        .map(|a| a.as_ref())
+        .ok_or_else(|| QueryError::Unavailable("epoch carries no DFT sketch".to_string()))
+}
+
+/// Merge per-run edge lists in run order. Runs are contiguous ascending pair
+/// ranges, so appending in order reproduces the serial emission order
+/// exactly.
+fn merge_edges(parts: impl Iterator<Item = EdgeList>) -> EdgeList {
+    let mut parts = parts;
+    let mut merged = parts.next().expect("at least one run");
+    for part in parts {
+        merged.absorb(part);
+    }
+    merged
+}
+
+/// Merge per-run top-k heaps, then rank. The merged heap holds the k best
+/// of the union, identical to the serial single-sink heap.
+fn merge_top_k(_k: usize, sinks: Vec<TopKSink>) -> TopK {
+    let mut sinks = sinks.into_iter();
+    let mut merged = sinks.next().expect("at least one run");
+    for sink in sinks {
+        merged.absorb(sink);
+    }
+    merged.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsubasa_core::exact;
+    use tsubasa_core::SeriesCollection;
+    use tsubasa_dft::sketch::Transform;
+
+    fn engine(workers: usize) -> (QueryEngine, DftSketchSet) {
+        let c = SeriesCollection::from_rows(
+            (0..6)
+                .map(|s| {
+                    (0..120)
+                        .map(|i| {
+                            (i as f64 * 0.11 + s as f64 * 0.7).sin()
+                                + ((i * (s + 2)) % 11) as f64 * 0.05
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let dft = DftSketchSet::build(&c, 24, 24, Transform::Naive).unwrap();
+        let store = Arc::new(EpochStore::new(4));
+        store
+            .publish(Some(dft.base().clone()), Some(dft.clone()))
+            .unwrap();
+        let eng = QueryEngine::new(
+            store,
+            Arc::new(PlanCache::new(8)),
+            Arc::new(WorkerPool::new(workers)),
+        );
+        (eng, dft)
+    }
+
+    fn assert_edges_eq(a: &EdgeList, b: &EdgeList) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.nan_pair_count(), b.nan_pair_count());
+    }
+
+    #[test]
+    fn parallel_queries_match_serial_bit_for_bit() {
+        for workers in [1usize, 3] {
+            let (eng, dft) = engine(workers);
+            let base = dft.base();
+
+            let (epoch, net) = eng.network(PlanMethod::Exact, 0, 0.2).unwrap();
+            assert_eq!(epoch, 1);
+            let serial =
+                exact::network_streamed_aligned(base, 0..base.window_count(), 0.2).unwrap();
+            assert_edges_eq(&net, &serial);
+
+            let (_, trailing) = eng.network(PlanMethod::Exact, 2, 0.2).unwrap();
+            let serial = exact::network_streamed_aligned(
+                base,
+                base.window_count() - 2..base.window_count(),
+                0.2,
+            )
+            .unwrap();
+            assert_edges_eq(&trailing, &serial);
+
+            let (_, top) = eng.top_k(PlanMethod::Exact, 0, 7).unwrap();
+            let serial = exact::top_k_aligned(base, 0..base.window_count(), 7).unwrap();
+            assert_eq!(top.edges, serial.edges);
+
+            let plan = ApproxPlan::build(&dft, 0..dft.window_count()).unwrap();
+            let (_, net) = eng.network(PlanMethod::Approximate, 0, 0.2).unwrap();
+            assert_edges_eq(&net, &plan.network_streamed(0.2).unwrap());
+            let (_, top) = eng.top_k(PlanMethod::Approximate, 0, 5).unwrap();
+            assert_eq!(top.edges, plan.top_k(5).edges);
+        }
+    }
+
+    #[test]
+    fn window_resolution_rejects_out_of_range() {
+        assert!(matches!(
+            resolve_windows(5, 6),
+            Err(QueryError::Rejected(Error::SketchMismatch { .. }))
+        ));
+        assert_eq!(resolve_windows(5, 0).unwrap(), 0..5);
+        assert_eq!(resolve_windows(5, 2).unwrap(), 3..5);
+        let (eng, _) = engine(2);
+        assert!(matches!(
+            eng.network(PlanMethod::Exact, 0, 1.5),
+            Err(QueryError::Rejected(Error::InvalidThreshold(_)))
+        ));
+        assert!(matches!(
+            eng.network(PlanMethod::Exact, 99, 0.5),
+            Err(QueryError::Rejected(Error::SketchMismatch { .. }))
+        ));
+    }
+}

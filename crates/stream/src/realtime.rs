@@ -41,6 +41,26 @@ enum Updater {
     Approx(SlidingApproxNetwork),
 }
 
+/// The sketches frozen from the current sliding query window by
+/// [`RealTimeNetwork::publish_epoch`] — an immutable snapshot a publication
+/// layer (e.g. `tsubasa-serve`'s `EpochStore`) can hand to readers behind an
+/// `Arc` while ingestion keeps sliding.
+///
+/// Exactly one field is populated, matching the network's [`UpdateEngine`]:
+/// the exact engine yields a [`SketchSet`], the approximate engine a
+/// [`DftSketchSet`] (whose base pair correlations are NaN — the repo-wide
+/// marker for method-mismatched sketch data — so exact queries against an
+/// approximate epoch are answerable only through the NaN-auditing sinks).
+#[derive(Debug, Clone)]
+pub struct EpochSketches {
+    /// Exact per-window statistics and pair correlations, when the network
+    /// runs the exact (Lemma 2) updater.
+    pub exact: Option<SketchSet>,
+    /// The DFT comparator sketch, when the network runs the approximate
+    /// (Equation 6) updater.
+    pub approx: Option<DftSketchSet>,
+}
+
 /// A continuously maintained climate network over the `m` most recent
 /// observations of a collection of streams.
 pub struct RealTimeNetwork {
@@ -152,6 +172,34 @@ impl RealTimeNetwork {
     /// The current climate network at an ad-hoc threshold.
     pub fn network_with_threshold(&self, theta: f64) -> AdjacencyMatrix {
         self.correlation_matrix().threshold_lenient(theta)
+    }
+
+    /// Number of basic windows inside the sliding query window — the window
+    /// count of every sketch [`RealTimeNetwork::publish_epoch`] freezes.
+    pub fn window_count(&self) -> usize {
+        match &self.updater {
+            Updater::Exact(net) => net.window_count(),
+            Updater::Approx(net) => net.window_count(),
+        }
+    }
+
+    /// Freeze the current sliding query window into an immutable
+    /// [`EpochSketches`] snapshot (basic windows re-indexed from 0, oldest
+    /// first). Call after each applied update to publish one epoch per
+    /// completed basic window; the snapshot shares no storage with the live
+    /// network, so readers can plan and query against it while subsequent
+    /// [`RealTimeNetwork::ingest`] calls keep sliding.
+    pub fn publish_epoch(&self) -> Result<EpochSketches> {
+        match &self.updater {
+            Updater::Exact(net) => Ok(EpochSketches {
+                exact: Some(net.snapshot_sketch()?),
+                approx: None,
+            }),
+            Updater::Approx(net) => Ok(EpochSketches {
+                exact: None,
+                approx: Some(net.snapshot_sketch()?),
+            }),
+        }
     }
 }
 

@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers,
         batch_pairs: 128,
         sketch_method: SketchMethod::Exact,
+        audit_pruned_chunks: false,
     });
 
     // --- Sketch phase: computation workers + one database writer -----------

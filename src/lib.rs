@@ -14,6 +14,8 @@
 //! * [`parallel`] — the partitioned parallel sketch/query engine.
 //! * [`stream`] — chunked real-time ingestion and incremental updates.
 //! * [`network`] — climate-network graph analysis and export.
+//! * [`serve`] — epoch-published sketches, a plan cache, and a concurrent
+//!   TCP query server.
 //!
 //! See the repository README for a walk-through and `examples/` for runnable
 //! end-to-end scenarios.
@@ -25,6 +27,7 @@ pub use tsubasa_data as data;
 pub use tsubasa_dft as dft;
 pub use tsubasa_network as network;
 pub use tsubasa_parallel as parallel;
+pub use tsubasa_serve as serve;
 pub use tsubasa_storage as storage;
 pub use tsubasa_stream as stream;
 
@@ -36,6 +39,7 @@ pub mod prelude {
     pub use tsubasa_dft::{ApproxPlan, DftSketchSet, SlidingApproxNetwork};
     pub use tsubasa_network::{ApproxNetworkBuilder, ClimateNetwork, NetworkComparison};
     pub use tsubasa_parallel::{ParallelConfig, ParallelEngine};
+    pub use tsubasa_serve::{EpochIngest, EpochStore, PlanCache, QueryEngine, ServeClient};
     pub use tsubasa_storage::{DiskSketchStore, MemorySketchStore, SketchStore};
     pub use tsubasa_stream::{RealTimeNetwork, StreamBuffer};
 }

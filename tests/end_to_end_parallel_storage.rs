@@ -40,6 +40,7 @@ fn parallel_disk_pipeline_matches_serial_exact_path() {
         workers: 4,
         batch_pairs: 16,
         sketch_method: SketchMethod::Exact,
+        audit_pruned_chunks: false,
     });
     let sketch_report = engine
         .sketch_to_store(&collection, b, store.clone())
@@ -76,6 +77,7 @@ fn disk_and_memory_stores_are_interchangeable() {
         workers: 3,
         batch_pairs: 8,
         sketch_method: SketchMethod::Exact,
+        audit_pruned_chunks: false,
     });
 
     let mem: Arc<dyn SketchStore> = Arc::new(MemorySketchStore::new(layout));
@@ -165,6 +167,7 @@ fn partition_count_changes_throughput_not_results() {
             workers,
             batch_pairs: 4,
             sketch_method: SketchMethod::Exact,
+            audit_pruned_chunks: false,
         });
         engine
             .sketch_to_store(&collection, b, store.clone())

@@ -1,0 +1,292 @@
+//! Protocol fault injection for the serve crate (PR 7).
+//!
+//! The server must treat the network as hostile: truncated frames, oversized
+//! length prefixes, unknown opcodes, random bytes, and mid-request
+//! disconnects must each produce a typed `0xEE` error frame or a clean
+//! close — never a panic, never a wedged worker. After every fault the
+//! server must still answer a well-formed request on a fresh connection.
+//!
+//! * deterministic tests pin each fault class and the exact error code it
+//!   maps to;
+//! * a 64-case property suite drives a malformed-frame generator (mutation
+//!   of a valid request) against one long-lived server.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tsubasa_core::SeriesCollection;
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+use tsubasa_parallel::WorkerPool;
+use tsubasa_serve::proto::{
+    decode_response, encode_request, read_frame, write_frame, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+};
+use tsubasa_serve::{
+    server, EpochStore, ErrorCode, Method, PlanCache, QueryEngine, Request, Response, ServeClient,
+    ServerHandle,
+};
+
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+            (i as f64 * 0.31).sin() + noise * 0.5
+        })
+        .collect()
+}
+
+/// One server shared by the whole suite: if any fault wedged or killed it,
+/// every later test's follow-up request would fail.
+fn fixture() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let c =
+            SeriesCollection::from_rows((0..4).map(|s| lcg_series(90 + s as u64, 80)).collect())
+                .unwrap();
+        let dft = DftSketchSet::build(&c, 20, 20, Transform::Naive).unwrap();
+        let store = Arc::new(EpochStore::new(8));
+        store.publish(Some(dft.base().clone()), Some(dft)).unwrap();
+        let engine = Arc::new(QueryEngine::new(
+            store,
+            Arc::new(PlanCache::new(16)),
+            Arc::new(WorkerPool::new(2)),
+        ));
+        server::start(engine, "127.0.0.1:0").unwrap()
+    })
+}
+
+fn addr() -> SocketAddr {
+    fixture().local_addr()
+}
+
+fn raw_conn() -> TcpStream {
+    let s = TcpStream::connect(addr()).unwrap();
+    s.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    s.set_nodelay(true).unwrap();
+    s
+}
+
+/// A well-formed request must succeed — proves the server is still serving.
+fn assert_still_serving() {
+    let mut client = ServeClient::connect(addr()).unwrap();
+    client.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.epoch >= 1);
+    let net = client.network(Method::Exact, 0, 0.5).unwrap();
+    assert_eq!(net.nodes, 4);
+}
+
+/// Read one response frame off a raw connection.
+fn read_response(stream: &mut TcpStream) -> Response {
+    loop {
+        match read_frame(stream, MAX_RESPONSE_FRAME).unwrap() {
+            Some(payload) => return decode_response(&payload).unwrap(),
+            None => continue, // idle timeout tick
+        }
+    }
+}
+
+fn expect_error(resp: Response, code: ErrorCode) {
+    match resp {
+        Response::Error { code: got, .. } => assert_eq!(got, code),
+        other => panic!("expected {code:?} error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_opcode_is_typed_and_connection_survives() {
+    let mut s = raw_conn();
+    write_frame(&mut s, &[0x7f, 1, 2, 3]).unwrap();
+    expect_error(read_response(&mut s), ErrorCode::UnknownOpcode);
+
+    // The same connection keeps working: framing never lost sync.
+    write_frame(&mut s, &encode_request(&Request::Stats)).unwrap();
+    assert!(matches!(read_response(&mut s), Response::Stats(_)));
+    assert_still_serving();
+}
+
+#[test]
+fn malformed_body_is_typed_and_connection_survives() {
+    let mut s = raw_conn();
+    // Network opcode with a truncated body (needs method + windows + theta).
+    write_frame(&mut s, &[0x01, 0x00]).unwrap();
+    expect_error(read_response(&mut s), ErrorCode::Malformed);
+
+    write_frame(&mut s, &encode_request(&Request::Stats)).unwrap();
+    assert!(matches!(read_response(&mut s), Response::Stats(_)));
+    assert_still_serving();
+}
+
+#[test]
+fn empty_frame_is_malformed_and_connection_survives() {
+    let mut s = raw_conn();
+    write_frame(&mut s, &[]).unwrap();
+    expect_error(read_response(&mut s), ErrorCode::Malformed);
+
+    write_frame(&mut s, &encode_request(&Request::Stats)).unwrap();
+    assert!(matches!(read_response(&mut s), Response::Stats(_)));
+    assert_still_serving();
+}
+
+#[test]
+fn oversized_length_prefix_is_answered_then_closed() {
+    let mut s = raw_conn();
+    // A length prefix beyond the request cap: the server cannot resync past
+    // a frame it refuses to read, so it answers and hangs up.
+    let huge = (MAX_REQUEST_FRAME + 1).to_le_bytes();
+    s.write_all(&huge).unwrap();
+    expect_error(read_response(&mut s), ErrorCode::Malformed);
+
+    // The connection is now closed (EOF, not a hang).
+    match read_frame(&mut s, MAX_RESPONSE_FRAME) {
+        Err(_) => {}
+        Ok(other) => panic!("expected close after oversized frame, got {other:?}"),
+    }
+    assert_still_serving();
+}
+
+#[test]
+fn mid_request_disconnect_does_not_wedge_the_server() {
+    // Claim a 64-byte frame, deliver 3 bytes, vanish.
+    let mut s = raw_conn();
+    s.write_all(&64u32.to_le_bytes()).unwrap();
+    s.write_all(&[0x01, 0x02, 0x03]).unwrap();
+    drop(s);
+
+    // Half a length prefix, then vanish.
+    let mut s = raw_conn();
+    s.write_all(&[0x10, 0x00]).unwrap();
+    drop(s);
+
+    assert_still_serving();
+}
+
+#[test]
+fn query_rejections_are_query_errors_not_closes() {
+    let mut s = raw_conn();
+    // θ outside [-1, 1] is a query-level rejection.
+    write_frame(
+        &mut s,
+        &encode_request(&Request::Network {
+            method: Method::Exact,
+            last_windows: 0,
+            theta: 2.5,
+        }),
+    )
+    .unwrap();
+    expect_error(read_response(&mut s), ErrorCode::Query);
+
+    // More trailing windows than the epoch holds.
+    write_frame(
+        &mut s,
+        &encode_request(&Request::TopK {
+            method: Method::Exact,
+            last_windows: 10_000,
+            k: 3,
+        }),
+    )
+    .unwrap();
+    expect_error(read_response(&mut s), ErrorCode::Query);
+
+    // Same connection, valid request: still in sync.
+    write_frame(&mut s, &encode_request(&Request::Stats)).unwrap();
+    assert!(matches!(read_response(&mut s), Response::Stats(_)));
+}
+
+/// How a generated case corrupts its valid request frame.
+const MUT_TRUNCATE: u8 = 0;
+const MUT_INFLATE_PREFIX: u8 = 1;
+const MUT_BAD_OPCODE: u8 = 2;
+const MUT_RANDOM_BODY: u8 = 3;
+const MUT_DISCONNECT: u8 = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Malformed-frame generator: mutate a valid request frame, throw it at
+    /// the server, and require a typed error frame or a clean close — then
+    /// prove the server still answers a fresh well-formed request.
+    #[test]
+    fn prop_malformed_frames_never_kill_the_server(
+        kind in 0u8..3,
+        last_windows in 0u32..4,
+        theta in -0.9f64..0.9,
+        k in 0u32..8,
+        mutation in 0u8..5,
+        cut in 1usize..12,
+        opcode in 0x04u8..0xff,
+        body in collection::vec(0u8..255, 0..48),
+    ) {
+        let request = match kind {
+            0 => Request::Network { method: Method::Exact, last_windows, theta },
+            1 => Request::TopK { method: Method::Approximate, last_windows, k },
+            _ => Request::Stats,
+        };
+        let payload = encode_request(&request);
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let mut s = raw_conn();
+        match mutation {
+            MUT_TRUNCATE => {
+                // Deliver a strict prefix of the frame, then hang up: the
+                // server sees a mid-frame EOF and must drop the connection.
+                let keep = cut.min(frame.len() - 1);
+                let _ = s.write_all(&frame[..keep]);
+                drop(s);
+            }
+            MUT_INFLATE_PREFIX => {
+                // Length prefix beyond the cap: typed error, then close.
+                let inflated = MAX_REQUEST_FRAME + 1 + cut as u32;
+                let _ = s.write_all(&inflated.to_le_bytes());
+                expect_error(read_response(&mut s), ErrorCode::Malformed);
+            }
+            MUT_BAD_OPCODE => {
+                // Valid framing, unknown opcode byte: typed error, and the
+                // connection keeps working.
+                let mut p = payload.clone();
+                p[0] = opcode;
+                write_frame(&mut s, &p).unwrap();
+                expect_error(read_response(&mut s), ErrorCode::UnknownOpcode);
+                write_frame(&mut s, &encode_request(&Request::Stats)).unwrap();
+                prop_assert!(matches!(read_response(&mut s), Response::Stats(_)));
+            }
+            MUT_RANDOM_BODY => {
+                // A known opcode with random body bytes: either it happens to
+                // decode (any response is fine) or it is a typed Malformed
+                // error. Never a close, never a hang.
+                let mut p = vec![if kind == 0 { 0x01 } else { 0x02 }];
+                p.extend_from_slice(&body);
+                write_frame(&mut s, &p).unwrap();
+                let resp = read_response(&mut s);
+                if let Response::Error { code, .. } = &resp {
+                    prop_assert!(
+                        matches!(code, ErrorCode::Malformed | ErrorCode::Query),
+                        "unexpected error class {code:?}"
+                    );
+                }
+                write_frame(&mut s, &encode_request(&Request::Stats)).unwrap();
+                prop_assert!(matches!(read_response(&mut s), Response::Stats(_)));
+            }
+            MUT_DISCONNECT => {
+                // Valid frame claimed, partial body delivered, disconnect.
+                let keep = 4 + (cut.min(payload.len().saturating_sub(1)));
+                let _ = s.write_all(&frame[..keep.min(frame.len())]);
+                drop(s);
+            }
+            _ => unreachable!("mutation selector out of range"),
+        }
+
+        // The fault above must not have taken the server down.
+        assert_still_serving();
+    }
+}

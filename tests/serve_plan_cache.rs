@@ -1,0 +1,219 @@
+//! Plan-cache guards (PR 7).
+//!
+//! A cached plan must be indistinguishable from a freshly built one — the
+//! cache is a pure memoization of `(epoch, windows, method) → plan` — and
+//! the LRU/invalidation machinery must never change results, only counters.
+//!
+//! * a 64-case property suite pins cached-plan answers **bit-equal** to
+//!   fresh-plan answers and to the serial library reference, for both
+//!   methods and both query kinds;
+//! * deterministic tests pin the LRU behavior at capacity 1 (the thrash
+//!   floor), the epoch-rollover invalidation, and the hit/miss/eviction
+//!   counters.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use tsubasa_core::plan::PlanMethod;
+use tsubasa_core::{exact, SeriesCollection};
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+use tsubasa_dft::ApproxPlan;
+use tsubasa_parallel::WorkerPool;
+use tsubasa_serve::{EpochStore, PlanCache, QueryEngine};
+use tsubasa_stream::EpochSketches;
+
+fn lcg_series(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0;
+            (i as f64 * 0.23).sin() * 1.5 + noise
+        })
+        .collect()
+}
+
+fn collection(seed: u64, n: usize, len: usize) -> SeriesCollection {
+    SeriesCollection::from_rows(
+        (0..n)
+            .map(|s| lcg_series(seed.wrapping_add(s as u64 * 7919), len))
+            .collect(),
+    )
+    .unwrap()
+}
+
+const BASIC: usize = 20;
+
+/// A dual-method epoch (exact base + DFT comparator) published into a fresh
+/// engine.
+fn engine(seed: u64, cache_capacity: usize, store_capacity: usize) -> (QueryEngine, DftSketchSet) {
+    let c = collection(seed, 6, 160);
+    let dft = DftSketchSet::build(&c, BASIC, BASIC, Transform::Naive).unwrap();
+    let store = Arc::new(EpochStore::new(store_capacity));
+    store
+        .publish(Some(dft.base().clone()), Some(dft.clone()))
+        .unwrap();
+    let eng = QueryEngine::new(
+        store,
+        Arc::new(PlanCache::new(cache_capacity)),
+        Arc::new(WorkerPool::new(2)),
+    );
+    (eng, dft)
+}
+
+fn shared() -> &'static (QueryEngine, DftSketchSet) {
+    static FIXTURE: OnceLock<(QueryEngine, DftSketchSet)> = OnceLock::new();
+    FIXTURE.get_or_init(|| engine(0x5eed, 64, 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A query answered from a cached plan is bit-identical to the same
+    /// query answered from a freshly built plan, and both equal the serial
+    /// library reference.
+    #[test]
+    fn prop_cached_plan_results_bit_equal_fresh(
+        theta in -0.9f64..0.9,
+        last_windows in 0u32..6,
+        k in 0u32..12,
+        method_sel in 0u8..2,
+    ) {
+        let (eng, dft) = shared();
+        let method = if method_sel == 1 { PlanMethod::Approximate } else { PlanMethod::Exact };
+        let wc = dft.window_count();
+        let windows = if last_windows == 0 {
+            0..wc
+        } else {
+            wc - last_windows as usize..wc
+        };
+
+        // First call may miss (builds the plan), second call hits the cache.
+        let (_, first) = eng.network(method, last_windows, theta).unwrap();
+        let hits_before = eng.cache().stats().hits;
+        let (_, second) = eng.network(method, last_windows, theta).unwrap();
+        prop_assert!(eng.cache().stats().hits > hits_before, "repeat must hit");
+        prop_assert_eq!(first.edges(), second.edges());
+        prop_assert_eq!(first.nan_pair_count(), second.nan_pair_count());
+
+        let (_, top_a) = eng.top_k(method, last_windows, k).unwrap();
+        let (_, top_b) = eng.top_k(method, last_windows, k).unwrap();
+        prop_assert_eq!(top_a.edges.len(), top_b.edges.len());
+        for (a, b) in top_a.edges.iter().zip(&top_b.edges) {
+            prop_assert_eq!((a.i, a.j, a.corr.to_bits()), (b.i, b.j, b.corr.to_bits()));
+        }
+
+        // Serial references, freshly planned every time.
+        match method {
+            PlanMethod::Exact => {
+                let net = exact::network_streamed_aligned(dft.base(), windows.clone(), theta).unwrap();
+                prop_assert_eq!(second.edges(), net.edges());
+                let top = exact::top_k_aligned(dft.base(), windows, k as usize).unwrap();
+                prop_assert_eq!(top_b.edges.len(), top.edges.len());
+                for (a, b) in top_b.edges.iter().zip(&top.edges) {
+                    prop_assert_eq!((a.i, a.j, a.corr.to_bits()), (b.i, b.j, b.corr.to_bits()));
+                }
+            }
+            PlanMethod::Approximate => {
+                let plan = ApproxPlan::build(dft, windows).unwrap();
+                let net = plan.network_streamed(theta).unwrap();
+                prop_assert_eq!(second.edges(), net.edges());
+                let top = plan.top_k(k as usize);
+                prop_assert_eq!(top_b.edges.len(), top.edges.len());
+                for (a, b) in top_b.edges.iter().zip(&top.edges) {
+                    prop_assert_eq!((a.i, a.j, a.corr.to_bits()), (b.i, b.j, b.corr.to_bits()));
+                }
+            }
+        }
+    }
+}
+
+/// Capacity-1 LRU: alternating window ranges thrash (every lookup a miss,
+/// every insert an eviction), repeated ranges hit — and results stay correct
+/// throughout.
+#[test]
+fn capacity_one_cache_thrashes_without_wrong_answers() {
+    let (eng, dft) = engine(0xcafe, 1, 4);
+    let wc = dft.window_count();
+
+    for round in 0..3 {
+        for lw in [2u32, 4] {
+            let (_, net) = eng.network(PlanMethod::Exact, lw, 0.3).unwrap();
+            let serial =
+                exact::network_streamed_aligned(dft.base(), wc - lw as usize..wc, 0.3).unwrap();
+            assert_eq!(net.edges(), serial.edges(), "round {round} lw {lw}");
+        }
+    }
+    let stats = eng.cache().stats();
+    // 6 alternating lookups on a capacity-1 cache: all misses, each insert
+    // evicting the previous entry.
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 6);
+    assert_eq!(stats.evictions, 5);
+    assert_eq!(stats.len, 1);
+
+    // A repeat of the resident range is a hit.
+    eng.network(PlanMethod::Exact, 4, 0.3).unwrap();
+    assert_eq!(eng.cache().stats().hits, 1);
+}
+
+/// Epoch rollover: cached plans for epochs that leave the retention window
+/// are invalidated (not counted as evictions), and the next query against
+/// the new epoch is a miss that still answers correctly.
+#[test]
+fn epoch_rollover_invalidates_stale_plans() {
+    let (eng, dft) = engine(0xfeed, 16, 2);
+
+    eng.network(PlanMethod::Exact, 0, 0.2).unwrap();
+    eng.top_k(PlanMethod::Exact, 0, 5).unwrap();
+    // Network and top-k over the same (epoch, windows, method) share one
+    // plan entry: the second query is a hit, not a second slot.
+    assert_eq!(eng.cache().stats().len, 1);
+    assert_eq!(eng.cache().stats().hits, 1);
+
+    // Publishing epoch 2 keeps epoch 1 retained (capacity 2): nothing
+    // invalidated yet.
+    let publish = |eng: &QueryEngine| {
+        eng.publish(EpochSketches {
+            exact: Some(dft.base().clone()),
+            approx: None,
+        })
+        .unwrap()
+    };
+    publish(&eng);
+    assert_eq!(eng.store().oldest_retained(), Some(1));
+    assert_eq!(eng.cache().stats().len, 1);
+
+    // Epoch 3 rolls epoch 1 out: its cached plan is dropped.
+    publish(&eng);
+    assert_eq!(eng.store().oldest_retained(), Some(2));
+    let stats = eng.cache().stats();
+    assert_eq!(stats.len, 0);
+    assert_eq!(stats.evictions, 0, "invalidation is not an eviction");
+
+    // The next query misses, plans against epoch 3, and still matches the
+    // serial reference.
+    let misses_before = eng.cache().stats().misses;
+    let (epoch, net) = eng.network(PlanMethod::Exact, 0, 0.2).unwrap();
+    assert_eq!(epoch, 3);
+    assert_eq!(eng.cache().stats().misses, misses_before + 1);
+    let wc = dft.window_count();
+    let serial = exact::network_streamed_aligned(dft.base(), 0..wc, 0.2).unwrap();
+    assert_eq!(net.edges(), serial.edges());
+}
+
+/// The exact and approximate plans for the same (epoch, windows) coordinate
+/// are distinct cache entries — a method never answers from the other
+/// method's plan.
+#[test]
+fn methods_occupy_distinct_cache_slots() {
+    let (eng, _) = engine(0xbead, 16, 4);
+    eng.network(PlanMethod::Exact, 0, 0.4).unwrap();
+    eng.network(PlanMethod::Approximate, 0, 0.4).unwrap();
+    let stats = eng.cache().stats();
+    assert_eq!(stats.len, 2);
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits, 0);
+}
