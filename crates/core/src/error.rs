@@ -89,6 +89,16 @@ pub enum Error {
         /// The configured limit in bytes.
         limit: u64,
     },
+    /// Two network snapshots (or a snapshot and the delta/tracker state it is
+    /// applied to) cover different node sets, so edge-level comparison or
+    /// delta application is undefined. Earlier versions panicked here; the
+    /// dynamics path now surfaces the mismatch as a typed error.
+    Mismatch {
+        /// Node count expected by the receiving side.
+        expected: usize,
+        /// Node count actually supplied.
+        found: usize,
+    },
     /// Catch-all for storage-layer and I/O failures surfaced through the core
     /// API (the storage crate wraps `std::io::Error` into this).
     Storage(String),
@@ -152,6 +162,11 @@ impl fmt::Display for Error {
                 "dense correlation buffer would need {bytes} bytes, over the {limit}-byte \
                  budget (TSUBASA_DENSE_LIMIT_BYTES); use the streamed API \
                  (network_streamed / top_k) instead"
+            ),
+            Error::Mismatch { expected, found } => write!(
+                f,
+                "node count mismatch: snapshots must cover the same node set \
+                 (expected {expected} nodes, found {found})"
             ),
             Error::Storage(msg) => write!(f, "storage error: {msg}"),
         }

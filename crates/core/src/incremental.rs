@@ -23,11 +23,12 @@
 
 use std::collections::VecDeque;
 
+use crate::delta::{DeltaBoundTables, EdgeDelta, EdgeWatch, SlideSweepInputs};
 use crate::error::{Error, Result};
 use crate::exact::{self, WindowContribution};
 use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
-use crate::plan::{self, QueryPlan};
-use crate::runner::{Job, JobRunner, SerialRunner};
+use crate::plan::QueryPlan;
+use crate::runner::{JobRunner, SerialRunner};
 use crate::sketch::SketchSet;
 use crate::stats::{clamp_corr, normalize_into, tiled_pair_corrs_into, WindowStats};
 use crate::timeseries::SeriesCollection;
@@ -181,6 +182,14 @@ pub fn lemma2_update(
         - b1 * (evicted.y.std.powi(2) + dy1 * dy1)
         - new_total * alpha_y * alpha_y;
 
+    // NaN anywhere in the inputs (NaN observations poison the arriving
+    // window's statistics, and from there every aggregate) must stay NaN so
+    // the lenient thresholding sinks can audit the pair. The old behaviour
+    // let `clamp_corr` silently map NaN to 0.0 — a plausible-looking
+    // correlation fabricated from undefined data.
+    if numerator.is_nan() || var_x_term.is_nan() || var_y_term.is_nan() {
+        return f64::NAN;
+    }
     if var_x_term <= 0.0 || var_y_term <= 0.0 {
         return 0.0;
     }
@@ -314,6 +323,10 @@ pub struct SlidingNetwork {
     pair_windows: VecDeque<Vec<f64>>,
     /// Current packed per-pair correlations over the sliding window.
     corrs: Vec<f64>,
+    /// Active edge subscription ([`SlidingNetwork::subscribe_edges`]): when
+    /// set, every ingest also maintains the θ-thresholded edge set and emits
+    /// an [`EdgeDelta`].
+    watch: Option<EdgeWatch>,
 }
 
 impl SlidingNetwork {
@@ -379,6 +392,7 @@ impl SlidingNetwork {
             series,
             pair_windows,
             corrs,
+            watch: None,
         })
     }
 
@@ -464,53 +478,36 @@ impl SlidingNetwork {
         // Apply Lemma 2 to every pair before mutating any per-series state,
         // one disjoint contiguous slice of the packed triangle per worker.
         // The evicted window's correlations are moved out up front so the
-        // sweep can borrow `self.corrs` mutably alongside them.
+        // sweep can borrow `self.corrs` mutably alongside them. With an
+        // active subscription the same sweep also maintains the θ edge set
+        // through the per-series change bound (see [`crate::delta`]).
         let evicted_corrs = self.pair_windows.pop_front().expect("non-empty window");
-        let total = self.corrs.len();
-        let workers = runner.worker_count().max(1).min(total.max(1));
-        let evicted_ref = &evicted_corrs;
-        let fronts_ref = &fronts;
-        let totals_ref = &totals;
-        let means_ref = &means;
-        let stds_ref = &stds;
-        let arriving_ref = &arriving_stats;
-        let arriving_corrs_ref = &arriving_corrs;
-        let jobs: Vec<Job<'_>> = plan::carve_for_workers(&mut self.corrs, workers)
-            .into_iter()
-            .map(|(start, slice)| {
-                Box::new(move || {
-                    let mut cursor = 0;
-                    for (i, j0, len) in plan::row_segments(start, slice.len(), n) {
-                        for p in 0..len {
-                            let j = j0 + p;
-                            let idx = start + cursor;
-                            let evicted = WindowContribution {
-                                x: fronts_ref[i],
-                                y: fronts_ref[j],
-                                corr: evicted_ref[idx],
-                            };
-                            let arriving = WindowContribution {
-                                x: arriving_ref[i],
-                                y: arriving_ref[j],
-                                corr: arriving_corrs_ref[idx],
-                            };
-                            slice[cursor] = lemma2_update(
-                                totals_ref[i],
-                                means_ref[i],
-                                means_ref[j],
-                                stds_ref[i],
-                                stds_ref[j],
-                                slice[cursor],
-                                &evicted,
-                                &arriving,
-                            );
-                            cursor += 1;
-                        }
-                    }
-                }) as Job<'_>
-            })
-            .collect();
-        runner.run(jobs);
+        let tables = self.watch.as_ref().map(|_| {
+            DeltaBoundTables::build(
+                &self.series,
+                &fronts,
+                &totals,
+                &means,
+                &stds,
+                &arriving_stats,
+            )
+        });
+        let inputs = SlideSweepInputs {
+            n,
+            evicted_corrs: &evicted_corrs,
+            arriving_corrs: &arriving_corrs,
+            fronts: &fronts,
+            totals: &totals,
+            means: &means,
+            stds: &stds,
+            arriving_stats: &arriving_stats,
+        };
+        crate::delta::slide_pair_sweep(
+            runner,
+            &inputs,
+            &mut self.corrs,
+            self.watch.as_mut().zip(tables.as_ref()),
+        );
 
         // Now slide the per-series and per-window state (the evicted pair
         // correlations were already popped above).
@@ -536,10 +533,42 @@ impl SlidingNetwork {
     }
 
     /// Snapshot of the current climate network at threshold `theta`. The
-    /// sliding recombination clamps every correlation, so no NaN can appear
-    /// here; the lenient thresholding keeps this path infallible.
+    /// lenient thresholding keeps this path infallible: NaN correlations
+    /// (possible once NaN observations are ingested — the sliding
+    /// recombination deliberately keeps them NaN instead of fabricating a
+    /// value) are counted on the returned matrix's
+    /// [`nan_pair_count`](AdjacencyMatrix::nan_pair_count), never silently
+    /// dropped.
     pub fn network(&self, theta: f64) -> AdjacencyMatrix {
         self.correlation_matrix().threshold_lenient(theta)
+    }
+
+    /// Subscribe to edge-level changes of the θ-thresholded network: returns
+    /// the baseline snapshot (identical to [`SlidingNetwork::network`] at
+    /// `theta`, NaN audit included), and from the next
+    /// [`SlidingNetwork::ingest`] on, [`SlidingNetwork::changed_edges`]
+    /// carries the [`EdgeDelta`] of the latest tick. Only pairs whose
+    /// per-pair change bound straddles θ are re-checked against their
+    /// computed correlation (see [`crate::delta`]); applying each delta to
+    /// the previous snapshot reproduces a full re-threshold bit-for-bit.
+    /// Re-subscribing replaces any previous subscription.
+    pub fn subscribe_edges(&mut self, theta: f64) -> Result<AdjacencyMatrix> {
+        let (watch, baseline) = EdgeWatch::new(theta, self.n, &self.corrs)?;
+        self.watch = Some(watch);
+        Ok(baseline)
+    }
+
+    /// The [`EdgeDelta`] emitted by the most recent ingest tick, or `None`
+    /// when there is no active subscription or no tick has happened since
+    /// subscribing.
+    pub fn changed_edges(&self) -> Option<&EdgeDelta> {
+        self.watch.as_ref().and_then(|w| w.last())
+    }
+
+    /// Drop the active edge subscription, if any, so subsequent ingests stop
+    /// paying the (small) per-pair certification cost.
+    pub fn unsubscribe_edges(&mut self) {
+        self.watch = None;
     }
 
     /// Freeze the sliding state into an immutable [`SketchSet`] covering
@@ -754,6 +783,54 @@ mod tests {
             assert_eq!(m0, nets[1].correlation_matrix());
             assert_eq!(m0, nets[2].correlation_matrix());
         }
+    }
+
+    #[test]
+    fn subscribed_deltas_track_full_rethreshold() {
+        let n = 5;
+        let b = 10;
+        let total = 300;
+        let theta = 0.2;
+        let full: Vec<Vec<f64>> = (0..n)
+            .map(|s| lcg_series(s as u64 * 11 + 5, total))
+            .collect();
+        let hist = 120;
+        let c =
+            SeriesCollection::from_rows(full.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let sketch = SketchSet::build(&c, b).unwrap();
+        let mut net = SlidingNetwork::initialize(&c, &sketch, 80).unwrap();
+        assert!(net.changed_edges().is_none());
+
+        let mut snapshot = net.subscribe_edges(theta).unwrap();
+        assert_eq!(snapshot, net.network(theta));
+
+        let mut now = hist;
+        while now + b <= total {
+            let chunk: Vec<Vec<f64>> = full.iter().map(|s| s[now..now + b].to_vec()).collect();
+            net.ingest(&chunk).unwrap();
+            now += b;
+
+            let delta = net.changed_edges().expect("subscribed").clone();
+            assert_eq!(delta.total_pairs, n * (n - 1) / 2);
+            delta.apply_to(&mut snapshot).unwrap();
+            let expected = net.network(theta);
+            assert_eq!(snapshot, expected, "edge drift at now={now}");
+            assert_eq!(snapshot.nan_pair_count(), expected.nan_pair_count());
+        }
+
+        net.unsubscribe_edges();
+        let chunk: Vec<Vec<f64>> = full.iter().map(|s| s[..b].to_vec()).collect();
+        net.ingest(&chunk).unwrap();
+        assert!(net.changed_edges().is_none());
+    }
+
+    #[test]
+    fn subscribe_rejects_invalid_threshold() {
+        let (_, mut net) = build_network(3, 100, 10, 50);
+        assert!(matches!(
+            net.subscribe_edges(2.0),
+            Err(Error::InvalidThreshold(_))
+        ));
     }
 
     #[test]

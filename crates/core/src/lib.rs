@@ -67,6 +67,7 @@
 pub mod baseline;
 pub mod capacity;
 pub mod construct;
+pub mod delta;
 pub mod error;
 pub mod exact;
 pub mod incremental;
@@ -80,6 +81,7 @@ pub mod sweep;
 pub mod timeseries;
 pub mod window;
 
+pub use delta::{EdgeDelta, EdgeWatch};
 pub use error::{Error, Result};
 pub use matrix::{AdjacencyMatrix, CorrelationMatrix};
 pub use plan::{PlanKey, PlanMethod, QueryPlan};
@@ -96,6 +98,7 @@ pub mod prelude {
     pub use crate::baseline;
     pub use crate::capacity::{min_basic_window_for_budget, recommend_basic_window, SketchPlan};
     pub use crate::construct::{HistoricalBuilder, NetworkConfig};
+    pub use crate::delta::{EdgeDelta, EdgeWatch};
     pub use crate::error::{Error, Result};
     pub use crate::exact;
     pub use crate::incremental::{SlidingNetwork, SlidingPair};

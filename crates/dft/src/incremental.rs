@@ -24,12 +24,13 @@
 
 use std::collections::VecDeque;
 
+use tsubasa_core::delta::{
+    slide_pair_sweep, DeltaBoundTables, EdgeDelta, EdgeWatch, SlideSweepInputs,
+};
 use tsubasa_core::error::{Error, Result};
-use tsubasa_core::exact::WindowContribution;
-use tsubasa_core::incremental::{lemma2_update, SlidingSeriesState};
+use tsubasa_core::incremental::SlidingSeriesState;
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
-use tsubasa_core::plan::{carve_for_workers, row_segments};
-use tsubasa_core::runner::{Job, JobRunner, SerialRunner};
+use tsubasa_core::runner::{JobRunner, SerialRunner};
 use tsubasa_core::sketch::{pair_index, unpack_pair_index, PairSketch, SeriesSketch};
 use tsubasa_core::stats::{tiled_pair_dist_sq_into, WindowStats};
 use tsubasa_core::SketchSet;
@@ -56,6 +57,10 @@ pub struct SlidingApproxNetwork {
     /// Reusable transform plan for the arriving windows (radix-2 FFT for
     /// power-of-two basic windows, naive fallback otherwise).
     planner: DftPlanner,
+    /// Active edge subscription
+    /// ([`SlidingApproxNetwork::subscribe_edges`]): when set, every ingest
+    /// also maintains the θ-thresholded edge set and emits an [`EdgeDelta`].
+    watch: Option<EdgeWatch>,
 }
 
 impl SlidingApproxNetwork {
@@ -116,6 +121,7 @@ impl SlidingApproxNetwork {
             pair_windows,
             corrs,
             planner: DftPlanner::new(b),
+            watch: None,
         })
     }
 
@@ -208,54 +214,46 @@ impl SlidingApproxNetwork {
         let stds: Vec<f64> = self.series.iter().map(|s| s.std()).collect();
 
         // Apply Equation 6 (Lemma 2 over distance-derived correlations) to
-        // every pair before mutating any per-series state, one disjoint
-        // contiguous slice of the packed triangle per worker.
+        // every pair before mutating any per-series state, through the sweep
+        // shared with the exact updater: both windows' distances are folded
+        // to correlations (`c = 1 − d²/2`, Equation 4's correspondence) up
+        // front, so the per-pair kernel — and, with an active subscription,
+        // the θ change-bound certification — is byte-for-byte the same code.
         let evicted_dists = self.pair_windows.pop_front().expect("non-empty window");
-        let total = self.corrs.len();
-        let workers = runner.worker_count().max(1).min(total.max(1));
-        let evicted_ref = &evicted_dists;
-        let fronts_ref = &fronts;
-        let totals_ref = &totals;
-        let means_ref = &means;
-        let stds_ref = &stds;
-        let arriving_ref = &arriving_stats;
-        let arriving_dists_ref = &arriving_dists;
-        let jobs: Vec<Job<'_>> = carve_for_workers(&mut self.corrs, workers)
-            .into_iter()
-            .map(|(start, slice)| {
-                Box::new(move || {
-                    let mut cursor = 0;
-                    for (i, j0, len) in row_segments(start, slice.len(), n) {
-                        for p in 0..len {
-                            let j = j0 + p;
-                            let idx = start + cursor;
-                            let evicted = WindowContribution {
-                                x: fronts_ref[i],
-                                y: fronts_ref[j],
-                                corr: corr_from_distance(evicted_ref[idx]),
-                            };
-                            let arriving = WindowContribution {
-                                x: arriving_ref[i],
-                                y: arriving_ref[j],
-                                corr: corr_from_distance(arriving_dists_ref[idx]),
-                            };
-                            slice[cursor] = lemma2_update(
-                                totals_ref[i],
-                                means_ref[i],
-                                means_ref[j],
-                                stds_ref[i],
-                                stds_ref[j],
-                                slice[cursor],
-                                &evicted,
-                                &arriving,
-                            );
-                            cursor += 1;
-                        }
-                    }
-                }) as Job<'_>
-            })
+        let evicted_corrs: Vec<f64> = evicted_dists
+            .iter()
+            .map(|&d| corr_from_distance(d))
             .collect();
-        runner.run(jobs);
+        let arriving_corrs: Vec<f64> = arriving_dists
+            .iter()
+            .map(|&d| corr_from_distance(d))
+            .collect();
+        let tables = self.watch.as_ref().map(|_| {
+            DeltaBoundTables::build(
+                &self.series,
+                &fronts,
+                &totals,
+                &means,
+                &stds,
+                &arriving_stats,
+            )
+        });
+        let inputs = SlideSweepInputs {
+            n,
+            evicted_corrs: &evicted_corrs,
+            arriving_corrs: &arriving_corrs,
+            fronts: &fronts,
+            totals: &totals,
+            means: &means,
+            stds: &stds,
+            arriving_stats: &arriving_stats,
+        };
+        slide_pair_sweep(
+            runner,
+            &inputs,
+            &mut self.corrs,
+            self.watch.as_mut().zip(tables.as_ref()),
+        );
 
         for (state, stats) in self.series.iter_mut().zip(&arriving_stats) {
             state.slide(*stats);
@@ -279,10 +277,41 @@ impl SlidingApproxNetwork {
     }
 
     /// Snapshot of the approximate climate network at threshold `theta`.
-    /// The sliding recombination clamps every correlation, so no NaN can
-    /// appear here; the lenient thresholding keeps this path infallible.
+    /// The lenient thresholding keeps this path infallible: NaN correlations
+    /// (possible once NaN observations are ingested — the sliding
+    /// recombination deliberately keeps them NaN instead of fabricating a
+    /// value) are counted on the returned matrix's
+    /// [`nan_pair_count`](AdjacencyMatrix::nan_pair_count), never silently
+    /// dropped.
     pub fn network(&self, theta: f64) -> AdjacencyMatrix {
         self.correlation_matrix().threshold_lenient(theta)
+    }
+
+    /// Subscribe to edge-level changes of the θ-thresholded approximate
+    /// network: returns the baseline snapshot (identical to
+    /// [`SlidingApproxNetwork::network`] at `theta`, NaN audit included),
+    /// and from the next [`SlidingApproxNetwork::ingest`] on,
+    /// [`SlidingApproxNetwork::changed_edges`] carries the [`EdgeDelta`] of
+    /// the latest tick. Only pairs whose per-pair change bound straddles θ
+    /// are re-checked — the correlation-domain mirror of the Equation 4
+    /// pruning radius (see [`tsubasa_core::delta`]). Re-subscribing replaces
+    /// any previous subscription.
+    pub fn subscribe_edges(&mut self, theta: f64) -> Result<AdjacencyMatrix> {
+        let (watch, baseline) = EdgeWatch::new(theta, self.n, &self.corrs)?;
+        self.watch = Some(watch);
+        Ok(baseline)
+    }
+
+    /// The [`EdgeDelta`] emitted by the most recent ingest tick, or `None`
+    /// when there is no active subscription or no tick has happened since
+    /// subscribing.
+    pub fn changed_edges(&self) -> Option<&EdgeDelta> {
+        self.watch.as_ref().and_then(|w| w.last())
+    }
+
+    /// Drop the active edge subscription, if any.
+    pub fn unsubscribe_edges(&mut self) {
+        self.watch = None;
     }
 
     /// Freeze the sliding state into an immutable [`DftSketchSet`] covering
@@ -454,6 +483,40 @@ mod tests {
             assert_eq!(m0, nets[2].correlation_matrix());
         }
         assert!(now > hist + 5 * b);
+    }
+
+    #[test]
+    fn subscribed_deltas_track_full_rethreshold() {
+        let n = 4;
+        let b = 16;
+        let total = 400;
+        let hist = 160;
+        let theta = 0.4;
+        let data = full_data(n, total);
+        let c =
+            SeriesCollection::from_rows(data.iter().map(|s| s[..hist].to_vec()).collect()).unwrap();
+        let sk = DftSketchSet::build(&c, b, b * 3 / 4, Transform::Naive).unwrap();
+        let mut sliding = SlidingApproxNetwork::initialize(&sk, 96).unwrap();
+        assert!(sliding.changed_edges().is_none());
+        let mut snapshot = sliding.subscribe_edges(theta).unwrap();
+        assert_eq!(snapshot, sliding.network(theta));
+
+        let mut now = hist;
+        while now + b <= total {
+            let chunk: Vec<Vec<f64>> = data.iter().map(|s| s[now..now + b].to_vec()).collect();
+            sliding.ingest(&chunk).unwrap();
+            now += b;
+            let delta = sliding.changed_edges().expect("subscribed").clone();
+            delta.apply_to(&mut snapshot).unwrap();
+            let expected = sliding.network(theta);
+            assert_eq!(snapshot, expected, "edge drift at now={now}");
+            assert_eq!(snapshot.nan_pair_count(), expected.nan_pair_count());
+        }
+
+        sliding.unsubscribe_edges();
+        let chunk: Vec<Vec<f64>> = data.iter().map(|s| s[..b].to_vec()).collect();
+        sliding.ingest(&chunk).unwrap();
+        assert!(sliding.changed_edges().is_none());
     }
 
     #[test]

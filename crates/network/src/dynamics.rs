@@ -8,6 +8,8 @@
 //! of a sequence of [`AdjacencyMatrix`] snapshots (produced either by
 //! repeated historical queries or by the real-time updater).
 
+use tsubasa_core::delta::EdgeDelta;
+use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::AdjacencyMatrix;
 use tsubasa_core::sketch::pair_index;
 
@@ -23,13 +25,16 @@ pub struct SnapshotDelta {
 }
 
 impl SnapshotDelta {
-    /// Compare two consecutive snapshots. Panics if the node counts differ.
-    pub fn between(previous: &AdjacencyMatrix, current: &AdjacencyMatrix) -> Self {
-        assert_eq!(
-            previous.len(),
-            current.len(),
-            "snapshots must cover the same node set"
-        );
+    /// Compare two consecutive snapshots. Returns
+    /// [`Error::Mismatch`] when the node counts differ (this used to panic,
+    /// which took down real-time consumers on a mis-routed snapshot).
+    pub fn between(previous: &AdjacencyMatrix, current: &AdjacencyMatrix) -> Result<Self> {
+        if previous.len() != current.len() {
+            return Err(Error::Mismatch {
+                expected: previous.len(),
+                found: current.len(),
+            });
+        }
         let mut delta = SnapshotDelta::default();
         for (p, c) in previous
             .upper_triangle()
@@ -43,7 +48,7 @@ impl SnapshotDelta {
                 (false, false) => {}
             }
         }
-        delta
+        Ok(delta)
     }
 
     /// Jaccard stability of the edge set: persisted edges over the union of
@@ -161,17 +166,23 @@ impl DynamicsTracker {
         }
     }
 
-    /// Record one snapshot. Panics if the node count differs from the
-    /// tracker's.
-    pub fn observe(&mut self, snapshot: &AdjacencyMatrix) {
-        assert_eq!(snapshot.len(), self.nodes, "snapshot node count mismatch");
+    /// Record one snapshot. Returns [`Error::Mismatch`] when the node count
+    /// differs from the tracker's, leaving the tracker untouched (this used
+    /// to panic).
+    pub fn observe(&mut self, snapshot: &AdjacencyMatrix) -> Result<()> {
+        if snapshot.len() != self.nodes {
+            return Err(Error::Mismatch {
+                expected: self.nodes,
+                found: snapshot.len(),
+            });
+        }
         self.snapshots += 1;
         self.edge_counts.push(snapshot.edge_count());
         for (slot, present) in self.edge_presence.iter_mut().zip(snapshot.upper_triangle()) {
             *slot += usize::from(*present);
         }
         if let Some(prev) = &self.previous {
-            self.deltas.push(SnapshotDelta::between(prev, snapshot));
+            self.deltas.push(SnapshotDelta::between(prev, snapshot)?);
             for ((flips, was), is) in self
                 .flip_counts
                 .iter_mut()
@@ -184,6 +195,7 @@ impl DynamicsTracker {
             }
         }
         self.previous = Some(snapshot.clone());
+        Ok(())
     }
 
     /// Number of snapshots observed so far.
@@ -193,6 +205,119 @@ impl DynamicsTracker {
 
     /// Finish tracking and produce the summary.
     pub fn summarize(self) -> DynamicsSummary {
+        DynamicsSummary {
+            snapshots: self.snapshots,
+            nodes: self.nodes,
+            edge_counts: self.edge_counts,
+            deltas: self.deltas,
+            edge_presence: self.edge_presence,
+            flip_counts: self.flip_counts,
+        }
+    }
+}
+
+/// Builds a [`DynamicsSummary`] directly from a baseline snapshot plus the
+/// [`EdgeDelta`] stream of a subscribed sliding updater — no snapshot
+/// sequence is ever materialized, and each tick costs `O(changed edges)`
+/// instead of the tracker's `O(N²)` snapshot scan.
+///
+/// [`DynamicsBuilder::summarize`] is guaranteed equal (`PartialEq` on
+/// [`DynamicsSummary`]) to feeding [`DynamicsTracker`] the full re-thresholded
+/// snapshot after every tick: per-pair presence is accounted with run-length
+/// credits (a pair's presence counter is settled only when its edge run ends,
+/// or at summarize time for still-open runs).
+#[derive(Debug, Clone)]
+pub struct DynamicsBuilder {
+    nodes: usize,
+    snapshots: usize,
+    edge_counts: Vec<usize>,
+    deltas: Vec<SnapshotDelta>,
+    /// Presence credit from *closed* edge runs; open runs are settled lazily.
+    edge_presence: Vec<usize>,
+    flip_counts: Vec<usize>,
+    /// Current edge bit per packed pair.
+    edges: Vec<bool>,
+    /// For pairs whose bit is currently set: snapshot index where the run
+    /// started (undefined otherwise).
+    run_start: Vec<usize>,
+}
+
+impl DynamicsBuilder {
+    /// Start from the baseline snapshot a subscription returned (e.g.
+    /// [`SlidingNetwork::subscribe_edges`]). The baseline counts as the
+    /// first observed snapshot.
+    ///
+    /// [`SlidingNetwork::subscribe_edges`]:
+    ///     tsubasa_core::incremental::SlidingNetwork::subscribe_edges
+    pub fn new(initial: &AdjacencyMatrix) -> Self {
+        let nodes = initial.len();
+        let edges: Vec<bool> = initial.upper_triangle().to_vec();
+        let pairs = edges.len();
+        // Pairs present in the baseline open their run at snapshot 0, which
+        // the zero-initialised `run_start` already encodes.
+        let run_start = vec![0usize; pairs];
+        Self {
+            nodes,
+            snapshots: 1,
+            edge_counts: vec![initial.edge_count()],
+            deltas: Vec::new(),
+            edge_presence: vec![0; pairs],
+            flip_counts: vec![0; pairs],
+            edges,
+            run_start,
+        }
+    }
+
+    /// Fold in the delta of one ingest tick. Returns [`Error::Mismatch`]
+    /// when the delta covers a different node set, leaving the builder
+    /// untouched.
+    pub fn push_delta(&mut self, delta: &EdgeDelta) -> Result<()> {
+        if delta.nodes != self.nodes {
+            return Err(Error::Mismatch {
+                expected: self.nodes,
+                found: delta.nodes,
+            });
+        }
+        let s = self.snapshots; // index of the snapshot this delta produces
+        let prev_edges = *self.edge_counts.last().expect("baseline always present");
+        for &(i, j) in &delta.appeared {
+            let p = pair_index(i, j, self.nodes);
+            debug_assert!(!self.edges[p], "appeared edge was already present");
+            self.edges[p] = true;
+            self.run_start[p] = s;
+            self.flip_counts[p] += 1;
+        }
+        for &(i, j) in &delta.vanished {
+            let p = pair_index(i, j, self.nodes);
+            debug_assert!(self.edges[p], "vanished edge was already absent");
+            self.edges[p] = false;
+            self.edge_presence[p] += s - self.run_start[p];
+            self.flip_counts[p] += 1;
+        }
+        self.deltas.push(SnapshotDelta {
+            appeared: delta.appeared.len(),
+            vanished: delta.vanished.len(),
+            persisted: prev_edges - delta.vanished.len(),
+        });
+        self.edge_counts
+            .push(prev_edges + delta.appeared.len() - delta.vanished.len());
+        self.snapshots += 1;
+        Ok(())
+    }
+
+    /// Number of snapshots covered so far (baseline included).
+    pub fn snapshots(&self) -> usize {
+        self.snapshots
+    }
+
+    /// Finish and produce the summary, settling the presence credit of every
+    /// still-open edge run.
+    pub fn summarize(mut self) -> DynamicsSummary {
+        for (p, &present) in self.edges.iter().enumerate() {
+            if present {
+                self.edge_presence[p] += self.snapshots - self.run_start[p];
+            }
+        }
         DynamicsSummary {
             snapshots: self.snapshots,
             nodes: self.nodes,
@@ -220,30 +345,40 @@ mod tests {
     fn delta_counts_edge_changes() {
         let a = adjacency(4, &[(0, 1), (1, 2)]);
         let b = adjacency(4, &[(1, 2), (2, 3)]);
-        let d = SnapshotDelta::between(&a, &b);
+        let d = SnapshotDelta::between(&a, &b).unwrap();
         assert_eq!(d.appeared, 1);
         assert_eq!(d.vanished, 1);
         assert_eq!(d.persisted, 1);
         assert!((d.stability() - 1.0 / 3.0).abs() < 1e-12);
         // Identical snapshots are perfectly stable.
-        assert_eq!(SnapshotDelta::between(&a, &a).stability(), 1.0);
+        assert_eq!(SnapshotDelta::between(&a, &a).unwrap().stability(), 1.0);
         // Edge-less snapshots are defined as stable too.
         let empty = adjacency(4, &[]);
-        assert_eq!(SnapshotDelta::between(&empty, &empty).stability(), 1.0);
+        assert_eq!(
+            SnapshotDelta::between(&empty, &empty).unwrap().stability(),
+            1.0
+        );
     }
 
     #[test]
-    #[should_panic(expected = "same node set")]
     fn delta_rejects_mismatched_sizes() {
-        SnapshotDelta::between(&adjacency(3, &[]), &adjacency(4, &[]));
+        let err = SnapshotDelta::between(&adjacency(3, &[]), &adjacency(4, &[])).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Mismatch {
+                expected: 3,
+                found: 4
+            }
+        );
+        assert!(err.to_string().contains("same node set"));
     }
 
     #[test]
     fn tracker_accumulates_presence_flips_and_backbone() {
         let mut tracker = DynamicsTracker::new(4);
-        tracker.observe(&adjacency(4, &[(0, 1), (1, 2)]));
-        tracker.observe(&adjacency(4, &[(0, 1), (2, 3)]));
-        tracker.observe(&adjacency(4, &[(0, 1), (1, 2)]));
+        tracker.observe(&adjacency(4, &[(0, 1), (1, 2)])).unwrap();
+        tracker.observe(&adjacency(4, &[(0, 1), (2, 3)])).unwrap();
+        tracker.observe(&adjacency(4, &[(0, 1), (1, 2)])).unwrap();
         assert_eq!(tracker.snapshots(), 3);
         let summary = tracker.summarize();
 
@@ -278,9 +413,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "node count mismatch")]
     fn tracker_rejects_mismatched_snapshots() {
         let mut tracker = DynamicsTracker::new(3);
-        tracker.observe(&adjacency(4, &[]));
+        let err = tracker.observe(&adjacency(4, &[])).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Mismatch {
+                expected: 3,
+                found: 4
+            }
+        );
+        assert!(err.to_string().contains("node count mismatch"));
+        // The failed observe left the tracker untouched.
+        assert_eq!(tracker.snapshots(), 0);
+        tracker.observe(&adjacency(3, &[(0, 1)])).unwrap();
+        assert_eq!(tracker.snapshots(), 1);
+    }
+
+    /// Replay a snapshot sequence two ways — full snapshots through the
+    /// tracker, baseline + hand-built deltas through the builder — and
+    /// require identical summaries.
+    fn assert_builder_matches_tracker(snapshots: &[AdjacencyMatrix]) {
+        let mut tracker = DynamicsTracker::new(snapshots[0].len());
+        for s in snapshots {
+            tracker.observe(s).unwrap();
+        }
+
+        let mut builder = DynamicsBuilder::new(&snapshots[0]);
+        for pair in snapshots.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            let mut delta = EdgeDelta {
+                nodes: cur.len(),
+                total_pairs: cur.upper_triangle().len(),
+                ..EdgeDelta::default()
+            };
+            for i in 0..cur.len() {
+                for j in (i + 1)..cur.len() {
+                    match (prev.has_edge(i, j), cur.has_edge(i, j)) {
+                        (false, true) => delta.appeared.push((i, j)),
+                        (true, false) => delta.vanished.push((i, j)),
+                        _ => {}
+                    }
+                }
+            }
+            builder.push_delta(&delta).unwrap();
+        }
+        assert_eq!(builder.snapshots(), snapshots.len());
+        assert_eq!(builder.summarize(), tracker.summarize());
+    }
+
+    #[test]
+    fn builder_from_deltas_equals_tracker_from_snapshots() {
+        assert_builder_matches_tracker(&[
+            adjacency(4, &[(0, 1), (1, 2)]),
+            adjacency(4, &[(0, 1), (2, 3)]),
+            adjacency(4, &[(0, 1), (1, 2)]),
+            adjacency(4, &[(0, 1), (1, 2)]),
+            adjacency(4, &[]),
+            adjacency(4, &[(0, 3), (1, 2), (2, 3)]),
+        ]);
+        // Single-snapshot sequence: summary is just the baseline.
+        assert_builder_matches_tracker(&[adjacency(3, &[(0, 2)])]);
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_delta() {
+        let mut builder = DynamicsBuilder::new(&adjacency(4, &[(0, 1)]));
+        let bad = EdgeDelta {
+            nodes: 5,
+            ..EdgeDelta::default()
+        };
+        assert_eq!(
+            builder.push_delta(&bad).unwrap_err(),
+            Error::Mismatch {
+                expected: 4,
+                found: 5
+            }
+        );
+        assert_eq!(builder.snapshots(), 1);
     }
 }

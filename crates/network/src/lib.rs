@@ -31,6 +31,6 @@ pub mod metrics;
 pub mod similarity;
 
 pub use approx::{exact_vs_approx, ApproxNetworkBuilder};
-pub use dynamics::{DynamicsTracker, SnapshotDelta};
+pub use dynamics::{DynamicsBuilder, DynamicsTracker, SnapshotDelta};
 pub use graph::ClimateNetwork;
 pub use similarity::NetworkComparison;

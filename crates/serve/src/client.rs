@@ -6,8 +6,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::proto::{
-    decode_response, encode_request, read_frame, write_frame, ErrorCode, Method, ProtoError,
-    Request, Response, StatsReply, MAX_RESPONSE_FRAME,
+    decode_response, encode_request, read_frame, write_frame, DeltaReply, ErrorCode, Method,
+    ProtoError, Request, Response, StatsReply, MAX_RESPONSE_FRAME,
 };
 
 /// Failures observed by a client.
@@ -171,6 +171,58 @@ impl ServeClient {
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
+
+    /// Open a delta subscription: the server answers with the baseline
+    /// network of the latest epoch, then streams exactly `max_frames` delta
+    /// frames (one per newly observed epoch publication) which
+    /// [`ServeClient::next_delta`] reads one at a time. After the last frame
+    /// the connection returns to request–response.
+    pub fn subscribe_deltas(
+        &mut self,
+        method: Method,
+        theta: f64,
+        max_frames: u32,
+    ) -> Result<NetworkReply, ClientError> {
+        match self.request(&Request::SubscribeDeltas {
+            method,
+            theta,
+            max_frames,
+        })? {
+            Response::Network {
+                epoch,
+                nodes,
+                nan_pairs,
+                edges,
+            } => Ok(NetworkReply {
+                epoch,
+                nodes,
+                nan_pairs,
+                edges,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Read the next delta frame of an open subscription. Blocks (subject to
+    /// the configured read timeout) until the server observes the next epoch
+    /// publication.
+    pub fn next_delta(&mut self) -> Result<DeltaReply, ClientError> {
+        loop {
+            match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
+                Some(payload) => {
+                    return match decode_response(&payload)? {
+                        Response::Delta(d) => Ok(d),
+                        Response::Error { code, message } => {
+                            Err(ClientError::Server { code, message })
+                        }
+                        _ => Err(ClientError::UnexpectedResponse),
+                    }
+                }
+                None => continue, // read timeout configured by the caller
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,20 +238,25 @@ mod tests {
     use tsubasa_core::SketchSet;
     use tsubasa_parallel::WorkerPool;
 
-    fn loopback() -> (server::ServerHandle, SketchSet) {
+    fn sketch_with_phase(phase: f64) -> SketchSet {
         let c = SeriesCollection::from_rows(
             (0..5)
                 .map(|s| {
                     (0..100)
                         .map(|i| {
-                            (i as f64 * 0.09 + s as f64 * 0.5).sin() + (i % (s + 2)) as f64 * 0.1
+                            (i as f64 * 0.09 + s as f64 * (0.5 + phase)).sin()
+                                + (i % (s + 2)) as f64 * 0.1
                         })
                         .collect()
                 })
                 .collect(),
         )
         .unwrap();
-        let sketch = SketchSet::build(&c, 20).unwrap();
+        SketchSet::build(&c, 20).unwrap()
+    }
+
+    fn loopback() -> (server::ServerHandle, SketchSet) {
+        let sketch = sketch_with_phase(0.0);
         let store = Arc::new(EpochStore::new(4));
         store.publish(Some(sketch.clone()), None).unwrap();
         let engine = Arc::new(QueryEngine::new(
@@ -255,6 +312,62 @@ mod tests {
             other => panic!("expected Unavailable, got {other:?}"),
         }
         assert!(client.stats().is_ok(), "connection survives typed errors");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn subscription_streams_one_delta_per_published_epoch() {
+        let theta = 0.3;
+        let store = Arc::new(EpochStore::new(4));
+        store.publish(Some(sketch_with_phase(0.0)), None).unwrap();
+        let engine = Arc::new(QueryEngine::new(
+            Arc::clone(&store),
+            Arc::new(PlanCache::new(8)),
+            Arc::new(WorkerPool::new(2)),
+        ));
+        let handle = server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+        // A zero-frame subscription is rejected, and the connection survives.
+        match client.subscribe_deltas(Method::Exact, theta, 0) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Query),
+            other => panic!("expected a Query error, got {other:?}"),
+        }
+        assert!(client.stats().is_ok());
+
+        let baseline = client.subscribe_deltas(Method::Exact, theta, 2).unwrap();
+        assert_eq!(baseline.epoch, 1);
+        let mut edges: std::collections::BTreeSet<(u32, u32)> =
+            baseline.edges.iter().copied().collect();
+
+        // Each publication after the baseline yields exactly one delta frame;
+        // replaying it onto the running edge set reproduces the published
+        // epoch's network. Reading the frame before publishing the next epoch
+        // pins the one-frame-per-epoch correspondence.
+        for (frame, phase) in [(1u64, 0.9), (2, 1.7)] {
+            store.publish(Some(sketch_with_phase(phase)), None).unwrap();
+            let delta = client.next_delta().unwrap();
+            assert_eq!(delta.epoch, 1 + frame);
+            assert_eq!(delta.nodes, baseline.nodes);
+            for pair in &delta.vanished {
+                assert!(edges.remove(pair), "vanished edge {pair:?} was absent");
+            }
+            for pair in &delta.appeared {
+                assert!(
+                    edges.insert(*pair),
+                    "appeared edge {pair:?} already present"
+                );
+            }
+        }
+
+        // After the last frame the connection resumes request–response, and
+        // the replayed edge set matches a fresh full query bit for bit.
+        let fresh = client.network(Method::Exact, 0, theta).unwrap();
+        assert_eq!(fresh.epoch, 3);
+        let expected: std::collections::BTreeSet<(u32, u32)> =
+            fresh.edges.iter().copied().collect();
+        assert_eq!(edges, expected);
 
         handle.shutdown();
     }

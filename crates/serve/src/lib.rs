@@ -39,6 +39,6 @@ pub mod server;
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use client::{ClientError, NetworkReply, ServeClient, TopKReply};
 pub use epoch::{Epoch, EpochIngest, EpochStore};
-pub use proto::{ErrorCode, Method, ProtoError, Request, Response, StatsReply};
+pub use proto::{DeltaReply, ErrorCode, Method, ProtoError, Request, Response, StatsReply};
 pub use query::{QueryEngine, QueryError};
 pub use server::{start, ServerHandle, ServerStats};

@@ -11,10 +11,20 @@
 //! | `0x01` | request   | network: method `u8`, last_windows `u32`, theta bits `u64` |
 //! | `0x02` | request   | top-k: method `u8`, last_windows `u32`, k `u32` |
 //! | `0x03` | request   | stats: empty |
+//! | `0x04` | request   | subscribe_deltas: method `u8`, theta bits `u64`, max_frames `u32` (≥ 1) |
 //! | `0x81` | response  | network: epoch `u64`, nodes `u32`, nan `u64`, count `u32`, `(u32,u32)`×count |
 //! | `0x82` | response  | top-k: epoch `u64`, nan `u64`, count `u32`, `(u32,u32,u64)`×count |
 //! | `0x83` | response  | stats: ten `u64`/`u32` counters, see [`StatsReply`] |
+//! | `0x84` | response  | delta: epoch `u64`, nodes `u32`, nan `u64`, appeared count `u32` + `(u32,u32)`×, vanished count `u32` + `(u32,u32)`× |
 //! | `0xEE` | response  | error: code `u8`, message length `u32`, UTF-8 bytes |
+//!
+//! `subscribe_deltas` is the one request answered by more than one frame: a
+//! baseline `0x81` network reply for the latest epoch, then **exactly**
+//! `max_frames` `0x84` delta frames — one per newly *observed* epoch
+//! publication (if several epochs land between observations, one cumulative
+//! delta against the last streamed epoch is emitted). Afterwards the
+//! connection returns to normal request–response. See
+//! [`crate::server`] for the streaming loop.
 //!
 //! Decoding is strict: a body shorter or longer than its layout demands is a
 //! [`ProtoError::BadPayload`], never a panic or a silent truncation — the
@@ -40,9 +50,11 @@ pub const MID_FRAME_STALL_BUDGET: u32 = 400;
 const OP_NETWORK: u8 = 0x01;
 const OP_TOP_K: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
+const OP_SUBSCRIBE: u8 = 0x04;
 const OP_NETWORK_REPLY: u8 = 0x81;
 const OP_TOP_K_REPLY: u8 = 0x82;
 const OP_STATS_REPLY: u8 = 0x83;
+const OP_DELTA_REPLY: u8 = 0x84;
 const OP_ERROR: u8 = 0xEE;
 
 /// Which sketch method a request targets.
@@ -97,6 +109,38 @@ pub enum Request {
     },
     /// Fetch server/cache/epoch counters.
     Stats,
+    /// Stream edge deltas: a baseline network reply for the latest epoch,
+    /// then exactly `max_frames` delta frames, one per newly observed epoch
+    /// publication.
+    SubscribeDeltas {
+        /// Exact or approximate path.
+        method: Method,
+        /// Correlation threshold θ the streamed edge set is pinned to.
+        theta: f64,
+        /// Number of delta frames to stream before the connection returns to
+        /// request–response. Must be ≥ 1; the server rejects 0 with a
+        /// [`ErrorCode::Query`] error frame.
+        max_frames: u32,
+    },
+}
+
+/// Body of a delta response frame: the edge-level change between the
+/// previously streamed epoch's network and `epoch`'s, at the subscribed θ.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeltaReply {
+    /// Epoch this delta advances the subscriber's snapshot to.
+    pub epoch: u64,
+    /// Node (series) count of that epoch.
+    pub nodes: u32,
+    /// Pairs whose correlation was NaN in `epoch`'s network (audited, not
+    /// dropped).
+    pub nan_pairs: u64,
+    /// Edges present in `epoch`'s network but not the previously streamed
+    /// one, ascending pair order.
+    pub appeared: Vec<(u32, u32)>,
+    /// Edges present in the previously streamed network but not `epoch`'s,
+    /// ascending pair order.
+    pub vanished: Vec<(u32, u32)>,
 }
 
 /// Body of a stats response: a point-in-time counter snapshot.
@@ -189,6 +233,8 @@ pub enum Response {
     },
     /// Stats snapshot.
     Stats(StatsReply),
+    /// One frame of a delta subscription stream.
+    Delta(DeltaReply),
     /// Typed failure; the connection stays open unless the transport itself
     /// broke.
     Error {
@@ -376,6 +422,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out
         }
         Request::Stats => vec![OP_STATS],
+        Request::SubscribeDeltas {
+            method,
+            theta,
+            max_frames,
+        } => {
+            let mut out = Vec::with_capacity(14);
+            out.push(OP_SUBSCRIBE);
+            out.push(method.to_wire());
+            put_u64(&mut out, theta.to_bits());
+            put_u32(&mut out, *max_frames);
+            out
+        }
     }
 }
 
@@ -430,6 +488,24 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut out, s.cache_hits);
             put_u64(&mut out, s.cache_misses);
             put_u64(&mut out, s.cache_evictions);
+            out
+        }
+        Response::Delta(d) => {
+            let mut out = Vec::with_capacity(29 + (d.appeared.len() + d.vanished.len()) * 8);
+            out.push(OP_DELTA_REPLY);
+            put_u64(&mut out, d.epoch);
+            put_u32(&mut out, d.nodes);
+            put_u64(&mut out, d.nan_pairs);
+            put_u32(&mut out, d.appeared.len() as u32);
+            for &(i, j) in &d.appeared {
+                put_u32(&mut out, i);
+                put_u32(&mut out, j);
+            }
+            put_u32(&mut out, d.vanished.len() as u32);
+            for &(i, j) in &d.vanished {
+                put_u32(&mut out, i);
+                put_u32(&mut out, j);
+            }
             out
         }
         Response::Error { code, message } => {
@@ -518,6 +594,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             k: c.u32()?,
         },
         OP_STATS => Request::Stats,
+        OP_SUBSCRIBE => Request::SubscribeDeltas {
+            method: Method::from_wire(c.u8()?)?,
+            theta: f64::from_bits(c.u64()?),
+            max_frames: c.u32()?,
+        },
         other => return Err(ProtoError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -571,6 +652,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             cache_misses: c.u64()?,
             cache_evictions: c.u64()?,
         }),
+        OP_DELTA_REPLY => {
+            let epoch = c.u64()?;
+            let nodes = c.u32()?;
+            let nan_pairs = c.u64()?;
+            let appeared_count = c.u32()? as usize;
+            let mut appeared = Vec::with_capacity(appeared_count.min(1 << 20));
+            for _ in 0..appeared_count {
+                appeared.push((c.u32()?, c.u32()?));
+            }
+            let vanished_count = c.u32()? as usize;
+            let mut vanished = Vec::with_capacity(vanished_count.min(1 << 20));
+            for _ in 0..vanished_count {
+                vanished.push((c.u32()?, c.u32()?));
+            }
+            Response::Delta(DeltaReply {
+                epoch,
+                nodes,
+                nan_pairs,
+                appeared,
+                vanished,
+            })
+        }
         OP_ERROR => {
             let code = ErrorCode::from_wire(c.u8()?)?;
             let len = c.u32()? as usize;
@@ -608,6 +711,11 @@ mod tests {
                 k: 10,
             },
             Request::Stats,
+            Request::SubscribeDeltas {
+                method: Method::Approximate,
+                theta: 0.85,
+                max_frames: 4,
+            },
         ];
         for req in &reqs {
             let payload = encode_request(req);
@@ -641,6 +749,14 @@ mod tests {
                 cache_misses: 6,
                 cache_evictions: 2,
             }),
+            Response::Delta(DeltaReply {
+                epoch: 12,
+                nodes: 6,
+                nan_pairs: 1,
+                appeared: vec![(0, 3), (2, 5)],
+                vanished: vec![(1, 4)],
+            }),
+            Response::Delta(DeltaReply::default()),
             Response::Error {
                 code: ErrorCode::Query,
                 message: "theta out of range".to_string(),

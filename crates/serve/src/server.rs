@@ -27,8 +27,8 @@ use std::time::Duration;
 use tsubasa_core::plan::PlanMethod;
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, ErrorCode, Method, ProtoError,
-    Request, Response, StatsReply, MAX_REQUEST_FRAME,
+    decode_request, encode_response, read_frame, write_frame, DeltaReply, ErrorCode, Method,
+    ProtoError, Request, Response, StatsReply, MAX_REQUEST_FRAME,
 };
 use crate::query::{QueryEngine, QueryError};
 
@@ -206,6 +206,27 @@ fn handle_connection(
 
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let response = match decode_request(&payload) {
+            Ok(Request::SubscribeDeltas {
+                method,
+                theta,
+                max_frames,
+            }) => {
+                // The one multi-frame exchange: stream the baseline and the
+                // requested number of delta frames inline, then fall back to
+                // request–response on this same connection.
+                match serve_subscription(
+                    &mut stream,
+                    engine,
+                    stats,
+                    shutdown,
+                    method,
+                    theta,
+                    max_frames,
+                ) {
+                    Ok(()) => continue,
+                    Err(_) => break,
+                }
+            }
             Ok(request) => {
                 match catch_unwind(AssertUnwindSafe(|| dispatch(engine, stats, &request))) {
                     Ok(response) => response,
@@ -247,6 +268,120 @@ fn answer_error(
         message: message.to_string(),
     };
     write_frame(stream, &encode_response(&response))
+}
+
+/// Serve one `subscribe_deltas` exchange: a baseline network frame for the
+/// latest epoch, then exactly `max_frames` delta frames — one per newly
+/// observed epoch publication (publications landing between observations
+/// collapse into one cumulative delta against the last streamed epoch).
+///
+/// Returns `Err` only when the transport broke (the caller closes the
+/// connection); query-level rejections are answered with an error frame and
+/// end the exchange with `Ok`, leaving the connection serving. A server
+/// shutdown while waiting for the next epoch ends the stream early — the
+/// subscriber sees the connection close, the repo-wide signal for "server
+/// gone".
+fn serve_subscription(
+    stream: &mut TcpStream,
+    engine: &QueryEngine,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    method: Method,
+    theta: f64,
+    max_frames: u32,
+) -> io::Result<()> {
+    let fail = |stats: &ServerStats, stream: &mut TcpStream, response: Response| {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        write_frame(stream, &encode_response(&response))
+    };
+    if max_frames == 0 {
+        return fail(
+            stats,
+            stream,
+            Response::Error {
+                code: ErrorCode::Query,
+                message: "subscribe_deltas needs max_frames >= 1".to_string(),
+            },
+        );
+    }
+
+    // Baseline: the full edge list of the latest epoch, exactly as a network
+    // request would answer it.
+    let (mut last_epoch, mut last_edges) = match engine.network(plan_method(method), 0, theta) {
+        Ok(ok) => ok,
+        Err(e) => return fail(stats, stream, error_response(e)),
+    };
+    let baseline = Response::Network {
+        epoch: last_epoch,
+        nodes: last_edges.node_count() as u32,
+        nan_pairs: last_edges.nan_pair_count() as u64,
+        edges: last_edges
+            .edges()
+            .iter()
+            .map(|&(i, j)| (i as u32, j as u32))
+            .collect(),
+    };
+    write_frame(stream, &encode_response(&baseline))?;
+
+    for _ in 0..max_frames {
+        // Wait for the next epoch publication (or shutdown).
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "server shutting down",
+                ));
+            }
+            let latest = engine.store().latest().map(|e| e.id()).unwrap_or(0);
+            if latest > last_epoch {
+                break;
+            }
+            thread::sleep(POLL_INTERVAL);
+        }
+        let (epoch, edges) = match engine.network(plan_method(method), 0, theta) {
+            Ok(ok) => ok,
+            Err(e) => return fail(stats, stream, error_response(e)),
+        };
+        // Ordered merge-diff of the two ascending edge lists.
+        let mut delta = DeltaReply {
+            epoch,
+            nodes: edges.node_count() as u32,
+            nan_pairs: edges.nan_pair_count() as u64,
+            appeared: Vec::new(),
+            vanished: Vec::new(),
+        };
+        let (old, new) = (last_edges.edges(), edges.edges());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old.len() || b < new.len() {
+            match (old.get(a), new.get(b)) {
+                (Some(&o), Some(&n)) if o == n => {
+                    a += 1;
+                    b += 1;
+                }
+                (Some(&o), Some(&n)) if o < n => {
+                    delta.vanished.push((o.0 as u32, o.1 as u32));
+                    a += 1;
+                }
+                (Some(_), Some(&n)) => {
+                    delta.appeared.push((n.0 as u32, n.1 as u32));
+                    b += 1;
+                }
+                (Some(&o), None) => {
+                    delta.vanished.push((o.0 as u32, o.1 as u32));
+                    a += 1;
+                }
+                (None, Some(&n)) => {
+                    delta.appeared.push((n.0 as u32, n.1 as u32));
+                    b += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        write_frame(stream, &encode_response(&Response::Delta(delta)))?;
+        last_epoch = epoch;
+        last_edges = edges;
+    }
+    Ok(())
 }
 
 fn plan_method(method: Method) -> PlanMethod {
@@ -305,6 +440,12 @@ fn dispatch(engine: &QueryEngine, stats: &ServerStats, request: &Request) -> Res
             Err(e) => error_response(e),
         },
         Request::Stats => Response::Stats(stats_reply(engine, stats)),
+        // Subscriptions are multi-frame and handled inline by the connection
+        // loop before dispatch; reaching here is a server bug.
+        Request::SubscribeDeltas { .. } => Response::Error {
+            code: ErrorCode::Internal,
+            message: "subscribe_deltas must be handled by the connection loop".to_string(),
+        },
     }
 }
 

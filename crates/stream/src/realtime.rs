@@ -13,6 +13,7 @@
 //! 4. expose the current correlation matrix / thresholded network at any
 //!    time.
 
+use tsubasa_core::delta::EdgeDelta;
 use tsubasa_core::error::Result;
 use tsubasa_core::incremental::SlidingNetwork;
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
@@ -69,6 +70,11 @@ pub struct RealTimeNetwork {
     threshold: f64,
     observed: usize,
     updates_applied: usize,
+    /// Deltas emitted by the subscribed engine since the last
+    /// [`RealTimeNetwork::take_deltas`], oldest first (one per applied basic
+    /// window; a burst push contributes several).
+    pending_deltas: Vec<EdgeDelta>,
+    subscribed: bool,
 }
 
 impl RealTimeNetwork {
@@ -103,6 +109,8 @@ impl RealTimeNetwork {
             threshold,
             observed: historical.series_len(),
             updates_applied: 0,
+            pending_deltas: Vec::new(),
+            subscribed: false,
         })
     }
 
@@ -133,6 +141,14 @@ impl RealTimeNetwork {
                 Updater::Exact(net) => net.ingest_in(runner, &chunk)?,
                 Updater::Approx(net) => net.ingest_in(runner, &chunk)?,
             }
+            if self.subscribed {
+                let delta = match &self.updater {
+                    Updater::Exact(net) => net.changed_edges(),
+                    Updater::Approx(net) => net.changed_edges(),
+                };
+                self.pending_deltas
+                    .push(delta.expect("subscribed engine emits per tick").clone());
+            }
         }
         self.observed += new_points;
         self.updates_applied += applied;
@@ -162,9 +178,12 @@ impl RealTimeNetwork {
         }
     }
 
-    /// The current climate network at the configured threshold. The sliding
-    /// updaters clamp every correlation, so no NaN can appear here; the
-    /// lenient thresholding keeps this path infallible.
+    /// The current climate network at the configured threshold. The lenient
+    /// thresholding keeps this path infallible: NaN correlations (possible
+    /// once NaN observations are streamed in — the sliding updaters keep
+    /// them NaN instead of fabricating a value) are counted on the returned
+    /// matrix's [`nan_pair_count`](AdjacencyMatrix::nan_pair_count), never
+    /// silently dropped.
     pub fn network(&self) -> AdjacencyMatrix {
         self.correlation_matrix().threshold_lenient(self.threshold)
     }
@@ -172,6 +191,40 @@ impl RealTimeNetwork {
     /// The current climate network at an ad-hoc threshold.
     pub fn network_with_threshold(&self, theta: f64) -> AdjacencyMatrix {
         self.correlation_matrix().threshold_lenient(theta)
+    }
+
+    /// Subscribe to edge-level changes of the θ-thresholded network: returns
+    /// the baseline snapshot (identical to
+    /// [`RealTimeNetwork::network_with_threshold`] at `theta`), and every
+    /// subsequently applied basic window appends one [`EdgeDelta`] for
+    /// [`RealTimeNetwork::take_deltas`] to drain — a burst push that
+    /// completes several basic windows contributes one delta per window,
+    /// oldest first. Re-subscribing replaces any previous subscription and
+    /// discards undrained deltas.
+    pub fn subscribe_edges(&mut self, theta: f64) -> Result<AdjacencyMatrix> {
+        let baseline = match &mut self.updater {
+            Updater::Exact(net) => net.subscribe_edges(theta)?,
+            Updater::Approx(net) => net.subscribe_edges(theta)?,
+        };
+        self.subscribed = true;
+        self.pending_deltas.clear();
+        Ok(baseline)
+    }
+
+    /// Drain the deltas accumulated since the last call (empty when nothing
+    /// was applied, or without an active subscription).
+    pub fn take_deltas(&mut self) -> Vec<EdgeDelta> {
+        std::mem::take(&mut self.pending_deltas)
+    }
+
+    /// Drop the active edge subscription, discarding undrained deltas.
+    pub fn unsubscribe_edges(&mut self) {
+        match &mut self.updater {
+            Updater::Exact(net) => net.unsubscribe_edges(),
+            Updater::Approx(net) => net.unsubscribe_edges(),
+        }
+        self.subscribed = false;
+        self.pending_deltas.clear();
     }
 
     /// Number of basic windows inside the sliding query window — the window
@@ -408,6 +461,54 @@ mod tests {
             assert_eq!(serial.correlation_matrix(), pooled.correlation_matrix());
         }
         assert!(serial.updates_applied() > 5);
+    }
+
+    #[test]
+    fn subscribed_deltas_replay_to_current_network() {
+        let total = 640;
+        let hist_len = 400;
+        let b = 25;
+        let theta = 0.6;
+        let full = data(total);
+        let historical = full.truncate_length(hist_len).unwrap();
+        for engine in [
+            UpdateEngine::Exact,
+            UpdateEngine::Approximate { coefficients: b },
+        ] {
+            let mut rt = RealTimeNetwork::new(&historical, b, 200, theta, engine).unwrap();
+            let mut snapshot = rt.subscribe_edges(theta).unwrap();
+            assert_eq!(snapshot, rt.network_with_threshold(theta));
+            assert!(rt.take_deltas().is_empty());
+
+            // Odd-sized pushes: some complete no basic window, one burst
+            // completes several. Each completed window must yield exactly one
+            // delta, and replaying them all reaches the live network.
+            let mut emitted = 0;
+            let mut now = hist_len;
+            for step in [11usize, 7, 60, 25, 13, 80] {
+                let updates: Vec<Vec<f64>> = full
+                    .iter()
+                    .map(|s| s.values()[now..now + step].to_vec())
+                    .collect();
+                let applied = rt.ingest(&updates).unwrap();
+                now += step;
+                let deltas = rt.take_deltas();
+                assert_eq!(deltas.len(), applied);
+                emitted += deltas.len();
+                for delta in &deltas {
+                    delta.apply_to(&mut snapshot).unwrap();
+                }
+                let expected = rt.network_with_threshold(theta);
+                assert_eq!(snapshot, expected, "engine {engine:?} at now={now}");
+                assert_eq!(snapshot.nan_pair_count(), expected.nan_pair_count());
+            }
+            assert_eq!(emitted, rt.updates_applied());
+
+            rt.unsubscribe_edges();
+            let updates: Vec<Vec<f64>> = full.iter().map(|s| s.values()[..b].to_vec()).collect();
+            rt.ingest(&updates).unwrap();
+            assert!(rt.take_deltas().is_empty());
+        }
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod prelude {
     pub use tsubasa_core::prelude::*;
     pub use tsubasa_data::prelude::*;
     pub use tsubasa_dft::{ApproxPlan, DftSketchSet, SlidingApproxNetwork};
-    pub use tsubasa_network::{ApproxNetworkBuilder, ClimateNetwork, NetworkComparison};
+    pub use tsubasa_network::{
+        ApproxNetworkBuilder, ClimateNetwork, DynamicsBuilder, NetworkComparison,
+    };
     pub use tsubasa_parallel::{ParallelConfig, ParallelEngine};
     pub use tsubasa_serve::{EpochIngest, EpochStore, PlanCache, QueryEngine, ServeClient};
     pub use tsubasa_storage::{DiskSketchStore, MemorySketchStore, SketchStore};

@@ -78,10 +78,10 @@ fn realtime_snapshots_feed_network_dynamics_analysis() {
     let mut rt = RealTimeNetwork::new(&historical, b, query_len, 0.8, UpdateEngine::Exact).unwrap();
 
     let mut tracker = DynamicsTracker::new(world.len());
-    tracker.observe(&rt.network());
+    tracker.observe(&rt.network()).unwrap();
     for delivery in StreamReplay::new(&world, history, b).unwrap() {
         rt.ingest(&delivery).unwrap();
-        tracker.observe(&rt.network());
+        tracker.observe(&rt.network()).unwrap();
     }
     let snapshots = tracker.snapshots();
     assert_eq!(snapshots, 1 + (total - history) / b);
