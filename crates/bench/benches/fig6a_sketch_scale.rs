@@ -15,7 +15,7 @@ use std::sync::Arc;
 use tsubasa_bench::{fmt_ms, millis, scaled, workers, Table};
 use tsubasa_data::prelude::*;
 use tsubasa_parallel::{ParallelConfig, ParallelEngine, SketchMethod};
-use tsubasa_storage::{DiskSketchStore, SketchStore};
+use tsubasa_storage::{DiskSketchStore, PileWriter, SketchStore};
 
 fn main() {
     let basic_window = 120;
@@ -80,6 +80,39 @@ fn main() {
             }));
             std::fs::remove_dir_all(&dir).ok();
         }
+
+        // Pile backend: identical exact sketch computation, but the database
+        // worker appends coalesced window-major slabs to the single-file
+        // pile instead of per-record batches (see `fig_pile` for the query
+        // side).
+        let path =
+            std::env::temp_dir().join(format!("tsubasa-fig6a-pile-{}-{n}", std::process::id()));
+        let engine = ParallelEngine::new(ParallelConfig {
+            workers,
+            batch_pairs: tsubasa_storage::default_batch_pairs(),
+            sketch_method: SketchMethod::Exact,
+            audit_pruned_chunks: false,
+        });
+        let writer = PileWriter::create(&path, n, basic_window).unwrap();
+        let (report, _pile) = engine
+            .sketch_to_pile(&collection, basic_window, writer)
+            .unwrap();
+        table.row(vec![
+            n.to_string(),
+            "TSUBASA pile".to_string(),
+            fmt_ms(millis(report.compute_time)),
+            fmt_ms(millis(report.write_time)),
+            fmt_ms(millis(report.wall_time)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "series": n,
+            "method": "TSUBASA pile",
+            "compute_ms": millis(report.compute_time),
+            "write_ms": millis(report.write_time),
+            "wall_ms": millis(report.wall_time),
+            "pairs": report.pairs,
+        }));
+        std::fs::remove_file(&path).ok();
     }
 
     table.print("Figure 6a: sketch-time breakdown vs number of series");

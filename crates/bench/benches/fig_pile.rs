@@ -1,0 +1,312 @@
+//! Pile benchmark — the memory-mapped append-only sketch pile vs the
+//! record store.
+//!
+//! The record store serializes one fixed-size record per `(pair, window)`
+//! and the query path decodes them back into `PairWindowRecord` vectors
+//! chunk by chunk. The pile stores the same correlations as window-major
+//! `f64` tables in the exact layout `block_kernel` consumes, so the query
+//! path maps the file and hands the kernel zero-copy `CorrView` borrows —
+//! no per-record deserialization, no record vectors.
+//!
+//! This bench pins three facts with a counting global allocator (the
+//! `fig6b_streamed` pattern):
+//!
+//! * sketch-write throughput: the pile's coalesced window-major appends vs
+//!   the record store's batched record writes;
+//! * query-path allocation: a pile-backed network query's peak extra
+//!   allocation stays **below the size of the record table the store path
+//!   decodes** — direct evidence that no per-record materialization happens;
+//! * out-of-core queries: with `TSUBASA_DENSE_LIMIT_BYTES` set below the
+//!   dense matrix requirement, the dense query fails fast with `TooLarge`
+//!   while the streamed pile network/top-k queries complete against the
+//!   same mapped file.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tsubasa_bench::{fmt_ms, millis, scaled, workers, Table};
+use tsubasa_core::error::Error;
+use tsubasa_data::prelude::*;
+use tsubasa_parallel::{ParallelConfig, ParallelEngine, QueryMethod, SketchMethod};
+use tsubasa_storage::{
+    DiskSketchStore, PairWindowRecord, PileWriter, SegmentKind, SketchPile, SketchStore,
+};
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn bump(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            bump(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                bump(new_size - layout.size());
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[allow(unsafe_code)]
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn reset_peak() -> usize {
+    let live = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+    live
+}
+
+fn peak_extra(baseline: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+}
+
+fn fmt_bytes(b: u128) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    }
+}
+
+fn main() {
+    let basic_window = 120;
+    let points = 960;
+    let windows = points / basic_window;
+    let theta = 0.7;
+    let k = 50;
+    let workers = workers();
+    let sweep: Vec<usize> = [100usize, 200, 400]
+        .iter()
+        .map(|&n| scaled(n, 24))
+        .collect();
+
+    println!(
+        "Pile benchmark: mapped window-major pile vs record store | B={basic_window} | \
+         {points} points | theta={theta} | k={k} | {workers} workers"
+    );
+
+    let engine = ParallelEngine::new(ParallelConfig {
+        workers,
+        batch_pairs: 256,
+        sketch_method: SketchMethod::Exact,
+        audit_pruned_chunks: false,
+    });
+
+    let mut table = Table::new(&[
+        "series",
+        "backend",
+        "sketch wall",
+        "db write",
+        "net wall",
+        "net peak alloc",
+        "record table",
+        "zero-copy",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut last_pile_path = None;
+
+    for &n in &sweep {
+        let collection = generate_berkeley_like(&BerkeleyLikeConfig {
+            cells: n,
+            points,
+            ..BerkeleyLikeConfig::default()
+        })
+        .expect("generate dataset");
+        let layout = ParallelEngine::layout_for(&collection, basic_window).unwrap();
+        let pairs = n * (n - 1) / 2;
+        // What the record-store query path decodes, and the pile path never
+        // materializes: one PairWindowRecord per (pair, window).
+        let record_table_bytes = pairs * windows * std::mem::size_of::<PairWindowRecord>();
+
+        // --- Record store ------------------------------------------------
+        let dir = std::env::temp_dir().join(format!("tsubasa-figpile-{}-{n}", std::process::id()));
+        let store: Arc<dyn SketchStore> = Arc::new(DiskSketchStore::create(&dir, layout).unwrap());
+        let store_report = engine
+            .sketch_to_store(&collection, basic_window, store.clone())
+            .unwrap();
+        let base = reset_peak();
+        let t = Instant::now();
+        let (net_store, _) = engine
+            .network_from_store(store.clone(), 0..windows, QueryMethod::Exact, theta)
+            .unwrap();
+        let store_net_wall = t.elapsed();
+        let store_peak = peak_extra(base);
+        table.row(vec![
+            n.to_string(),
+            "record".to_string(),
+            fmt_ms(millis(store_report.wall_time)),
+            fmt_ms(millis(store_report.write_time)),
+            fmt_ms(millis(store_net_wall)),
+            fmt_bytes(store_peak as u128),
+            fmt_bytes(record_table_bytes as u128),
+            "-".to_string(),
+        ]);
+
+        // --- Pile --------------------------------------------------------
+        let path =
+            std::env::temp_dir().join(format!("tsubasa-figpile-{}-{n}.pile", std::process::id()));
+        let writer = PileWriter::create(&path, n, basic_window).unwrap();
+        let (pile_report, pile) = engine
+            .sketch_to_pile(&collection, basic_window, writer)
+            .unwrap();
+        drop(pile);
+        // Compaction coalesces the append log into one segment per kind, so
+        // the full query range is served from a single zero-copy borrow.
+        SketchPile::compact(&path).unwrap();
+        let pile = SketchPile::open(&path).unwrap();
+        let zero_copy = pile
+            .pair_table(0..windows, SegmentKind::PairCorrs)
+            .unwrap()
+            .is_zero_copy();
+        assert!(
+            zero_copy,
+            "a compacted pile must serve full ranges zero-copy"
+        );
+
+        let base = reset_peak();
+        let t = Instant::now();
+        let (net_pile, _) = engine
+            .network_from_pile(&pile, 0..windows, QueryMethod::Exact, theta)
+            .unwrap();
+        let pile_net_wall = t.elapsed();
+        let pile_peak = peak_extra(base);
+        assert_eq!(
+            net_store.edges(),
+            net_pile.edges(),
+            "pile and record-store networks must agree bit-for-bit"
+        );
+        // The zero-deserialization claim, enforced: the whole pile query —
+        // plan, bounds, sinks, tiles — allocates less than the record table
+        // the store path decodes chunk by chunk.
+        assert!(
+            pile_peak < record_table_bytes,
+            "pile network query allocated {pile_peak} B, record table is {record_table_bytes} B"
+        );
+        table.row(vec![
+            n.to_string(),
+            "pile".to_string(),
+            fmt_ms(millis(pile_report.wall_time)),
+            fmt_ms(millis(pile_report.write_time)),
+            fmt_ms(millis(pile_net_wall)),
+            fmt_bytes(pile_peak as u128),
+            fmt_bytes(record_table_bytes as u128),
+            if pile.is_mmap() { "mmap" } else { "fallback" }.to_string(),
+        ]);
+
+        json_rows.push(serde_json::json!({
+            "series": n,
+            "pairs": pairs,
+            "windows": windows,
+            "record_sketch_wall_ms": millis(store_report.wall_time),
+            "record_write_ms": millis(store_report.write_time),
+            "record_network_wall_ms": millis(store_net_wall),
+            "record_network_peak_bytes": store_peak,
+            "pile_sketch_wall_ms": millis(pile_report.wall_time),
+            "pile_write_ms": millis(pile_report.write_time),
+            "pile_network_wall_ms": millis(pile_net_wall),
+            "pile_network_peak_bytes": pile_peak,
+            "record_table_bytes": record_table_bytes,
+            "pile_space_bytes": pile.space_bytes(),
+            "pile_is_mmap": pile.is_mmap(),
+            "edges": net_pile.edge_count(),
+        }));
+
+        std::fs::remove_dir_all(&dir).ok();
+        if Some(n) == sweep.last().copied() {
+            last_pile_path = Some(path);
+        } else {
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    table.print("Pile vs record store: sketch write + network query");
+
+    // --- Out-of-core coda: query a pile past the dense budget -------------
+    let path = last_pile_path.expect("at least one sweep point");
+    let pile = SketchPile::open(&path).unwrap();
+    let pairs = pile.pair_count();
+    // The dense guard prices the all-pairs buffer (`pairs × 8` bytes); set
+    // the budget strictly below it so the dense path must refuse while the
+    // streamed pile sweeps — which never materialize that buffer — proceed.
+    let dense_need = (pairs * 8) as u64;
+    let dense_limit = (dense_need / 2).max(1);
+    std::env::set_var("TSUBASA_DENSE_LIMIT_BYTES", dense_limit.to_string());
+
+    let dense = engine.query_from_pile(&pile, 0..windows, QueryMethod::Exact);
+    assert!(
+        matches!(dense, Err(Error::TooLarge { .. })),
+        "dense query must trip the budget guard"
+    );
+    let t = Instant::now();
+    let (net, _) = engine
+        .network_from_pile(&pile, 0..windows, QueryMethod::Exact, theta)
+        .unwrap();
+    let net_wall = t.elapsed();
+    let t = Instant::now();
+    let (top, _) = engine
+        .top_k_from_pile(&pile, 0..windows, QueryMethod::Exact, k)
+        .unwrap();
+    let top_wall = t.elapsed();
+    std::env::remove_var("TSUBASA_DENSE_LIMIT_BYTES");
+    println!(
+        "out-of-core @ N={}: dense needs {} (budget {}), TooLarge; streamed pile network {} \
+         ({} edges), top-{k} {}",
+        pile.n_series(),
+        fmt_bytes(dense_need as u128),
+        fmt_bytes(dense_limit as u128),
+        fmt_ms(millis(net_wall)),
+        net.edge_count(),
+        fmt_ms(millis(top_wall)),
+    );
+    std::fs::remove_file(&path).ok();
+
+    let out_of_core = serde_json::json!({
+        "dense_required_bytes": dense_need,
+        "dense_limit_bytes": dense_limit,
+        "dense_too_large": true,
+        "network_wall_ms": millis(net_wall),
+        "network_edges": net.edge_count(),
+        "top_k_wall_ms": millis(top_wall),
+        "top_k_len": top.edges.len(),
+    });
+    tsubasa_bench::write_json(
+        "fig_pile",
+        &serde_json::json!({
+            "basic_window": basic_window,
+            "points": points,
+            "theta": theta,
+            "k": k,
+            "workers": workers,
+            "rows": json_rows,
+            "out_of_core": out_of_core,
+        }),
+    );
+}

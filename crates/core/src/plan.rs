@@ -649,6 +649,28 @@ pub struct TransposedCorrs {
 }
 
 impl TransposedCorrs {
+    /// Wrap a buffer that is *already* window-major (`data[k · pairs + p]` is
+    /// window `k` of pair `p`), taking ownership. This is the constructor for
+    /// callers that assemble the table by bulk row copies — e.g. gathering
+    /// window rows off a memory-mapped sketch pile — instead of element by
+    /// element through [`TransposedCorrs::from_fn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer length does not match `pairs · windows`.
+    pub fn from_vec(data: Vec<f64>, pairs: usize, windows: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            pairs * windows,
+            "window-major corr buffer has the wrong shape"
+        );
+        Self {
+            pairs,
+            windows,
+            data,
+        }
+    }
+
     /// Build from a closure `f(p, k)` returning window `k` of pair `p`.
     pub fn from_fn(pairs: usize, windows: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = vec![0.0f64; pairs * windows];

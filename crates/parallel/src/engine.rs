@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use tsubasa_core::capacity::check_dense_budget;
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::CorrelationMatrix;
-use tsubasa_core::plan::{row_segments, QueryPlan, TransposedCorrs};
+use tsubasa_core::plan::{row_segments, CorrView, QueryPlan, TransposedCorrs};
 use tsubasa_core::sketch::pair_index;
 use tsubasa_core::stats::{normalize_into, normalized_dot_corr, WindowStats};
 use tsubasa_core::sweep::{CorrelationBounds, EdgeList, EdgeSink, TileSink, TopK, TopKSink};
@@ -31,6 +31,7 @@ use tsubasa_core::Job;
 use tsubasa_core::SeriesCollection;
 use tsubasa_dft::dft::{coefficient_distance, DftPlanner};
 use tsubasa_dft::normalize::normalize_unit_with_stats;
+use tsubasa_storage::pile::{PileBatchWriter, PileSlab, PileWriter, SegmentKind, SketchPile};
 use tsubasa_storage::{
     BatchWriter, PairWindowRecord, SeriesWindowRecord, SketchStore, StoreLayout, WriteBatch,
 };
@@ -639,6 +640,490 @@ impl ParallelEngine {
     }
 }
 
+/// Pile-backed variants of the store methods: the same partitioned phases,
+/// but the sketch lives in a memory-mapped [`SketchPile`] whose segments are
+/// window-major `f64` tables in the exact layout [`QueryPlan::block_kernel`]
+/// consumes — queries sweep zero-copy [`CorrView`]s off the map with **no
+/// per-record deserialization** (no [`PairWindowRecord`] vecs on the read hot
+/// path), so sketch sets are no longer capped at RAM.
+impl ParallelEngine {
+    /// The pile table a query method recombines from.
+    fn pile_kind(method: QueryMethod) -> SegmentKind {
+        match method {
+            QueryMethod::Exact => SegmentKind::PairCorrs,
+            QueryMethod::Approximate => SegmentKind::PairEsts,
+        }
+    }
+
+    /// Sketch `collection` into a fresh pile through the threaded pile
+    /// writer, and return the mapped result alongside the timing breakdown.
+    ///
+    /// The per-series pass is identical to [`ParallelEngine::sketch_to_store`];
+    /// the pair pass proceeds one window at a time, with the computation
+    /// workers filling disjoint carved slices of the full-width window row,
+    /// which is then streamed (in window order) to the pile's database
+    /// worker as one coalescable slab — window-major slabs instead of
+    /// random-offset records. Under [`SketchMethod::Dft`] the pile stores the
+    /// Equation 3 estimates `1 − d²/2` (computed here with the exact
+    /// expression the record-store query path applies to stored distances, so
+    /// the two paths stay bit-identical), which is what makes approximate
+    /// queries zero-copy too.
+    pub fn sketch_to_pile(
+        &self,
+        collection: &SeriesCollection,
+        basic_window: usize,
+        writer: PileWriter,
+    ) -> Result<(SketchReport, SketchPile)> {
+        let wall_start = Instant::now();
+        let expected = Self::layout_for(collection, basic_window)?;
+        let fresh = SegmentKind::ALL.iter().all(|&k| writer.coverage(k) == 0);
+        if writer.n_series() != expected.n_series
+            || writer.basic_window() != expected.basic_window
+            || !fresh
+        {
+            return Err(Error::SketchMismatch {
+                requested: format!("fresh pile for {expected:?}"),
+                available: format!(
+                    "pile(n_series={}, basic_window={}, windows appended={})",
+                    writer.n_series(),
+                    writer.basic_window(),
+                    !fresh
+                ),
+            });
+        }
+        let windowing = BasicWindowing::new(basic_window)?;
+        let ns = expected.n_windows;
+        let n = collection.len();
+        if ns == 0 {
+            return Err(Error::InvalidBasicWindow {
+                window: basic_window,
+                series_len: collection.series_len(),
+            });
+        }
+        let bw = basic_window;
+        let exact = matches!(self.config.sketch_method, SketchMethod::Exact);
+
+        let batch = PileBatchWriter::spawn(writer, self.config.batch_pairs.max(1));
+        let mut compute_time = Duration::ZERO;
+
+        // Per-series pass: same statistics / z-rows / coefficients as the
+        // record path, plus one window-major stats slab for the pile.
+        let per_series_start = Instant::now();
+        let mut series_coeffs: Vec<Vec<Vec<tsubasa_dft::dft::Complex>>> = Vec::new();
+        let mut z = vec![0.0f64; if exact { ns * n * bw } else { 0 }];
+        let mut stats_rows = vec![0.0f64; ns * n * 3];
+        let planner = DftPlanner::new(bw);
+        for (id, series) in collection.iter_with_ids() {
+            let values = series.values();
+            let stats: Vec<WindowStats> = (0..ns)
+                .map(|w| WindowStats::from_values(windowing.window_span(w).slice(values)))
+                .collect();
+            for (w, st) in stats.iter().enumerate() {
+                let base = (w * n + id) * 3;
+                stats_rows[base] = st.len as f64;
+                stats_rows[base + 1] = st.mean;
+                stats_rows[base + 2] = st.std;
+            }
+            if exact {
+                for (w, st) in stats.iter().enumerate() {
+                    let span = windowing.window_span(w);
+                    let row = &mut z[(w * n + id) * bw..(w * n + id + 1) * bw];
+                    normalize_into(span.slice(values), st, row);
+                }
+            }
+            if let SketchMethod::Dft { coefficients: _ } = self.config.sketch_method {
+                let coeffs = (0..ns)
+                    .map(|w| {
+                        let span = windowing.window_span(w);
+                        planner.transform(&normalize_unit_with_stats(span.slice(values), &stats[w]))
+                    })
+                    .collect();
+                series_coeffs.push(coeffs);
+            }
+        }
+        compute_time += per_series_start.elapsed();
+        batch
+            .sender()
+            .send(PileSlab::Stats(stats_rows))
+            .map_err(|_| Error::Storage("pile writer hung up".into()))?;
+
+        // Pair pass, window at a time: workers fill disjoint carved slices of
+        // the full-width packed row, preserving the strict window order the
+        // pile's append discipline requires.
+        let partitions = partition_pairs(n, self.config.workers.max(1));
+        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
+        let method = self.config.sketch_method;
+        let z_ref = &z;
+        let coeffs_ref = &series_coeffs;
+        for w in 0..ns {
+            if pair_count == 0 {
+                break;
+            }
+            let mut row = vec![0.0f64; pair_count];
+            {
+                let slices = tsubasa_core::plan::carve_packed_slices(
+                    &mut row,
+                    partitions.iter().map(|p| p.len()),
+                );
+                let live: Vec<_> = partitions
+                    .iter()
+                    .zip(slices)
+                    .filter(|(p, _)| !p.is_empty())
+                    .collect();
+                let mut outcomes: Vec<Duration> = vec![Duration::ZERO; live.len()];
+                let jobs: Vec<Job<'_>> = live
+                    .into_iter()
+                    .zip(outcomes.iter_mut())
+                    .map(|((part, slice), busy)| {
+                        Box::new(move || {
+                            let start = Instant::now();
+                            for (slot, &(a, b)) in slice.iter_mut().zip(&part.pairs) {
+                                *slot = match method {
+                                    SketchMethod::Exact => {
+                                        let za = &z_ref[(w * n + a) * bw..(w * n + a + 1) * bw];
+                                        let zb = &z_ref[(w * n + b) * bw..(w * n + b + 1) * bw];
+                                        normalized_dot_corr(za, zb)
+                                    }
+                                    SketchMethod::Dft { coefficients } => {
+                                        let d = coefficient_distance(
+                                            &coeffs_ref[a][w],
+                                            &coeffs_ref[b][w],
+                                            coefficients,
+                                        );
+                                        1.0 - d * d / 2.0
+                                    }
+                                };
+                            }
+                            *busy = start.elapsed();
+                        }) as Job<'_>
+                    })
+                    .collect();
+                self.pool.run_jobs(jobs);
+                for busy in outcomes {
+                    compute_time += busy;
+                }
+            }
+            let slab = if exact {
+                PileSlab::Corrs(row)
+            } else {
+                PileSlab::Ests(row)
+            };
+            batch
+                .sender()
+                .send(slab)
+                .map_err(|_| Error::Storage("pile writer hung up".into()))?;
+        }
+
+        let (writer_stats, writer) = batch.finish()?;
+        let pile = writer.into_pile()?;
+        Ok((
+            SketchReport {
+                workers: self.config.workers.max(1),
+                pairs: pair_count,
+                compute_time,
+                write_time: writer_stats.write_time,
+                wall_time: wall_start.elapsed(),
+            },
+            pile,
+        ))
+    }
+
+    /// [`ParallelEngine::query_from_store`] against a pile: the dense matrix
+    /// is assembled by sweeping [`QueryPlan::block_kernel`] directly over the
+    /// pile's mapped full-width table — no record reads, no transposition,
+    /// and bit-identical to the record-store path (the kernel's per-pair
+    /// accumulation is independent of tiling).
+    pub fn query_from_pile(
+        &self,
+        pile: &SketchPile,
+        windows: Range<usize>,
+        method: QueryMethod,
+    ) -> Result<(CorrelationMatrix, QueryReport)> {
+        let wall_start = Instant::now();
+        let n = pile.n_series();
+
+        let read_start = Instant::now();
+        let series_stats = pile.series_stats(windows.clone())?;
+        let table = if n >= 2 {
+            Some(pile.pair_table(windows.clone(), Self::pile_kind(method))?)
+        } else {
+            None
+        };
+        let read_time = read_start.elapsed();
+
+        let plan = if n >= 2 {
+            Some(QueryPlan::from_window_stats(&series_stats)?)
+        } else {
+            None
+        };
+
+        let partitions = partition_pairs(n, self.config.workers.max(1));
+        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
+        check_dense_budget(n * n.saturating_sub(1) / 2, 1)?;
+        let mut values = vec![0.0f64; n * n.saturating_sub(1) / 2];
+        let slices = tsubasa_core::plan::carve_packed_slices(
+            &mut values,
+            partitions.iter().map(|p| p.len()),
+        );
+        let plan_ref = plan.as_ref();
+        let view = table.as_ref().map(|t| t.view());
+
+        let live: Vec<_> = partitions
+            .iter()
+            .zip(slices)
+            .filter(|(part, _)| !part.is_empty())
+            .collect();
+        let mut outcomes: Vec<Duration> = vec![Duration::ZERO; live.len()];
+        let jobs: Vec<Job<'_>> = live
+            .into_iter()
+            .zip(outcomes.iter_mut())
+            .map(|((part, slice), busy)| {
+                Box::new(move || {
+                    let start = Instant::now();
+                    let plan = plan_ref.expect("plan is built for n >= 2 queries");
+                    let view = view.expect("pair table is mapped for n >= 2 queries");
+                    let (a0, b0) = part.pairs[0];
+                    // Full-width view: the kernel's pair offset is the global
+                    // packed pair index.
+                    let mut offset = pair_index(a0, b0, n);
+                    let mut cursor = 0;
+                    for (i, j0, len) in row_segments(offset, part.pairs.len(), n) {
+                        plan.block_kernel(i, j0, view, offset, &mut slice[cursor..cursor + len]);
+                        offset += len;
+                        cursor += len;
+                    }
+                    *busy = start.elapsed();
+                }) as Job<'_>
+            })
+            .collect();
+        self.pool.run_jobs(jobs);
+        let mut compute_time = Duration::ZERO;
+        for busy in outcomes {
+            compute_time += busy;
+        }
+
+        let matrix = CorrelationMatrix::from_upper_triangle(n, values);
+        Ok((
+            matrix,
+            QueryReport {
+                workers: self.config.workers.max(1),
+                pairs: pair_count,
+                read_time,
+                compute_time,
+                wall_time: wall_start.elapsed(),
+            },
+        ))
+    }
+
+    /// [`ParallelEngine::network_from_store`] against a pile. Equation 4
+    /// chunk pruning composes unchanged — a skippable chunk's table columns
+    /// are never touched, so their mapped pages are not faulted in (the
+    /// pruning bound needs only the decoded per-series statistics). NaN
+    /// accounting mirrors the record path: observed chunks are column-scanned
+    /// for NaN per pair, pruned chunks are audited only under
+    /// [`ParallelConfig::audit_pruned_chunks`].
+    pub fn network_from_pile(
+        &self,
+        pile: &SketchPile,
+        windows: Range<usize>,
+        method: QueryMethod,
+        theta: f64,
+    ) -> Result<(EdgeList, QueryReport)> {
+        if !(-1.0..=1.0).contains(&theta) {
+            return Err(Error::InvalidThreshold(theta));
+        }
+        let make = |_: &QueryPlan| EdgeSink::new(theta);
+        let prune = matches!(method, QueryMethod::Approximate);
+        let (sinks, n, report) = self.streamed_pile_query(pile, windows, method, prune, make)?;
+        let mut edges = EdgeList::from_parts(n, Vec::new(), 0);
+        for sink in sinks {
+            edges.absorb(sink.finish(n));
+        }
+        Ok((edges, report))
+    }
+
+    /// [`ParallelEngine::top_k_from_store`] against a pile — same bounded
+    /// per-worker heaps, same total ranking, swept zero-copy off the map.
+    pub fn top_k_from_pile(
+        &self,
+        pile: &SketchPile,
+        windows: Range<usize>,
+        method: QueryMethod,
+        k: usize,
+    ) -> Result<(TopK, QueryReport)> {
+        let make = |_: &QueryPlan| TopKSink::new(k);
+        let (sinks, _, report) = self.streamed_pile_query(pile, windows, method, true, make)?;
+        let mut merged = TopKSink::new(k);
+        for sink in sinks {
+            merged.absorb(sink);
+        }
+        Ok((merged.finish(), report))
+    }
+
+    /// Shared body of the streamed pile-backed queries: decode the per-series
+    /// statistics (the only decoding the pile path ever does), map the
+    /// full-width pair table once, and fan the partitions out — every worker
+    /// sweeps its chunks straight off the shared [`CorrView`].
+    fn streamed_pile_query<S, F>(
+        &self,
+        pile: &SketchPile,
+        windows: Range<usize>,
+        method: QueryMethod,
+        prune: bool,
+        make_sink: F,
+    ) -> Result<(Vec<S>, usize, QueryReport)>
+    where
+        S: TileSink + Send,
+        F: Fn(&QueryPlan) -> S,
+    {
+        let wall_start = Instant::now();
+        let n = pile.n_series();
+
+        let read_start = Instant::now();
+        let series_stats = pile.series_stats(windows.clone())?;
+        if n < 2 {
+            return Ok((
+                Vec::new(),
+                n,
+                QueryReport {
+                    workers: self.config.workers.max(1),
+                    pairs: 0,
+                    read_time: read_start.elapsed(),
+                    compute_time: Duration::ZERO,
+                    wall_time: wall_start.elapsed(),
+                },
+            ));
+        }
+        let table = pile.pair_table(windows.clone(), Self::pile_kind(method))?;
+        let read_time = read_start.elapsed();
+
+        let plan = QueryPlan::from_window_stats(&series_stats)?;
+        let bounds = prune.then(|| CorrelationBounds::from_plan(&plan));
+
+        let partitions = partition_pairs(n, self.config.workers.max(1));
+        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
+        let batch_pairs = self.config.batch_pairs.max(1);
+        let audit_pruned = self.config.audit_pruned_chunks;
+
+        let plan_ref = &plan;
+        let bounds_ref = bounds.as_ref();
+        let view = table.view();
+
+        let live: Vec<&crate::partition::PairPartition> =
+            partitions.iter().filter(|p| !p.is_empty()).collect();
+        let mut sinks: Vec<S> = live.iter().map(|_| make_sink(&plan)).collect();
+        let mut outcomes: Vec<Duration> = vec![Duration::ZERO; live.len()];
+        let jobs: Vec<Job<'_>> = live
+            .iter()
+            .zip(sinks.iter_mut().zip(outcomes.iter_mut()))
+            .map(|(part, (sink, busy))| {
+                let part = *part;
+                Box::new(move || {
+                    *busy = sweep_pile_partition(
+                        plan_ref,
+                        view,
+                        bounds_ref,
+                        n,
+                        batch_pairs,
+                        audit_pruned,
+                        &part.pairs,
+                        sink,
+                    );
+                }) as Job<'_>
+            })
+            .collect();
+        self.pool.run_jobs(jobs);
+
+        let mut compute_time = Duration::ZERO;
+        for busy in outcomes {
+            compute_time += busy;
+        }
+        Ok((
+            sinks,
+            n,
+            QueryReport {
+                workers: self.config.workers.max(1),
+                pairs: pair_count,
+                read_time,
+                compute_time,
+                wall_time: wall_start.elapsed(),
+            },
+        ))
+    }
+}
+
+/// One worker's sweep of its partition over the shared mapped table: the
+/// pile sibling of [`stream_partition`], with the store read replaced by the
+/// zero-copy view (there is nothing to read — the "batch" is already in the
+/// kernel's layout). Working memory is one `batch_pairs`-sized output tile.
+#[allow(clippy::too_many_arguments)]
+fn sweep_pile_partition(
+    plan: &QueryPlan,
+    view: CorrView<'_>,
+    bounds: Option<&CorrelationBounds>,
+    n: usize,
+    batch_pairs: usize,
+    audit_pruned: bool,
+    pairs: &[(usize, usize)],
+    sink: &mut dyn TileSink,
+) -> Duration {
+    let start_t = Instant::now();
+    let mut tile = vec![0.0f64; batch_pairs];
+    for chunk in pairs.chunks(batch_pairs) {
+        let (a0, b0) = chunk[0];
+        let first = pair_index(a0, b0, n);
+
+        // Equation 4 chunk pruning: decided from per-series statistics
+        // alone — a skipped chunk's columns of the mapped table are never
+        // dereferenced, so their pages are not faulted in.
+        if let Some(b) = bounds {
+            let skippable = row_segments(first, chunk.len(), n)
+                .into_iter()
+                .all(|(i, j0, len)| sink.tile_skippable(b.tile_bound(i, j0, len)));
+            if skippable {
+                if audit_pruned {
+                    audit_nan_columns(view, chunk, n, sink);
+                }
+                for (i, j0, len) in row_segments(first, chunk.len(), n) {
+                    sink.tile_skipped(i, j0, len);
+                }
+                continue;
+            }
+        }
+
+        // Audit mirrors `audit_nan_records`: the kernel clamps NaN window
+        // values to 0.0, so scan the chunk's table columns and report
+        // affected pairs as one-slot NaN tiles before recombining.
+        audit_nan_columns(view, chunk, n, sink);
+        let mut offset = first;
+        for (i, j0, len) in row_segments(first, chunk.len(), n) {
+            plan.block_kernel(i, j0, view, offset, &mut tile[..len]);
+            sink.consume(i, j0, offset, &tile[..len]);
+            offset += len;
+        }
+    }
+    start_t.elapsed()
+}
+
+/// Scan a chunk's columns of the mapped window-major table for NaN windows
+/// and report each affected pair to the sink as a one-slot NaN tile — the
+/// pile-path equivalent of [`audit_nan_records`] (which inspects the decoded
+/// records the pile path no longer has).
+fn audit_nan_columns(
+    view: CorrView<'_>,
+    chunk: &[(usize, usize)],
+    n: usize,
+    sink: &mut dyn TileSink,
+) {
+    let w = view.window_count();
+    for &(a, b) in chunk {
+        let p = pair_index(a, b, n);
+        if (0..w).any(|k| view.window_row(k)[p].is_nan()) {
+            sink.consume(a, b, p, &[f64::NAN]);
+        }
+    }
+}
+
 /// Per-worker timing of one streamed partition sweep.
 #[derive(Default)]
 struct StreamedOut {
@@ -1118,6 +1603,107 @@ mod tests {
         assert!(eng
             .query_from_store(store, 0..99, QueryMethod::Exact)
             .is_err());
+    }
+
+    fn temp_pile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "tsubasa-engine-pile-{}-{tag}.pile",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn pile_query_is_bit_identical_to_record_store_query() {
+        let c = small_collection();
+        let b = 50;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(3, SketchMethod::Exact);
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+
+        let path = temp_pile("agree-exact");
+        let writer = PileWriter::create(&path, c.len(), b).unwrap();
+        let (sreport, pile) = eng.sketch_to_pile(&c, b, writer).unwrap();
+        assert_eq!(sreport.pairs, c.pair_count());
+        assert_eq!(pile.exact_query_windows(), layout.n_windows);
+
+        let (from_store, _) = eng
+            .query_from_store(store, 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+        let (from_pile, qreport) = eng
+            .query_from_pile(&pile, 0..layout.n_windows, QueryMethod::Exact)
+            .unwrap();
+        assert_eq!(from_store, from_pile);
+        assert_eq!(qreport.pairs, c.pair_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pile_network_and_top_k_match_store_paths() {
+        let c = small_collection();
+        let b = 60;
+        let layout = ParallelEngine::layout_for(&c, b).unwrap();
+        let store = Arc::new(MemorySketchStore::new(layout));
+        let eng = engine(2, SketchMethod::Dft { coefficients: 10 });
+        eng.sketch_to_store(&c, b, store.clone()).unwrap();
+
+        let path = temp_pile("agree-approx");
+        let writer = PileWriter::create(&path, c.len(), b).unwrap();
+        let (_, pile) = eng.sketch_to_pile(&c, b, writer).unwrap();
+        assert_eq!(pile.approx_query_windows(), layout.n_windows);
+        assert_eq!(pile.exact_query_windows(), 0);
+
+        for theta in [0.0, 0.5, 0.99] {
+            let (from_store, _) = eng
+                .network_from_store(
+                    store.clone(),
+                    0..layout.n_windows,
+                    QueryMethod::Approximate,
+                    theta,
+                )
+                .unwrap();
+            let (from_pile, _) = eng
+                .network_from_pile(&pile, 0..layout.n_windows, QueryMethod::Approximate, theta)
+                .unwrap();
+            assert_eq!(from_pile.edges(), from_store.edges(), "theta={theta}");
+        }
+        for k in [0, 3, 17] {
+            let (from_store, _) = eng
+                .top_k_from_store(
+                    store.clone(),
+                    0..layout.n_windows,
+                    QueryMethod::Approximate,
+                    k,
+                )
+                .unwrap();
+            let (from_pile, _) = eng
+                .top_k_from_pile(&pile, 0..layout.n_windows, QueryMethod::Approximate, k)
+                .unwrap();
+            assert_eq!(from_pile.edges, from_store.edges, "k={k}");
+        }
+        // The pile has no correlation table under the DFT sketch method:
+        // exact queries are a typed mismatch, not silent NaNs.
+        assert!(eng
+            .query_from_pile(&pile, 0..layout.n_windows, QueryMethod::Exact)
+            .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sketch_to_pile_rejects_mismatched_or_used_writers() {
+        let c = small_collection();
+        let path = temp_pile("reject");
+        // Wrong shape.
+        let writer = PileWriter::create(&path, 3, 50).unwrap();
+        let eng = engine(2, SketchMethod::Exact);
+        assert!(eng.sketch_to_pile(&c, 50, writer).is_err());
+        // Non-empty writer.
+        let mut writer = PileWriter::create(&path, c.len(), 50).unwrap();
+        writer
+            .append(SegmentKind::SeriesStats, &vec![0.0; c.len() * 3])
+            .unwrap();
+        assert!(eng.sketch_to_pile(&c, 50, writer).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -18,8 +18,14 @@
 //! Networks that maintain sliding state instead
 //! ([`tsubasa_stream::RealTimeNetwork`]) publish through their
 //! `publish_epoch()` hook and [`EpochStore::publish_sketches`].
+//!
+//! For served sets larger than RAM, [`EpochIngest::pile`] appends each
+//! completed window to an on-disk [`SketchPile`] instead of growing an
+//! owned sketch; the published epoch carries a memory-mapped snapshot of
+//! the pile and queries read its window-major tables zero-copy.
 
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -27,19 +33,21 @@ use tsubasa_core::error::{Error, Result};
 use tsubasa_core::stats::{normalize_into, tiled_pair_corrs_into, WindowStats};
 use tsubasa_core::{SeriesCollection, SketchSet};
 use tsubasa_dft::sketch::{DftSketchSet, Transform};
+use tsubasa_storage::pile::{PileWriter, SegmentKind, SketchPile};
 use tsubasa_stream::{EpochSketches, StreamBuffer};
 
 /// One immutable published snapshot: the sketches covering every basic
 /// window completed up to its publication, identified by a 1-based id.
 ///
-/// An epoch may carry an exact [`SketchSet`], a [`DftSketchSet`], or both —
-/// queries for a method the epoch does not carry fail with a typed error
-/// instead of silently degrading.
+/// An epoch may carry an exact [`SketchSet`], a [`DftSketchSet`], both, or a
+/// memory-mapped [`SketchPile`] snapshot — queries for a method the epoch
+/// does not carry fail with a typed error instead of silently degrading.
 #[derive(Debug, Clone)]
 pub struct Epoch {
     id: u64,
     exact: Option<Arc<SketchSet>>,
     approx: Option<Arc<DftSketchSet>>,
+    pile: Option<Arc<SketchPile>>,
 }
 
 impl Epoch {
@@ -58,21 +66,30 @@ impl Epoch {
         self.approx.as_ref()
     }
 
+    /// The memory-mapped pile snapshot, when this epoch carries one.
+    pub fn pile(&self) -> Option<&Arc<SketchPile>> {
+        self.pile.as_ref()
+    }
+
     /// Number of series covered.
     pub fn series_count(&self) -> usize {
-        match (&self.exact, &self.approx) {
-            (Some(s), _) => s.series_count(),
-            (None, Some(a)) => a.series_count(),
-            (None, None) => 0,
+        match (&self.exact, &self.approx, &self.pile) {
+            (Some(s), _, _) => s.series_count(),
+            (None, Some(a), _) => a.series_count(),
+            (None, None, Some(p)) => p.n_series(),
+            (None, None, None) => 0,
         }
     }
 
-    /// Number of basic windows the snapshot covers.
+    /// Number of basic windows the snapshot covers. For a pile-backed epoch
+    /// this is the exact-queryable coverage (windows with both statistics and
+    /// pair correlations on disk).
     pub fn window_count(&self) -> usize {
-        match (&self.exact, &self.approx) {
-            (Some(s), _) => s.window_count(),
-            (None, Some(a)) => a.window_count(),
-            (None, None) => 0,
+        match (&self.exact, &self.approx, &self.pile) {
+            (Some(s), _, _) => s.window_count(),
+            (None, Some(a), _) => a.window_count(),
+            (None, None, Some(p)) => p.exact_query_windows(),
+            (None, None, None) => 0,
         }
     }
 }
@@ -114,11 +131,33 @@ impl EpochStore {
         if exact.is_none() && approx.is_none() {
             return Err(Error::EmptyInput("an epoch needs at least one sketch"));
         }
+        self.publish_epoch(exact.map(Arc::new), approx.map(Arc::new), None)
+    }
+
+    /// Publish the next epoch from a memory-mapped pile snapshot. The pile
+    /// must cover at least one exact-queryable basic window (statistics and
+    /// pair correlations both on disk).
+    pub fn publish_pile(&self, pile: SketchPile) -> Result<Arc<Epoch>> {
+        if pile.exact_query_windows() == 0 {
+            return Err(Error::EmptyInput(
+                "a pile epoch needs at least one exact-queryable window",
+            ));
+        }
+        self.publish_epoch(None, None, Some(Arc::new(pile)))
+    }
+
+    fn publish_epoch(
+        &self,
+        exact: Option<Arc<SketchSet>>,
+        approx: Option<Arc<DftSketchSet>>,
+        pile: Option<Arc<SketchPile>>,
+    ) -> Result<Arc<Epoch>> {
         let id = self.published.fetch_add(1, Ordering::SeqCst) + 1;
         let epoch = Arc::new(Epoch {
             id,
-            exact: exact.map(Arc::new),
-            approx: approx.map(Arc::new),
+            exact,
+            approx,
+            pile,
         });
         {
             let mut recent = self.recent.lock().expect("epoch store poisoned");
@@ -167,13 +206,14 @@ enum IngestSketch {
         sketch: DftSketchSet,
         transform: Transform,
     },
+    Pile(PileWriter),
 }
 
 /// The producing side of epoch publication: buffer raw observations, fold
 /// each completed basic window into a growing sketch, and publish one epoch
 /// per completed window.
 ///
-/// Two flavors:
+/// Three flavors:
 ///
 /// * [`EpochIngest::exact`] grows a plain [`SketchSet`]; epochs answer exact
 ///   (Lemma 1) queries.
@@ -181,6 +221,12 @@ enum IngestSketch {
 ///   [`push_window`](DftSketchSet::push_window) maintains the exact base
 ///   correlations alongside the coefficient distances — so every epoch
 ///   carries **both** sketches and answers both query methods.
+/// * [`EpochIngest::pile`] appends each completed window to an on-disk
+///   [`SketchPile`] instead of growing an owned sketch; epochs carry a
+///   memory-mapped snapshot of the pile, so the served set can exceed RAM.
+///   The appended rows go through the same `exact_window_parts` kernel as
+///   the exact flavor, so pile-served answers are bit-identical to
+///   sketch-served ones.
 pub struct EpochIngest {
     store: Arc<EpochStore>,
     buffer: StreamBuffer,
@@ -228,6 +274,37 @@ impl EpochIngest {
         ))
     }
 
+    /// Bootstrap pile-backed ingestion: sketch every complete basic window
+    /// of the historical data into a fresh pile file at `path` and publish
+    /// the first epoch as a memory-mapped snapshot of it.
+    pub fn pile(
+        store: Arc<EpochStore>,
+        historical: &SeriesCollection,
+        basic_window: usize,
+        path: &Path,
+    ) -> Result<(Self, Arc<Epoch>)> {
+        let buffer = StreamBuffer::new(historical.len(), basic_window)?;
+        let mut writer = PileWriter::create(path, historical.len(), basic_window)?;
+        let complete = historical.series_len() / basic_window;
+        for k in 0..complete {
+            let chunk: Vec<Vec<f64>> = historical
+                .iter()
+                .map(|s| s.values()[k * basic_window..(k + 1) * basic_window].to_vec())
+                .collect();
+            append_window_to_pile(&mut writer, &chunk)?;
+        }
+        writer.sync()?;
+        let first = store.publish_pile(writer.snapshot()?)?;
+        Ok((
+            Self {
+                store,
+                buffer,
+                sketch: IngestSketch::Pile(writer),
+            },
+            first,
+        ))
+    }
+
     /// The store this ingest publishes into.
     pub fn store(&self) -> &Arc<EpochStore> {
         &self.store
@@ -254,10 +331,29 @@ impl EpochIngest {
                             .publish(Some(sketch.base().clone()), Some(sketch.clone()))?,
                     );
                 }
+                IngestSketch::Pile(writer) => {
+                    append_window_to_pile(writer, &chunk)?;
+                    published.push(self.store.publish_pile(writer.snapshot()?)?);
+                }
             }
         }
         Ok(published)
     }
+}
+
+/// Append one completed basic window to a pile: the `(len, mean, std)`
+/// statistics row plus the packed pair-correlation row, both produced by
+/// [`exact_window_parts`] — so the pile rows are bit-identical to the same
+/// window in an owned [`SketchSet`].
+fn append_window_to_pile(writer: &mut PileWriter, chunk: &[Vec<f64>]) -> Result<()> {
+    let (stats, corrs) = exact_window_parts(chunk);
+    let mut stats_row = Vec::with_capacity(stats.len() * 3);
+    for st in &stats {
+        stats_row.extend_from_slice(&[st.len as f64, st.mean, st.std]);
+    }
+    writer.append(SegmentKind::SeriesStats, &stats_row)?;
+    writer.append(SegmentKind::PairCorrs, &corrs)?;
+    Ok(())
 }
 
 /// Sketch one completed basic window: per-series statistics plus the packed
@@ -339,6 +435,53 @@ mod tests {
         // The grown sketch is bit-identical to a from-scratch build.
         let rebuilt = SketchSet::build(&full, 20).unwrap();
         assert_eq!(published[1].exact().unwrap().as_ref(), &rebuilt);
+    }
+
+    #[test]
+    fn pile_ingest_appends_windows_and_matches_rebuild() {
+        let full = collection(4, 100);
+        let historical = full.truncate_length(60).unwrap();
+        let store = Arc::new(EpochStore::new(8));
+        let path = std::env::temp_dir().join(format!(
+            "tsubasa-serve-pile-ingest-{}.pile",
+            std::process::id()
+        ));
+        let (mut ingest, first) =
+            EpochIngest::pile(Arc::clone(&store), &historical, 20, &path).unwrap();
+        assert_eq!(first.id(), 1);
+        assert_eq!(first.window_count(), 3);
+        assert_eq!(first.series_count(), 4);
+        assert!(first.exact().is_none() && first.approx().is_none());
+        assert!(first.pile().is_some());
+
+        let push = |lo: usize, hi: usize| -> Vec<Vec<f64>> {
+            full.iter().map(|s| s.values()[lo..hi].to_vec()).collect()
+        };
+        assert!(ingest.ingest(&push(60, 73)).unwrap().is_empty());
+        let published = ingest.ingest(&push(73, 100)).unwrap();
+        assert_eq!(published.len(), 2);
+        assert_eq!(published[1].id(), 3);
+        assert_eq!(published[1].window_count(), 5);
+
+        // Earlier epochs are frozen snapshots: epoch 2 still covers 4 windows.
+        assert_eq!(published[0].window_count(), 4);
+
+        // The pile rows are bit-identical to a from-scratch sketch.
+        let pile = published[1].pile().unwrap();
+        let rebuilt = SketchSet::build(&full, 20).unwrap();
+        let table = pile.pair_table(0..5, SegmentKind::PairCorrs).unwrap();
+        let view = table.view();
+        let rb = rebuilt.window_corrs_view(0..5);
+        for k in 0..5 {
+            assert_eq!(view.window_row(k), rb.window_row(k));
+        }
+        let stats = pile.series_stats(0..5).unwrap();
+        for (i, row) in stats.iter().enumerate() {
+            for (k, st) in row.iter().enumerate() {
+                assert_eq!(*st, rebuilt.series_sketch(i).unwrap().window(k));
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

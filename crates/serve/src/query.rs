@@ -23,7 +23,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use tsubasa_core::error::Error;
-use tsubasa_core::plan::{even_sizes, PlanKey, PlanMethod};
+use tsubasa_core::plan::{even_sizes, CorrView, PlanKey, PlanMethod};
 use tsubasa_core::runner::Job;
 use tsubasa_core::sweep::{
     sweep_run, CorrelationBounds, EdgeList, EdgeSink, TopK, TopKSink, DEFAULT_TILE_PAIRS,
@@ -33,6 +33,7 @@ use tsubasa_dft::plan::RadiusEdgeSink;
 use tsubasa_dft::sketch::DftSketchSet;
 use tsubasa_dft::ApproxPlan;
 use tsubasa_parallel::WorkerPool;
+use tsubasa_storage::pile::{SegmentKind, SketchPile};
 use tsubasa_stream::EpochSketches;
 
 use crate::cache::{CachedPlan, PlanCache};
@@ -146,6 +147,16 @@ impl QueryEngine {
         Ok(epoch)
     }
 
+    /// Publish the next epoch from a memory-mapped pile snapshot, with the
+    /// same cache invalidation as [`QueryEngine::publish`].
+    pub fn publish_pile(&self, pile: SketchPile) -> tsubasa_core::error::Result<Arc<Epoch>> {
+        let epoch = self.store.publish_pile(pile)?;
+        if let Some(oldest) = self.store.oldest_retained() {
+            self.cache.invalidate_below(oldest);
+        }
+        Ok(epoch)
+    }
+
     fn latest(&self) -> Result<Arc<Epoch>, QueryError> {
         self.store
             .latest()
@@ -193,6 +204,20 @@ impl QueryEngine {
         let windows = resolve_windows(epoch.window_count(), last_windows)?;
         match method {
             PlanMethod::Exact => {
+                if epoch.exact().is_none() {
+                    if let Some(pile) = epoch.pile() {
+                        let n = pile.n_series();
+                        if n < 2 {
+                            return Ok(EdgeSink::new(theta).finish(n));
+                        }
+                        let (plan, _bounds) =
+                            self.exact_pile_plan(epoch.id(), pile, windows.clone())?;
+                        let table = pile.pair_table(windows, SegmentKind::PairCorrs)?;
+                        // Exact network: no pruning, mirroring the serial
+                        // streamed path's exhaustive NaN audit.
+                        return Ok(self.sweep_exact_network(&plan, table.view(), n, theta));
+                    }
+                }
                 let sketch = require_exact(epoch)?;
                 let n = sketch.series_count();
                 if n < 2 {
@@ -200,22 +225,7 @@ impl QueryEngine {
                 }
                 let (plan, _bounds) = self.exact_plan(epoch.id(), sketch, windows)?;
                 let view = sketch.window_corrs_view(plan.full_windows());
-                let runs = partition_runs(n * (n - 1) / 2, self.pool.size());
-                let mut sinks: Vec<EdgeSink> = runs.iter().map(|_| EdgeSink::new(theta)).collect();
-                let plan_ref: &QueryPlan = &plan;
-                let jobs: Vec<Job<'_>> = runs
-                    .into_iter()
-                    .zip(sinks.iter_mut())
-                    .map(|(run, sink)| {
-                        // Exact network: no pruning, mirroring the serial
-                        // streamed path's exhaustive NaN audit.
-                        Box::new(move || {
-                            sweep_run(plan_ref, &view, None, run, DEFAULT_TILE_PAIRS, sink);
-                        }) as Job<'_>
-                    })
-                    .collect();
-                self.pool.run_jobs(jobs);
-                Ok(merge_edges(sinks.into_iter().map(|s| s.finish(n))))
+                Ok(self.sweep_exact_network(&plan, view, n, theta))
             }
             PlanMethod::Approximate => {
                 let sketch = require_approx(epoch)?;
@@ -258,6 +268,18 @@ impl QueryEngine {
         let windows = resolve_windows(epoch.window_count(), last_windows)?;
         match method {
             PlanMethod::Exact => {
+                if epoch.exact().is_none() {
+                    if let Some(pile) = epoch.pile() {
+                        let n = pile.n_series();
+                        if n < 2 {
+                            return Ok(TopKSink::new(k).finish());
+                        }
+                        let (plan, bounds) =
+                            self.exact_pile_plan(epoch.id(), pile, windows.clone())?;
+                        let table = pile.pair_table(windows, SegmentKind::PairCorrs)?;
+                        return Ok(self.sweep_exact_top_k(&plan, table.view(), &bounds, n, k));
+                    }
+                }
                 let sketch = require_exact(epoch)?;
                 let n = sketch.series_count();
                 if n < 2 {
@@ -265,28 +287,7 @@ impl QueryEngine {
                 }
                 let (plan, bounds) = self.exact_plan(epoch.id(), sketch, windows)?;
                 let view = sketch.window_corrs_view(plan.full_windows());
-                let runs = partition_runs(n * (n - 1) / 2, self.pool.size());
-                let mut sinks: Vec<TopKSink> = runs.iter().map(|_| TopKSink::new(k)).collect();
-                let plan_ref: &QueryPlan = &plan;
-                let bounds_ref: &CorrelationBounds = &bounds;
-                let jobs: Vec<Job<'_>> = runs
-                    .into_iter()
-                    .zip(sinks.iter_mut())
-                    .map(|(run, sink)| {
-                        Box::new(move || {
-                            sweep_run(
-                                plan_ref,
-                                &view,
-                                Some(bounds_ref),
-                                run,
-                                DEFAULT_TILE_PAIRS,
-                                sink,
-                            );
-                        }) as Job<'_>
-                    })
-                    .collect();
-                self.pool.run_jobs(jobs);
-                Ok(merge_top_k(k, sinks))
+                Ok(self.sweep_exact_top_k(&plan, view, &bounds, n, k))
             }
             PlanMethod::Approximate => {
                 let sketch = require_approx(epoch)?;
@@ -359,6 +360,85 @@ impl QueryEngine {
                 "plan cache returned a mismatched method".to_string(),
             ))),
         }
+    }
+
+    /// The exact plan for a pile-backed epoch, built from the pile's
+    /// window-statistics rows ([`QueryPlan::from_window_stats`], numerically
+    /// identical tables to the sketch-backed builder) and cached under the
+    /// same `(epoch, windows, method)` key.
+    fn exact_pile_plan(
+        &self,
+        epoch_id: u64,
+        pile: &SketchPile,
+        windows: Range<usize>,
+    ) -> Result<(Arc<QueryPlan>, Arc<CorrelationBounds>), QueryError> {
+        let key = PlanKey::new(epoch_id, windows.clone(), PlanMethod::Exact);
+        let cached = self.cache.get_or_build(key, || {
+            let stats = pile.series_stats(windows.clone())?;
+            let plan = QueryPlan::from_window_stats(&stats)?;
+            let bounds = CorrelationBounds::from_plan(&plan);
+            Ok(CachedPlan::Exact {
+                plan: Arc::new(plan),
+                bounds: Arc::new(bounds),
+            })
+        })?;
+        match cached {
+            CachedPlan::Exact { plan, bounds } => Ok((plan, bounds)),
+            CachedPlan::Approx { .. } => Err(QueryError::Rejected(Error::Storage(
+                "plan cache returned a mismatched method".to_string(),
+            ))),
+        }
+    }
+
+    /// Fan an exact thresholded-network sweep over the worker pool. The view
+    /// may borrow an in-memory sketch table or a mapped pile segment — the
+    /// sweep is identical either way.
+    fn sweep_exact_network(
+        &self,
+        plan: &QueryPlan,
+        view: CorrView<'_>,
+        n: usize,
+        theta: f64,
+    ) -> EdgeList {
+        let runs = partition_runs(n * (n - 1) / 2, self.pool.size());
+        let mut sinks: Vec<EdgeSink> = runs.iter().map(|_| EdgeSink::new(theta)).collect();
+        let jobs: Vec<Job<'_>> = runs
+            .into_iter()
+            .zip(sinks.iter_mut())
+            .map(|(run, sink)| {
+                // Exact network: no pruning, mirroring the serial streamed
+                // path's exhaustive NaN audit.
+                Box::new(move || {
+                    sweep_run(plan, &view, None, run, DEFAULT_TILE_PAIRS, sink);
+                }) as Job<'_>
+            })
+            .collect();
+        self.pool.run_jobs(jobs);
+        merge_edges(sinks.into_iter().map(|s| s.finish(n)))
+    }
+
+    /// Fan an exact top-k sweep (Equation 4 tile pruning) over the pool.
+    fn sweep_exact_top_k(
+        &self,
+        plan: &QueryPlan,
+        view: CorrView<'_>,
+        bounds: &CorrelationBounds,
+        n: usize,
+        k: usize,
+    ) -> TopK {
+        let runs = partition_runs(n * (n - 1) / 2, self.pool.size());
+        let mut sinks: Vec<TopKSink> = runs.iter().map(|_| TopKSink::new(k)).collect();
+        let jobs: Vec<Job<'_>> = runs
+            .into_iter()
+            .zip(sinks.iter_mut())
+            .map(|(run, sink)| {
+                Box::new(move || {
+                    sweep_run(plan, &view, Some(bounds), run, DEFAULT_TILE_PAIRS, sink);
+                }) as Job<'_>
+            })
+            .collect();
+        self.pool.run_jobs(jobs);
+        merge_top_k(k, sinks)
     }
 }
 
@@ -469,6 +549,72 @@ mod tests {
             assert_edges_eq(&net, &plan.network_streamed(0.2).unwrap());
             let (_, top) = eng.top_k(PlanMethod::Approximate, 0, 5).unwrap();
             assert_eq!(top.edges, plan.top_k(5).edges);
+        }
+    }
+
+    #[test]
+    fn pile_backed_epochs_answer_exact_queries_bit_identically() {
+        use crate::epoch::EpochIngest;
+
+        let c = SeriesCollection::from_rows(
+            (0..6)
+                .map(|s| {
+                    (0..120)
+                        .map(|i| {
+                            (i as f64 * 0.11 + s as f64 * 0.7).sin()
+                                + ((i * (s + 2)) % 11) as f64 * 0.05
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        for workers in [1usize, 3] {
+            let dft = DftSketchSet::build(&c, 24, 24, Transform::Naive).unwrap();
+            let store = Arc::new(EpochStore::new(4));
+            let sketch_epoch = store
+                .publish(Some(dft.base().clone()), Some(dft.clone()))
+                .unwrap();
+            let path = std::env::temp_dir().join(format!(
+                "tsubasa-serve-pile-query-{}-{workers}.pile",
+                std::process::id()
+            ));
+            let (_ingest, pile_epoch) =
+                EpochIngest::pile(Arc::clone(&store), &c, 24, &path).unwrap();
+            assert!(pile_epoch.exact().is_none());
+            assert_eq!(pile_epoch.window_count(), sketch_epoch.window_count());
+            let eng = QueryEngine::new(
+                store,
+                Arc::new(PlanCache::new(8)),
+                Arc::new(WorkerPool::new(workers)),
+            );
+
+            for (lw, theta) in [(0u32, 0.2), (2, 0.0), (0, 0.8)] {
+                let from_sketch = eng
+                    .network_on(&sketch_epoch, PlanMethod::Exact, lw, theta)
+                    .unwrap();
+                let from_pile = eng
+                    .network_on(&pile_epoch, PlanMethod::Exact, lw, theta)
+                    .unwrap();
+                assert_edges_eq(&from_sketch, &from_pile);
+            }
+            for (lw, k) in [(0u32, 7u32), (3, 5)] {
+                let from_sketch = eng
+                    .top_k_on(&sketch_epoch, PlanMethod::Exact, lw, k)
+                    .unwrap();
+                let from_pile = eng.top_k_on(&pile_epoch, PlanMethod::Exact, lw, k).unwrap();
+                assert_eq!(from_sketch.edges, from_pile.edges);
+            }
+            // A pile-only epoch carries no DFT sketch: approximate queries
+            // fail typed, they do not silently degrade.
+            assert!(matches!(
+                eng.network_on(&pile_epoch, PlanMethod::Approximate, 0, 0.2),
+                Err(QueryError::Unavailable(_))
+            ));
+            // Repeated windows against the pile epoch hit the plan cache.
+            let stats = eng.cache().stats();
+            assert!(stats.hits > 0, "pile plans should be cache-reused");
+            std::fs::remove_file(&path).ok();
         }
     }
 

@@ -15,7 +15,11 @@
 //! * a [`writer::BatchWriter`] that runs on its own thread and drains write
 //!   batches from a channel — the "database worker" of the parallel engine;
 //! * space accounting ([`SketchStore::space_bytes`]) used by the Figure 6d
-//!   experiment.
+//!   experiment;
+//! * a single-file, append-only, memory-mapped sketch **pile** ([`pile`])
+//!   whose segments store window-major `f64` tables in the exact layout the
+//!   query kernel consumes, so out-of-core queries read zero-copy views off
+//!   the map instead of decoding records.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,12 +27,17 @@
 
 pub mod disk;
 pub mod memory;
+pub mod pile;
 pub mod record;
 pub mod store;
 pub mod writer;
 
 pub use disk::DiskSketchStore;
 pub use memory::MemorySketchStore;
+pub use pile::{
+    CompactStats, PileBatchWriter, PileCorrs, PileSlab, PileWriter, PileWriterStats, SegmentKind,
+    SketchPile,
+};
 pub use record::{PairWindowRecord, SeriesWindowRecord};
 pub use store::{SketchStore, StoreLayout};
-pub use writer::{default_batch_pairs, BatchWriter, WriteBatch, WriterStats};
+pub use writer::{default_batch_pairs, BatchWriter, SyncPolicy, WriteBatch, WriterStats};

@@ -1,0 +1,1223 @@
+//! The memory-mapped, append-only sketch **pile** (ROADMAP item 4).
+//!
+//! [`crate::DiskSketchStore`] pays a seek per window range and a per-record
+//! `bytes` decode into [`crate::PairWindowRecord`] vecs before the query
+//! engine can transpose them into kernel tiles. The pile removes both costs
+//! by storing sketches *in the exact in-memory layout the query kernel
+//! consumes*: window-major `f64` tables (`row[k][p]` is window `k` of packed
+//! pair `p` — the `window_corrs` flat-table layout), so a reader maps the
+//! file and hands out zero-copy `CorrView`-style borrows straight into the
+//! tiled sweep. No deserialize, no intermediate record vecs, and sketch sets
+//! are no longer capped at RAM.
+//!
+//! # File format
+//!
+//! A pile is a single file: a 64-byte file header followed by append-only
+//! *segments*, each a 64-byte header plus an 8-byte-aligned payload.
+//!
+//! ```text
+//! file header (64 B)            segment header (64 B)
+//!   0..8   magic "TSUBPILE"       0..4   magic "PSEG"
+//!   8..12  version (u32 LE)       4..8   kind (u32 LE; 1 stats, 2 corrs, 3 ests)
+//!   12..16 reserved               8..16  first_window (u64 LE)
+//!   16..24 n_series (u64 LE)      16..24 n_windows (u64 LE)
+//!   24..32 basic_window (u64 LE)  24..32 payload_len (u64 LE, unpadded)
+//!   32..64 reserved (zero)        32..40 FNV-1a-64 checksum of the payload
+//!                                 40..64 reserved (zero)
+//! ```
+//!
+//! Payloads are window-major `f64` (little-endian) tables:
+//!
+//! * **series stats** (kind 1): `n_windows` rows of `n_series` `(len, mean,
+//!   std)` triples — the per-series half of the recombination;
+//! * **pair correlations** (kind 2): `n_windows` rows of `P = n(n−1)/2`
+//!   per-window Pearson correlations in packed pair order — exactly what
+//!   `QueryPlan::block_kernel` reads;
+//! * **pair estimates** (kind 3): same shape, holding the Equation 3
+//!   estimates `ĉ = 1 − d²/2` of stored DFT distances, precomputed at write
+//!   time so approximate queries go through the same zero-copy kernel path.
+//!
+//! Alignment: the file header and every segment header are 64 bytes and
+//! payloads are padded to a multiple of 8, so every payload starts at a
+//! multiple of 8 from the start of the file. The mapping base is page-aligned
+//! (mmap) or `Vec<u64>`-aligned (fallback), hence every payload is 8-byte
+//! aligned and `f64` views are valid.
+//!
+//! Append discipline: per kind, coverage is gapless and starts at window 0 —
+//! a segment's `first_window` must equal the windows already covered for its
+//! kind (overlap or gap is an append error). Under this discipline only the
+//! *tail* of the file can ever be torn by a crash; [`SketchPile::open`]
+//! validates segments in order (structure + checksum) and ignores everything
+//! from the first invalid segment on, while [`PileWriter::open_append`]
+//! additionally truncates the torn tail on disk before appending.
+//! [`SketchPile::compact`] rewrites live segments coalesced (one segment per
+//! kind) through a temp file and an atomic rename — existing mappings stay
+//! valid because the old inode lives until unmapped.
+
+#[allow(unsafe_code)]
+mod map;
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+use tsubasa_core::error::{Error, Result};
+use tsubasa_core::plan::{CorrView, TransposedCorrs};
+use tsubasa_core::stats::WindowStats;
+
+use crate::store::StoreLayout;
+use crate::writer::SyncPolicy;
+
+pub use map::PileMap;
+
+const FILE_MAGIC: [u8; 8] = *b"TSUBPILE";
+const FILE_VERSION: u32 = 1;
+const FILE_HEADER_LEN: usize = 64;
+const SEG_HEADER_LEN: usize = 64;
+const SEG_MAGIC: [u8; 4] = *b"PSEG";
+
+/// What a pile segment stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Window-major `(len, mean, std)` triples, one per series.
+    SeriesStats,
+    /// Window-major per-pair Pearson correlations (packed pair order).
+    PairCorrs,
+    /// Window-major per-pair Equation 3 estimates `1 − d²/2`.
+    PairEsts,
+}
+
+impl SegmentKind {
+    /// All segment kinds, in code order.
+    pub const ALL: [SegmentKind; 3] = [
+        SegmentKind::SeriesStats,
+        SegmentKind::PairCorrs,
+        SegmentKind::PairEsts,
+    ];
+
+    fn code(self) -> u32 {
+        match self {
+            SegmentKind::SeriesStats => 1,
+            SegmentKind::PairCorrs => 2,
+            SegmentKind::PairEsts => 3,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<Self> {
+        match code {
+            1 => Some(SegmentKind::SeriesStats),
+            2 => Some(SegmentKind::PairCorrs),
+            3 => Some(SegmentKind::PairEsts),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        self.code() as usize - 1
+    }
+
+    /// Number of `f64` values per window row for this kind under the given
+    /// series count.
+    fn row_values(self, n_series: usize) -> usize {
+        match self {
+            SegmentKind::SeriesStats => n_series * 3,
+            SegmentKind::PairCorrs | SegmentKind::PairEsts => pair_count(n_series),
+        }
+    }
+}
+
+/// Packed upper-triangle pair count for `n` series.
+fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// FNV-1a 64-bit over a byte slice — the per-segment payload checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+}
+
+fn pad8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+/// One validated segment of a pile (payload location in file coordinates).
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    kind: SegmentKind,
+    first_window: usize,
+    n_windows: usize,
+    payload_off: usize,
+}
+
+/// The validated shape of a pile file: its metadata, its segments in file
+/// order, and where the valid prefix ends.
+#[derive(Debug, Clone)]
+struct PileIndex {
+    n_series: usize,
+    basic_window: usize,
+    segs: Vec<Segment>,
+    coverage: [usize; 3],
+    valid_len: usize,
+}
+
+/// Walk the mapped bytes of a pile file: check the file header, then accept
+/// segments in order while their structure, append discipline, and payload
+/// checksum all hold. The first violation marks the torn tail; everything
+/// before it is the valid prefix.
+fn walk(bytes: &[u8]) -> Result<PileIndex> {
+    if bytes.len() < FILE_HEADER_LEN || bytes[..8] != FILE_MAGIC {
+        return Err(Error::Storage(
+            "not a sketch pile (missing TSUBPILE header)".into(),
+        ));
+    }
+    let version = read_u32(bytes, 8);
+    if version != FILE_VERSION {
+        return Err(Error::Storage(format!(
+            "unsupported pile version {version} (expected {FILE_VERSION})"
+        )));
+    }
+    let n_series = read_u64(bytes, 16) as usize;
+    let basic_window = read_u64(bytes, 24) as usize;
+    if n_series == 0 || basic_window == 0 {
+        return Err(Error::Storage(format!(
+            "pile header has degenerate shape: n_series={n_series}, basic_window={basic_window}"
+        )));
+    }
+
+    let mut segs = Vec::new();
+    let mut coverage = [0usize; 3];
+    let mut off = FILE_HEADER_LEN;
+    // An incomplete header means a torn tail (or the clean end of the file).
+    while let Some(header) = bytes.get(off..off + SEG_HEADER_LEN) {
+        if header[..4] != SEG_MAGIC {
+            break;
+        }
+        let Some(kind) = SegmentKind::from_code(read_u32(header, 4)) else {
+            break;
+        };
+        let first_window = read_u64(header, 8) as usize;
+        let n_windows = read_u64(header, 16) as usize;
+        let payload_len = read_u64(header, 24) as usize;
+        let checksum = read_u64(header, 32);
+        let row_bytes = kind.row_values(n_series) * 8;
+        // Structural checks: non-empty, shape consistent with the file
+        // header, and gapless per-kind coverage (append discipline).
+        if n_windows == 0
+            || row_bytes == 0
+            || payload_len != n_windows * row_bytes
+            || first_window != coverage[kind.index()]
+        {
+            break;
+        }
+        let payload_off = off + SEG_HEADER_LEN;
+        let Some(payload) = bytes.get(payload_off..payload_off + payload_len) else {
+            break; // payload extends past the file: torn tail
+        };
+        if fnv1a64(payload) != checksum {
+            break;
+        }
+        segs.push(Segment {
+            kind,
+            first_window,
+            n_windows,
+            payload_off,
+        });
+        coverage[kind.index()] += n_windows;
+        off = payload_off + pad8(payload_len);
+    }
+    Ok(PileIndex {
+        n_series,
+        basic_window,
+        segs,
+        coverage,
+        valid_len: off,
+    })
+}
+
+/// Statistics returned by [`SketchPile::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Segments in the pile before compaction.
+    pub segments_before: usize,
+    /// Segments after (at most one per [`SegmentKind`]).
+    pub segments_after: usize,
+    /// Valid bytes before compaction.
+    pub bytes_before: u64,
+    /// Bytes after compaction.
+    pub bytes_after: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appender for a sketch pile file.
+///
+/// Appends whole window-major slabs per [`SegmentKind`]; per kind, rows must
+/// arrive in window order with no gaps (the writer assigns `first_window`
+/// from its coverage counter). Durability is explicit: nothing is fsynced
+/// until [`PileWriter::sync`] or [`PileWriter::finish`] — pair it with
+/// [`PileBatchWriter`] and a [`SyncPolicy`] for the threaded write path.
+#[derive(Debug)]
+pub struct PileWriter {
+    path: PathBuf,
+    file: File,
+    n_series: usize,
+    basic_window: usize,
+    coverage: [usize; 3],
+    end: u64,
+    scratch: Vec<u8>,
+    syncs: usize,
+}
+
+impl PileWriter {
+    /// Create (or truncate) a pile file for the given sketch shape.
+    pub fn create(path: &Path, n_series: usize, basic_window: usize) -> Result<Self> {
+        if n_series == 0 || basic_window == 0 {
+            return Err(Error::Storage(format!(
+                "pile shape must be non-degenerate: n_series={n_series}, basic_window={basic_window}"
+            )));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| Error::Storage(format!("create pile {}: {e}", path.display())))?;
+        let mut header = [0u8; FILE_HEADER_LEN];
+        header[..8].copy_from_slice(&FILE_MAGIC);
+        header[8..12].copy_from_slice(&FILE_VERSION.to_le_bytes());
+        header[16..24].copy_from_slice(&(n_series as u64).to_le_bytes());
+        header[24..32].copy_from_slice(&(basic_window as u64).to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| Error::Storage(format!("write pile header: {e}")))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            n_series,
+            basic_window,
+            coverage: [0; 3],
+            end: FILE_HEADER_LEN as u64,
+            scratch: Vec::new(),
+            syncs: 0,
+        })
+    }
+
+    /// Open an existing pile for appending. The file is validated first and
+    /// a torn tail segment (from a crash mid-append) is truncated away, so
+    /// appends always resume from the last complete segment.
+    pub fn open_append(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| Error::Storage(format!("open pile {}: {e}", path.display())))?;
+        let index = {
+            let len = file
+                .metadata()
+                .map_err(|e| Error::Storage(format!("stat pile: {e}")))?
+                .len() as usize;
+            let map = PileMap::map(&mut file, len)?;
+            walk(map.bytes())?
+        };
+        file.set_len(index.valid_len as u64)
+            .map_err(|e| Error::Storage(format!("truncate torn pile tail: {e}")))?;
+        file.seek(SeekFrom::Start(index.valid_len as u64))
+            .map_err(|e| Error::Storage(format!("seek pile end: {e}")))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            n_series: index.n_series,
+            basic_window: index.basic_window,
+            coverage: index.coverage,
+            end: index.valid_len as u64,
+            scratch: Vec::new(),
+            syncs: 0,
+        })
+    }
+
+    /// Number of series the pile was created for.
+    pub fn n_series(&self) -> usize {
+        self.n_series
+    }
+
+    /// Basic-window size the pile was created for.
+    pub fn basic_window(&self) -> usize {
+        self.basic_window
+    }
+
+    /// Windows appended so far for `kind`.
+    pub fn coverage(&self, kind: SegmentKind) -> usize {
+        self.coverage[kind.index()]
+    }
+
+    /// Path of the pile file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes in the file (header plus all appended segments).
+    pub fn len_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Durability syncs issued so far.
+    pub fn syncs(&self) -> usize {
+        self.syncs
+    }
+
+    /// Append one segment of window-major rows for `kind`. `rows` must be a
+    /// whole number of rows (`kind.row_values(n_series)` values each); the
+    /// segment's `first_window` is the writer's current coverage for the
+    /// kind. Returns the number of windows appended; empty input is a no-op.
+    pub fn append(&mut self, kind: SegmentKind, rows: &[f64]) -> Result<usize> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        let row_values = kind.row_values(self.n_series);
+        if row_values == 0 || !rows.len().is_multiple_of(row_values) {
+            return Err(Error::Storage(format!(
+                "pile append of {} values is not a whole number of {row_values}-value rows",
+                rows.len()
+            )));
+        }
+        let n_windows = rows.len() / row_values;
+        let payload_len = rows.len() * 8;
+
+        self.scratch.clear();
+        self.scratch.reserve(payload_len);
+        for v in rows {
+            self.scratch.extend_from_slice(&v.to_le_bytes());
+        }
+
+        let mut header = [0u8; SEG_HEADER_LEN];
+        header[..4].copy_from_slice(&SEG_MAGIC);
+        header[4..8].copy_from_slice(&kind.code().to_le_bytes());
+        header[8..16].copy_from_slice(&(self.coverage[kind.index()] as u64).to_le_bytes());
+        header[16..24].copy_from_slice(&(n_windows as u64).to_le_bytes());
+        header[24..32].copy_from_slice(&(payload_len as u64).to_le_bytes());
+        header[32..40].copy_from_slice(&fnv1a64(&self.scratch).to_le_bytes());
+
+        self.file
+            .write_all(&header)
+            .and_then(|_| self.file.write_all(&self.scratch))
+            .map_err(|e| Error::Storage(format!("pile append: {e}")))?;
+        let pad = pad8(payload_len) - payload_len;
+        if pad > 0 {
+            self.file
+                .write_all(&[0u8; 8][..pad])
+                .map_err(|e| Error::Storage(format!("pile append pad: {e}")))?;
+        }
+        self.coverage[kind.index()] += n_windows;
+        self.end += (SEG_HEADER_LEN + pad8(payload_len)) as u64;
+        Ok(n_windows)
+    }
+
+    /// Force appended segments down to the device (`fdatasync`).
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| Error::Storage(format!("pile sync: {e}")))?;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Map the pile's current contents as a read-only [`SketchPile`] without
+    /// closing the writer — the epoch-publication path: append-only means the
+    /// snapshot's prefix never changes underneath the mapping.
+    pub fn snapshot(&self) -> Result<SketchPile> {
+        SketchPile::open(&self.path)
+    }
+
+    /// Sync and close the writer.
+    pub fn finish(mut self) -> Result<()> {
+        self.sync()
+    }
+
+    /// Sync, close the writer, and reopen the file as a [`SketchPile`].
+    pub fn into_pile(mut self) -> Result<SketchPile> {
+        self.sync()?;
+        let path = self.path.clone();
+        drop(self);
+        SketchPile::open(&path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A window-major correlation (or estimate) table served from a pile: either
+/// a zero-copy borrow of the mapping (the requested rows are contiguous in
+/// one segment) or a row-gathered owned buffer (range spans segments). Both
+/// present the same [`CorrView`]; neither ever decodes a record.
+pub enum PileCorrs<'a> {
+    /// Zero-copy view straight into the mapped file.
+    Borrowed(CorrView<'a>),
+    /// Rows bulk-copied (one `memcpy` per row) into an owned window-major
+    /// buffer — taken when the requested range spans segment boundaries.
+    Owned(TransposedCorrs),
+}
+
+impl PileCorrs<'_> {
+    /// The window-major view the sweep kernels consume.
+    pub fn view(&self) -> CorrView<'_> {
+        match self {
+            PileCorrs::Borrowed(v) => *v,
+            PileCorrs::Owned(t) => t.view(),
+        }
+    }
+
+    /// Whether this table borrows the mapping directly (no copy at all).
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(self, PileCorrs::Borrowed(_))
+    }
+}
+
+/// Read-only handle to a validated, memory-mapped sketch pile.
+///
+/// Opening validates segments in order (structure, append discipline,
+/// payload checksum) in one streaming pass and *logically* truncates a torn
+/// tail: the mapping covers the valid prefix only, and
+/// [`SketchPile::truncated_bytes`] reports what was ignored. The file itself
+/// is never modified by a reader — [`PileWriter::open_append`] performs the
+/// physical truncation before new appends.
+pub struct SketchPile {
+    path: PathBuf,
+    map: PileMap,
+    index: PileIndex,
+    file_len: u64,
+}
+
+impl std::fmt::Debug for SketchPile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchPile")
+            .field("path", &self.path)
+            .field("n_series", &self.index.n_series)
+            .field("basic_window", &self.index.basic_window)
+            .field("segments", &self.index.segs.len())
+            .field("valid_len", &self.index.valid_len)
+            .finish()
+    }
+}
+
+impl SketchPile {
+    /// Open and validate a pile, mapping its valid prefix.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = File::open(path)
+            .map_err(|e| Error::Storage(format!("open pile {}: {e}", path.display())))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| Error::Storage(format!("stat pile: {e}")))?
+            .len();
+        let map = PileMap::map(&mut file, file_len as usize)?;
+        let index = walk(map.bytes())?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            map,
+            index,
+            file_len,
+        })
+    }
+
+    /// Number of series.
+    pub fn n_series(&self) -> usize {
+        self.index.n_series
+    }
+
+    /// Basic-window size.
+    pub fn basic_window(&self) -> usize {
+        self.index.basic_window
+    }
+
+    /// Packed pair count `n(n−1)/2`.
+    pub fn pair_count(&self) -> usize {
+        pair_count(self.index.n_series)
+    }
+
+    /// Windows covered by segments of `kind`.
+    pub fn windows(&self, kind: SegmentKind) -> usize {
+        self.index.coverage[kind.index()]
+    }
+
+    /// Windows answerable by an exact query: stats and correlation coverage.
+    pub fn exact_query_windows(&self) -> usize {
+        self.windows(SegmentKind::SeriesStats)
+            .min(self.windows(SegmentKind::PairCorrs))
+    }
+
+    /// Windows answerable by an approximate query: stats and estimate
+    /// coverage.
+    pub fn approx_query_windows(&self) -> usize {
+        self.windows(SegmentKind::SeriesStats)
+            .min(self.windows(SegmentKind::PairEsts))
+    }
+
+    /// Windows answerable by *some* query method.
+    pub fn window_count(&self) -> usize {
+        self.exact_query_windows().max(self.approx_query_windows())
+    }
+
+    /// The equivalent record-store layout (using [`SketchPile::window_count`]
+    /// as the window count).
+    pub fn layout(&self) -> StoreLayout {
+        StoreLayout {
+            n_series: self.index.n_series,
+            n_windows: self.window_count(),
+            basic_window: self.index.basic_window,
+        }
+    }
+
+    /// Number of valid segments.
+    pub fn segment_count(&self) -> usize {
+        self.index.segs.len()
+    }
+
+    /// Valid bytes (header + complete segments).
+    pub fn space_bytes(&self) -> u64 {
+        self.index.valid_len as u64
+    }
+
+    /// Bytes of torn tail ignored by validation (0 for a clean file).
+    pub fn truncated_bytes(&self) -> u64 {
+        self.file_len - self.index.valid_len as u64
+    }
+
+    /// Whether the backing map is a real `mmap` (false on the owned-buffer
+    /// fallback).
+    pub fn is_mmap(&self) -> bool {
+        self.map.is_mmap()
+    }
+
+    /// Path of the pile file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn check_windows(&self, kind: SegmentKind, windows: &Range<usize>) -> Result<()> {
+        if windows.start >= windows.end || windows.end > self.windows(kind) {
+            return Err(Error::SketchMismatch {
+                requested: format!("{kind:?} windows {windows:?}"),
+                available: format!("{kind:?} windows 0..{}", self.windows(kind)),
+            });
+        }
+        Ok(())
+    }
+
+    /// Iterate `(payload byte offset, window count)` runs of rows covering
+    /// `windows` for `kind`, in window order. Coverage is gapless by the
+    /// append discipline, so the runs tile the range exactly.
+    fn row_runs(&self, kind: SegmentKind, windows: &Range<usize>) -> Vec<(usize, usize)> {
+        let row_bytes = kind.row_values(self.index.n_series) * 8;
+        let mut runs = Vec::new();
+        for seg in self.index.segs.iter().filter(|s| s.kind == kind) {
+            let seg_end = seg.first_window + seg.n_windows;
+            if seg_end <= windows.start || seg.first_window >= windows.end {
+                continue;
+            }
+            let from = windows.start.max(seg.first_window);
+            let to = windows.end.min(seg_end);
+            runs.push((
+                seg.payload_off + (from - seg.first_window) * row_bytes,
+                to - from,
+            ));
+        }
+        runs
+    }
+
+    /// Decode the per-series window statistics for `windows`, series-major
+    /// (`out[series][k]`). Statistics are small (3 values per series per
+    /// window) — this is the only decoding the pile read path ever does.
+    pub fn series_stats(&self, windows: Range<usize>) -> Result<Vec<Vec<WindowStats>>> {
+        self.check_windows(SegmentKind::SeriesStats, &windows)?;
+        let n = self.index.n_series;
+        let row_values = SegmentKind::SeriesStats.row_values(n);
+        let mut out: Vec<Vec<WindowStats>> =
+            (0..n).map(|_| Vec::with_capacity(windows.len())).collect();
+        for (off, n_windows) in self.row_runs(SegmentKind::SeriesStats, &windows) {
+            let rows = self.map.f64s(off, n_windows * row_values)?;
+            for row in rows.chunks_exact(row_values) {
+                for (i, stats) in out.iter_mut().enumerate() {
+                    stats.push(WindowStats {
+                        len: row[i * 3] as usize,
+                        mean: row[i * 3 + 1],
+                        std: row[i * 3 + 2],
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The full-width window-major pair table for `windows` — zero-copy when
+    /// the rows are contiguous in one segment, row-gathered otherwise.
+    /// `kind` must be [`SegmentKind::PairCorrs`] or [`SegmentKind::PairEsts`];
+    /// asking for a table the pile does not cover is a typed
+    /// [`Error::SketchMismatch`] (e.g. exact queries against an
+    /// estimates-only pile).
+    pub fn pair_table(&self, windows: Range<usize>, kind: SegmentKind) -> Result<PileCorrs<'_>> {
+        if kind == SegmentKind::SeriesStats {
+            return Err(Error::Storage(
+                "series-stats segments are not a pair table".into(),
+            ));
+        }
+        self.check_windows(kind, &windows)?;
+        let pairs = self.pair_count();
+        let runs = self.row_runs(kind, &windows);
+        if runs.len() == 1 {
+            let (off, n_windows) = runs[0];
+            debug_assert_eq!(n_windows, windows.len());
+            let data = self.map.f64s(off, n_windows * pairs)?;
+            return Ok(PileCorrs::Borrowed(CorrView::new(data, pairs, n_windows)));
+        }
+        let mut data = Vec::with_capacity(windows.len() * pairs);
+        for (off, n_windows) in runs {
+            data.extend_from_slice(self.map.f64s(off, n_windows * pairs)?);
+        }
+        Ok(PileCorrs::Owned(TransposedCorrs::from_vec(
+            data,
+            pairs,
+            windows.len(),
+        )))
+    }
+
+    /// Rewrite the pile at `path` with live segments coalesced into at most
+    /// one segment per kind (dropping per-segment header/padding overhead and
+    /// restoring zero-copy contiguity for full-range reads). The rewrite goes
+    /// through a temp file in the same directory and replaces the original
+    /// with an atomic rename, so readers that already mapped the old file
+    /// keep a valid (old) view and a crash leaves either the old or the new
+    /// pile intact.
+    pub fn compact(path: &Path) -> Result<CompactStats> {
+        let src = SketchPile::open(path)?;
+        let before = CompactStats {
+            segments_before: src.segment_count(),
+            segments_after: 0,
+            bytes_before: src.space_bytes(),
+            bytes_after: 0,
+        };
+        let tmp_path = path.with_extension("pile-compact-tmp");
+        let mut writer = PileWriter::create(&tmp_path, src.n_series(), src.basic_window())?;
+        let mut segments_after = 0usize;
+        for kind in SegmentKind::ALL {
+            let total = src.windows(kind);
+            if total == 0 {
+                continue;
+            }
+            segments_after += 1;
+            let row_values = kind.row_values(src.n_series());
+            // Bound the copy buffer: rewrite in chunks of whole windows.
+            let chunk_windows = (1usize << 20) / (row_values * 8).max(1);
+            let chunk_windows = chunk_windows.clamp(1, total);
+            let mut start = 0;
+            let mut buf = Vec::with_capacity(chunk_windows * row_values);
+            while start < total {
+                let end = (start + chunk_windows).min(total);
+                buf.clear();
+                for (off, n_windows) in src.row_runs(kind, &(start..end)) {
+                    buf.extend_from_slice(src.map.f64s(off, n_windows * row_values)?);
+                }
+                writer.append(kind, &buf)?;
+                start = end;
+            }
+        }
+        let bytes_after = writer.len_bytes();
+        writer.finish()?;
+        drop(src);
+        std::fs::rename(&tmp_path, path)
+            .map_err(|e| Error::Storage(format!("compact rename: {e}")))?;
+        // Best-effort directory sync so the rename itself is durable.
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(CompactStats {
+            segments_after,
+            bytes_after,
+            ..before
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded pile writer (database-worker backend)
+// ---------------------------------------------------------------------------
+
+/// One window-major slab of rows bound for the pile, produced by the sketch
+/// phase. The database worker coalesces consecutive same-kind slabs into one
+/// segment append.
+#[derive(Debug, Clone)]
+pub enum PileSlab {
+    /// `(len, mean, std)` triples, window-major.
+    Stats(Vec<f64>),
+    /// Per-pair per-window correlations, window-major.
+    Corrs(Vec<f64>),
+    /// Per-pair per-window Equation 3 estimates, window-major.
+    Ests(Vec<f64>),
+}
+
+impl PileSlab {
+    fn kind(&self) -> SegmentKind {
+        match self {
+            PileSlab::Stats(_) => SegmentKind::SeriesStats,
+            PileSlab::Corrs(_) => SegmentKind::PairCorrs,
+            PileSlab::Ests(_) => SegmentKind::PairEsts,
+        }
+    }
+
+    fn values(&self) -> &[f64] {
+        match self {
+            PileSlab::Stats(v) | PileSlab::Corrs(v) | PileSlab::Ests(v) => v,
+        }
+    }
+
+    fn into_values(self) -> Vec<f64> {
+        match self {
+            PileSlab::Stats(v) | PileSlab::Corrs(v) | PileSlab::Ests(v) => v,
+        }
+    }
+}
+
+/// Default coalescing limit of the threaded pile writer, in `f64` values per
+/// segment append (64 Ki values = 512 KiB payloads).
+pub const DEFAULT_PILE_COALESCE_VALUES: usize = 1 << 16;
+
+/// Statistics reported by the threaded pile writer when it finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PileWriterStats {
+    /// Producer slabs drained from the channel.
+    pub slabs: usize,
+    /// Segment appends issued (at most `slabs`; fewer when consecutive
+    /// same-kind slabs were coalesced).
+    pub appends: usize,
+    /// Total `f64` values written.
+    pub values: usize,
+    /// Wall-clock time inside pile writes.
+    pub write_time: Duration,
+    /// Durability syncs issued per the configured [`SyncPolicy`].
+    pub syncs: usize,
+}
+
+/// The pile backend of the database worker: a thread draining window-major
+/// [`PileSlab`]s from a bounded channel, coalescing consecutive same-kind
+/// slabs, and appending them as pile segments — the pile-flavored sibling of
+/// [`crate::BatchWriter`]. Slabs must be sent in window order per kind
+/// (single producer or externally ordered); the channel preserves that order.
+pub struct PileBatchWriter {
+    sender: Option<Sender<PileSlab>>,
+    handle: Option<JoinHandle<Result<(PileWriterStats, PileWriter)>>>,
+}
+
+impl PileBatchWriter {
+    /// Spawn with the default coalescing limit and durability policy.
+    pub fn spawn(writer: PileWriter, queue_depth: usize) -> Self {
+        Self::spawn_with(
+            writer,
+            queue_depth,
+            DEFAULT_PILE_COALESCE_VALUES,
+            SyncPolicy::default(),
+        )
+    }
+
+    /// Spawn with an explicit coalescing limit (in `f64` values) and
+    /// [`SyncPolicy`]. Under [`SyncPolicy::OnSwap`] every segment append is
+    /// followed by an `fdatasync`; either policy syncs once more at
+    /// shutdown.
+    pub fn spawn_with(
+        mut writer: PileWriter,
+        queue_depth: usize,
+        coalesce_values: usize,
+        durability: SyncPolicy,
+    ) -> Self {
+        let (tx, rx) = bounded::<PileSlab>(queue_depth.max(1));
+        let coalesce = coalesce_values.max(1);
+        let handle = std::thread::spawn(move || -> Result<(PileWriterStats, PileWriter)> {
+            let mut stats = PileWriterStats::default();
+            let mut pending: Option<PileSlab> = None;
+            loop {
+                let first = match pending.take() {
+                    Some(slab) => slab,
+                    None => match rx.recv() {
+                        Ok(slab) => slab,
+                        Err(_) => break,
+                    },
+                };
+                let kind = first.kind();
+                stats.slabs += 1;
+                let mut buf = first.into_values();
+                while buf.len() < coalesce {
+                    match rx.try_recv() {
+                        Ok(next) if next.kind() == kind => {
+                            stats.slabs += 1;
+                            buf.extend_from_slice(next.values());
+                        }
+                        Ok(next) => {
+                            pending = Some(next);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let start = Instant::now();
+                writer.append(kind, &buf)?;
+                if durability == SyncPolicy::OnSwap {
+                    writer.sync()?;
+                    stats.syncs += 1;
+                }
+                stats.write_time += start.elapsed();
+                stats.appends += 1;
+                stats.values += buf.len();
+            }
+            let start = Instant::now();
+            writer.sync()?;
+            stats.syncs += 1;
+            stats.write_time += start.elapsed();
+            Ok((stats, writer))
+        });
+        Self {
+            sender: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// A cloneable sender for submitting slabs.
+    pub fn sender(&self) -> Sender<PileSlab> {
+        self.sender
+            .as_ref()
+            .expect("pile writer already finished")
+            .clone()
+    }
+
+    /// Close the channel, drain it, sync, and hand back the statistics plus
+    /// the underlying [`PileWriter`] (for snapshotting or further appends).
+    pub fn finish(mut self) -> Result<(PileWriterStats, PileWriter)> {
+        self.sender.take();
+        let handle = self.handle.take().expect("pile writer already joined");
+        handle
+            .join()
+            .map_err(|_| Error::Storage("pile writer thread panicked".into()))?
+    }
+}
+
+impl Drop for PileBatchWriter {
+    fn drop(&mut self) {
+        self.sender.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Convenience used by tests and benches: `Arc` a pile for sharing across
+/// query threads.
+pub type SharedPile = Arc<SketchPile>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_pile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tsubasa-pile-{}-{tag}.pile", std::process::id()))
+    }
+
+    fn stats_row(n: usize, w: usize) -> Vec<f64> {
+        (0..n)
+            .flat_map(|i| [10.0, w as f64 + i as f64 * 0.5, 1.0 + i as f64])
+            .collect()
+    }
+
+    fn corr_row(pairs: usize, w: usize) -> Vec<f64> {
+        (0..pairs).map(|p| ((w * pairs + p) as f64).sin()).collect()
+    }
+
+    #[test]
+    fn round_trips_stats_and_corrs_bit_identically() {
+        let path = temp_pile("roundtrip");
+        let n = 4;
+        let pairs = pair_count(n);
+        let mut writer = PileWriter::create(&path, n, 16).unwrap();
+        let mut all_corrs = Vec::new();
+        for w in 0..5 {
+            writer
+                .append(SegmentKind::SeriesStats, &stats_row(n, w))
+                .unwrap();
+            let row = corr_row(pairs, w);
+            all_corrs.extend_from_slice(&row);
+            writer.append(SegmentKind::PairCorrs, &row).unwrap();
+        }
+        let pile = writer.into_pile().unwrap();
+        assert_eq!(pile.n_series(), n);
+        assert_eq!(pile.basic_window(), 16);
+        assert_eq!(pile.exact_query_windows(), 5);
+        assert_eq!(pile.approx_query_windows(), 0);
+        assert_eq!(pile.truncated_bytes(), 0);
+
+        let stats = pile.series_stats(0..5).unwrap();
+        assert_eq!(stats.len(), n);
+        assert_eq!(stats[2][3].mean, 3.0 + 2.0 * 0.5);
+        assert_eq!(stats[1][0].std, 2.0);
+        assert_eq!(stats[0][4].len, 10);
+
+        let table = pile.pair_table(0..5, SegmentKind::PairCorrs).unwrap();
+        let view = table.view();
+        assert_eq!(view.window_count(), 5);
+        for w in 0..5 {
+            assert_eq!(view.window_row(w), &all_corrs[w * pairs..(w + 1) * pairs]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_segment_reads_are_zero_copy_and_spans_are_gathered() {
+        let path = temp_pile("zerocopy");
+        let n = 3;
+        let pairs = pair_count(n);
+        let mut writer = PileWriter::create(&path, n, 8).unwrap();
+        // Two separate corr segments of 2 windows each.
+        for w0 in [0, 2] {
+            let mut rows = corr_row(pairs, w0);
+            rows.extend(corr_row(pairs, w0 + 1));
+            writer.append(SegmentKind::PairCorrs, &rows).unwrap();
+        }
+        let pile = writer.into_pile().unwrap();
+        // Within one segment: zero-copy.
+        assert!(pile
+            .pair_table(0..2, SegmentKind::PairCorrs)
+            .unwrap()
+            .is_zero_copy());
+        assert!(pile
+            .pair_table(2..4, SegmentKind::PairCorrs)
+            .unwrap()
+            .is_zero_copy());
+        // Across the boundary: gathered, same values.
+        let spanning = pile.pair_table(1..3, SegmentKind::PairCorrs).unwrap();
+        assert!(!spanning.is_zero_copy());
+        assert_eq!(spanning.view().window_row(0), &corr_row(pairs, 1)[..]);
+        assert_eq!(spanning.view().window_row(1), &corr_row(pairs, 2)[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_tables_and_bad_ranges_are_typed_errors() {
+        let path = temp_pile("typed-errors");
+        let mut writer = PileWriter::create(&path, 3, 8).unwrap();
+        writer
+            .append(SegmentKind::SeriesStats, &stats_row(3, 0))
+            .unwrap();
+        let pile = writer.into_pile().unwrap();
+        assert!(matches!(
+            pile.pair_table(0..1, SegmentKind::PairCorrs),
+            Err(Error::SketchMismatch { .. })
+        ));
+        assert!(matches!(
+            pile.pair_table(0..1, SegmentKind::SeriesStats),
+            Err(Error::Storage(_))
+        ));
+        assert!(pile.series_stats(0..0).is_err());
+        assert!(pile.series_stats(0..2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_rejects_partial_rows_and_empty_is_noop() {
+        let path = temp_pile("partial");
+        let mut writer = PileWriter::create(&path, 3, 8).unwrap();
+        assert!(writer.append(SegmentKind::PairCorrs, &[1.0, 2.0]).is_err());
+        assert_eq!(writer.append(SegmentKind::PairCorrs, &[]).unwrap(), 0);
+        assert_eq!(writer.coverage(SegmentKind::PairCorrs), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_resumes_coverage() {
+        let path = temp_pile("resume");
+        let pairs = pair_count(3);
+        let mut writer = PileWriter::create(&path, 3, 8).unwrap();
+        writer
+            .append(SegmentKind::PairCorrs, &corr_row(pairs, 0))
+            .unwrap();
+        writer.finish().unwrap();
+
+        let mut writer = PileWriter::open_append(&path).unwrap();
+        assert_eq!(writer.coverage(SegmentKind::PairCorrs), 1);
+        writer
+            .append(SegmentKind::PairCorrs, &corr_row(pairs, 1))
+            .unwrap();
+        let pile = writer.into_pile().unwrap();
+        assert_eq!(pile.windows(SegmentKind::PairCorrs), 2);
+        let view = pile.pair_table(0..2, SegmentKind::PairCorrs).unwrap();
+        assert_eq!(view.view().window_row(1), &corr_row(pairs, 1)[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_is_cut_at_the_torn_segment() {
+        let path = temp_pile("corrupt");
+        let pairs = pair_count(3);
+        let mut writer = PileWriter::create(&path, 3, 8).unwrap();
+        writer
+            .append(SegmentKind::PairCorrs, &corr_row(pairs, 0))
+            .unwrap();
+        let good_len = writer.len_bytes();
+        writer
+            .append(SegmentKind::PairCorrs, &corr_row(pairs, 1))
+            .unwrap();
+        writer.finish().unwrap();
+
+        // Flip a payload byte of the second segment: its checksum fails, so
+        // validation keeps only the first segment.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = good_len as usize + SEG_HEADER_LEN + 3;
+        bytes[idx] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let pile = SketchPile::open(&path).unwrap();
+        assert_eq!(pile.windows(SegmentKind::PairCorrs), 1);
+        assert_eq!(pile.space_bytes(), good_len);
+        assert!(pile.truncated_bytes() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_pile_files_are_rejected() {
+        let path = temp_pile("not-a-pile");
+        std::fs::write(&path, b"definitely not a pile file here").unwrap();
+        assert!(SketchPile::open(&path).is_err());
+        assert!(PileWriter::open_append(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_sees_appends_so_far_and_survives_later_appends() {
+        let path = temp_pile("snapshot");
+        let pairs = pair_count(4);
+        let mut writer = PileWriter::create(&path, 4, 8).unwrap();
+        writer
+            .append(SegmentKind::PairCorrs, &corr_row(pairs, 0))
+            .unwrap();
+        let snap = writer.snapshot().unwrap();
+        assert_eq!(snap.windows(SegmentKind::PairCorrs), 1);
+        writer
+            .append(SegmentKind::PairCorrs, &corr_row(pairs, 1))
+            .unwrap();
+        // The earlier snapshot still serves its prefix (append-only).
+        assert_eq!(
+            snap.pair_table(0..1, SegmentKind::PairCorrs)
+                .unwrap()
+                .view()
+                .window_row(0),
+            &corr_row(pairs, 0)[..]
+        );
+        let snap2 = writer.snapshot().unwrap();
+        assert_eq!(snap2.windows(SegmentKind::PairCorrs), 2);
+        writer.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_coalesces_and_preserves_bits() {
+        let path = temp_pile("compact");
+        let n = 4;
+        let pairs = pair_count(n);
+        let mut writer = PileWriter::create(&path, n, 8).unwrap();
+        for w in 0..6 {
+            writer
+                .append(SegmentKind::SeriesStats, &stats_row(n, w))
+                .unwrap();
+            writer
+                .append(SegmentKind::PairCorrs, &corr_row(pairs, w))
+                .unwrap();
+        }
+        writer.finish().unwrap();
+
+        let before = SketchPile::open(&path).unwrap();
+        let stats_before = before.series_stats(0..6).unwrap();
+        let corrs_before: Vec<Vec<f64>> = (0..6)
+            .map(|w| {
+                before
+                    .pair_table(w..w + 1, SegmentKind::PairCorrs)
+                    .unwrap()
+                    .view()
+                    .window_row(0)
+                    .to_vec()
+            })
+            .collect();
+        assert_eq!(before.segment_count(), 12);
+        drop(before);
+
+        let report = SketchPile::compact(&path).unwrap();
+        assert_eq!(report.segments_before, 12);
+        assert_eq!(report.segments_after, 2);
+        assert!(report.bytes_after < report.bytes_before);
+
+        let after = SketchPile::open(&path).unwrap();
+        assert_eq!(after.segment_count(), 2);
+        assert_eq!(after.series_stats(0..6).unwrap(), stats_before);
+        // Full range is now a single segment: zero-copy again.
+        let table = after.pair_table(0..6, SegmentKind::PairCorrs).unwrap();
+        assert!(table.is_zero_copy());
+        for (w, row) in corrs_before.iter().enumerate() {
+            assert_eq!(table.view().window_row(w), &row[..]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_writer_coalesces_same_kind_slabs_in_order() {
+        let path = temp_pile("batch");
+        let pairs = pair_count(4);
+        let writer = PileWriter::create(&path, 4, 8).unwrap();
+        let batch = PileBatchWriter::spawn_with(writer, 8, usize::MAX, SyncPolicy::OnSwap);
+        let tx = batch.sender();
+        tx.send(PileSlab::Stats(stats_row(4, 0))).unwrap();
+        for w in 0..4 {
+            tx.send(PileSlab::Corrs(corr_row(pairs, w))).unwrap();
+        }
+        drop(tx);
+        let (stats, writer) = batch.finish().unwrap();
+        assert_eq!(stats.slabs, 5);
+        assert!(stats.appends <= stats.slabs);
+        assert_eq!(stats.values, 4 * 3 + 4 * pairs);
+        assert!(stats.syncs >= stats.appends, "OnSwap syncs per append");
+
+        let pile = writer.into_pile().unwrap();
+        assert_eq!(pile.windows(SegmentKind::SeriesStats), 1);
+        assert_eq!(pile.windows(SegmentKind::PairCorrs), 4);
+        for w in 0..4 {
+            assert_eq!(
+                pile.pair_table(w..w + 1, SegmentKind::PairCorrs)
+                    .unwrap()
+                    .view()
+                    .window_row(0),
+                &corr_row(pairs, w)[..]
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_checksum_is_the_reference_function() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -63,6 +63,25 @@ pub fn default_batch_pairs() -> usize {
         .unwrap_or(256)
 }
 
+/// When the database worker forces written data down to the device.
+///
+/// The original writer only called [`SketchStore::flush`] (which maps to
+/// `fsync`/`sync_data` on the disk store) once, after the channel closed — so
+/// a crash mid-sketch could lose every batch reported as "written". The knob
+/// makes the trade explicit: [`SyncPolicy::OnSwap`] bounds the loss window to
+/// one swap at the cost of an fsync per coalesced write; the default keeps
+/// the old single-fsync-at-shutdown behavior. Either way the number of syncs
+/// actually issued is surfaced in [`WriterStats::syncs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Flush/fsync once, when the writer drains the channel and shuts down.
+    #[default]
+    OnShutdown,
+    /// Flush/fsync after every buffer swap (every coalesced store write),
+    /// plus the final one at shutdown.
+    OnSwap,
+}
+
 /// Statistics reported by the writer thread when it finishes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WriterStats {
@@ -77,6 +96,10 @@ pub struct WriterStats {
     /// Wall-clock time spent inside store write calls (the paper's
     /// "write time" component of the sketch-time breakdown).
     pub write_time: Duration,
+    /// Number of durability flushes ([`SketchStore::flush`]) issued, per the
+    /// configured [`SyncPolicy`]: `swaps + 1` under [`SyncPolicy::OnSwap`],
+    /// `1` under [`SyncPolicy::OnShutdown`].
+    pub syncs: usize,
 }
 
 /// Handle to the running database-writer thread.
@@ -102,6 +125,17 @@ impl BatchWriter {
         store: Arc<dyn SketchStore>,
         queue_depth: usize,
         coalesce_records: usize,
+    ) -> Self {
+        Self::spawn_with_durability(store, queue_depth, coalesce_records, SyncPolicy::default())
+    }
+
+    /// [`BatchWriter::spawn_with_coalescing`] with an explicit durability
+    /// policy controlling when [`SketchStore::flush`] is issued.
+    pub fn spawn_with_durability(
+        store: Arc<dyn SketchStore>,
+        queue_depth: usize,
+        coalesce_records: usize,
+        durability: SyncPolicy,
     ) -> Self {
         let (tx, rx) = bounded::<WriteBatch>(queue_depth.max(1));
         let coalesce = coalesce_records.max(1);
@@ -130,12 +164,17 @@ impl BatchWriter {
                 if !buffer.pairs.is_empty() {
                     store.write_pairs(&buffer.pairs)?;
                 }
+                if durability == SyncPolicy::OnSwap {
+                    store.flush()?;
+                    stats.syncs += 1;
+                }
                 stats.write_time += start.elapsed();
                 stats.swaps += 1;
                 stats.records += buffer.len();
             }
             let start = Instant::now();
             store.flush()?;
+            stats.syncs += 1;
             stats.write_time += start.elapsed();
             Ok(stats)
         });
@@ -260,6 +299,59 @@ mod tests {
         let stats = writer.finish().unwrap();
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.records, 0);
+    }
+
+    fn series_batch(s: u32) -> WriteBatch {
+        WriteBatch {
+            series: vec![SeriesWindowRecord {
+                series: s,
+                window: 0,
+                len: 8,
+                mean: s as f64,
+                std: 1.0,
+            }],
+            pairs: vec![],
+        }
+    }
+
+    #[test]
+    fn durability_on_swap_syncs_every_swap_plus_shutdown() {
+        let store = Arc::new(MemorySketchStore::new(layout()));
+        // Coalescing limit 1: every drained batch completes a swap on its
+        // own, so the swap count (and with it the sync count) is
+        // deterministic regardless of producer timing.
+        let writer = BatchWriter::spawn_with_durability(store.clone(), 4, 1, SyncPolicy::OnSwap);
+        let tx = writer.sender();
+        for s in 0..3u32 {
+            tx.send(series_batch(s)).unwrap();
+        }
+        drop(tx);
+        let stats = writer.finish().unwrap();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.syncs, stats.swaps + 1);
+        assert!(stats.syncs >= 2);
+    }
+
+    #[test]
+    fn durability_on_shutdown_syncs_exactly_once() {
+        let store = Arc::new(MemorySketchStore::new(layout()));
+        let writer = BatchWriter::spawn_with_durability(store, 4, 1, SyncPolicy::OnShutdown);
+        let tx = writer.sender();
+        for s in 0..3u32 {
+            tx.send(series_batch(s)).unwrap();
+        }
+        drop(tx);
+        let stats = writer.finish().unwrap();
+        assert_eq!(stats.syncs, 1, "legacy behavior: one flush at shutdown");
+    }
+
+    #[test]
+    fn default_spawn_keeps_on_shutdown_durability() {
+        let store = Arc::new(MemorySketchStore::new(layout()));
+        let writer = BatchWriter::spawn(store, 2);
+        writer.sender().send(series_batch(0)).unwrap();
+        let stats = writer.finish().unwrap();
+        assert_eq!(stats.syncs, 1);
     }
 
     #[test]

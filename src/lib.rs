@@ -42,6 +42,8 @@ pub mod prelude {
     };
     pub use tsubasa_parallel::{ParallelConfig, ParallelEngine};
     pub use tsubasa_serve::{EpochIngest, EpochStore, PlanCache, QueryEngine, ServeClient};
-    pub use tsubasa_storage::{DiskSketchStore, MemorySketchStore, SketchStore};
+    pub use tsubasa_storage::{
+        DiskSketchStore, MemorySketchStore, PileWriter, SketchPile, SketchStore,
+    };
     pub use tsubasa_stream::{RealTimeNetwork, StreamBuffer};
 }

@@ -1,0 +1,197 @@
+//! Pile/record-store agreement grid.
+//!
+//! The mapped-pile query path must be **bit-identical** to the record-store
+//! path: both feed the same `block_kernel` per-pair accumulation with the
+//! same window-major correlation values, so tiling, storage backend, and
+//! worker count must not change a single output bit. This suite sweeps a
+//! 72-case grid — series counts × basic windows × window ranges × query
+//! methods × worker counts — including NaN-bearing windows (missing
+//! observations poison every correlation of the affected pairs, and the NaN
+//! audit must agree across backends).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tsubasa::core::prelude::*;
+use tsubasa::parallel::{ParallelConfig, ParallelEngine, QueryMethod, SketchMethod};
+use tsubasa::storage::{MemorySketchStore, PileWriter};
+
+const WINDOWS: usize = 4;
+
+/// Deterministic multi-scale series; series 0 carries one NaN observation in
+/// basic window 1. The sketch kernel clamps NaN correlations to `0.0`
+/// ([`clamp_corr`]'s convention), so the poisoned windows exercise the
+/// clamping path identically on both backends rather than producing NaN
+/// table values (those are planted explicitly in
+/// `planted_nan_records_audit_identically_across_backends`).
+fn collection(n: usize, basic_window: usize) -> SeriesCollection {
+    let len = WINDOWS * basic_window;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|s| {
+            (0..len)
+                .map(|i| {
+                    if s == 0 && i == basic_window + 1 {
+                        f64::NAN
+                    } else {
+                        (i as f64 * 0.11 + s as f64 * 0.63).sin()
+                            + ((i * (s + 2)) % 13) as f64 * 0.05
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    SeriesCollection::from_rows(rows).unwrap()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "tsubasa-pile-agree-{}-{tag}.pile",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn pile_and_record_store_agree_bit_for_bit_across_the_grid() {
+    let mut cases = 0usize;
+    for n in [3usize, 6, 10] {
+        for b in [20usize, 50] {
+            let c = collection(n, b);
+            for (method, qmethod) in [
+                (SketchMethod::Exact, QueryMethod::Exact),
+                (
+                    SketchMethod::Dft { coefficients: 8 },
+                    QueryMethod::Approximate,
+                ),
+            ] {
+                for workers in [1usize, 3] {
+                    let eng = ParallelEngine::new(ParallelConfig {
+                        workers,
+                        batch_pairs: 8,
+                        sketch_method: method,
+                        audit_pruned_chunks: false,
+                    });
+                    let layout = ParallelEngine::layout_for(&c, b).unwrap();
+                    let store = Arc::new(MemorySketchStore::new(layout));
+                    eng.sketch_to_store(&c, b, store.clone()).unwrap();
+
+                    let path = temp_path(&format!("{n}-{b}-{workers}-{:?}", qmethod));
+                    let writer = PileWriter::create(&path, n, b).unwrap();
+                    let (_, pile) = eng.sketch_to_pile(&c, b, writer).unwrap();
+
+                    for windows in [0..WINDOWS, 0..2, 2..WINDOWS] {
+                        let (m_store, _) = eng
+                            .query_from_store(store.clone(), windows.clone(), qmethod)
+                            .unwrap();
+                        let (m_pile, _) = eng
+                            .query_from_pile(&pile, windows.clone(), qmethod)
+                            .unwrap();
+                        assert_eq!(
+                            m_store, m_pile,
+                            "matrix mismatch n={n} b={b} {qmethod:?} w={workers} {windows:?}"
+                        );
+
+                        let (e_store, _) = eng
+                            .network_from_store(store.clone(), windows.clone(), qmethod, 0.3)
+                            .unwrap();
+                        let (e_pile, _) = eng
+                            .network_from_pile(&pile, windows.clone(), qmethod, 0.3)
+                            .unwrap();
+                        assert_eq!(e_store.edges(), e_pile.edges());
+                        assert_eq!(e_store.nan_pair_count(), e_pile.nan_pair_count());
+
+                        let (t_store, _) = eng
+                            .top_k_from_store(store.clone(), windows.clone(), qmethod, 5)
+                            .unwrap();
+                        let (t_pile, _) = eng
+                            .top_k_from_pile(&pile, windows.clone(), qmethod, 5)
+                            .unwrap();
+                        assert_eq!(t_store.edges, t_pile.edges);
+
+                        cases += 1;
+                    }
+                    std::fs::remove_file(&path).ok();
+                }
+            }
+        }
+    }
+    assert!(
+        cases >= 64,
+        "agreement grid must cover >= 64 cases, ran {cases}"
+    );
+}
+
+/// NaN **table values** (the method-mismatch scenario the record store's
+/// audit exists for) must be observed identically across backends: a NaN
+/// record is planted in the store and the same NaN is mirrored into a
+/// hand-built pile, and the exact network's exhaustive audit must count it
+/// on both.
+#[test]
+fn planted_nan_records_audit_identically_across_backends() {
+    use tsubasa::storage::{SegmentKind, SketchStore};
+
+    let n = 6;
+    let b = 25;
+    let c = collection(n, b);
+    let eng = ParallelEngine::new(ParallelConfig {
+        workers: 2,
+        batch_pairs: 8,
+        sketch_method: SketchMethod::Exact,
+        audit_pruned_chunks: false,
+    });
+    let layout = ParallelEngine::layout_for(&c, b).unwrap();
+    let store = Arc::new(MemorySketchStore::new(layout));
+    eng.sketch_to_store(&c, b, store.clone()).unwrap();
+
+    // Plant a NaN correlation in pair (0, 1), window 1.
+    let mut recs = store.read_pair(0, 1, 1..2).unwrap();
+    recs[0].corr = f64::NAN;
+    store.write_pairs(&recs).unwrap();
+
+    // Mirror the (poisoned) store content into a pile, row by row.
+    let path = temp_path("nan-plant");
+    let mut writer = PileWriter::create(&path, n, b).unwrap();
+    for w in 0..WINDOWS {
+        let mut stats_row = Vec::with_capacity(n * 3);
+        for s in 0..n {
+            let st = store.read_series(s, w..w + 1).unwrap()[0];
+            stats_row.extend_from_slice(&[st.len as f64, st.mean, st.std]);
+        }
+        writer.append(SegmentKind::SeriesStats, &stats_row).unwrap();
+        let mut corr_row = Vec::with_capacity(n * (n - 1) / 2);
+        for a in 0..n {
+            for bb in a + 1..n {
+                corr_row.push(store.read_pair(a, bb, w..w + 1).unwrap()[0].corr);
+            }
+        }
+        writer.append(SegmentKind::PairCorrs, &corr_row).unwrap();
+    }
+    let pile = writer.into_pile().unwrap();
+
+    // The exact network audits exhaustively (no pruning): exactly the
+    // planted pair is counted, on both backends, and the edge sets still
+    // agree bit-for-bit (the kernel clamps the NaN slot to 0.0).
+    let (e_store, _) = eng
+        .network_from_store(store.clone(), 0..WINDOWS, QueryMethod::Exact, 0.0)
+        .unwrap();
+    let (e_pile, _) = eng
+        .network_from_pile(&pile, 0..WINDOWS, QueryMethod::Exact, 0.0)
+        .unwrap();
+    assert_eq!(e_store.nan_pair_count(), 1);
+    assert_eq!(e_pile.nan_pair_count(), 1);
+    assert_eq!(e_store.edges(), e_pile.edges());
+
+    let (m_store, _) = eng
+        .query_from_store(store.clone(), 0..WINDOWS, QueryMethod::Exact)
+        .unwrap();
+    let (m_pile, _) = eng
+        .query_from_pile(&pile, 0..WINDOWS, QueryMethod::Exact)
+        .unwrap();
+    assert_eq!(m_store, m_pile);
+
+    // A range that excludes the poisoned window audits zero NaN pairs.
+    let (clean, _) = eng
+        .network_from_pile(&pile, 2..WINDOWS, QueryMethod::Exact, 0.0)
+        .unwrap();
+    assert_eq!(clean.nan_pair_count(), 0);
+    std::fs::remove_file(&path).ok();
+}
