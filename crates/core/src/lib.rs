@@ -76,6 +76,7 @@ pub mod matrix;
 pub mod plan;
 pub mod runner;
 pub mod sketch;
+pub mod source;
 pub mod stats;
 pub mod sweep;
 pub mod timeseries;
@@ -87,6 +88,7 @@ pub use matrix::{AdjacencyMatrix, CorrelationMatrix};
 pub use plan::{PlanKey, PlanMethod, QueryPlan};
 pub use runner::{Job, JobRunner, ScopedRunner, SerialRunner};
 pub use sketch::{PairSketch, SeriesSketch, SketchSet};
+pub use source::{audit_nan_chunk, check_source_windows, CorrSource, EstSource, PairTable};
 pub use stats::WindowStats;
 pub use sweep::{EdgeList, EdgeSink, RankedEdge, StatsSink, TileSink, TopK, TopKSink, ZnormSweep};
 pub use timeseries::{GeoLocation, SeriesCollection, SeriesId, TimeSeries};
@@ -106,6 +108,7 @@ pub mod prelude {
     pub use crate::matrix::{AdjacencyMatrix, CorrelationMatrix};
     pub use crate::plan::{PlanKey, PlanMethod, QueryPlan};
     pub use crate::sketch::{PairSketch, SeriesSketch, SketchSet};
+    pub use crate::source::{audit_nan_chunk, CorrSource, EstSource, PairTable};
     pub use crate::stats::{pearson, WindowStats};
     pub use crate::sweep::{
         EdgeList, EdgeSink, RankedEdge, StatsSink, TileSink, TopK, TopKSink, ZnormSweep,

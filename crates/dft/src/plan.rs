@@ -45,10 +45,11 @@ use std::ops::Range;
 use tsubasa_core::capacity::check_dense_budget;
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::{AdjacencyMatrix, CorrelationMatrix};
-use tsubasa_core::plan::{carve_for_workers, row_segments, QueryPlan, TransposedCorrs};
+use tsubasa_core::plan::{carve_for_workers, row_segments, PlanMethod, QueryPlan, TransposedCorrs};
 use tsubasa_core::runner::{Job, JobRunner};
 use tsubasa_core::sketch::pair_index;
-use tsubasa_core::stats::{clamp_corr, WindowStats};
+use tsubasa_core::source::EstSource;
+use tsubasa_core::stats::clamp_corr;
 use tsubasa_core::sweep::{
     sweep_run, CorrelationBounds, EdgeList, TileSink, TopK, TopKSink, DEFAULT_TILE_PAIRS,
 };
@@ -107,32 +108,35 @@ impl ApproxPlan {
     /// correlation estimates from the comparator's window-major distance
     /// table. No raw data is needed.
     pub fn build(sketch: &DftSketchSet, windows: Range<usize>) -> Result<Self> {
-        if windows.end > sketch.window_count() || windows.is_empty() {
+        Self::from_source(sketch, windows)
+    }
+
+    /// Build the plan from **any** estimate-capable source — an in-memory
+    /// comparator, or a pile whose `PairEsts` segments persist the same
+    /// Equation 3 values. The per-series statistic tables feed
+    /// [`QueryPlan::from_window_stats`]; the per-pair estimates come from
+    /// [`EstSource::est_table`]. Because both backends store (or map to) the
+    /// identical `ĉ = 1 − d²/2` values, plans built from either are
+    /// bit-identical.
+    pub fn from_source<S: EstSource + ?Sized>(source: &S, windows: Range<usize>) -> Result<Self> {
+        let available = source.window_count(PlanMethod::Approximate);
+        if windows.end > available || windows.is_empty() {
             return Err(Error::SketchMismatch {
                 requested: format!("basic windows {windows:?}"),
-                available: format!("{} sketched windows", sketch.window_count()),
+                available: format!("{available} sketched windows"),
             });
         }
-        let n = sketch.series_count();
-        let base = sketch.base();
-        let mut stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
-        for i in 0..n {
-            let sk = base.series_sketch(i)?;
-            stats.push(windows.clone().map(|w| sk.window(w)).collect());
-        }
+        let n = source.series_count();
+        let stats = source.series_stats(windows.clone())?;
         let plan = QueryPlan::from_window_stats(&stats)?;
 
-        // Equation 3 applied to every pair-window distance, written straight
-        // into the window-major layout the batch kernel streams. Matches the
-        // scalar recombination's `c_j = 1 − d_j²/2` exactly (no clamping —
-        // unit-normalized windows keep `d ≤ 2`, so `c ≥ −1` already).
-        let dists = sketch.window_dists_view(windows.clone());
+        // Equation 3 estimates in the window-major layout the batch kernel
+        // streams. In-memory sources map the distance table (`1 − d²/2`, no
+        // clamping — unit-normalized windows keep `d ≤ 2`, so `c ≥ −1`
+        // already); piles read the identical persisted values back.
         let n_pairs = n * n.saturating_sub(1) / 2;
         check_dense_budget(n_pairs, windows.len())?;
-        let corrs = TransposedCorrs::from_fn(n_pairs, windows.len(), |p, k| {
-            let d = dists.window_row(k)[p];
-            1.0 - d * d / 2.0
-        });
+        let corrs = source.est_table(windows.clone())?;
         Ok(Self {
             n,
             windows,

@@ -24,9 +24,11 @@
 //! tolerance contract pinned by `tests/approx_plan_agreement.rs`.
 
 use serde::{Deserialize, Serialize};
+use tsubasa_core::capacity::check_dense_budget;
 use tsubasa_core::error::{Error, Result};
-use tsubasa_core::plan::CorrView;
+use tsubasa_core::plan::{CorrView, PlanMethod, TransposedCorrs};
 use tsubasa_core::sketch::{gather_pair_rows, pair_index, scatter_pair_rows_with};
+use tsubasa_core::source::{check_source_windows, CorrSource, PairTable};
 use tsubasa_core::stats::{
     normalize_into, tiled_pair_corrs_into, tiled_pair_dist_sq_into, WindowStats,
 };
@@ -362,6 +364,86 @@ impl DftSketchSet {
         let ns = self.window_count();
         let n = self.series_count();
         ns * (2 * n + n * (n - 1) / 2)
+    }
+}
+
+/// The comparator as a dual-method [`CorrSource`]: exact tables borrow the
+/// base sketch's window-major correlations, approximate tables map the
+/// window-major distance table through Equation 3 (`ĉ = 1 − d²/2`) — the
+/// exact values `ApproxPlan` recombines, so engine answers over this source
+/// are bit-identical to the in-memory plan's.
+impl CorrSource for DftSketchSet {
+    fn series_count(&self) -> usize {
+        DftSketchSet::series_count(self)
+    }
+
+    fn window_count(&self, _method: PlanMethod) -> usize {
+        // Both tables cover every sketched window: the comparator stores the
+        // base statistics sketch *and* the distance table side by side.
+        DftSketchSet::window_count(self)
+    }
+
+    fn zero_copy(&self) -> bool {
+        true
+    }
+
+    fn series_stats(&self, windows: std::ops::Range<usize>) -> Result<Vec<Vec<WindowStats>>> {
+        CorrSource::series_stats(self.base(), windows)
+    }
+
+    fn full_table(
+        &self,
+        windows: std::ops::Range<usize>,
+        method: PlanMethod,
+    ) -> Result<Option<PairTable<'_>>> {
+        match method {
+            PlanMethod::Exact => CorrSource::full_table(self.base(), windows, method),
+            PlanMethod::Approximate => {
+                check_source_windows(self, &windows, method)?;
+                let n = DftSketchSet::series_count(self);
+                let n_pairs = n * n.saturating_sub(1) / 2;
+                // The estimate table is materialized (Equation 3 is a map,
+                // not a view); over the dense budget callers fall back to
+                // chunked reads instead.
+                if check_dense_budget(n_pairs, windows.len()).is_err() {
+                    return Ok(None);
+                }
+                let dists = self.window_dists_view(windows.clone());
+                Ok(Some(PairTable::Owned(TransposedCorrs::from_fn(
+                    n_pairs,
+                    windows.len(),
+                    |p, k| {
+                        let d = dists.window_row(k)[p];
+                        1.0 - d * d / 2.0
+                    },
+                ))))
+            }
+        }
+    }
+
+    fn chunk_table(
+        &self,
+        chunk: &[(usize, usize)],
+        windows: std::ops::Range<usize>,
+        method: PlanMethod,
+    ) -> Result<TransposedCorrs> {
+        check_source_windows(self, &windows, method)?;
+        let n = DftSketchSet::series_count(self);
+        match method {
+            PlanMethod::Exact => CorrSource::chunk_table(self.base(), chunk, windows, method),
+            PlanMethod::Approximate => {
+                let dists = self.window_dists_view(windows.clone());
+                Ok(TransposedCorrs::from_fn(
+                    chunk.len(),
+                    windows.len(),
+                    |p, k| {
+                        let (a, b) = chunk[p];
+                        let d = dists.window_row(k)[pair_index(a, b, n)];
+                        1.0 - d * d / 2.0
+                    },
+                ))
+            }
+        }
     }
 }
 

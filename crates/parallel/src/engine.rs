@@ -22,8 +22,9 @@ use std::time::{Duration, Instant};
 use tsubasa_core::capacity::check_dense_budget;
 use tsubasa_core::error::{Error, Result};
 use tsubasa_core::matrix::CorrelationMatrix;
-use tsubasa_core::plan::{row_segments, CorrView, QueryPlan, TransposedCorrs};
+use tsubasa_core::plan::{row_segments, CorrView, PlanMethod, QueryPlan};
 use tsubasa_core::sketch::pair_index;
+use tsubasa_core::source::{audit_nan_chunk, check_source_windows, CorrSource};
 use tsubasa_core::stats::{normalize_into, normalized_dot_corr, WindowStats};
 use tsubasa_core::sweep::{CorrelationBounds, EdgeList, EdgeSink, TileSink, TopK, TopKSink};
 use tsubasa_core::window::BasicWindowing;
@@ -311,40 +312,56 @@ impl ParallelEngine {
         })
     }
 
+    /// The plan-level method a query method recombines with.
+    fn plan_method(method: QueryMethod) -> PlanMethod {
+        match method {
+            QueryMethod::Exact => PlanMethod::Exact,
+            QueryMethod::Approximate => PlanMethod::Approximate,
+        }
+    }
+
     /// Build the all-pair correlation matrix for an aligned range of basic
-    /// windows by reading sketches back from the store, and report the
-    /// read/compute breakdown (Figure 6b).
+    /// windows from **any** [`CorrSource`] — in-memory sketches, the record
+    /// store, or a mapped pile — and report the read/compute breakdown
+    /// (Figure 6b).
     ///
-    /// The per-series statistics are read once and folded into a single
+    /// The per-series statistics are fetched once and folded into a single
     /// read-only [`QueryPlan`] shared by every worker; each worker owns a
     /// disjoint contiguous slice of the packed upper-triangle result (its
     /// partition's pairs are contiguous in row-major order), so the matrix is
-    /// assembled without any merge step.
-    pub fn query_from_store(
+    /// assembled without any merge step. Sources that serve a full-width
+    /// window-major table ([`CorrSource::full_table`]: in-memory sketches,
+    /// mapped piles) are swept in place with global pair offsets; chunked
+    /// sources (the record store) are read batch by batch through
+    /// [`CorrSource::chunk_table`]. The kernel's per-pair accumulation is
+    /// independent of tiling, so the two shapes are bit-identical.
+    pub fn query<S: CorrSource + ?Sized>(
         &self,
-        store: Arc<dyn SketchStore>,
+        source: &S,
         windows: Range<usize>,
         method: QueryMethod,
     ) -> Result<(CorrelationMatrix, QueryReport)> {
         let wall_start = Instant::now();
-        let layout = store.layout();
-        layout.check_windows(&windows)?;
-        let n = layout.n_series;
+        let pm = Self::plan_method(method);
+        check_source_windows(source, &windows, pm)?;
+        let n = source.series_count();
 
-        // Read every series' window statistics once up front; they are shared
-        // by all pairs of the partitioned workers.
+        // Fetch every series' window statistics once up front; they are
+        // shared by all pairs of the partitioned workers.
         let read_start = Instant::now();
-        let mut series_stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
-        for s in 0..n {
-            series_stats.push(store.read_series(s, windows.clone())?);
-        }
+        let series_stats = source.series_stats(windows.clone())?;
+        let table = if n >= 2 {
+            source.full_table(windows.clone(), pm)?
+        } else {
+            None
+        };
         let series_read_time = read_start.elapsed();
 
         // Precompute the per-series half of the recombination once for all
         // pairs. Lemma 1 and Equation 5 share their recombination algebra
         // (only the per-window correlation source differs: sketched Pearson
-        // correlations vs `1 − d²/2` estimates from stored DFT distances),
-        // so both query methods evaluate through the same plan batch kernel.
+        // correlations vs `1 − d²/2` estimates), so both query methods
+        // evaluate through the same plan batch kernel.
         let plan = if n >= 2 {
             Some(QueryPlan::from_window_stats(&series_stats)?)
         } else {
@@ -365,7 +382,7 @@ impl ParallelEngine {
         );
 
         let plan_ref = plan.as_ref();
-        let store_ref = &store;
+        let view = table.as_ref().map(|t| t.view());
         let windows_ref = &windows;
         let batch_pairs = self.config.batch_pairs.max(1);
 
@@ -389,49 +406,20 @@ impl ParallelEngine {
                 Box::new(move || {
                     *outcome = (|| -> Result<WorkerOut> {
                         let mut out = WorkerOut::default();
-                        let mut cursor = 0;
-                        // Pairs are read from the store in batches:
-                        // consecutive pairs of a partition are contiguous on
-                        // disk, so the store can serve a batch with a single
-                        // ranged read.
-                        for chunk in part.pairs.chunks(batch_pairs) {
-                            let t0 = Instant::now();
-                            let batch = store_ref.read_pairs(chunk, windows_ref.clone())?;
-                            out.read += t0.elapsed();
-
+                        let plan = plan_ref.expect("plan is built for n >= 2 queries");
+                        if let Some(view) = view {
+                            // Full-width table: sweep the shared view in
+                            // place — the kernel's pair offset is the global
+                            // packed pair index.
                             let t1 = Instant::now();
-                            // Transpose the batch window-major once, then
-                            // sweep it tile by tile with the plan's batch
-                            // kernel: the inner loops stream contiguous
-                            // memory for every pair of the chunk instead of
-                            // striding per-pair record rows. The exact path
-                            // reads stored Pearson correlations; the
-                            // approximate path maps stored DFT distances to
-                            // Equation 3 estimates `1 − d²/2` — the rest of
-                            // the recombination is shared.
-                            let plan = plan_ref.expect("plan is built for n >= 2 queries");
-                            let w = windows_ref.len();
-                            let corrs_t = match method {
-                                QueryMethod::Exact => {
-                                    TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
-                                        batch[p][k].corr
-                                    })
-                                }
-                                QueryMethod::Approximate => {
-                                    TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
-                                        let d = batch[p][k].dft_dist;
-                                        1.0 - d * d / 2.0
-                                    })
-                                }
-                            };
-                            let (a0, b0) = chunk[0];
-                            let start = pair_index(a0, b0, n);
-                            let mut offset = 0;
-                            for (i, j0, len) in row_segments(start, chunk.len(), n) {
+                            let (a0, b0) = part.pairs[0];
+                            let mut offset = pair_index(a0, b0, n);
+                            let mut cursor = 0;
+                            for (i, j0, len) in row_segments(offset, part.pairs.len(), n) {
                                 plan.block_kernel(
                                     i,
                                     j0,
-                                    corrs_t.view(),
+                                    view,
                                     offset,
                                     &mut slice[cursor..cursor + len],
                                 );
@@ -439,6 +427,35 @@ impl ParallelEngine {
                                 cursor += len;
                             }
                             out.compute += t1.elapsed();
+                        } else {
+                            // Chunked source: consecutive pairs of a
+                            // partition are contiguous on disk, so the store
+                            // serves a batch with a single ranged read; the
+                            // chunk table arrives already window-major for
+                            // the batch kernel.
+                            let mut cursor = 0;
+                            for chunk in part.pairs.chunks(batch_pairs) {
+                                let t0 = Instant::now();
+                                let corrs_t = source.chunk_table(chunk, windows_ref.clone(), pm)?;
+                                out.read += t0.elapsed();
+
+                                let t1 = Instant::now();
+                                let (a0, b0) = chunk[0];
+                                let start = pair_index(a0, b0, n);
+                                let mut offset = 0;
+                                for (i, j0, len) in row_segments(start, chunk.len(), n) {
+                                    plan.block_kernel(
+                                        i,
+                                        j0,
+                                        corrs_t.view(),
+                                        offset,
+                                        &mut slice[cursor..cursor + len],
+                                    );
+                                    offset += len;
+                                    cursor += len;
+                                }
+                                out.compute += t1.elapsed();
+                            }
                         }
                         Ok(out)
                     })();
@@ -469,22 +486,25 @@ impl ParallelEngine {
     }
 
     /// The thresholded network (`c > θ`, matching
-    /// `query_from_store(..)?.0.threshold(theta)` exactly) computed without
-    /// ever materializing the packed correlation triangle: each partition
-    /// worker streams its store batches through a per-worker [`EdgeSink`]
-    /// and the per-partition edge lists are concatenated (partitions are
-    /// contiguous in row-major pair order, so the merge is a plain append).
+    /// `query(..)?.0.threshold(theta)` exactly) computed from any
+    /// [`CorrSource`] without ever materializing the packed correlation
+    /// triangle: each partition worker streams its chunks through a
+    /// per-worker [`EdgeSink`] and the per-partition edge lists are
+    /// concatenated (partitions are contiguous in row-major pair order, so
+    /// the merge is a plain append).
     ///
-    /// On the [`QueryMethod::Approximate`] path, whole read chunks are
-    /// skipped *before* the store is touched when their Equation 4 per-tile
-    /// correlation upper bound cannot reach θ — the paper's pruning radius
-    /// applied at I/O granularity. The exact path observes every pair, so
-    /// its NaN audit (method-mismatched store records, counted per pair and
-    /// exposed through [`EdgeList::nan_pair_count`]) is exhaustive; skipped
-    /// approximate chunks are never read and therefore not audited.
-    pub fn network_from_store(
+    /// On the [`QueryMethod::Approximate`] path, whole chunks are skipped
+    /// *before* their table columns are touched when their Equation 4
+    /// per-tile correlation upper bound cannot reach θ — the paper's pruning
+    /// radius applied at I/O granularity (a pruned chunk is neither read
+    /// from a store nor faulted in from a mapping). The exact path observes
+    /// every pair, so its NaN audit (method-mismatched sketches, counted per
+    /// pair and exposed through [`EdgeList::nan_pair_count`]) is exhaustive;
+    /// pruned approximate chunks are audited only under
+    /// [`ParallelConfig::audit_pruned_chunks`].
+    pub fn network<S: CorrSource + ?Sized>(
         &self,
-        store: Arc<dyn SketchStore>,
+        source: &S,
         windows: Range<usize>,
         method: QueryMethod,
         theta: f64,
@@ -494,7 +514,8 @@ impl ParallelEngine {
         }
         let make = |_: &QueryPlan| EdgeSink::new(theta);
         let prune = matches!(method, QueryMethod::Approximate);
-        let (sinks, n, report) = self.streamed_query(store, windows, method, prune, make)?;
+        let (sinks, n, report) =
+            self.streamed_source_query(source, windows, method, prune, make)?;
         let mut edges = EdgeList::from_parts(n, Vec::new(), 0);
         for sink in sinks {
             edges.absorb(sink.finish(n));
@@ -502,25 +523,25 @@ impl ParallelEngine {
         Ok((edges, report))
     }
 
-    /// The `k` strongest edges of the query window, streamed from the store
-    /// with a per-worker bounded heap ([`TopKSink`]) merged across
-    /// partitions. Read chunks whose Equation 4 upper bound cannot beat the
-    /// worker's current k-th strength are skipped before the store is
-    /// touched (both query methods — the bound holds for exact and
+    /// The `k` strongest edges of the query window, streamed from any
+    /// [`CorrSource`] with a per-worker bounded heap ([`TopKSink`]) merged
+    /// across partitions. Chunks whose Equation 4 upper bound cannot beat
+    /// the worker's current k-th strength are skipped before their columns
+    /// are touched (both query methods — the bound holds for exact and
     /// approximate recombination alike). Ranking is total
     /// ([`f64::total_cmp`], ties by ascending pair index) and equals the
-    /// sorted dense matrix's top k; store records with NaN windows rank as
-    /// the kernel's `0.0` convention and are counted in
-    /// [`TopK::nan_pairs`] as audit metadata.
-    pub fn top_k_from_store(
+    /// sorted dense matrix's top k; sketches with NaN windows rank as the
+    /// kernel's `0.0` convention and are counted in [`TopK::nan_pairs`] as
+    /// audit metadata.
+    pub fn top_k<S: CorrSource + ?Sized>(
         &self,
-        store: Arc<dyn SketchStore>,
+        source: &S,
         windows: Range<usize>,
         method: QueryMethod,
         k: usize,
     ) -> Result<(TopK, QueryReport)> {
         let make = |_: &QueryPlan| TopKSink::new(k);
-        let (sinks, _, report) = self.streamed_query(store, windows, method, true, make)?;
+        let (sinks, _, report) = self.streamed_source_query(source, windows, method, true, make)?;
         let mut merged = TopKSink::new(k);
         for sink in sinks {
             merged.absorb(sink);
@@ -528,41 +549,37 @@ impl ParallelEngine {
         Ok((merged.finish(), report))
     }
 
-    /// Shared body of the streamed store-backed queries: read the per-series
-    /// statistics once, build the shared plan (and, when `prune` is set, the
-    /// Equation 4 bound components), then fan the partitions out on the
-    /// worker pool — every worker drives its own sink over its own store
-    /// batches, with per-chunk working memory only. Returns the per-partition
-    /// sinks (in row-major partition order) for the caller to merge.
+    /// Shared body of the streamed queries: fetch the per-series statistics
+    /// once, build the shared plan (and, when `prune` is set, the Equation 4
+    /// bound components), then fan the partitions out on the worker pool —
+    /// every worker drives its own sink over its own chunks, with per-chunk
+    /// working memory only. Returns the per-partition sinks (in row-major
+    /// partition order) for the caller to merge.
     ///
-    /// Workers scan each batch's raw records for NaN fields (the sign of a
-    /// method-mismatched store, which the recombination kernel silently maps
-    /// to `0.0`) and report the affected pair count through
-    /// [`TileSink::consume`]'s NaN accounting — see `audit_nan_records`.
-    fn streamed_query<S, F>(
+    /// Full-table sources are swept zero-copy off the shared view; chunked
+    /// sources are read batch by batch. Either way the chunks pass through
+    /// the one shared NaN-audit hook
+    /// ([`tsubasa_core::source::audit_nan_chunk`]) before recombination.
+    fn streamed_source_query<S, K, F>(
         &self,
-        store: Arc<dyn SketchStore>,
+        source: &S,
         windows: Range<usize>,
         method: QueryMethod,
         prune: bool,
         make_sink: F,
-    ) -> Result<(Vec<S>, usize, QueryReport)>
+    ) -> Result<(Vec<K>, usize, QueryReport)>
     where
-        S: TileSink + Send,
-        F: Fn(&QueryPlan) -> S,
+        S: CorrSource + ?Sized,
+        K: TileSink + Send,
+        F: Fn(&QueryPlan) -> K,
     {
         let wall_start = Instant::now();
-        let layout = store.layout();
-        layout.check_windows(&windows)?;
-        let n = layout.n_series;
+        let pm = Self::plan_method(method);
+        check_source_windows(source, &windows, pm)?;
+        let n = source.series_count();
 
         let read_start = Instant::now();
-        let mut series_stats: Vec<Vec<WindowStats>> = Vec::with_capacity(n);
-        for s in 0..n {
-            series_stats.push(store.read_series(s, windows.clone())?);
-        }
-        let series_read_time = read_start.elapsed();
-
+        let series_stats = source.series_stats(windows.clone())?;
         if n < 2 {
             return Ok((
                 Vec::new(),
@@ -570,12 +587,15 @@ impl ParallelEngine {
                 QueryReport {
                     workers: self.config.workers.max(1),
                     pairs: 0,
-                    read_time: series_read_time,
+                    read_time: read_start.elapsed(),
                     compute_time: Duration::ZERO,
                     wall_time: wall_start.elapsed(),
                 },
             ));
         }
+        let table = source.full_table(windows.clone(), pm)?;
+        let series_read_time = read_start.elapsed();
+
         let plan = QueryPlan::from_window_stats(&series_stats)?;
         let bounds = prune.then(|| CorrelationBounds::from_plan(&plan));
 
@@ -586,12 +606,12 @@ impl ParallelEngine {
 
         let plan_ref = &plan;
         let bounds_ref = bounds.as_ref();
-        let store_ref = &store;
+        let view = table.as_ref().map(|t| t.view());
         let windows_ref = &windows;
 
         let live: Vec<&crate::partition::PairPartition> =
             partitions.iter().filter(|p| !p.is_empty()).collect();
-        let mut sinks: Vec<S> = live.iter().map(|_| make_sink(&plan)).collect();
+        let mut sinks: Vec<K> = live.iter().map(|_| make_sink(&plan)).collect();
         let mut outcomes: Vec<Result<StreamedOut>> = (0..live.len())
             .map(|_| Ok(StreamedOut::default()))
             .collect();
@@ -601,11 +621,12 @@ impl ParallelEngine {
             .map(|(part, (sink, outcome))| {
                 let part = *part;
                 Box::new(move || {
-                    *outcome = stream_partition(
-                        store_ref,
+                    *outcome = sweep_source_partition(
+                        source,
                         plan_ref,
+                        view,
                         bounds_ref,
-                        method,
+                        pm,
                         n,
                         windows_ref,
                         batch_pairs,
@@ -638,23 +659,85 @@ impl ParallelEngine {
             },
         ))
     }
-}
 
-/// Pile-backed variants of the store methods: the same partitioned phases,
-/// but the sketch lives in a memory-mapped [`SketchPile`] whose segments are
-/// window-major `f64` tables in the exact layout [`QueryPlan::block_kernel`]
-/// consumes — queries sweep zero-copy [`CorrView`]s off the map with **no
-/// per-record deserialization** (no [`PairWindowRecord`] vecs on the read hot
-/// path), so sketch sets are no longer capped at RAM.
-impl ParallelEngine {
-    /// The pile table a query method recombines from.
-    fn pile_kind(method: QueryMethod) -> SegmentKind {
-        match method {
-            QueryMethod::Exact => SegmentKind::PairCorrs,
-            QueryMethod::Approximate => SegmentKind::PairEsts,
-        }
+    /// [`ParallelEngine::query`] against a record store — a thin wrapper
+    /// over the unified source pipeline.
+    pub fn query_from_store(
+        &self,
+        store: Arc<dyn SketchStore>,
+        windows: Range<usize>,
+        method: QueryMethod,
+    ) -> Result<(CorrelationMatrix, QueryReport)> {
+        self.query(&*store, windows, method)
     }
 
+    /// [`ParallelEngine::network`] against a record store — a thin wrapper
+    /// over the unified source pipeline.
+    pub fn network_from_store(
+        &self,
+        store: Arc<dyn SketchStore>,
+        windows: Range<usize>,
+        method: QueryMethod,
+        theta: f64,
+    ) -> Result<(EdgeList, QueryReport)> {
+        self.network(&*store, windows, method, theta)
+    }
+
+    /// [`ParallelEngine::top_k`] against a record store — a thin wrapper
+    /// over the unified source pipeline.
+    pub fn top_k_from_store(
+        &self,
+        store: Arc<dyn SketchStore>,
+        windows: Range<usize>,
+        method: QueryMethod,
+        k: usize,
+    ) -> Result<(TopK, QueryReport)> {
+        self.top_k(&*store, windows, method, k)
+    }
+
+    /// [`ParallelEngine::query`] against a mapped pile — a thin wrapper over
+    /// the unified source pipeline (the pile serves its full-width table
+    /// zero-copy, so the sweep never deserializes a record).
+    pub fn query_from_pile(
+        &self,
+        pile: &SketchPile,
+        windows: Range<usize>,
+        method: QueryMethod,
+    ) -> Result<(CorrelationMatrix, QueryReport)> {
+        self.query(pile, windows, method)
+    }
+
+    /// [`ParallelEngine::network`] against a mapped pile — a thin wrapper
+    /// over the unified source pipeline.
+    pub fn network_from_pile(
+        &self,
+        pile: &SketchPile,
+        windows: Range<usize>,
+        method: QueryMethod,
+        theta: f64,
+    ) -> Result<(EdgeList, QueryReport)> {
+        self.network(pile, windows, method, theta)
+    }
+
+    /// [`ParallelEngine::top_k`] against a mapped pile — a thin wrapper over
+    /// the unified source pipeline.
+    pub fn top_k_from_pile(
+        &self,
+        pile: &SketchPile,
+        windows: Range<usize>,
+        method: QueryMethod,
+        k: usize,
+    ) -> Result<(TopK, QueryReport)> {
+        self.top_k(pile, windows, method, k)
+    }
+}
+
+/// The pile-bound sketch phase: the same partitioned computation as
+/// [`ParallelEngine::sketch_to_store`], streaming window-major slabs to the
+/// pile's database worker instead of record batches. (Pile *queries* go
+/// through the unified [`CorrSource`] pipeline above — the pile serves
+/// zero-copy full-width tables, so no pile-specific query code survives.)
+impl ParallelEngine {
     /// Sketch `collection` into a fresh pile through the threaded pile
     /// writer, and return the mapped result alongside the timing breakdown.
     ///
@@ -827,301 +910,6 @@ impl ParallelEngine {
             pile,
         ))
     }
-
-    /// [`ParallelEngine::query_from_store`] against a pile: the dense matrix
-    /// is assembled by sweeping [`QueryPlan::block_kernel`] directly over the
-    /// pile's mapped full-width table — no record reads, no transposition,
-    /// and bit-identical to the record-store path (the kernel's per-pair
-    /// accumulation is independent of tiling).
-    pub fn query_from_pile(
-        &self,
-        pile: &SketchPile,
-        windows: Range<usize>,
-        method: QueryMethod,
-    ) -> Result<(CorrelationMatrix, QueryReport)> {
-        let wall_start = Instant::now();
-        let n = pile.n_series();
-
-        let read_start = Instant::now();
-        let series_stats = pile.series_stats(windows.clone())?;
-        let table = if n >= 2 {
-            Some(pile.pair_table(windows.clone(), Self::pile_kind(method))?)
-        } else {
-            None
-        };
-        let read_time = read_start.elapsed();
-
-        let plan = if n >= 2 {
-            Some(QueryPlan::from_window_stats(&series_stats)?)
-        } else {
-            None
-        };
-
-        let partitions = partition_pairs(n, self.config.workers.max(1));
-        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
-        check_dense_budget(n * n.saturating_sub(1) / 2, 1)?;
-        let mut values = vec![0.0f64; n * n.saturating_sub(1) / 2];
-        let slices = tsubasa_core::plan::carve_packed_slices(
-            &mut values,
-            partitions.iter().map(|p| p.len()),
-        );
-        let plan_ref = plan.as_ref();
-        let view = table.as_ref().map(|t| t.view());
-
-        let live: Vec<_> = partitions
-            .iter()
-            .zip(slices)
-            .filter(|(part, _)| !part.is_empty())
-            .collect();
-        let mut outcomes: Vec<Duration> = vec![Duration::ZERO; live.len()];
-        let jobs: Vec<Job<'_>> = live
-            .into_iter()
-            .zip(outcomes.iter_mut())
-            .map(|((part, slice), busy)| {
-                Box::new(move || {
-                    let start = Instant::now();
-                    let plan = plan_ref.expect("plan is built for n >= 2 queries");
-                    let view = view.expect("pair table is mapped for n >= 2 queries");
-                    let (a0, b0) = part.pairs[0];
-                    // Full-width view: the kernel's pair offset is the global
-                    // packed pair index.
-                    let mut offset = pair_index(a0, b0, n);
-                    let mut cursor = 0;
-                    for (i, j0, len) in row_segments(offset, part.pairs.len(), n) {
-                        plan.block_kernel(i, j0, view, offset, &mut slice[cursor..cursor + len]);
-                        offset += len;
-                        cursor += len;
-                    }
-                    *busy = start.elapsed();
-                }) as Job<'_>
-            })
-            .collect();
-        self.pool.run_jobs(jobs);
-        let mut compute_time = Duration::ZERO;
-        for busy in outcomes {
-            compute_time += busy;
-        }
-
-        let matrix = CorrelationMatrix::from_upper_triangle(n, values);
-        Ok((
-            matrix,
-            QueryReport {
-                workers: self.config.workers.max(1),
-                pairs: pair_count,
-                read_time,
-                compute_time,
-                wall_time: wall_start.elapsed(),
-            },
-        ))
-    }
-
-    /// [`ParallelEngine::network_from_store`] against a pile. Equation 4
-    /// chunk pruning composes unchanged — a skippable chunk's table columns
-    /// are never touched, so their mapped pages are not faulted in (the
-    /// pruning bound needs only the decoded per-series statistics). NaN
-    /// accounting mirrors the record path: observed chunks are column-scanned
-    /// for NaN per pair, pruned chunks are audited only under
-    /// [`ParallelConfig::audit_pruned_chunks`].
-    pub fn network_from_pile(
-        &self,
-        pile: &SketchPile,
-        windows: Range<usize>,
-        method: QueryMethod,
-        theta: f64,
-    ) -> Result<(EdgeList, QueryReport)> {
-        if !(-1.0..=1.0).contains(&theta) {
-            return Err(Error::InvalidThreshold(theta));
-        }
-        let make = |_: &QueryPlan| EdgeSink::new(theta);
-        let prune = matches!(method, QueryMethod::Approximate);
-        let (sinks, n, report) = self.streamed_pile_query(pile, windows, method, prune, make)?;
-        let mut edges = EdgeList::from_parts(n, Vec::new(), 0);
-        for sink in sinks {
-            edges.absorb(sink.finish(n));
-        }
-        Ok((edges, report))
-    }
-
-    /// [`ParallelEngine::top_k_from_store`] against a pile — same bounded
-    /// per-worker heaps, same total ranking, swept zero-copy off the map.
-    pub fn top_k_from_pile(
-        &self,
-        pile: &SketchPile,
-        windows: Range<usize>,
-        method: QueryMethod,
-        k: usize,
-    ) -> Result<(TopK, QueryReport)> {
-        let make = |_: &QueryPlan| TopKSink::new(k);
-        let (sinks, _, report) = self.streamed_pile_query(pile, windows, method, true, make)?;
-        let mut merged = TopKSink::new(k);
-        for sink in sinks {
-            merged.absorb(sink);
-        }
-        Ok((merged.finish(), report))
-    }
-
-    /// Shared body of the streamed pile-backed queries: decode the per-series
-    /// statistics (the only decoding the pile path ever does), map the
-    /// full-width pair table once, and fan the partitions out — every worker
-    /// sweeps its chunks straight off the shared [`CorrView`].
-    fn streamed_pile_query<S, F>(
-        &self,
-        pile: &SketchPile,
-        windows: Range<usize>,
-        method: QueryMethod,
-        prune: bool,
-        make_sink: F,
-    ) -> Result<(Vec<S>, usize, QueryReport)>
-    where
-        S: TileSink + Send,
-        F: Fn(&QueryPlan) -> S,
-    {
-        let wall_start = Instant::now();
-        let n = pile.n_series();
-
-        let read_start = Instant::now();
-        let series_stats = pile.series_stats(windows.clone())?;
-        if n < 2 {
-            return Ok((
-                Vec::new(),
-                n,
-                QueryReport {
-                    workers: self.config.workers.max(1),
-                    pairs: 0,
-                    read_time: read_start.elapsed(),
-                    compute_time: Duration::ZERO,
-                    wall_time: wall_start.elapsed(),
-                },
-            ));
-        }
-        let table = pile.pair_table(windows.clone(), Self::pile_kind(method))?;
-        let read_time = read_start.elapsed();
-
-        let plan = QueryPlan::from_window_stats(&series_stats)?;
-        let bounds = prune.then(|| CorrelationBounds::from_plan(&plan));
-
-        let partitions = partition_pairs(n, self.config.workers.max(1));
-        let pair_count: usize = partitions.iter().map(|p| p.len()).sum();
-        let batch_pairs = self.config.batch_pairs.max(1);
-        let audit_pruned = self.config.audit_pruned_chunks;
-
-        let plan_ref = &plan;
-        let bounds_ref = bounds.as_ref();
-        let view = table.view();
-
-        let live: Vec<&crate::partition::PairPartition> =
-            partitions.iter().filter(|p| !p.is_empty()).collect();
-        let mut sinks: Vec<S> = live.iter().map(|_| make_sink(&plan)).collect();
-        let mut outcomes: Vec<Duration> = vec![Duration::ZERO; live.len()];
-        let jobs: Vec<Job<'_>> = live
-            .iter()
-            .zip(sinks.iter_mut().zip(outcomes.iter_mut()))
-            .map(|(part, (sink, busy))| {
-                let part = *part;
-                Box::new(move || {
-                    *busy = sweep_pile_partition(
-                        plan_ref,
-                        view,
-                        bounds_ref,
-                        n,
-                        batch_pairs,
-                        audit_pruned,
-                        &part.pairs,
-                        sink,
-                    );
-                }) as Job<'_>
-            })
-            .collect();
-        self.pool.run_jobs(jobs);
-
-        let mut compute_time = Duration::ZERO;
-        for busy in outcomes {
-            compute_time += busy;
-        }
-        Ok((
-            sinks,
-            n,
-            QueryReport {
-                workers: self.config.workers.max(1),
-                pairs: pair_count,
-                read_time,
-                compute_time,
-                wall_time: wall_start.elapsed(),
-            },
-        ))
-    }
-}
-
-/// One worker's sweep of its partition over the shared mapped table: the
-/// pile sibling of [`stream_partition`], with the store read replaced by the
-/// zero-copy view (there is nothing to read — the "batch" is already in the
-/// kernel's layout). Working memory is one `batch_pairs`-sized output tile.
-#[allow(clippy::too_many_arguments)]
-fn sweep_pile_partition(
-    plan: &QueryPlan,
-    view: CorrView<'_>,
-    bounds: Option<&CorrelationBounds>,
-    n: usize,
-    batch_pairs: usize,
-    audit_pruned: bool,
-    pairs: &[(usize, usize)],
-    sink: &mut dyn TileSink,
-) -> Duration {
-    let start_t = Instant::now();
-    let mut tile = vec![0.0f64; batch_pairs];
-    for chunk in pairs.chunks(batch_pairs) {
-        let (a0, b0) = chunk[0];
-        let first = pair_index(a0, b0, n);
-
-        // Equation 4 chunk pruning: decided from per-series statistics
-        // alone — a skipped chunk's columns of the mapped table are never
-        // dereferenced, so their pages are not faulted in.
-        if let Some(b) = bounds {
-            let skippable = row_segments(first, chunk.len(), n)
-                .into_iter()
-                .all(|(i, j0, len)| sink.tile_skippable(b.tile_bound(i, j0, len)));
-            if skippable {
-                if audit_pruned {
-                    audit_nan_columns(view, chunk, n, sink);
-                }
-                for (i, j0, len) in row_segments(first, chunk.len(), n) {
-                    sink.tile_skipped(i, j0, len);
-                }
-                continue;
-            }
-        }
-
-        // Audit mirrors `audit_nan_records`: the kernel clamps NaN window
-        // values to 0.0, so scan the chunk's table columns and report
-        // affected pairs as one-slot NaN tiles before recombining.
-        audit_nan_columns(view, chunk, n, sink);
-        let mut offset = first;
-        for (i, j0, len) in row_segments(first, chunk.len(), n) {
-            plan.block_kernel(i, j0, view, offset, &mut tile[..len]);
-            sink.consume(i, j0, offset, &tile[..len]);
-            offset += len;
-        }
-    }
-    start_t.elapsed()
-}
-
-/// Scan a chunk's columns of the mapped window-major table for NaN windows
-/// and report each affected pair to the sink as a one-slot NaN tile — the
-/// pile-path equivalent of [`audit_nan_records`] (which inspects the decoded
-/// records the pile path no longer has).
-fn audit_nan_columns(
-    view: CorrView<'_>,
-    chunk: &[(usize, usize)],
-    n: usize,
-    sink: &mut dyn TileSink,
-) {
-    let w = view.window_count();
-    for &(a, b) in chunk {
-        let p = pair_index(a, b, n);
-        if (0..w).any(|k| view.window_row(k)[p].is_nan()) {
-            sink.consume(a, b, p, &[f64::NAN]);
-        }
-    }
 }
 
 /// Per-worker timing of one streamed partition sweep.
@@ -1131,17 +919,29 @@ struct StreamedOut {
     compute: Duration,
 }
 
-/// One worker's streamed sweep: read the partition's pairs from the store in
-/// contiguous chunks, recombine each chunk tile by tile with the shared
-/// plan's batch kernel, and feed the tiles to the worker's sink. Working
-/// memory is one chunk's records plus one `batch_pairs`-sized output tile —
-/// never the partition's (let alone the triangle's) full size.
+/// One worker's streamed sweep of its partition over a [`CorrSource`] — the
+/// single body behind every streamed backend. With a full-width table
+/// (`full` is `Some`: in-memory sketches, mapped piles) the chunks are swept
+/// in place with global pair offsets and nothing is ever copied; without one
+/// (the record store) each chunk is fetched through
+/// [`CorrSource::chunk_table`] — one ranged read — and swept with
+/// chunk-local offsets. Working memory is one chunk's table (chunked shape
+/// only) plus one `batch_pairs`-sized output tile — never the partition's
+/// (let alone the triangle's) full size.
+///
+/// Equation 4 chunk pruning is decided from per-series statistics alone: a
+/// skipped chunk's columns are never dereferenced (no page faults on a
+/// mapping) or read (no store I/O). Under `audit_pruned` the skipped chunk
+/// is still NaN-audited through the shared hook — the tiles stay skipped,
+/// only the accounting becomes exhaustive, at the cost of the reads pruning
+/// would have saved.
 #[allow(clippy::too_many_arguments)]
-fn stream_partition(
-    store: &Arc<dyn SketchStore>,
+fn sweep_source_partition<S: CorrSource + ?Sized>(
+    source: &S,
     plan: &QueryPlan,
+    full: Option<CorrView<'_>>,
     bounds: Option<&CorrelationBounds>,
-    method: QueryMethod,
+    method: PlanMethod,
     n: usize,
     windows: &Range<usize>,
     batch_pairs: usize,
@@ -1150,88 +950,67 @@ fn stream_partition(
     sink: &mut dyn TileSink,
 ) -> Result<StreamedOut> {
     let mut out = StreamedOut::default();
-    let w = windows.len();
     let mut tile = vec![0.0f64; batch_pairs];
     for chunk in pairs.chunks(batch_pairs) {
         let (a0, b0) = chunk[0];
-        let start = pair_index(a0, b0, n);
+        let first = pair_index(a0, b0, n);
 
-        // Equation 4 chunk pruning: when every row tile of the chunk is
-        // skippable under its correlation upper bound, the store read is
-        // skipped entirely — the bound needs only the already-read
-        // per-series statistics.
         if let Some(b) = bounds {
-            let skippable = row_segments(start, chunk.len(), n)
+            let skippable = row_segments(first, chunk.len(), n)
                 .into_iter()
                 .all(|(i, j0, len)| sink.tile_skippable(b.tile_bound(i, j0, len)));
             if skippable {
-                // Opt-in exhaustive accounting: pruning decides from series
-                // statistics alone, so NaN records in a skipped chunk would
-                // otherwise go uncounted. Read and audit, but keep the tiles
-                // skipped — no recombination happens either way.
                 if audit_pruned {
-                    let t0 = Instant::now();
-                    let batch = store.read_pairs(chunk, windows.clone())?;
-                    out.read += t0.elapsed();
-                    audit_nan_records(&batch, chunk, method, n, sink);
+                    match full {
+                        Some(view) => audit_nan_chunk(view, chunk, n, sink),
+                        None => {
+                            let t0 = Instant::now();
+                            let corrs_t = source.chunk_table(chunk, windows.clone(), method)?;
+                            out.read += t0.elapsed();
+                            audit_nan_chunk(corrs_t.view(), chunk, n, sink);
+                        }
+                    }
                 }
-                for (i, j0, len) in row_segments(start, chunk.len(), n) {
+                for (i, j0, len) in row_segments(first, chunk.len(), n) {
                     sink.tile_skipped(i, j0, len);
                 }
                 continue;
             }
         }
 
-        let t0 = Instant::now();
-        let batch = store.read_pairs(chunk, windows.clone())?;
-        out.read += t0.elapsed();
+        // The NaN audit precedes recombination: the kernel clamps NaN window
+        // values to the 0.0 convention, so a method-mismatched sketch would
+        // otherwise silently produce a plausible-looking correlation.
+        match full {
+            Some(view) => {
+                let t1 = Instant::now();
+                audit_nan_chunk(view, chunk, n, sink);
+                let mut offset = first;
+                for (i, j0, len) in row_segments(first, chunk.len(), n) {
+                    plan.block_kernel(i, j0, view, offset, &mut tile[..len]);
+                    sink.consume(i, j0, offset, &tile[..len]);
+                    offset += len;
+                }
+                out.compute += t1.elapsed();
+            }
+            None => {
+                let t0 = Instant::now();
+                let corrs_t = source.chunk_table(chunk, windows.clone(), method)?;
+                out.read += t0.elapsed();
 
-        let t1 = Instant::now();
-        // Audit: the recombination kernel clamps NaN window values to the
-        // 0.0 convention, so a method-mismatched record would silently
-        // produce a plausible-looking correlation. Count the affected pairs
-        // through the sink's NaN accounting (a one-slot NaN "tile" per
-        // affected pair) before recombining.
-        audit_nan_records(&batch, chunk, method, n, sink);
-        let corrs_t = match method {
-            QueryMethod::Exact => TransposedCorrs::from_fn(chunk.len(), w, |p, k| batch[p][k].corr),
-            QueryMethod::Approximate => TransposedCorrs::from_fn(chunk.len(), w, |p, k| {
-                let d = batch[p][k].dft_dist;
-                1.0 - d * d / 2.0
-            }),
-        };
-        let mut offset = 0;
-        for (i, j0, len) in row_segments(start, chunk.len(), n) {
-            plan.block_kernel(i, j0, corrs_t.view(), offset, &mut tile[..len]);
-            sink.consume(i, j0, pair_index(i, j0, n), &tile[..len]);
-            offset += len;
+                let t1 = Instant::now();
+                audit_nan_chunk(corrs_t.view(), chunk, n, sink);
+                let mut offset = 0;
+                for (i, j0, len) in row_segments(first, chunk.len(), n) {
+                    plan.block_kernel(i, j0, corrs_t.view(), offset, &mut tile[..len]);
+                    sink.consume(i, j0, pair_index(i, j0, n), &tile[..len]);
+                    offset += len;
+                }
+                out.compute += t1.elapsed();
+            }
         }
-        out.compute += t1.elapsed();
     }
     Ok(out)
-}
-
-/// Count the pairs of a read batch whose records carry NaN in the field the
-/// query method recombines (stored `corr` for exact queries, `dft_dist` for
-/// approximate ones) — the signature of a store sketched with the *other*
-/// method. Each affected pair is reported to the sink as a one-slot NaN
-/// tile, which the sinks count (never rank or threshold).
-fn audit_nan_records(
-    batch: &[Vec<PairWindowRecord>],
-    chunk: &[(usize, usize)],
-    method: QueryMethod,
-    n: usize,
-    sink: &mut dyn TileSink,
-) {
-    for (records, &(a, b)) in batch.iter().zip(chunk) {
-        let has_nan = records.iter().any(|r| match method {
-            QueryMethod::Exact => r.corr.is_nan(),
-            QueryMethod::Approximate => r.dft_dist.is_nan(),
-        });
-        if has_nan {
-            sink.consume(a, b, pair_index(a, b, n), &[f64::NAN]);
-        }
-    }
 }
 
 #[cfg(test)]

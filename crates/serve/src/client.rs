@@ -308,8 +308,10 @@ mod tests {
             other => panic!("expected a Query error, got {other:?}"),
         }
         match client.network(Method::Approximate, 0, 0.3) {
-            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Unavailable),
-            other => panic!("expected Unavailable, got {other:?}"),
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::UnavailableNoApprox)
+            }
+            other => panic!("expected UnavailableNoApprox, got {other:?}"),
         }
         assert!(client.stats().is_ok(), "connection survives typed errors");
 

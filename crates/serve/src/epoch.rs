@@ -30,6 +30,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use tsubasa_core::error::{Error, Result};
+use tsubasa_core::plan::PlanMethod;
+use tsubasa_core::source::CorrSource;
 use tsubasa_core::stats::{normalize_into, tiled_pair_corrs_into, WindowStats};
 use tsubasa_core::{SeriesCollection, SketchSet};
 use tsubasa_dft::sketch::{DftSketchSet, Transform};
@@ -40,14 +42,33 @@ use tsubasa_stream::{EpochSketches, StreamBuffer};
 /// window completed up to its publication, identified by a 1-based id.
 ///
 /// An epoch may carry an exact [`SketchSet`], a [`DftSketchSet`], both, or a
-/// memory-mapped [`SketchPile`] snapshot — queries for a method the epoch
-/// does not carry fail with a typed error instead of silently degrading.
-#[derive(Debug, Clone)]
+/// memory-mapped [`SketchPile`] snapshot. At publication each payload is
+/// also bound as a per-method [`CorrSource`] ([`Epoch::source`]) — the query
+/// engine answers through that trait alone, so a pile whose `PairEsts`
+/// segments are on disk answers approximate queries exactly like an
+/// in-memory comparator. Queries for a method the epoch cannot serve fail
+/// with a typed error instead of silently degrading.
+#[derive(Clone)]
 pub struct Epoch {
     id: u64,
     exact: Option<Arc<SketchSet>>,
     approx: Option<Arc<DftSketchSet>>,
     pile: Option<Arc<SketchPile>>,
+    exact_src: Option<Arc<dyn CorrSource>>,
+    approx_src: Option<Arc<dyn CorrSource>>,
+}
+
+impl std::fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Epoch")
+            .field("id", &self.id)
+            .field("exact", &self.exact)
+            .field("approx", &self.approx)
+            .field("pile", &self.pile)
+            .field("exact_capable", &self.exact_src.is_some())
+            .field("approx_capable", &self.approx_src.is_some())
+            .finish()
+    }
 }
 
 impl Epoch {
@@ -71,26 +92,37 @@ impl Epoch {
         self.pile.as_ref()
     }
 
-    /// Number of series covered.
-    pub fn series_count(&self) -> usize {
-        match (&self.exact, &self.approx, &self.pile) {
-            (Some(s), _, _) => s.series_count(),
-            (None, Some(a), _) => a.series_count(),
-            (None, None, Some(p)) => p.n_series(),
-            (None, None, None) => 0,
+    /// The [`CorrSource`] answering `method` queries, when the epoch can
+    /// serve that method: the in-memory sketch when one is carried, else the
+    /// pile snapshot when its segment coverage supports the method.
+    pub fn source(&self, method: PlanMethod) -> Option<&Arc<dyn CorrSource>> {
+        match method {
+            PlanMethod::Exact => self.exact_src.as_ref(),
+            PlanMethod::Approximate => self.approx_src.as_ref(),
         }
     }
 
-    /// Number of basic windows the snapshot covers. For a pile-backed epoch
-    /// this is the exact-queryable coverage (windows with both statistics and
-    /// pair correlations on disk).
-    pub fn window_count(&self) -> usize {
-        match (&self.exact, &self.approx, &self.pile) {
-            (Some(s), _, _) => s.window_count(),
-            (None, Some(a), _) => a.window_count(),
-            (None, None, Some(p)) => p.exact_query_windows(),
-            (None, None, None) => 0,
+    /// Number of series covered.
+    pub fn series_count(&self) -> usize {
+        match (&self.exact_src, &self.approx_src) {
+            (Some(s), _) => s.series_count(),
+            (None, Some(s)) => s.series_count(),
+            (None, None) => 0,
         }
+    }
+
+    /// Basic windows answerable under `method` (0 when the epoch cannot
+    /// serve the method at all).
+    pub fn windows_for(&self, method: PlanMethod) -> usize {
+        self.source(method).map_or(0, |s| s.window_count(method))
+    }
+
+    /// Number of basic windows the snapshot covers under *some* query
+    /// method. For a pile-backed epoch this is the per-kind segment
+    /// coverage, so an estimates-only pile counts its approximate windows.
+    pub fn window_count(&self) -> usize {
+        self.windows_for(PlanMethod::Exact)
+            .max(self.windows_for(PlanMethod::Approximate))
     }
 }
 
@@ -135,12 +167,13 @@ impl EpochStore {
     }
 
     /// Publish the next epoch from a memory-mapped pile snapshot. The pile
-    /// must cover at least one exact-queryable basic window (statistics and
-    /// pair correlations both on disk).
+    /// must cover at least one queryable basic window under some method —
+    /// exact (statistics and pair correlations on disk) or approximate
+    /// (statistics and pair estimates on disk).
     pub fn publish_pile(&self, pile: SketchPile) -> Result<Arc<Epoch>> {
-        if pile.exact_query_windows() == 0 {
+        if pile.exact_query_windows() == 0 && pile.approx_query_windows() == 0 {
             return Err(Error::EmptyInput(
-                "a pile epoch needs at least one exact-queryable window",
+                "a pile epoch needs at least one queryable window",
             ));
         }
         self.publish_epoch(None, None, Some(Arc::new(pile)))
@@ -153,11 +186,30 @@ impl EpochStore {
         pile: Option<Arc<SketchPile>>,
     ) -> Result<Arc<Epoch>> {
         let id = self.published.fetch_add(1, Ordering::SeqCst) + 1;
+        // Bind each method to its answering source at publication: a carried
+        // in-memory sketch wins, else the pile when its per-kind segment
+        // coverage supports the method.
+        let exact_src: Option<Arc<dyn CorrSource>> = match (&exact, &pile) {
+            (Some(s), _) => Some(Arc::clone(s) as Arc<dyn CorrSource>),
+            (None, Some(p)) if p.exact_query_windows() > 0 => {
+                Some(Arc::clone(p) as Arc<dyn CorrSource>)
+            }
+            _ => None,
+        };
+        let approx_src: Option<Arc<dyn CorrSource>> = match (&approx, &pile) {
+            (Some(s), _) => Some(Arc::clone(s) as Arc<dyn CorrSource>),
+            (None, Some(p)) if p.approx_query_windows() > 0 => {
+                Some(Arc::clone(p) as Arc<dyn CorrSource>)
+            }
+            _ => None,
+        };
         let epoch = Arc::new(Epoch {
             id,
             exact,
             approx,
             pile,
+            exact_src,
+            approx_src,
         });
         {
             let mut recent = self.recent.lock().expect("epoch store poisoned");
@@ -353,6 +405,66 @@ fn append_window_to_pile(writer: &mut PileWriter, chunk: &[Vec<f64>]) -> Result<
     }
     writer.append(SegmentKind::SeriesStats, &stats_row)?;
     writer.append(SegmentKind::PairCorrs, &corrs)?;
+    Ok(())
+}
+
+/// Mirror in-memory sketches into a pile, window by window: the statistics
+/// row, a `PairCorrs` row per window when an exact sketch is given, and a
+/// `PairEsts` row (Eq. 3 estimates `1 − d²/2`) per window when a DFT
+/// comparator is given. The rows are copied verbatim from the sketches, so a
+/// pile epoch built this way answers both methods bit-identically to the
+/// sketch-backed epoch it mirrors. Call [`PileWriter::sync`] and snapshot
+/// afterwards as usual.
+pub fn mirror_sketches_to_pile(
+    writer: &mut PileWriter,
+    exact: Option<&SketchSet>,
+    approx: Option<&DftSketchSet>,
+) -> Result<()> {
+    let base = match (exact, approx) {
+        (Some(s), _) => s,
+        (None, Some(a)) => a.base(),
+        (None, None) => return Err(Error::EmptyInput("mirroring needs at least one sketch")),
+    };
+    if let (Some(s), Some(a)) = (exact, approx) {
+        if s.series_count() != a.series_count() || s.window_count() != a.window_count() {
+            return Err(Error::SketchMismatch {
+                requested: format!(
+                    "{} series x {} windows (exact)",
+                    s.series_count(),
+                    s.window_count()
+                ),
+                available: format!(
+                    "{} series x {} windows (approx)",
+                    a.series_count(),
+                    a.window_count()
+                ),
+            });
+        }
+    }
+    let n = base.series_count();
+    for w in 0..base.window_count() {
+        let mut stats_row = Vec::with_capacity(n * 3);
+        for i in 0..n {
+            let st = base.series_sketch(i)?.window(w);
+            stats_row.extend_from_slice(&[st.len as f64, st.mean, st.std]);
+        }
+        writer.append(SegmentKind::SeriesStats, &stats_row)?;
+        if let Some(s) = exact {
+            writer.append(
+                SegmentKind::PairCorrs,
+                s.window_corrs_view(w..w + 1).window_row(0),
+            )?;
+        }
+        if let Some(a) = approx {
+            let ests: Vec<f64> = a
+                .window_dists_view(w..w + 1)
+                .window_row(0)
+                .iter()
+                .map(|&d| 1.0 - d * d / 2.0)
+                .collect();
+            writer.append(SegmentKind::PairEsts, &ests)?;
+        }
+    }
     Ok(())
 }
 

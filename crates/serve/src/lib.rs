@@ -38,7 +38,7 @@ pub mod server;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use client::{ClientError, NetworkReply, ServeClient, TopKReply};
-pub use epoch::{Epoch, EpochIngest, EpochStore};
+pub use epoch::{mirror_sketches_to_pile, Epoch, EpochIngest, EpochStore};
 pub use proto::{DeltaReply, ErrorCode, Method, ProtoError, Request, Response, StatsReply};
-pub use query::{QueryEngine, QueryError};
+pub use query::{QueryEngine, QueryError, UnavailableReason};
 pub use server::{start, ServerHandle, ServerStats};

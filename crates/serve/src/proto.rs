@@ -177,10 +177,17 @@ pub enum ErrorCode {
     UnknownOpcode,
     /// The query itself was rejected (bad θ, window out of range, …).
     Query,
-    /// The server has no published epoch (or method) to answer from.
+    /// The server cannot answer yet, for an unspecified reason (legacy
+    /// catch-all; current servers emit one of the structured codes below).
     Unavailable,
     /// Unexpected internal failure.
     Internal,
+    /// No epoch has been published yet.
+    UnavailableNoEpoch,
+    /// The epoch carries no exact-capable source.
+    UnavailableNoExact,
+    /// The epoch carries no approximate-capable source.
+    UnavailableNoApprox,
 }
 
 impl ErrorCode {
@@ -191,6 +198,9 @@ impl ErrorCode {
             ErrorCode::Query => 3,
             ErrorCode::Unavailable => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::UnavailableNoEpoch => 6,
+            ErrorCode::UnavailableNoExact => 7,
+            ErrorCode::UnavailableNoApprox => 8,
         }
     }
 
@@ -201,6 +211,9 @@ impl ErrorCode {
             3 => Ok(ErrorCode::Query),
             4 => Ok(ErrorCode::Unavailable),
             5 => Ok(ErrorCode::Internal),
+            6 => Ok(ErrorCode::UnavailableNoEpoch),
+            7 => Ok(ErrorCode::UnavailableNoExact),
+            8 => Ok(ErrorCode::UnavailableNoApprox),
             other => Err(ProtoError::BadPayload(format!(
                 "unknown error code 0x{other:02x}"
             ))),

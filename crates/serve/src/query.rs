@@ -25,26 +25,62 @@ use std::sync::Arc;
 use tsubasa_core::error::Error;
 use tsubasa_core::plan::{even_sizes, CorrView, PlanKey, PlanMethod};
 use tsubasa_core::runner::Job;
+use tsubasa_core::source::CorrSource;
 use tsubasa_core::sweep::{
     sweep_run, CorrelationBounds, EdgeList, EdgeSink, TopK, TopKSink, DEFAULT_TILE_PAIRS,
 };
-use tsubasa_core::{QueryPlan, SketchSet};
+use tsubasa_core::QueryPlan;
 use tsubasa_dft::plan::RadiusEdgeSink;
-use tsubasa_dft::sketch::DftSketchSet;
 use tsubasa_dft::ApproxPlan;
 use tsubasa_parallel::WorkerPool;
-use tsubasa_storage::pile::{SegmentKind, SketchPile};
+use tsubasa_storage::pile::SketchPile;
 use tsubasa_stream::EpochSketches;
 
 use crate::cache::{CachedPlan, PlanCache};
 use crate::epoch::{Epoch, EpochStore};
 
+/// Why a query could not be answered *yet* — distinct from a rejection:
+/// nothing about the request is wrong, the serving state just cannot satisfy
+/// it. Each reason maps to its own protocol error code so clients can react
+/// (wait for an epoch vs. switch method) without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnavailableReason {
+    /// No epoch has been published yet.
+    NoEpoch,
+    /// The epoch carries no exact-capable source (no exact sketch, and no
+    /// pile coverage of statistics + pair correlations).
+    NoExact,
+    /// The epoch carries no approximate-capable source (no DFT comparator,
+    /// and no pile coverage of statistics + pair estimates).
+    NoApprox,
+}
+
+impl UnavailableReason {
+    /// The reason reported when `method` has no answering source.
+    pub fn for_method(method: PlanMethod) -> Self {
+        match method {
+            PlanMethod::Exact => UnavailableReason::NoExact,
+            PlanMethod::Approximate => UnavailableReason::NoApprox,
+        }
+    }
+}
+
+impl std::fmt::Display for UnavailableReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnavailableReason::NoEpoch => write!(f, "no epoch published yet"),
+            UnavailableReason::NoExact => write!(f, "epoch carries no exact source"),
+            UnavailableReason::NoApprox => write!(f, "epoch carries no approximate source"),
+        }
+    }
+}
+
 /// Failures answering a query.
 #[derive(Debug)]
 pub enum QueryError {
-    /// The server cannot answer yet: no epoch published, or the epoch does
-    /// not carry the requested method's sketch.
-    Unavailable(String),
+    /// The server cannot answer yet: no epoch published, or the epoch
+    /// carries no source for the requested method.
+    Unavailable(UnavailableReason),
     /// The query parameters were rejected (bad θ, window out of range, …).
     Rejected(Error),
 }
@@ -52,7 +88,7 @@ pub enum QueryError {
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QueryError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            QueryError::Unavailable(reason) => write!(f, "unavailable: {reason}"),
             QueryError::Rejected(e) => write!(f, "rejected: {e}"),
         }
     }
@@ -66,14 +102,20 @@ impl From<Error> for QueryError {
     }
 }
 
-/// Resolve a trailing-window request against an epoch covering `available`
-/// basic windows. `0` selects every available window; a request for more
-/// windows than exist is rejected, never silently clamped.
-pub fn resolve_windows(available: usize, last_windows: u32) -> Result<Range<usize>, QueryError> {
+/// Resolve a trailing-window request against a source answering `method`
+/// over `available` basic windows. `0` selects every available window; a
+/// request for more windows than exist is rejected, never silently clamped.
+/// Zero available windows reports the method as unavailable — the source
+/// exists but cannot answer anything yet.
+pub fn resolve_windows(
+    available: usize,
+    last_windows: u32,
+    method: PlanMethod,
+) -> Result<Range<usize>, QueryError> {
     if available == 0 {
-        return Err(QueryError::Unavailable(
-            "epoch has no completed basic windows".to_string(),
-        ));
+        return Err(QueryError::Unavailable(UnavailableReason::for_method(
+            method,
+        )));
     }
     let lw = last_windows as usize;
     if lw == 0 {
@@ -160,7 +202,7 @@ impl QueryEngine {
     fn latest(&self) -> Result<Arc<Epoch>, QueryError> {
         self.store
             .latest()
-            .ok_or_else(|| QueryError::Unavailable("no epoch published yet".to_string()))
+            .ok_or(QueryError::Unavailable(UnavailableReason::NoEpoch))
     }
 
     /// Thresholded network over the trailing windows of the latest epoch.
@@ -201,39 +243,32 @@ impl QueryEngine {
         if !(-1.0..=1.0).contains(&theta) {
             return Err(QueryError::Rejected(Error::InvalidThreshold(theta)));
         }
-        let windows = resolve_windows(epoch.window_count(), last_windows)?;
+        let source =
+            epoch
+                .source(method)
+                .ok_or(QueryError::Unavailable(UnavailableReason::for_method(
+                    method,
+                )))?;
+        let windows = resolve_windows(source.window_count(method), last_windows, method)?;
+        let n = source.series_count();
         match method {
             PlanMethod::Exact => {
-                if epoch.exact().is_none() {
-                    if let Some(pile) = epoch.pile() {
-                        let n = pile.n_series();
-                        if n < 2 {
-                            return Ok(EdgeSink::new(theta).finish(n));
-                        }
-                        let (plan, _bounds) =
-                            self.exact_pile_plan(epoch.id(), pile, windows.clone())?;
-                        let table = pile.pair_table(windows, SegmentKind::PairCorrs)?;
-                        // Exact network: no pruning, mirroring the serial
-                        // streamed path's exhaustive NaN audit.
-                        return Ok(self.sweep_exact_network(&plan, table.view(), n, theta));
-                    }
-                }
-                let sketch = require_exact(epoch)?;
-                let n = sketch.series_count();
                 if n < 2 {
                     return Ok(EdgeSink::new(theta).finish(n));
                 }
-                let (plan, _bounds) = self.exact_plan(epoch.id(), sketch, windows)?;
-                let view = sketch.window_corrs_view(plan.full_windows());
-                Ok(self.sweep_exact_network(&plan, view, n, theta))
+                let (plan, _bounds) = self.exact_plan(epoch.id(), source.as_ref(), &windows)?;
+                let table = source
+                    .full_table(windows, PlanMethod::Exact)?
+                    .ok_or_else(chunked_source_error)?;
+                // Exact network: no pruning, mirroring the serial streamed
+                // path's exhaustive NaN audit.
+                Ok(self.sweep_exact_network(&plan, table.view(), n, theta))
             }
             PlanMethod::Approximate => {
-                let sketch = require_approx(epoch)?;
-                let n = sketch.series_count();
                 if n < 2 {
                     return Ok(RadiusEdgeSink::new(theta)?.finish(n));
                 }
-                let (plan, bounds) = self.approx_plan(epoch.id(), sketch, windows)?;
+                let (plan, bounds) = self.approx_plan(epoch.id(), source.as_ref(), &windows)?;
                 let runs = partition_runs(plan.pair_count(), self.pool.size());
                 let mut sinks = runs
                     .iter()
@@ -265,37 +300,27 @@ impl QueryEngine {
         k: u32,
     ) -> Result<TopK, QueryError> {
         let k = k as usize;
-        let windows = resolve_windows(epoch.window_count(), last_windows)?;
+        let source =
+            epoch
+                .source(method)
+                .ok_or(QueryError::Unavailable(UnavailableReason::for_method(
+                    method,
+                )))?;
+        let windows = resolve_windows(source.window_count(method), last_windows, method)?;
+        let n = source.series_count();
+        if n < 2 {
+            return Ok(TopKSink::new(k).finish());
+        }
         match method {
             PlanMethod::Exact => {
-                if epoch.exact().is_none() {
-                    if let Some(pile) = epoch.pile() {
-                        let n = pile.n_series();
-                        if n < 2 {
-                            return Ok(TopKSink::new(k).finish());
-                        }
-                        let (plan, bounds) =
-                            self.exact_pile_plan(epoch.id(), pile, windows.clone())?;
-                        let table = pile.pair_table(windows, SegmentKind::PairCorrs)?;
-                        return Ok(self.sweep_exact_top_k(&plan, table.view(), &bounds, n, k));
-                    }
-                }
-                let sketch = require_exact(epoch)?;
-                let n = sketch.series_count();
-                if n < 2 {
-                    return Ok(TopKSink::new(k).finish());
-                }
-                let (plan, bounds) = self.exact_plan(epoch.id(), sketch, windows)?;
-                let view = sketch.window_corrs_view(plan.full_windows());
-                Ok(self.sweep_exact_top_k(&plan, view, &bounds, n, k))
+                let (plan, bounds) = self.exact_plan(epoch.id(), source.as_ref(), &windows)?;
+                let table = source
+                    .full_table(windows, PlanMethod::Exact)?
+                    .ok_or_else(chunked_source_error)?;
+                Ok(self.sweep_exact_top_k(&plan, table.view(), &bounds, n, k))
             }
             PlanMethod::Approximate => {
-                let sketch = require_approx(epoch)?;
-                let n = sketch.series_count();
-                if n < 2 {
-                    return Ok(TopKSink::new(k).finish());
-                }
-                let (plan, bounds) = self.approx_plan(epoch.id(), sketch, windows)?;
+                let (plan, bounds) = self.approx_plan(epoch.id(), source.as_ref(), &windows)?;
                 let runs = partition_runs(plan.pair_count(), self.pool.size());
                 let mut sinks: Vec<TopKSink> = runs.iter().map(|_| TopKSink::new(k)).collect();
                 let plan_ref: &ApproxPlan = &plan;
@@ -315,15 +340,20 @@ impl QueryEngine {
         }
     }
 
+    /// The exact plan for an epoch's source, built from the source's
+    /// window-statistics rows ([`QueryPlan::from_window_stats`] — numerically
+    /// identical tables whichever backend the stats come from) and cached
+    /// under the `(epoch, windows, method)` key.
     fn exact_plan(
         &self,
         epoch_id: u64,
-        sketch: &SketchSet,
-        windows: Range<usize>,
+        source: &dyn CorrSource,
+        windows: &Range<usize>,
     ) -> Result<(Arc<QueryPlan>, Arc<CorrelationBounds>), QueryError> {
         let key = PlanKey::new(epoch_id, windows.clone(), PlanMethod::Exact);
         let cached = self.cache.get_or_build(key, || {
-            let plan = QueryPlan::build_aligned(sketch, windows.clone())?;
+            let stats = source.series_stats(windows.clone())?;
+            let plan = QueryPlan::from_window_stats(&stats)?;
             let bounds = CorrelationBounds::from_plan(&plan);
             Ok(CachedPlan::Exact {
                 plan: Arc::new(plan),
@@ -339,15 +369,20 @@ impl QueryEngine {
         }
     }
 
+    /// The approximate plan for an epoch's source
+    /// ([`ApproxPlan::from_source`] — Eq. 3 estimates served through the
+    /// [`tsubasa_core::source::EstSource`] hook, so a pile's stored
+    /// `PairEsts` rows build the same plan as an in-memory comparator),
+    /// cached under the `(epoch, windows, method)` key.
     fn approx_plan(
         &self,
         epoch_id: u64,
-        sketch: &DftSketchSet,
-        windows: Range<usize>,
+        source: &dyn CorrSource,
+        windows: &Range<usize>,
     ) -> Result<(Arc<ApproxPlan>, Arc<CorrelationBounds>), QueryError> {
         let key = PlanKey::new(epoch_id, windows.clone(), PlanMethod::Approximate);
         let cached = self.cache.get_or_build(key, || {
-            let plan = ApproxPlan::build(sketch, windows.clone())?;
+            let plan = ApproxPlan::from_source(source, windows.clone())?;
             let bounds = plan.tile_bounds();
             Ok(CachedPlan::Approx {
                 plan: Arc::new(plan),
@@ -357,34 +392,6 @@ impl QueryEngine {
         match cached {
             CachedPlan::Approx { plan, bounds } => Ok((plan, bounds)),
             CachedPlan::Exact { .. } => Err(QueryError::Rejected(Error::Storage(
-                "plan cache returned a mismatched method".to_string(),
-            ))),
-        }
-    }
-
-    /// The exact plan for a pile-backed epoch, built from the pile's
-    /// window-statistics rows ([`QueryPlan::from_window_stats`], numerically
-    /// identical tables to the sketch-backed builder) and cached under the
-    /// same `(epoch, windows, method)` key.
-    fn exact_pile_plan(
-        &self,
-        epoch_id: u64,
-        pile: &SketchPile,
-        windows: Range<usize>,
-    ) -> Result<(Arc<QueryPlan>, Arc<CorrelationBounds>), QueryError> {
-        let key = PlanKey::new(epoch_id, windows.clone(), PlanMethod::Exact);
-        let cached = self.cache.get_or_build(key, || {
-            let stats = pile.series_stats(windows.clone())?;
-            let plan = QueryPlan::from_window_stats(&stats)?;
-            let bounds = CorrelationBounds::from_plan(&plan);
-            Ok(CachedPlan::Exact {
-                plan: Arc::new(plan),
-                bounds: Arc::new(bounds),
-            })
-        })?;
-        match cached {
-            CachedPlan::Exact { plan, bounds } => Ok((plan, bounds)),
-            CachedPlan::Approx { .. } => Err(QueryError::Rejected(Error::Storage(
                 "plan cache returned a mismatched method".to_string(),
             ))),
         }
@@ -442,18 +449,13 @@ impl QueryEngine {
     }
 }
 
-fn require_exact(epoch: &Epoch) -> Result<&SketchSet, QueryError> {
-    epoch
-        .exact()
-        .map(|a| a.as_ref())
-        .ok_or_else(|| QueryError::Unavailable("epoch carries no exact sketch".to_string()))
-}
-
-fn require_approx(epoch: &Epoch) -> Result<&DftSketchSet, QueryError> {
-    epoch
-        .approx()
-        .map(|a| a.as_ref())
-        .ok_or_else(|| QueryError::Unavailable("epoch carries no DFT sketch".to_string()))
+/// Epoch sources (in-memory sketches, mapped piles) always serve full pair
+/// tables; hitting a chunked-only source here means a backend was published
+/// that the serving path does not support.
+fn chunked_source_error() -> QueryError {
+    QueryError::Rejected(Error::Storage(
+        "epoch source serves no full pair table".to_string(),
+    ))
 }
 
 /// Merge per-run edge lists in run order. Runs are contiguous ascending pair
@@ -484,7 +486,7 @@ mod tests {
     use super::*;
     use tsubasa_core::exact;
     use tsubasa_core::SeriesCollection;
-    use tsubasa_dft::sketch::Transform;
+    use tsubasa_dft::sketch::{DftSketchSet, Transform};
 
     fn engine(workers: usize) -> (QueryEngine, DftSketchSet) {
         let c = SeriesCollection::from_rows(
@@ -605,11 +607,11 @@ mod tests {
                 let from_pile = eng.top_k_on(&pile_epoch, PlanMethod::Exact, lw, k).unwrap();
                 assert_eq!(from_sketch.edges, from_pile.edges);
             }
-            // A pile-only epoch carries no DFT sketch: approximate queries
-            // fail typed, they do not silently degrade.
+            // This pile carries correlation rows but no estimate rows:
+            // approximate queries fail typed, they do not silently degrade.
             assert!(matches!(
                 eng.network_on(&pile_epoch, PlanMethod::Approximate, 0, 0.2),
-                Err(QueryError::Unavailable(_))
+                Err(QueryError::Unavailable(UnavailableReason::NoApprox))
             ));
             // Repeated windows against the pile epoch hit the plan cache.
             let stats = eng.cache().stats();
@@ -619,13 +621,93 @@ mod tests {
     }
 
     #[test]
+    fn approx_queries_on_mirrored_pile_epoch_match_sketch_epoch() {
+        use crate::epoch::mirror_sketches_to_pile;
+        use tsubasa_storage::pile::PileWriter;
+
+        let c = SeriesCollection::from_rows(
+            (0..6)
+                .map(|s| {
+                    (0..120)
+                        .map(|i| {
+                            (i as f64 * 0.11 + s as f64 * 0.7).sin()
+                                + ((i * (s + 2)) % 11) as f64 * 0.05
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        for workers in [1usize, 3] {
+            let dft = DftSketchSet::build(&c, 24, 24, Transform::Naive).unwrap();
+            let store = Arc::new(EpochStore::new(4));
+            let sketch_epoch = store
+                .publish(Some(dft.base().clone()), Some(dft.clone()))
+                .unwrap();
+            let path = std::env::temp_dir().join(format!(
+                "tsubasa-serve-pile-approx-{}-{workers}.pile",
+                std::process::id()
+            ));
+            let mut writer = PileWriter::create(&path, c.len(), 24).unwrap();
+            mirror_sketches_to_pile(&mut writer, Some(dft.base()), Some(&dft)).unwrap();
+            writer.sync().unwrap();
+            let pile_epoch = store.publish_pile(writer.snapshot().unwrap()).unwrap();
+            assert!(pile_epoch.approx().is_none() && pile_epoch.exact().is_none());
+            assert_eq!(
+                pile_epoch.windows_for(PlanMethod::Approximate),
+                sketch_epoch.windows_for(PlanMethod::Approximate)
+            );
+            let eng = QueryEngine::new(
+                store,
+                Arc::new(PlanCache::new(8)),
+                Arc::new(WorkerPool::new(workers)),
+            );
+
+            // Approximate answers from the pile's stored estimate rows are
+            // bit-identical to the in-memory comparator's.
+            for (lw, theta) in [(0u32, 0.2), (2, 0.0), (0, 0.8)] {
+                let from_sketch = eng
+                    .network_on(&sketch_epoch, PlanMethod::Approximate, lw, theta)
+                    .unwrap();
+                let from_pile = eng
+                    .network_on(&pile_epoch, PlanMethod::Approximate, lw, theta)
+                    .unwrap();
+                assert_edges_eq(&from_sketch, &from_pile);
+            }
+            for (lw, k) in [(0u32, 7u32), (3, 5)] {
+                let from_sketch = eng
+                    .top_k_on(&sketch_epoch, PlanMethod::Approximate, lw, k)
+                    .unwrap();
+                let from_pile = eng
+                    .top_k_on(&pile_epoch, PlanMethod::Approximate, lw, k)
+                    .unwrap();
+                assert_eq!(from_sketch.edges, from_pile.edges);
+            }
+            // The mirror also wrote correlation rows, so the same pile epoch
+            // answers exact queries bit-identically too.
+            let from_sketch = eng
+                .network_on(&sketch_epoch, PlanMethod::Exact, 0, 0.2)
+                .unwrap();
+            let from_pile = eng
+                .network_on(&pile_epoch, PlanMethod::Exact, 0, 0.2)
+                .unwrap();
+            assert_edges_eq(&from_sketch, &from_pile);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
     fn window_resolution_rejects_out_of_range() {
         assert!(matches!(
-            resolve_windows(5, 6),
+            resolve_windows(5, 6, PlanMethod::Exact),
             Err(QueryError::Rejected(Error::SketchMismatch { .. }))
         ));
-        assert_eq!(resolve_windows(5, 0).unwrap(), 0..5);
-        assert_eq!(resolve_windows(5, 2).unwrap(), 3..5);
+        assert!(matches!(
+            resolve_windows(0, 0, PlanMethod::Approximate),
+            Err(QueryError::Unavailable(UnavailableReason::NoApprox))
+        ));
+        assert_eq!(resolve_windows(5, 0, PlanMethod::Exact).unwrap(), 0..5);
+        assert_eq!(resolve_windows(5, 2, PlanMethod::Exact).unwrap(), 3..5);
         let (eng, _) = engine(2);
         assert!(matches!(
             eng.network(PlanMethod::Exact, 0, 1.5),

@@ -30,7 +30,7 @@ use crate::proto::{
     decode_request, encode_response, read_frame, write_frame, DeltaReply, ErrorCode, Method,
     ProtoError, Request, Response, StatsReply, MAX_REQUEST_FRAME,
 };
-use crate::query::{QueryEngine, QueryError};
+use crate::query::{QueryEngine, QueryError, UnavailableReason};
 
 /// How often blocked reads and the accept loop wake to poll the shutdown
 /// flag.
@@ -393,9 +393,13 @@ fn plan_method(method: Method) -> PlanMethod {
 
 fn error_response(e: QueryError) -> Response {
     match e {
-        QueryError::Unavailable(msg) => Response::Error {
-            code: ErrorCode::Unavailable,
-            message: msg,
+        QueryError::Unavailable(reason) => Response::Error {
+            code: match reason {
+                UnavailableReason::NoEpoch => ErrorCode::UnavailableNoEpoch,
+                UnavailableReason::NoExact => ErrorCode::UnavailableNoExact,
+                UnavailableReason::NoApprox => ErrorCode::UnavailableNoApprox,
+            },
+            message: reason.to_string(),
         },
         QueryError::Rejected(err) => Response::Error {
             code: ErrorCode::Query,

@@ -67,7 +67,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use tsubasa_core::error::{Error, Result};
-use tsubasa_core::plan::{CorrView, TransposedCorrs};
+use tsubasa_core::plan::{CorrView, PlanMethod, TransposedCorrs};
+use tsubasa_core::source::{CorrSource, PairTable};
 use tsubasa_core::stats::WindowStats;
 
 use crate::store::StoreLayout;
@@ -470,28 +471,11 @@ impl PileWriter {
 /// a zero-copy borrow of the mapping (the requested rows are contiguous in
 /// one segment) or a row-gathered owned buffer (range spans segments). Both
 /// present the same [`CorrView`]; neither ever decodes a record.
-pub enum PileCorrs<'a> {
-    /// Zero-copy view straight into the mapped file.
-    Borrowed(CorrView<'a>),
-    /// Rows bulk-copied (one `memcpy` per row) into an owned window-major
-    /// buffer — taken when the requested range spans segment boundaries.
-    Owned(TransposedCorrs),
-}
-
-impl PileCorrs<'_> {
-    /// The window-major view the sweep kernels consume.
-    pub fn view(&self) -> CorrView<'_> {
-        match self {
-            PileCorrs::Borrowed(v) => *v,
-            PileCorrs::Owned(t) => t.view(),
-        }
-    }
-
-    /// Whether this table borrows the mapping directly (no copy at all).
-    pub fn is_zero_copy(&self) -> bool {
-        matches!(self, PileCorrs::Borrowed(_))
-    }
-}
+///
+/// This is the backend-agnostic [`tsubasa_core::source::PairTable`] — the
+/// pile's borrowed-or-owned shape became the [`CorrSource`] trait's table
+/// currency, so the historical name survives as an alias.
+pub type PileCorrs<'a> = tsubasa_core::source::PairTable<'a>;
 
 /// Read-only handle to a validated, memory-mapped sketch pile.
 ///
@@ -756,6 +740,44 @@ impl SketchPile {
             bytes_after,
             ..before
         })
+    }
+}
+
+/// The mapped pile as a [`CorrSource`]: per-method capability comes from
+/// segment coverage (an estimates-only pile reports zero exact windows and
+/// vice versa), and full tables are the pile's own zero-copy-or-gathered
+/// [`SketchPile::pair_table`]. No chunked override — the mapping makes the
+/// full table as cheap as any chunk.
+impl CorrSource for SketchPile {
+    fn series_count(&self) -> usize {
+        self.n_series()
+    }
+
+    fn window_count(&self, method: PlanMethod) -> usize {
+        match method {
+            PlanMethod::Exact => self.exact_query_windows(),
+            PlanMethod::Approximate => self.approx_query_windows(),
+        }
+    }
+
+    fn zero_copy(&self) -> bool {
+        true
+    }
+
+    fn series_stats(&self, windows: Range<usize>) -> Result<Vec<Vec<WindowStats>>> {
+        SketchPile::series_stats(self, windows)
+    }
+
+    fn full_table(
+        &self,
+        windows: Range<usize>,
+        method: PlanMethod,
+    ) -> Result<Option<PairTable<'_>>> {
+        let kind = match method {
+            PlanMethod::Exact => SegmentKind::PairCorrs,
+            PlanMethod::Approximate => SegmentKind::PairEsts,
+        };
+        self.pair_table(windows, kind).map(Some)
     }
 }
 

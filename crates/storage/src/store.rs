@@ -4,7 +4,9 @@
 use std::ops::Range;
 
 use tsubasa_core::error::{Error, Result};
+use tsubasa_core::plan::{PlanMethod, TransposedCorrs};
 use tsubasa_core::sketch::pair_index;
+use tsubasa_core::source::{CorrSource, PairTable};
 use tsubasa_core::stats::WindowStats;
 use tsubasa_core::{PairSketch, SeriesSketch, SketchSet};
 
@@ -122,6 +124,60 @@ pub trait SketchStore: Send + Sync {
 
     /// Bytes occupied by the stored sketches — the Figure 6d metric.
     fn space_bytes(&self) -> u64;
+}
+
+/// The record store as a [`CorrSource`]: the one chunked backend. Records
+/// carry both method fields (`corr` and `dft_dist`), so the store cannot
+/// distinguish methods by coverage — it reports its full window count for
+/// either, and a method-mismatched sketch surfaces through the unified NaN
+/// audit (the missing field is stored as NaN) instead of a typed rejection.
+/// [`CorrSource::full_table`] is `None`: the store's access pattern is
+/// batched ranged record reads, served through
+/// [`CorrSource::chunk_table`] on top of [`SketchStore::read_pairs`].
+impl CorrSource for dyn SketchStore {
+    fn series_count(&self) -> usize {
+        self.layout().n_series
+    }
+
+    fn window_count(&self, _method: PlanMethod) -> usize {
+        self.layout().n_windows
+    }
+
+    fn series_stats(&self, windows: Range<usize>) -> Result<Vec<Vec<WindowStats>>> {
+        self.layout().check_windows(&windows)?;
+        (0..self.layout().n_series)
+            .map(|i| self.read_series(i, windows.clone()))
+            .collect()
+    }
+
+    fn full_table(
+        &self,
+        _windows: Range<usize>,
+        _method: PlanMethod,
+    ) -> Result<Option<PairTable<'_>>> {
+        Ok(None)
+    }
+
+    fn chunk_table(
+        &self,
+        chunk: &[(usize, usize)],
+        windows: Range<usize>,
+        method: PlanMethod,
+    ) -> Result<TransposedCorrs> {
+        self.layout().check_windows(&windows)?;
+        let batch = self.read_pairs(chunk, windows.clone())?;
+        Ok(TransposedCorrs::from_fn(
+            chunk.len(),
+            windows.len(),
+            |p, k| match method {
+                PlanMethod::Exact => batch[p][k].corr,
+                PlanMethod::Approximate => {
+                    let d = batch[p][k].dft_dist;
+                    1.0 - d * d / 2.0
+                }
+            },
+        ))
+    }
 }
 
 /// Persist an in-memory [`SketchSet`] into a store. `dft_dists`, when given,

@@ -41,7 +41,9 @@ pub mod prelude {
         ApproxNetworkBuilder, ClimateNetwork, DynamicsBuilder, NetworkComparison,
     };
     pub use tsubasa_parallel::{ParallelConfig, ParallelEngine};
-    pub use tsubasa_serve::{EpochIngest, EpochStore, PlanCache, QueryEngine, ServeClient};
+    pub use tsubasa_serve::{
+        EpochIngest, EpochStore, PlanCache, QueryEngine, ServeClient, UnavailableReason,
+    };
     pub use tsubasa_storage::{
         DiskSketchStore, MemorySketchStore, PileWriter, SketchPile, SketchStore,
     };

@@ -1,0 +1,307 @@
+//! Cross-backend [`CorrSource`] agreement grid.
+//!
+//! The tentpole invariant of the unified query pipeline: every backend —
+//! in-memory sketches, the record store, the mapped pile, and the pile with
+//! mmap disabled (`TSUBASA_PILE_NO_MMAP=1`) — answers matrix, network, and
+//! top-k queries **bit-identically** under both query methods, at any worker
+//! count. The engine's `query`/`network`/`top_k` are written once against
+//! the trait, so this grid is the proof that the per-backend adapters feed
+//! the kernel the same window-major values: ≥64 cases of
+//! `{backend} × {exact, approximate} × {matrix, network(θ), top_k} ×
+//! {1, 2, 8 workers}`.
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tsubasa::core::prelude::*;
+use tsubasa::parallel::{ParallelConfig, ParallelEngine, QueryMethod, SketchMethod};
+use tsubasa::serve::mirror_sketches_to_pile;
+use tsubasa::storage::store::persist_sketchset;
+use tsubasa::storage::{MemorySketchStore, PileWriter, SketchPile, SketchStore};
+use tsubasa_dft::sketch::{DftSketchSet, Transform};
+
+const WINDOWS: usize = 4;
+const THETA: f64 = 0.3;
+const K: usize = 5;
+
+/// Deterministic multi-scale series; series 0 carries one NaN observation in
+/// basic window 1, so the kernel's NaN-clamping convention is exercised
+/// identically on every backend.
+fn collection(n: usize, basic_window: usize) -> SeriesCollection {
+    let len = WINDOWS * basic_window;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|s| {
+            (0..len)
+                .map(|i| {
+                    if s == 0 && i == basic_window + 1 {
+                        f64::NAN
+                    } else {
+                        (i as f64 * 0.11 + s as f64 * 0.63).sin()
+                            + ((i * (s + 2)) % 13) as f64 * 0.05
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    SeriesCollection::from_rows(rows).unwrap()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "tsubasa-source-agree-{}-{tag}.pile",
+        std::process::id()
+    ))
+}
+
+fn engine(workers: usize) -> ParallelEngine {
+    ParallelEngine::new(ParallelConfig {
+        workers,
+        batch_pairs: 4,
+        sketch_method: SketchMethod::Dft { coefficients: 8 },
+        audit_pruned_chunks: false,
+    })
+}
+
+/// Run all three query kinds on `source` and compare each against the
+/// single-worker in-memory reference. Returns the number of cases covered.
+fn assert_source_matches<S: CorrSource + ?Sized>(
+    eng: &ParallelEngine,
+    source: &S,
+    windows: Range<usize>,
+    qm: QueryMethod,
+    reference: &(CorrelationMatrix, EdgeList, TopK),
+    label: &str,
+) -> usize {
+    let (matrix, _) = eng.query(source, windows.clone(), qm).unwrap();
+    assert_eq!(matrix, reference.0, "matrix mismatch: {label}");
+
+    let (edges, _) = eng.network(source, windows.clone(), qm, THETA).unwrap();
+    assert_eq!(
+        edges.edges(),
+        reference.1.edges(),
+        "edges mismatch: {label}"
+    );
+    assert_eq!(
+        edges.nan_pair_count(),
+        reference.1.nan_pair_count(),
+        "nan audit mismatch: {label}"
+    );
+
+    let (top, _) = eng.top_k(source, windows, qm, K).unwrap();
+    assert_eq!(top.edges, reference.2.edges, "top-k mismatch: {label}");
+    assert_eq!(
+        top.nan_pairs, reference.2.nan_pairs,
+        "top-k nan audit mismatch: {label}"
+    );
+    3
+}
+
+/// `ParallelConfig::audit_pruned_chunks` must behave identically on every
+/// backend: a NaN planted in an Equation-4-prunable chunk is silently
+/// skipped with the default config and counted when the audit is on, with
+/// the **same** counts from the record store and the pile — the policy lives
+/// in the one shared audit hook, not per backend.
+#[test]
+fn pruned_chunk_nan_audit_is_identical_on_store_and_pile() {
+    use tsubasa::storage::SegmentKind;
+
+    let n = 6;
+    let b = 25;
+    // Engineer the Equation 4 bound (`s_i s_j + t_i t_j` with
+    // `s² + t² = 1`): the last series is piecewise-constant per window (all
+    // numerator mass in between-window deltas, `t ≈ 1`), the rest are
+    // window-periodic (identical windows, so all mass in within-window
+    // stds, `s = 1`). Every pair touching the last series then has a bound
+    // near zero and deterministically prunes under any positive θ.
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|s| {
+            (0..WINDOWS * b)
+                .map(|i| {
+                    if s == n - 1 {
+                        (i / b) as f64
+                    } else {
+                        ((i % b) * 7919 * (s + 1) % 101) as f64 * 0.01
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let c = SeriesCollection::from_rows(rows).unwrap();
+    let dft = DftSketchSet::build(&c, b, 8, Transform::Naive).unwrap();
+
+    // Store with a NaN distance planted for the last pair in window 2.
+    let layout = ParallelEngine::layout_for(&c, b).unwrap();
+    let store = Arc::new(MemorySketchStore::new(layout));
+    let mut dists: Vec<Vec<f64>> = Vec::new();
+    for a in 0..n {
+        for bb in a + 1..n {
+            dists.push(dft.pair_distances(a, bb).unwrap().to_vec());
+        }
+    }
+    let planted_pair = dists.len() - 1; // pair (n-2, n-1)
+    dists[planted_pair][2] = f64::NAN;
+    persist_sketchset(&*store, dft.base(), Some(&dists)).unwrap();
+    let store_src: &dyn SketchStore = &*store;
+
+    // Pile with the same NaN planted in the window-2 estimates row.
+    let path = temp_path("pruned-nan");
+    let mut writer = PileWriter::create(&path, n, b).unwrap();
+    let base = dft.base();
+    for w in 0..WINDOWS {
+        let mut stats_row = Vec::with_capacity(n * 3);
+        for i in 0..n {
+            let st = base.series_sketch(i).unwrap().window(w);
+            stats_row.extend_from_slice(&[st.len as f64, st.mean, st.std]);
+        }
+        writer.append(SegmentKind::SeriesStats, &stats_row).unwrap();
+        writer
+            .append(
+                SegmentKind::PairCorrs,
+                base.window_corrs_view(w..w + 1).window_row(0),
+            )
+            .unwrap();
+        let ests: Vec<f64> = dists
+            .iter()
+            .map(|d| {
+                let d = d[w];
+                1.0 - d * d / 2.0
+            })
+            .collect();
+        writer.append(SegmentKind::PairEsts, &ests).unwrap();
+    }
+    let pile = writer.into_pile().unwrap();
+
+    let theta = 0.9;
+    let mut counts = Vec::new();
+    for audit in [false, true] {
+        let eng = ParallelEngine::new(ParallelConfig {
+            workers: 2,
+            batch_pairs: 1,
+            sketch_method: SketchMethod::Dft { coefficients: 8 },
+            audit_pruned_chunks: audit,
+        });
+        let (e_store, _) = eng
+            .network(store_src, 0..WINDOWS, QueryMethod::Approximate, theta)
+            .unwrap();
+        let (e_pile, _) = eng
+            .network(&pile, 0..WINDOWS, QueryMethod::Approximate, theta)
+            .unwrap();
+        assert_eq!(
+            e_store.nan_pair_count(),
+            e_pile.nan_pair_count(),
+            "audit={audit}: store and pile must count identically"
+        );
+        assert_eq!(e_store.edges(), e_pile.edges(), "audit={audit}");
+        counts.push(e_store.nan_pair_count());
+    }
+    // The planted chunk really was pruned: silent mode misses exactly the
+    // planted pair, the audit observes it — and only the accounting differs.
+    assert_eq!(counts[0], 0, "pruned chunk must be silent by default");
+    assert_eq!(counts[1], 1, "audit must observe the pruned chunk's NaN");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn all_backends_agree_bit_for_bit_across_the_grid() {
+    let n = 6;
+    let b = 20;
+    let c = collection(n, b);
+
+    // One in-memory dual sketch is the root of every backend, so the grid
+    // isolates the *serving* path: the store and pile carry the exact same
+    // window values the sketch does.
+    let dft = DftSketchSet::build(&c, b, 8, Transform::Naive).unwrap();
+
+    // Record store, with both method fields persisted.
+    let layout = ParallelEngine::layout_for(&c, b).unwrap();
+    let store = Arc::new(MemorySketchStore::new(layout));
+    let mut dists: Vec<Vec<f64>> = Vec::new();
+    for a in 0..n {
+        for bb in a + 1..n {
+            dists.push(dft.pair_distances(a, bb).unwrap().to_vec());
+        }
+    }
+    persist_sketchset(&*store, dft.base(), Some(&dists)).unwrap();
+    let store_src: &dyn SketchStore = &*store;
+
+    // Mapped pile with correlation and estimate rows mirrored per window.
+    let path = temp_path("grid");
+    let mut writer = PileWriter::create(&path, n, b).unwrap();
+    mirror_sketches_to_pile(&mut writer, Some(dft.base()), Some(&dft)).unwrap();
+    let pile = writer.into_pile().unwrap();
+
+    // The same file opened with the mmap fast path disabled: queries go
+    // through the heap-buffered fallback and must not change a bit. CI also
+    // reruns this whole suite under an ambient TSUBASA_PILE_NO_MMAP=1, in
+    // which case both opens exercise the fallback — restore, don't clear.
+    let ambient = std::env::var("TSUBASA_PILE_NO_MMAP").ok();
+    std::env::set_var("TSUBASA_PILE_NO_MMAP", "1");
+    let pile_nommap = SketchPile::open(&path).unwrap();
+    match &ambient {
+        Some(v) => std::env::set_var("TSUBASA_PILE_NO_MMAP", v),
+        None => std::env::remove_var("TSUBASA_PILE_NO_MMAP"),
+    }
+    assert!(
+        pile.is_mmap() || ambient.as_deref() == Some("1"),
+        "grid must exercise the mapped path unless mmap is disabled"
+    );
+    assert!(
+        !pile_nommap.is_mmap(),
+        "grid must exercise the buffered fallback path"
+    );
+
+    let mut cases = 0usize;
+    for qm in [QueryMethod::Exact, QueryMethod::Approximate] {
+        for windows in [0..WINDOWS, 1..WINDOWS] {
+            let reference = {
+                let eng = engine(1);
+                let (m, _) = eng.query(&dft, windows.clone(), qm).unwrap();
+                let (e, _) = eng.network(&dft, windows.clone(), qm, THETA).unwrap();
+                let (t, _) = eng.top_k(&dft, windows.clone(), qm, K).unwrap();
+                (m, e, t)
+            };
+            for workers in [1usize, 2, 8] {
+                let eng = engine(workers);
+                let tag = |which: &str| format!("{which} {qm:?} w={workers} {windows:?}");
+                cases += assert_source_matches(
+                    &eng,
+                    &dft,
+                    windows.clone(),
+                    qm,
+                    &reference,
+                    &tag("memory"),
+                );
+                cases += assert_source_matches(
+                    &eng,
+                    store_src,
+                    windows.clone(),
+                    qm,
+                    &reference,
+                    &tag("store"),
+                );
+                cases += assert_source_matches(
+                    &eng,
+                    &pile,
+                    windows.clone(),
+                    qm,
+                    &reference,
+                    &tag("pile"),
+                );
+                cases += assert_source_matches(
+                    &eng,
+                    &pile_nommap,
+                    windows.clone(),
+                    qm,
+                    &reference,
+                    &tag("pile-no-mmap"),
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    assert!(
+        cases >= 64,
+        "agreement grid must cover >= 64 cases, ran {cases}"
+    );
+}
